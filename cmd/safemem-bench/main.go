@@ -1,0 +1,152 @@
+// Command safemem-bench regenerates the paper's evaluation: Tables 2–5 and
+// Figure 3 (Section 6), on the simulated ECC machine.
+//
+// Usage:
+//
+//	safemem-bench [-experiment table2|table3|table4|table5|figure3|all]
+//	              [-seed N] [-scale N] [-iterations N]
+//
+// Absolute numbers are simulated-cycle measurements; the shapes — who wins,
+// by roughly what factor, where the crossovers fall — are the reproduction
+// target (see EXPERIMENTS.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"safemem/internal/apps"
+	"safemem/internal/bench"
+)
+
+// jsonOutput aggregates the requested experiments for -format json.
+type jsonOutput struct {
+	Seed    int64                 `json:"seed"`
+	Scale   int                   `json:"scale,omitempty"`
+	Table2  *bench.Table2         `json:"table2,omitempty"`
+	Table3  []bench.Table3Row     `json:"table3,omitempty"`
+	Table4  []bench.Table4Row     `json:"table4,omitempty"`
+	Table5  []bench.Table5Row     `json:"table5,omitempty"`
+	Figure3 []bench.Figure3Series `json:"figure3,omitempty"`
+	Summary []bench.SummaryRow    `json:"summary,omitempty"`
+}
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, figure3, summary or all")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	scale := flag.Int("scale", 0, "workload scale multiplier (0 = per-experiment default)")
+	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "safemem-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	asJSON := *format == "json"
+	out := jsonOutput{Seed: *seed, Scale: *scale}
+
+	cfg := apps.Config{Seed: *seed, Scale: *scale}
+	run := func(name string, f func() error) {
+		switch *experiment {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	run("table2", func() error {
+		t2, err := bench.RunTable2(*iterations)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Table2 = t2
+		} else {
+			fmt.Println(t2.Render())
+		}
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := bench.RunTable3(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Table3 = rows
+		} else {
+			fmt.Println(bench.RenderTable3(rows))
+		}
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := bench.RunTable4(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Table4 = rows
+		} else {
+			fmt.Println(bench.RenderTable4(rows))
+		}
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := bench.RunTable5(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Table5 = rows
+		} else {
+			fmt.Println(bench.RenderTable5(rows))
+		}
+		return nil
+	})
+	// summary re-runs every experiment internally, so it only runs when
+	// requested explicitly (not under -experiment all).
+	if *experiment == "summary" {
+		rows, err := bench.RunSummary(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-bench: summary: %v\n", err)
+			os.Exit(1)
+		}
+		if asJSON {
+			out.Summary = rows
+		} else {
+			fmt.Println(bench.RenderSummary(rows))
+		}
+	}
+	run("figure3", func() error {
+		series, err := bench.RunFigure3(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Figure3 = series
+		} else {
+			fmt.Println(bench.RenderFigure3(series))
+		}
+		return nil
+	})
+
+	switch *experiment {
+	case "table2", "table3", "table4", "table5", "figure3", "summary", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "safemem-bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-bench: encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command safemem-run executes one of the evaluation workloads under a
+// chosen monitoring tool and prints its reports and statistics — the
+// "run the buggy app under SafeMem and read the bug report" experience.
+//
+// Usage:
+//
+//	safemem-run -app ypserv1 [-tool safemem|safemem-ml|safemem-mc|purify|pageprot|none]
+//	            [-buggy] [-seed N] [-scale N] [-stop]
+//
+// Examples:
+//
+//	safemem-run -app gzip -buggy            # catch the overflow with SafeMem
+//	safemem-run -app squid1 -buggy          # catch the leak
+//	safemem-run -app gzip -tool purify      # same workload under Purify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"safemem/internal/apps"
+	"safemem/internal/bench"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to run (ypserv1, proftpd, squid1, ypserv2, gzip, tar, squid2)")
+	toolName := flag.String("tool", "safemem", "monitoring tool: safemem, safemem-ml, safemem-mc, purify, pageprot, mmp, none")
+	buggy := flag.Bool("buggy", false, "use the bug-triggering inputs")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	scale := flag.Int("scale", 1, "workload scale multiplier")
+	explain := flag.Bool("explain", false, "print gdb-style elaborations of SafeMem reports")
+	flag.Parse()
+
+	if *appName == "" {
+		var names []string
+		for _, a := range apps.All() {
+			names = append(names, a.Name)
+		}
+		fmt.Fprintf(os.Stderr, "safemem-run: -app required (one of %s)\n", strings.Join(names, ", "))
+		os.Exit(2)
+	}
+	app, ok := apps.Get(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "safemem-run: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	var tool bench.Tool
+	switch *toolName {
+	case "safemem":
+		tool = bench.ToolSafeMemBoth
+	case "safemem-ml":
+		tool = bench.ToolSafeMemML
+	case "safemem-mc":
+		tool = bench.ToolSafeMemMC
+	case "purify":
+		tool = bench.ToolPurify
+	case "pageprot":
+		tool = bench.ToolPageProt
+	case "mmp":
+		tool = bench.ToolMMP
+	case "none":
+		tool = bench.ToolNone
+	default:
+		fmt.Fprintf(os.Stderr, "safemem-run: unknown tool %q\n", *toolName)
+		os.Exit(2)
+	}
+
+	cfg := apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}
+	res, err := bench.Run(app.Name, tool, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s (%s, %s inputs) under %v\n", app.Name, app.Description, inputKind(*buggy), tool)
+	fmt.Printf("  simulated CPU time: %s (%d loads, %d stores, %d mallocs, %d frees)\n",
+		res.Cycles, res.Machine.Loads, res.Machine.Stores, res.Heap.Mallocs, res.Heap.Frees)
+	if res.Err != nil {
+		fmt.Printf("  program terminated: %v\n", res.Err)
+	}
+
+	switch tool {
+	case bench.ToolSafeMemML, bench.ToolSafeMemMC, bench.ToolSafeMemBoth:
+		st := res.SafeMemStats
+		fmt.Printf("  safemem: %d allocs wrapped, %d leak checks, %d suspects (%d pruned), max %d watched lines\n",
+			st.Allocs, st.LeakChecks, st.SuspectsFlagged, st.SuspectsPruned, st.MaxWatchedLines)
+		if len(res.SafeMem) == 0 {
+			fmt.Println("  no bugs reported")
+		}
+		for i, r := range res.SafeMem {
+			fmt.Printf("  BUG %s\n", r)
+			if *explain && i < len(res.SafeMemExplain) {
+				for _, line := range strings.Split(strings.TrimRight(res.SafeMemExplain[i], "\n"), "\n") {
+					fmt.Printf("      %s\n", line)
+				}
+			}
+		}
+	case bench.ToolPurify:
+		st := res.PurifyStats
+		fmt.Printf("  purify: %d accesses checked, %d leak scans (%d bytes swept)\n",
+			st.AccessesChecked, st.LeakScans, st.BytesSwept)
+		if len(res.Purify) == 0 {
+			fmt.Println("  no bugs reported")
+		}
+		for _, r := range res.Purify {
+			fmt.Printf("  BUG %s\n", r)
+		}
+	case bench.ToolPageProt:
+		st := res.PageProtStats
+		fmt.Printf("  pageprot: %d protects, %d faults taken\n", st.Protects, st.FaultsTaken)
+		for _, r := range res.PageProt {
+			fmt.Printf("  BUG %s\n", r)
+		}
+	case bench.ToolMMP:
+		st := res.MMPStats
+		fmt.Printf("  mmp: %d allocations tabled, %d accesses checked\n", st.Allocs, st.Checks)
+		for _, r := range res.MMP {
+			fmt.Printf("  BUG %s\n", r)
+		}
+	}
+}
+
+func inputKind(buggy bool) string {
+	if buggy {
+		return "buggy"
+	}
+	return "normal"
+}

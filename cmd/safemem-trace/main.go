@@ -1,0 +1,235 @@
+// Command safemem-trace records and replays workload traces — the
+// production-debugging workflow a SafeMem-style tool enables: capture the
+// allocation/access trace of a misbehaving service once (cheaply, with no
+// detector attached), then replay it in-house under SafeMem or any other
+// tool, deterministically.
+//
+// Record a buggy gzip run, then reproduce the overflow under SafeMem:
+//
+//	safemem-trace -record gzip -buggy -o gzip.trace
+//	safemem-trace -replay gzip.trace -tool safemem
+//
+// Or compare detectors on the identical execution:
+//
+//	safemem-trace -replay gzip.trace -tool purify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safemem/internal/apps"
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/pageprot"
+	"safemem/internal/purify"
+	"safemem/internal/trace"
+)
+
+func main() {
+	record := flag.String("record", "", "application to record (ypserv1, proftpd, squid1, ypserv2, gzip, tar, squid2)")
+	replay := flag.String("replay", "", "trace file to replay")
+	statsFile := flag.String("stats", "", "trace file to summarise")
+	analyzeFile := flag.String("analyze", "", "trace file to run the offline leak analysis on")
+	out := flag.String("o", "app.trace", "output file for -record")
+	toolName := flag.String("tool", "safemem", "replay tool: safemem, purify, pageprot, none")
+	buggy := flag.Bool("buggy", false, "record with bug-triggering inputs")
+	seed := flag.Int64("seed", 42, "workload seed")
+	scale := flag.Int("scale", 1, "workload scale")
+	flag.Parse()
+
+	switch {
+	case *analyzeFile != "":
+		if err := doAnalyze(*analyzeFile); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-trace: %v\n", err)
+			os.Exit(1)
+		}
+	case *statsFile != "":
+		if err := doStats(*statsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-trace: %v\n", err)
+			os.Exit(1)
+		}
+	case *record != "" && *replay == "":
+		if err := doRecord(*record, *out, apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-trace: %v\n", err)
+			os.Exit(1)
+		}
+	case *replay != "" && *record == "":
+		if err := doReplay(*replay, *toolName); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-trace: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "safemem-trace: exactly one of -record, -replay, -stats or -analyze required")
+		os.Exit(2)
+	}
+}
+
+// doAnalyze runs the Section 3 leak analysis offline over a recorded trace:
+// zero production overhead, no ECC hardware, hindsight-exact pruning.
+func doAnalyze(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	findings, err := trace.Analyze(r, trace.DefaultAnalyzeOptions())
+	if err != nil {
+		return err
+	}
+	if len(findings) == 0 {
+		fmt.Printf("%s: no leak candidates\n", path)
+		return nil
+	}
+	fmt.Printf("%s: %d leak candidate group(s)\n", path, len(findings))
+	for _, fd := range findings {
+		fmt.Printf("  %s\n", fd)
+	}
+	return nil
+}
+
+func doStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	s, err := trace.Summarize(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d events\n", path, s.Events)
+	fmt.Printf("  allocations  %d (%d bytes), frees %d\n", s.Mallocs, s.BytesAlloced, s.Frees)
+	fmt.Printf("  accesses     %d loads, %d stores\n", s.Loads, s.Stores)
+	fmt.Printf("  computes     %d, calls %d, returns %d\n", s.Computes, s.Calls, s.Returns)
+	fmt.Printf("  anomalies    %d out-of-bounds, %d freed-memory accesses\n", s.OutOfBounds, s.FreedAccesses)
+	return nil
+}
+
+func doRecord(appName, path string, cfg apps.Config) error {
+	app, ok := apps.Get(appName)
+	if !ok {
+		return fmt.Errorf("unknown app %q", appName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	alloc, err := heap.New(m, heap.Options{Limit: 48 << 20})
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(w)
+	rec.Attach(m, alloc)
+
+	env := &apps.Env{M: m, Alloc: alloc}
+	if err := m.Run(func() error { return app.Run(env, cfg) }); err != nil {
+		return fmt.Errorf("recording run terminated: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Printf("recorded %s to %s: %d events (%d mallocs, %d frees, %d accesses, %d dropped)\n",
+		appName, path, w.Events(), st.Mallocs, st.Frees, st.Accesses, st.Dropped)
+	return nil
+}
+
+func doReplay(path, toolName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	var ho heap.Options
+	switch toolName {
+	case "safemem":
+		ho = safemem.HeapOptions(true)
+	case "pageprot":
+		ho = pageprot.HeapOptions()
+	case "purify", "none":
+		ho = heap.Options{}
+	default:
+		return fmt.Errorf("unknown tool %q", toolName)
+	}
+	ho.Limit = 96 << 20
+	alloc, err := heap.New(m, ho)
+	if err != nil {
+		return err
+	}
+
+	var smTool *safemem.Tool
+	var pfTool *purify.Tool
+	var ppTool *pageprot.Tool
+	switch toolName {
+	case "safemem":
+		smTool, err = safemem.Attach(m, alloc, safemem.DefaultOptions())
+	case "purify":
+		pfTool = purify.Attach(m, alloc, purify.DefaultOptions())
+	case "pageprot":
+		ppTool, err = pageprot.Attach(m, alloc, false)
+	}
+	if err != nil {
+		return err
+	}
+
+	var st trace.ReplayStats
+	runErr := m.Run(func() error {
+		var err error
+		st, err = trace.Replay(r, m, alloc)
+		return err
+	})
+	fmt.Printf("replayed %s under %s: %d events (%d mallocs, %d frees, %d accesses), sim time %s\n",
+		path, toolName, st.Events, st.Mallocs, st.Frees, st.Accesses, m.Clock.Now())
+	if runErr != nil {
+		fmt.Printf("replay terminated: %v\n", runErr)
+	}
+	switch {
+	case smTool != nil:
+		for _, rep := range smTool.Reports() {
+			fmt.Printf("  BUG %s\n", rep)
+		}
+		if len(smTool.Reports()) == 0 {
+			fmt.Println("  no bugs reported")
+		}
+	case pfTool != nil:
+		for _, rep := range pfTool.Reports() {
+			fmt.Printf("  BUG %s\n", rep)
+		}
+	case ppTool != nil:
+		for _, rep := range ppTool.Reports() {
+			fmt.Printf("  BUG %s\n", rep)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Leakserver: a long-running simulated server with a sometimes-leak,
+// showing the full detection lifecycle of Section 3 — lifetime learning,
+// suspect flagging, ECC-watch pruning of false positives, and the final
+// confirmed report — with progress printed along the way.
+//
+// The server handles sessions whose buffers normally live 25–40 requests.
+// Three kinds of objects stress the detector:
+//
+//   - ordinary session buffers, freed on time (establish the maximal
+//     lifetime);
+//   - one "pinned" admin session that lives forever but is touched
+//     periodically (flagged as a suspect, then exonerated by the access —
+//     the pruned false positive);
+//   - one buffer the error path forgets to free (the real leak).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+const siteSession = 0x771000
+
+func main() {
+	m := machine.MustNew(machine.DefaultConfig())
+	alloc := heap.MustNew(m, safemem.HeapOptions(false)) // leak detection only
+	opts := safemem.DefaultOptions()
+	opts.DetectCorruption = false
+	opts.WarmupTime = simtime.FromMicroseconds(200)
+	opts.CheckingPeriod = simtime.FromMicroseconds(50)
+	opts.SLeakStableTime = simtime.FromMicroseconds(300)
+	opts.LeakConfirmTime = simtime.FromMicroseconds(1500)
+	tool, err := safemem.Attach(m, alloc, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type session struct {
+		buf   vm.VAddr
+		until int
+	}
+	var live []session
+	var admin vm.VAddr
+	var leaked vm.VAddr
+
+	newSession := func(i, dur int) vm.VAddr {
+		m.Call(siteSession)
+		p, err := alloc.Malloc(128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Return()
+		m.Store64(p, uint64(i))
+		if dur > 0 {
+			live = append(live, session{buf: p, until: i + dur})
+		}
+		return p
+	}
+
+	lastReports := 0
+	for i := 0; i < 12000; i++ {
+		// Expire due sessions (the access at teardown writes the log).
+		kept := live[:0]
+		for _, s := range live {
+			if s.until <= i {
+				m.Store64(s.buf+8, uint64(i)) // final touch
+				if err := alloc.Free(s.buf); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		live = kept
+
+		switch {
+		case i == 40:
+			admin = newSession(i, 0) // immortal but used
+			fmt.Printf("[req %5d] admin session opened at %#x (never freed, touched every 100 requests)\n", i, uint64(admin))
+		case i == 900:
+			leaked = newSession(i, 0) // the bug: error path forgets it
+			fmt.Printf("[req %5d] error path leaked session buffer %#x\n", i, uint64(leaked))
+		case i%3 == 0:
+			newSession(i, 25+i%16)
+		}
+
+		if admin != 0 && i%100 == 99 {
+			m.Store64(admin+16, uint64(i)) // admin keep-alive touch
+		}
+		m.Compute(1200)
+
+		if n := len(tool.Reports()); n != lastReports {
+			for _, r := range tool.Reports()[lastReports:] {
+				fmt.Printf("[req %5d] REPORT %s\n", i, r)
+			}
+			lastReports = n
+		}
+		if i%3000 == 2999 {
+			st := tool.Stats()
+			fmt.Printf("[req %5d] t=%-12s suspects=%d pruned=%d reports=%d watched-lines=%d\n",
+				i, m.Clock.Now(), st.SuspectsFlagged, st.SuspectsPruned, st.LeaksReported, st.WatchedLines)
+		}
+	}
+
+	fmt.Println("\nfinal reports:")
+	for _, r := range tool.Reports() {
+		fmt.Println(" ", r)
+	}
+	st := tool.Stats()
+	fmt.Printf("\nthe admin session was flagged and exonerated (%d pruned); only the real leak was reported (%d)\n",
+		st.SuspectsPruned, st.LeaksReported)
+	if st.LeaksReported != 1 {
+		log.Fatalf("expected exactly one confirmed leak, got %d", st.LeaksReported)
+	}
+}

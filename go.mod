@@ -1,0 +1,3 @@
+module safemem
+
+go 1.22

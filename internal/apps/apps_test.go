@@ -1,0 +1,225 @@
+package apps
+
+import (
+	"testing"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+// newEnv builds a bare environment (no monitoring tool).
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{Limit: 48 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Env{M: m, Alloc: alloc}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("registry has %d apps, want 7", len(all))
+	}
+	want := []string{"ypserv1", "proftpd", "squid1", "ypserv2", "gzip", "tar", "squid2"}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if app, ok := Get(name); !ok || app != all[i] {
+			t.Errorf("Get(%s) mismatch", name)
+		}
+	}
+	if _, ok := Get("nonesuch"); ok {
+		t.Error("Get of unknown app succeeded")
+	}
+	if n := len(LeakApps()); n != 4 {
+		t.Errorf("LeakApps = %d, want 4", n)
+	}
+	for _, a := range LeakApps() {
+		if !a.Class.IsLeak() {
+			t.Errorf("%s in LeakApps but class %v", a.Name, a.Class)
+		}
+		if a.IsRealLeak == nil {
+			t.Errorf("%s has no leak ground truth", a.Name)
+		}
+	}
+}
+
+func TestBugClassStrings(t *testing.T) {
+	for c, want := range map[BugClass]string{
+		ClassALeak:       "ALeak",
+		ClassSLeak:       "SLeak",
+		ClassOverflow:    "overflow",
+		ClassFreedAccess: "freed-access",
+	} {
+		if c.String() != want {
+			t.Errorf("%v != %s", c, want)
+		}
+	}
+}
+
+func TestAllAppsRunCleanOnNormalInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full app runs are slow")
+	}
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			e := newEnv(t)
+			err := e.M.Run(func() error {
+				return app.Run(e, Config{Seed: 7})
+			})
+			if err != nil {
+				t.Fatalf("normal run failed: %v", err)
+			}
+			if e.M.Stack.Depth() != 0 {
+				t.Fatalf("unbalanced call stack: depth %d", e.M.Stack.Depth())
+			}
+			st := e.Alloc.Stats()
+			if st.Mallocs == 0 {
+				t.Fatal("app never allocated")
+			}
+			ms := e.M.Stats()
+			if ms.Loads+ms.Stores == 0 {
+				t.Fatal("app never accessed memory")
+			}
+		})
+	}
+}
+
+func TestAppsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, name := range []string{"ypserv1", "gzip"} {
+		app, _ := Get(name)
+		run := func() (uint64, uint64) {
+			e := newEnv(t)
+			if err := e.M.Run(func() error { return app.Run(e, Config{Seed: 99}) }); err != nil {
+				t.Fatal(err)
+			}
+			return uint64(e.M.Clock.Now()), e.M.Stats().Loads
+		}
+		c1, l1 := run()
+		c2, l2 := run()
+		if c1 != c2 || l1 != l2 {
+			t.Fatalf("%s not deterministic: (%d,%d) vs (%d,%d)", name, c1, l1, c2, l2)
+		}
+	}
+}
+
+func TestSeedChangesWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	app, _ := Get("proftpd")
+	run := func(seed int64) uint64 {
+		e := newEnv(t)
+		if err := e.M.Run(func() error { return app.Run(e, Config{Seed: seed}) }); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(e.M.Clock.Now())
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	app, _ := Get("tar")
+	run := func(scale int) uint64 {
+		e := newEnv(t)
+		if err := e.M.Run(func() error { return app.Run(e, Config{Seed: 3, Scale: scale}) }); err != nil {
+			t.Fatal(err)
+		}
+		return uint64(e.M.Clock.Now())
+	}
+	c1, c2 := run(1), run(2)
+	if c2 < c1*3/2 {
+		t.Fatalf("scale 2 did not grow work: %d vs %d", c1, c2)
+	}
+}
+
+func TestBuggyModeChangesBehaviourOnlyWhereExpected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// gzip's buggy input only affects the final file: the overflow writes
+	// past the trailer record. Without a tool attached nothing crashes
+	// (the heap is mapped), but the run still completes.
+	app, _ := Get("gzip")
+	e := newEnv(t)
+	if err := e.M.Run(func() error { return app.Run(e, Config{Seed: 5, Buggy: true}) }); err != nil {
+		t.Fatalf("buggy gzip run crashed without a tool: %v", err)
+	}
+}
+
+func TestLeakAppsLeakOnlyWhenBuggy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, app := range LeakApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			live := func(buggy bool) int {
+				e := newEnv(t)
+				if err := e.M.Run(func() error { return app.Run(e, Config{Seed: 11, Buggy: buggy}) }); err != nil {
+					t.Fatal(err)
+				}
+				return e.Alloc.Live()
+			}
+			normal, buggy := live(false), live(true)
+			if buggy <= normal {
+				t.Errorf("buggy run did not leak: live %d (normal) vs %d (buggy)", normal, buggy)
+			}
+		})
+	}
+}
+
+func TestChainSigMatchesRuntimeStack(t *testing.T) {
+	e := newEnv(t)
+	e.M.Call(1)
+	e.M.Call(2)
+	e.M.Call(3)
+	if got := e.M.Stack.Signature(); got != chainSig(1, 2, 3) {
+		t.Fatalf("chainSig mismatch: %#x vs %#x", got, chainSig(1, 2, 3))
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	e := newEnv(t)
+	p := mustMalloc(e, 64)
+	storeBytes(e.M, p, []byte("hello"))
+	if got := string(loadBytes(e.M, p, 5)); got != "hello" {
+		t.Fatalf("loadBytes = %q", got)
+	}
+	sum1 := checksum(e.M, p, 16)
+	e.M.Store8(p+3, 'X')
+	if checksum(e.M, p, 16) == sum1 {
+		t.Fatal("checksum insensitive to content")
+	}
+	if (Config{}).scale() != 1 || (Config{Scale: 3}).scale() != 3 {
+		t.Fatal("Config.scale defaulting wrong")
+	}
+}
+
+func TestEnvRootNilSafe(t *testing.T) {
+	e := newEnv(t)
+	e.Root(0x1234) // AddRoot is nil: must not panic
+	called := false
+	e.AddRoot = func(vm.VAddr) { called = true }
+	e.Root(0x1234)
+	if !called {
+		t.Fatal("registrar not invoked")
+	}
+}

@@ -1,0 +1,82 @@
+package apps
+
+import (
+	"testing"
+)
+
+// TestWorkloadProfiles locks in the per-app characteristics that drive the
+// Table 3 shape: which workloads are access-dominated (Purify's worst
+// case), which are allocation-light (SafeMem's best case), and which are
+// compute-heavy (everyone's mildest case). A change that silently shifts an
+// app out of its profile would invalidate the reproduction, so the ratios
+// are asserted here.
+func TestWorkloadProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full app runs are slow")
+	}
+	type profile struct {
+		accesses uint64
+		allocs   uint64
+		cycles   uint64
+	}
+	profiles := map[string]profile{}
+	for _, app := range All() {
+		e := newEnv(t)
+		if err := e.M.Run(func() error { return app.Run(e, Config{Seed: 42}) }); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		ms := e.M.Stats()
+		profiles[app.Name] = profile{
+			accesses: ms.Loads + ms.Stores,
+			allocs:   e.Alloc.Stats().Mallocs,
+			cycles:   uint64(e.M.Clock.Now()),
+		}
+	}
+
+	accessesPerAlloc := func(name string) float64 {
+		p := profiles[name]
+		return float64(p.accesses) / float64(p.allocs)
+	}
+	accessDensity := func(name string) float64 { // accesses per 1k cycles
+		p := profiles[name]
+		return 1000 * float64(p.accesses) / float64(p.cycles)
+	}
+
+	// The utilities are allocation-light by orders of magnitude: gzip and
+	// tar do >10k accesses per allocation, the servers far fewer.
+	for _, util := range []string{"gzip", "tar"} {
+		if accessesPerAlloc(util) < 10_000 {
+			t.Errorf("%s: %0.f accesses/alloc — lost its utility profile", util, accessesPerAlloc(util))
+		}
+	}
+	for _, server := range []string{"ypserv1", "squid1", "squid2"} {
+		if accessesPerAlloc(server) > 40_000 {
+			t.Errorf("%s: %0.f accesses/alloc — servers should allocate more", server, accessesPerAlloc(server))
+		}
+	}
+
+	// gzip is the most access-dense program (highest Purify slowdown);
+	// squid2 the least dense of the servers (lowest Purify slowdown).
+	for name := range profiles {
+		if name == "gzip" {
+			continue
+		}
+		if accessDensity(name) >= accessDensity("gzip") {
+			t.Errorf("%s access density %.1f ≥ gzip's %.1f", name, accessDensity(name), accessDensity("gzip"))
+		}
+	}
+	if accessDensity("squid2") >= accessDensity("ypserv1") {
+		t.Errorf("squid2 density %.1f should be below ypserv1's %.1f",
+			accessDensity("squid2"), accessDensity("ypserv1"))
+	}
+
+	// Every app does real work: at least tens of millions of cycles.
+	for name, p := range profiles {
+		if p.cycles < 4_000_000 {
+			t.Errorf("%s: only %d cycles of work", name, p.cycles)
+		}
+		if p.allocs < 10 {
+			t.Errorf("%s: only %d allocations", name, p.allocs)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"safemem/internal/apps"
+)
+
+// TestCalibration prints the Table 3 shape for every app. Run with
+// `go test ./internal/bench -run TestCalibration -v -calib` style; it is a
+// dev aid kept as an always-on smoke test at scale 1.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	for _, app := range apps.All() {
+		cfg := apps.Config{Seed: 42}
+		base, err := Run(app.Name, ToolNone, cfg)
+		if err != nil {
+			t.Fatalf("%s base: %v", app.Name, err)
+		}
+		if base.Err != nil {
+			t.Fatalf("%s base run failed: %v", app.Name, base.Err)
+		}
+		ml, err := Run(app.Name, ToolSafeMemML, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := Run(app.Name, ToolSafeMemMC, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		both, err := Run(app.Name, ToolSafeMemBoth, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := Run(app.Name, ToolPurify, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []*Result{ml, mc, both, pf} {
+			if r.Err != nil {
+				t.Errorf("%s %v run failed: %v", app.Name, r.Tool, r.Err)
+			}
+		}
+		fmt.Printf("%-8s base=%-12s ML=%6.1f%% MC=%6.1f%% ML+MC=%6.1f%% purify=%6.1fX  accesses=%d allocs=%d fp(norm)=%d\n",
+			app.Name, base.Cycles,
+			Overhead(base.Cycles, ml.Cycles)*100,
+			Overhead(base.Cycles, mc.Cycles)*100,
+			Overhead(base.Cycles, both.Cycles)*100,
+			float64(pf.Cycles)/float64(base.Cycles),
+			base.Machine.Loads+base.Machine.Stores,
+			base.Heap.Mallocs,
+			func() int { _, fp := ClassifyLeaks(app, both.SafeMem); return fp }(),
+		)
+	}
+}
+
+// TestDetection verifies every planted bug is found with buggy inputs.
+func TestDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detection run is slow")
+	}
+	for _, app := range apps.All() {
+		res, err := Run(app.Name, ToolSafeMemBoth, apps.Config{Seed: 42, Buggy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Errorf("%s buggy run failed: %v", app.Name, res.Err)
+		}
+		if !DetectedBug(app, res) {
+			t.Errorf("%s: planted %v bug NOT detected; reports: %v", app.Name, app.Class, res.SafeMem)
+		} else {
+			tp, fp := ClassifyLeaks(app, res.SafeMem)
+			fmt.Printf("%-8s detected %v (reports=%d tp=%d fp=%d)\n", app.Name, app.Class, len(res.SafeMem), tp, fp)
+			for _, r := range res.SafeMem {
+				if r.Kind.IsLeak() && (app.IsRealLeak == nil || !app.IsRealLeak(r.Site, r.BufferSize)) {
+					fmt.Printf("    FP: %s\n", r)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"safemem/internal/apps"
+	"safemem/internal/stats"
+)
+
+// Figure3Point is one sample of a lifetime-stability curve: by time T
+// (seconds of process execution), Pct percent of memory-object groups had
+// reached their stable maximal lifetime.
+type Figure3Point struct {
+	TimeSec float64
+	Pct     float64
+}
+
+// Figure3Series is one application's curve from Figure 3.
+type Figure3Series struct {
+	App string
+	// Groups is the number of memory-object groups with enough
+	// deallocations (≥2) for a lifetime to be meaningful.
+	Groups int
+	// RunSec is the total simulated CPU time of the run.
+	RunSec float64
+	Points []Figure3Point
+}
+
+// figure3Apps are the three server programs the paper uses for the study.
+var figure3Apps = []string{"ypserv1", "proftpd", "squid1"}
+
+// RunFigure3 reproduces the lifetime-stability study (Figure 3): each
+// server runs on normal inputs under leak monitoring; for every
+// memory-object group we record its WarmUpTime — the process time at which
+// its maximal lifetime last changed — and plot the cumulative fraction of
+// stabilised groups against process execution time.
+func RunFigure3(cfg apps.Config) ([]Figure3Series, error) {
+	cfg.Buggy = false
+	if cfg.Scale == 0 {
+		// Stabilisation happens at fixed absolute times; a longer run shows
+		// the paper's shape — every curve saturating early in execution.
+		cfg.Scale = 3
+	}
+	var out []Figure3Series
+	for _, name := range figure3Apps {
+		res, err := Run(name, ToolSafeMemML, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("figure3: %s: %w", name, res.Err)
+		}
+		var warmups []float64
+		for _, g := range res.Groups {
+			if g.Frees < 2 {
+				continue
+			}
+			warmups = append(warmups, g.WarmUpTime().Seconds())
+		}
+		cdf := stats.NewCDF(warmups)
+		runSec := res.Cycles.Seconds()
+		series := Figure3Series{App: name, Groups: cdf.N(), RunSec: runSec}
+		const samples = 24
+		for i := 0; i <= samples; i++ {
+			t := runSec * float64(i) / samples
+			series.Points = append(series.Points, Figure3Point{
+				TimeSec: t,
+				Pct:     100 * cdf.At(t),
+			})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// RenderFigure3 renders the curves as ASCII plots plus the underlying
+// sample tables.
+func RenderFigure3(series []Figure3Series) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Stability of maximal lifetime (MOG = memory object group)\n")
+	b.WriteString("Each curve: cumulative % of MOGs whose maximal lifetime is stable by time t.\n\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "(%s)  groups=%d  run=%.4fs\n", s.App, s.Groups, s.RunSec)
+		// ASCII plot: 10 rows (100%..0%), len(points) columns.
+		const rows = 10
+		for r := rows; r >= 1; r-- {
+			level := float64(r) * 100 / rows
+			fmt.Fprintf(&b, "%4.0f%% |", level)
+			for _, p := range s.Points {
+				if p.Pct >= level {
+					b.WriteByte('#')
+				} else {
+					b.WriteByte(' ')
+				}
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "      +%s\n", strings.Repeat("-", len(s.Points)))
+		fmt.Fprintf(&b, "       0s%*s\n", len(s.Points)-2, fmt.Sprintf("%.4fs", s.RunSec))
+		b.WriteString("       process execution time\n\n")
+	}
+	return b.String()
+}

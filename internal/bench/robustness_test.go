@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"safemem/internal/apps"
+	"safemem/internal/stats"
+)
+
+// TestSeedRobustness verifies that the headline overhead numbers are a
+// property of the workload, not of a lucky seed: across several seeds the
+// SafeMem overhead of the fastest app stays tightly banded and the Purify
+// slowdown stays in multiples.
+func TestSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed runs are slow")
+	}
+	var safememPct, purifyX []float64
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := apps.Config{Seed: seed}
+		base, err := Run("gzip", ToolNone, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := Run("gzip", ToolSafeMemBoth, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := Run("gzip", ToolPurify, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		safememPct = append(safememPct, Overhead(base.Cycles, sm.Cycles)*100)
+		purifyX = append(purifyX, float64(pf.Cycles)/float64(base.Cycles))
+	}
+	smSum := stats.Summarize(safememPct)
+	pfSum := stats.Summarize(purifyX)
+	t.Logf("gzip SafeMem overhead across seeds: mean %.2f%% (σ %.2f, range %.2f–%.2f)",
+		smSum.Mean, smSum.Std, smSum.Min, smSum.Max)
+	t.Logf("gzip Purify slowdown across seeds: mean %.1fX (σ %.2f)", pfSum.Mean, pfSum.Std)
+
+	if smSum.Max > 8 || smSum.Min < 1 {
+		t.Errorf("SafeMem overhead unstable across seeds: %+v", smSum)
+	}
+	if smSum.Std > smSum.Mean/2 {
+		t.Errorf("SafeMem overhead variance too high: %+v", smSum)
+	}
+	if pfSum.Min < 20 {
+		t.Errorf("Purify slowdown collapsed for some seed: %+v", pfSum)
+	}
+}
+
+// TestDetectionRobustAcrossSeeds verifies every planted bug is found for
+// several different workload seeds, not just the default.
+func TestDetectionRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed runs are slow")
+	}
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				res, err := Run(app.Name, ToolSafeMemBoth, apps.Config{Seed: seed, Buggy: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !DetectedBug(app, res) {
+					t.Errorf("seed %d: %v bug not detected (reports: %v)", seed, app.Class, res.SafeMem)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,290 @@
+// Package bench is the experiment harness: it wires ⟨application, tool⟩
+// pairs onto fresh simulated machines, runs them on identical inputs, and
+// regenerates every table and figure of the paper's evaluation
+// (Sections 5–6). See DESIGN.md §3 for the experiment index.
+package bench
+
+import (
+	"fmt"
+
+	"safemem/internal/apps"
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/mmp"
+	"safemem/internal/pageprot"
+	"safemem/internal/purify"
+	"safemem/internal/simtime"
+)
+
+// Tool selects the monitoring configuration of a run (the columns of
+// Table 3).
+type Tool int
+
+const (
+	// ToolNone is the uninstrumented baseline.
+	ToolNone Tool = iota
+	// ToolSafeMemML is SafeMem with only memory-leak detection.
+	ToolSafeMemML
+	// ToolSafeMemMC is SafeMem with only memory-corruption detection.
+	ToolSafeMemMC
+	// ToolSafeMemBoth is the full SafeMem configuration (ML + MC).
+	ToolSafeMemBoth
+	// ToolPurify is the Purify baseline.
+	ToolPurify
+	// ToolPageProt is the page-protection corruption detector.
+	ToolPageProt
+	// ToolMMP is the hypothetical word-granularity (Mondrian-style)
+	// corruption detector of Section 2.2.4's discussion.
+	ToolMMP
+)
+
+// String names the tool configuration.
+func (t Tool) String() string {
+	switch t {
+	case ToolNone:
+		return "none"
+	case ToolSafeMemML:
+		return "safemem-ml"
+	case ToolSafeMemMC:
+		return "safemem-mc"
+	case ToolSafeMemBoth:
+		return "safemem"
+	case ToolPurify:
+		return "purify"
+	case ToolPageProt:
+		return "pageprot"
+	case ToolMMP:
+		return "mmp"
+	default:
+		return fmt.Sprintf("Tool(%d)", int(t))
+	}
+}
+
+// SafeMemOptions returns the SafeMem configuration used throughout the
+// evaluation harness: DefaultOptions with the always-leak threshold scaled
+// to the simulator's workload sizes (the paper's server runs see orders of
+// magnitude more objects than a deterministic simulation can).
+func SafeMemOptions(leaks, corruption bool) safemem.Options {
+	o := safemem.DefaultOptions()
+	o.DetectLeaks = leaks
+	o.DetectCorruption = corruption
+	o.ALeakLiveThreshold = 24
+	// The warm-up must comfortably exceed initialisation time plus the
+	// ALeak growth window, or an init-time working set still looks
+	// "recently growing" at the first check.
+	o.WarmupTime = simtime.FromMicroseconds(4000)
+	return o
+}
+
+// Result captures everything a single run produced.
+type Result struct {
+	App  string
+	Tool Tool
+	Cfg  apps.Config
+	Err  error // non-nil when the program aborted or crashed
+
+	// Cycles is the simulated CPU time of the run.
+	Cycles simtime.Cycles
+
+	// Tool-specific outputs (only the attached tool's fields are set).
+	SafeMem []safemem.BugReport
+	// SafeMemExplain holds the gdb-style elaboration of each SafeMem
+	// report (same order), rendered while the machine state is live.
+	SafeMemExplain []string
+	SafeMemStats   safemem.Stats
+	Groups         []safemem.GroupInfo
+	Purify         []purify.Report
+	PurifyStats    purify.Stats
+	PageProt       []pageprot.Report
+	PageProtStats  pageprot.Stats
+	MMP            []mmp.Report
+	MMPStats       mmp.Stats
+
+	// Heap and machine statistics (all runs).
+	Heap    heap.Stats
+	Machine machine.Stats
+}
+
+// heapOptionsFor returns the allocator configuration each tool requires.
+func heapOptionsFor(tool Tool) heap.Options {
+	switch tool {
+	case ToolSafeMemML:
+		return safemem.HeapOptions(false)
+	case ToolSafeMemMC, ToolSafeMemBoth:
+		return safemem.HeapOptions(true)
+	case ToolPageProt:
+		return pageprot.HeapOptions()
+	default:
+		return heap.Options{} // stock 8-byte-aligned malloc
+	}
+}
+
+// Run executes one ⟨app, tool⟩ pair on a fresh machine and returns its
+// result. The machine, heap, tool and workload are fully reconstructed per
+// call, so runs are independent and deterministic for a given cfg.
+func Run(appName string, tool Tool, cfg apps.Config) (*Result, error) {
+	return RunWithMachine(appName, tool, cfg, machine.DefaultConfig())
+}
+
+// RunWithMachine is Run with an explicit machine configuration — used to
+// evaluate hardware variants such as the Section 2.2.3 direct-ECC
+// interface.
+func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Config) (*Result, error) {
+	app, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	ho := heapOptionsFor(tool)
+	ho.Limit = 48 << 20
+	alloc, err := heap.New(m, ho)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{App: appName, Tool: tool, Cfg: cfg}
+	env := &apps.Env{M: m, Alloc: alloc}
+
+	var smTool *safemem.Tool
+	var pfTool *purify.Tool
+	var ppTool *pageprot.Tool
+	var mmpTool *mmp.Tool
+
+	switch tool {
+	case ToolNone:
+	case ToolSafeMemML:
+		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, false))
+	case ToolSafeMemMC:
+		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(false, true))
+	case ToolSafeMemBoth:
+		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, true))
+	case ToolPurify:
+		pfTool = purify.Attach(m, alloc, purify.DefaultOptions())
+		env.AddRoot = pfTool.AddRoot
+	case ToolPageProt:
+		ppTool, err = pageprot.Attach(m, alloc, false)
+	case ToolMMP:
+		mmpTool = mmp.Attach(m, alloc, false)
+	default:
+		err = fmt.Errorf("bench: unknown tool %v", tool)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	res.Cycles = m.Clock.Now()
+	res.Heap = alloc.Stats()
+	res.Machine = m.Stats()
+
+	if smTool != nil {
+		res.SafeMem = smTool.Reports()
+		for _, rep := range res.SafeMem {
+			res.SafeMemExplain = append(res.SafeMemExplain, smTool.Explain(rep))
+		}
+		res.SafeMemStats = smTool.Stats()
+		res.Groups = smTool.Groups()
+	}
+	if pfTool != nil {
+		// An exit-time scan, as Purify performs when the program ends.
+		pfTool.LeakScan()
+		res.Purify = pfTool.Reports()
+		res.PurifyStats = pfTool.Stats()
+	}
+	if ppTool != nil {
+		res.PageProt = ppTool.Reports()
+		res.PageProtStats = ppTool.Stats()
+	}
+	if mmpTool != nil {
+		res.MMP = mmpTool.Reports()
+		res.MMPStats = mmpTool.Stats()
+	}
+	return res, nil
+}
+
+// RunWithOptions is Run with an explicit SafeMem configuration (used by the
+// Table 5 pruning ablation). Only SafeMem tool kinds are supported.
+func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Result, error) {
+	app, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	ho := safemem.HeapOptions(opts.DetectCorruption || opts.DetectUninitRead)
+	ho.Limit = 48 << 20
+	alloc, err := heap.New(m, ho)
+	if err != nil {
+		return nil, err
+	}
+	smTool, err := safemem.Attach(m, alloc, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{App: appName, Tool: ToolSafeMemBoth, Cfg: cfg}
+	env := &apps.Env{M: m, Alloc: alloc}
+	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	res.Cycles = m.Clock.Now()
+	res.Heap = alloc.Stats()
+	res.Machine = m.Stats()
+	res.SafeMem = smTool.Reports()
+	res.SafeMemStats = smTool.Stats()
+	res.Groups = smTool.Groups()
+	return res, nil
+}
+
+// Overhead returns (tool − base) / base as a fraction.
+func Overhead(base, withTool simtime.Cycles) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (float64(withTool) - float64(base)) / float64(base)
+}
+
+// ClassifyLeaks splits SafeMem leak reports into true and false positives
+// against the app's ground truth.
+func ClassifyLeaks(app *apps.App, reports []safemem.BugReport) (truePos, falsePos int) {
+	for _, r := range reports {
+		if !r.Kind.IsLeak() {
+			continue
+		}
+		if app.IsRealLeak != nil && app.IsRealLeak(r.Site, r.BufferSize) {
+			truePos++
+		} else {
+			falsePos++
+		}
+	}
+	return truePos, falsePos
+}
+
+// DetectedBug reports whether a SafeMem run (buggy inputs, full config)
+// found the app's planted bug.
+func DetectedBug(app *apps.App, res *Result) bool {
+	for _, r := range res.SafeMem {
+		switch app.Class {
+		case apps.ClassALeak:
+			if r.Kind == safemem.BugALeak && app.IsRealLeak != nil && app.IsRealLeak(r.Site, r.BufferSize) {
+				return true
+			}
+		case apps.ClassSLeak:
+			if r.Kind == safemem.BugSLeak && app.IsRealLeak != nil && app.IsRealLeak(r.Site, r.BufferSize) {
+				return true
+			}
+		case apps.ClassOverflow:
+			if r.Kind == safemem.BugOverflow || r.Kind == safemem.BugUnderflow {
+				return true
+			}
+		case apps.ClassFreedAccess:
+			if r.Kind == safemem.BugFreedAccess {
+				return true
+			}
+		}
+	}
+	return false
+}

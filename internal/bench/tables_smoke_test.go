@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"safemem/internal/apps"
+)
+
+func TestTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	t2, err := RunTable2(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(t2.Render())
+	rows5, err := RunTable5(apps.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(RenderTable5(rows5))
+	rows4, err := RunTable4(apps.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(RenderTable4(rows4))
+	f3, err := RunFigure3(apps.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(RenderFigure3(f3))
+}
+
+func TestRenderSummaryFormatting(t *testing.T) {
+	rows := []SummaryRow{
+		{"metric-a", "1.0", "1.1"},
+		{"metric-b", "2–3 orders", "37X–571X"},
+	}
+	out := RenderSummary(rows)
+	for _, want := range []string{"metric-a", "37X–571X", "Paper", "Measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary runs every experiment")
+	}
+	rows, err := RunSummary(apps.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured == "" || r.Paper == "" {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	// The detection row must show a full score.
+	if rows[1].Measured != "7 of 7" {
+		t.Errorf("detection row = %q", rows[1].Measured)
+	}
+}

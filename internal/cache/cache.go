@@ -1,0 +1,276 @@
+// Package cache models the CPU's data cache: a physically-indexed,
+// set-associative, write-back cache with LRU replacement, sitting between
+// the simulated CPU and the ECC memory controller.
+//
+// The cache matters to SafeMem for two reasons (Section 2.2.2, "Dealing with
+// Cache Effects"):
+//
+//   - ECC is only checked on *memory* traffic, so an access that hits in the
+//     cache can never raise an ECC fault. WatchMemory therefore flushes the
+//     watched lines so the next access — read or write, since writes to
+//     uncached lines must first fetch the line — goes to DRAM.
+//   - After the first (and only interesting) access is detected, the line may
+//     legitimately stay cached; SafeMem needs just the first access.
+package cache
+
+import (
+	"fmt"
+
+	"safemem/internal/memctrl"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Sets is the number of cache sets; must be a power of two.
+	Sets int
+	// Ways is the associativity.
+	Ways int
+}
+
+// DefaultConfig is a 256 KiB 8-way cache (512 sets × 8 ways × 64 B),
+// comparable to the L2 of the paper's Pentium 4 platform.
+var DefaultConfig = Config{Sets: 512, Ways: 8}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	WriteBacks uint64
+	Flushes    uint64
+}
+
+type way struct {
+	valid bool
+	dirty bool
+	line  physmem.Addr // line-aligned physical address
+	words [physmem.GroupsPerLine]uint64
+	lru   uint64
+}
+
+// Cache is the simulated data cache. Not safe for concurrent use.
+type Cache struct {
+	ctrl  *memctrl.Controller
+	clock *simtime.Clock
+	cfg   Config
+	sets  [][]way
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache over ctrl with the given configuration.
+func New(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache: sets %d is not a positive power of two", cfg.Sets)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache: ways %d must be positive", cfg.Ways)
+	}
+	sets := make([][]way, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]way, cfg.Ways)
+	}
+	return &Cache{ctrl: ctrl, clock: clock, cfg: cfg, sets: sets}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) *Cache {
+	c, err := New(ctrl, clock, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) setIndex(line physmem.Addr) int {
+	return int(uint64(line) / physmem.LineBytes % uint64(c.cfg.Sets))
+}
+
+// find returns the way holding line, or nil.
+func (c *Cache) find(line physmem.Addr) *way {
+	set := c.sets[c.setIndex(line)]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// victim picks the LRU way of line's set, writing it back if dirty.
+func (c *Cache) victim(line physmem.Addr) *way {
+	set := c.sets[c.setIndex(line)]
+	v := &set[0]
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			v = &set[i]
+			break
+		}
+		if set[i].lru < v.lru {
+			v = &set[i]
+		}
+	}
+	if v.valid && v.dirty {
+		c.stats.WriteBacks++
+		c.clock.Advance(simtime.CostWriteBack)
+		c.ctrl.WriteLine(v.line, v.words)
+	}
+	return v
+}
+
+// lookup returns the cache way for line, fetching from DRAM on a miss and
+// charging the appropriate hit/miss cost.
+func (c *Cache) lookup(line physmem.Addr) *way {
+	c.tick++
+	if w := c.find(line); w != nil {
+		c.stats.Hits++
+		c.clock.Advance(simtime.CostCacheHit)
+		w.lru = c.tick
+		return w
+	}
+	c.stats.Misses++
+	c.clock.Advance(simtime.CostCacheMiss)
+	w := c.victim(line)
+	// ReadLine runs the ECC path; a watched line raises its fault here, and
+	// by the time ReadLine returns the kernel/SafeMem has repaired it, so
+	// the fill gets the restored data.
+	w.words = c.ctrl.ReadLine(line)
+	w.valid = true
+	w.dirty = false
+	w.line = line
+	w.lru = c.tick
+	return w
+}
+
+// LoadWord returns the 64-bit ECC group containing physical address a.
+func (c *Cache) LoadWord(a physmem.Addr) uint64 {
+	w := c.lookup(a.LineAddr())
+	return w.words[a.GroupInLine()]
+}
+
+// StoreWord writes the full 64-bit ECC group containing a.
+func (c *Cache) StoreWord(a physmem.Addr, v uint64) {
+	w := c.lookup(a.LineAddr())
+	w.words[a.GroupInLine()] = v
+	w.dirty = true
+}
+
+// LoadBytes reads size bytes (1..8, not crossing a group boundary) at a,
+// returned little-endian in the low bytes of the result.
+func (c *Cache) LoadBytes(a physmem.Addr, size int) uint64 {
+	checkSpan(a, size)
+	word := c.LoadWord(a)
+	shift := (uint64(a) % physmem.GroupBytes) * 8
+	if size == 8 {
+		return word
+	}
+	mask := (uint64(1) << (uint(size) * 8)) - 1
+	return (word >> shift) & mask
+}
+
+// StoreBytes writes the low size bytes of v (1..8, not crossing a group
+// boundary) at a.
+func (c *Cache) StoreBytes(a physmem.Addr, size int, v uint64) {
+	checkSpan(a, size)
+	if size == 8 {
+		c.StoreWord(a, v)
+		return
+	}
+	w := c.lookup(a.LineAddr())
+	g := a.GroupInLine()
+	shift := (uint64(a) % physmem.GroupBytes) * 8
+	mask := ((uint64(1) << (uint(size) * 8)) - 1) << shift
+	w.words[g] = w.words[g]&^mask | (v<<shift)&mask
+	w.dirty = true
+}
+
+func checkSpan(a physmem.Addr, size int) {
+	if size < 1 || size > 8 {
+		panic(fmt.Sprintf("cache: access size %d out of range", size))
+	}
+	if uint64(a)%physmem.GroupBytes+uint64(size) > physmem.GroupBytes {
+		panic(fmt.Sprintf("cache: access at %#x size %d crosses ECC-group boundary", uint64(a), size))
+	}
+}
+
+// FlushLine writes the line back to DRAM if dirty and invalidates it, so the
+// next access must go to memory. This is the clflush WatchMemory relies on.
+func (c *Cache) FlushLine(line physmem.Addr) {
+	if !line.IsLineAligned() {
+		panic(fmt.Sprintf("cache: FlushLine at unaligned address %#x", uint64(line)))
+	}
+	c.stats.Flushes++
+	c.clock.Advance(simtime.CostLineFlush)
+	w := c.find(line)
+	if w == nil {
+		return
+	}
+	if w.dirty {
+		c.stats.WriteBacks++
+		c.clock.Advance(simtime.CostWriteBack)
+		c.ctrl.WriteLine(w.line, w.words)
+	}
+	w.valid = false
+	w.dirty = false
+}
+
+// PeekWord returns the current value of the ECC group containing a as the
+// CPU would observe it — from the cache if the line is resident (it may be
+// dirty), else from DRAM — without charging cycles, updating LRU state, or
+// running the ECC check path. Debug/scan use only (Purify's mark-and-sweep
+// scanner, bug reporters).
+func (c *Cache) PeekWord(a physmem.Addr) uint64 {
+	if w := c.find(a.LineAddr()); w != nil {
+		return w.words[a.GroupInLine()]
+	}
+	d, _ := c.ctrl.Memory().ReadGroupRaw(a.GroupAddr())
+	return d
+}
+
+// Contains reports whether line is currently cached (for tests).
+func (c *Cache) Contains(line physmem.Addr) bool { return c.find(line) != nil }
+
+// FlushFrame writes back and invalidates every cached line of the 4 KiB
+// physical frame at base. The kernel calls it around page swaps and frame
+// reuse: without it, dirty lines would be written back into a frame after
+// it has been handed to a new owner, and stale clean lines would serve a
+// new owner the previous tenant's data.
+func (c *Cache) FlushFrame(base physmem.Addr) {
+	for off := physmem.Addr(0); off < 4096; off += physmem.LineBytes {
+		line := base + off
+		if w := c.find(line); w != nil {
+			if w.dirty {
+				c.stats.WriteBacks++
+				c.clock.Advance(simtime.CostWriteBack)
+				c.ctrl.WriteLine(w.line, w.words)
+			}
+			w.valid = false
+			w.dirty = false
+		}
+	}
+	c.clock.Advance(simtime.CostLineFlush)
+}
+
+// FlushAll writes back and invalidates every line (used when the kernel
+// swaps a page out).
+func (c *Cache) FlushAll() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			if w.valid && w.dirty {
+				c.stats.WriteBacks++
+				c.clock.Advance(simtime.CostWriteBack)
+				c.ctrl.WriteLine(w.line, w.words)
+			}
+			w.valid = false
+			w.dirty = false
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package callstack tracks the simulated program's call stack and computes
+// the call-stack signature SafeMem uses to group memory objects: the
+// exclusive-or of the rotated return addresses of the most recent four
+// functions on the stack (Section 3, footnote 1).
+package callstack
+
+import "math/bits"
+
+// SignatureDepth is the number of recent frames folded into a signature.
+const SignatureDepth = 4
+
+// Stack is the simulated call stack. The zero value is an empty stack.
+type Stack struct {
+	frames []uint64
+}
+
+// Push records entry into a function called from return address ret.
+func (s *Stack) Push(ret uint64) { s.frames = append(s.frames, ret) }
+
+// Pop records return from the current function. Popping an empty stack
+// panics: it indicates a bug in the simulated program's bracketing.
+func (s *Stack) Pop() {
+	if len(s.frames) == 0 {
+		panic("callstack: pop of empty stack")
+	}
+	s.frames = s.frames[:len(s.frames)-1]
+}
+
+// Depth returns the current stack depth.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// Signature folds the most recent SignatureDepth return addresses into a
+// 64-bit value by rotating each by its distance from the top and XOR-ing.
+// Shallower stacks fold what is available; the empty stack has signature 0.
+func (s *Stack) Signature() uint64 {
+	var sig uint64
+	n := len(s.frames)
+	for i := 0; i < SignatureDepth && i < n; i++ {
+		sig ^= bits.RotateLeft64(s.frames[n-1-i], i*13)
+	}
+	return sig
+}
+
+// Top returns the most recent return address, or 0 for an empty stack.
+func (s *Stack) Top() uint64 {
+	if len(s.frames) == 0 {
+		return 0
+	}
+	return s.frames[len(s.frames)-1]
+}

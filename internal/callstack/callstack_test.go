@@ -1,0 +1,116 @@
+package callstack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopDepth(t *testing.T) {
+	var s Stack
+	if s.Depth() != 0 || s.Top() != 0 || s.Signature() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	s.Push(0x100)
+	s.Push(0x200)
+	if s.Depth() != 2 || s.Top() != 0x200 {
+		t.Fatalf("depth=%d top=%#x", s.Depth(), s.Top())
+	}
+	s.Pop()
+	if s.Top() != 0x100 {
+		t.Fatal("pop did not expose previous frame")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	var s Stack
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop of empty stack did not panic")
+		}
+	}()
+	s.Pop()
+}
+
+func TestSignatureUsesOnlyTopFour(t *testing.T) {
+	var a, b Stack
+	for _, r := range []uint64{1, 2, 3, 4, 5} {
+		a.Push(r)
+	}
+	for _, r := range []uint64{99, 2, 3, 4, 5} {
+		b.Push(r)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("frame deeper than 4 affected the signature")
+	}
+	b.Pop()
+	b.Push(6)
+	if a.Signature() == b.Signature() {
+		t.Fatal("top frame change did not affect the signature")
+	}
+}
+
+func TestSignatureOrderSensitive(t *testing.T) {
+	var a, b Stack
+	a.Push(0x10)
+	a.Push(0x20)
+	b.Push(0x20)
+	b.Push(0x10)
+	if a.Signature() == b.Signature() {
+		t.Fatal("signature insensitive to call order")
+	}
+}
+
+func TestSignatureDistinguishesCallSites(t *testing.T) {
+	// Two different leaf call sites under the same ancestors must differ.
+	mk := func(leaf uint64) uint64 {
+		var s Stack
+		s.Push(0x400100)
+		s.Push(0x400200)
+		s.Push(0x400300)
+		s.Push(leaf)
+		return s.Signature()
+	}
+	seen := map[uint64]uint64{}
+	for leaf := uint64(0x500000); leaf < 0x500040; leaf += 8 {
+		sig := mk(leaf)
+		if prev, dup := seen[sig]; dup {
+			t.Fatalf("collision: leaves %#x and %#x share signature %#x", prev, leaf, sig)
+		}
+		seen[sig] = leaf
+	}
+}
+
+func TestQuickPushPopRestoresSignature(t *testing.T) {
+	f := func(base []uint64, extra uint64) bool {
+		var s Stack
+		for _, r := range base {
+			s.Push(r)
+		}
+		before := s.Signature()
+		s.Push(extra)
+		s.Pop()
+		return s.Signature() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSignature(b *testing.B) {
+	var s Stack
+	for _, r := range []uint64{0x400100, 0x400200, 0x400300, 0x400400, 0x400500} {
+		s.Push(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Signature()
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var s Stack
+	for i := 0; i < b.N; i++ {
+		s.Push(uint64(i))
+		s.Pop()
+	}
+}

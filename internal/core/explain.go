@@ -1,0 +1,72 @@
+package safemem
+
+import (
+	"fmt"
+	"strings"
+
+	"safemem/internal/vm"
+)
+
+// Explain renders a multi-line, gdb-style elaboration of a bug report: the
+// classification, the buffer's bounds and allocation site, and a hex dump
+// of the memory around the faulting address as the CPU currently sees it.
+// This is the simulator's stand-in for the paper's "pause execution so the
+// programmer can attach an interactive debugger".
+func (t *Tool) Explain(r BugReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %#x (simulated time %s)\n", r.Kind, uint64(r.Addr), r.Time)
+	if r.BufferAddr != 0 {
+		fmt.Fprintf(&b, "  buffer   [%#x, %#x) — %d bytes, allocation site %#x\n",
+			uint64(r.BufferAddr), uint64(r.BufferAddr)+r.BufferSize, r.BufferSize, r.Site)
+		switch {
+		case r.Addr >= r.BufferAddr+vm.VAddr(r.BufferSize):
+			fmt.Fprintf(&b, "  position %d bytes past the end of the buffer\n",
+				uint64(r.Addr)-uint64(r.BufferAddr)-r.BufferSize)
+		case r.Addr < r.BufferAddr:
+			fmt.Fprintf(&b, "  position %d bytes before the start of the buffer\n",
+				uint64(r.BufferAddr)-uint64(r.Addr))
+		default:
+			fmt.Fprintf(&b, "  position %d bytes into the buffer\n",
+				uint64(r.Addr)-uint64(r.BufferAddr))
+		}
+	}
+	if r.Kind == BugOverflow || r.Kind == BugUnderflow || r.Kind == BugFreedAccess || r.Kind == BugUninitRead {
+		op := "load"
+		if r.AccessWrite {
+			op = "store"
+		}
+		fmt.Fprintf(&b, "  access   %s\n", op)
+	}
+	fmt.Fprintf(&b, "  details  %s\n", r.Details)
+
+	// Hex dump: two lines before the fault through two lines after,
+	// clamped to the buffer vicinity.
+	start := r.Addr.LineAddr()
+	if start >= 2*64 {
+		start -= 2 * 64
+	}
+	fmt.Fprintf(&b, "  memory near the fault (CPU view):\n")
+	for line := 0; line < 5; line++ {
+		base := start + vm.VAddr(line*64)
+		var cells []string
+		any := false
+		for g := 0; g < 4; g++ {
+			w, ok := t.m.PeekWord(base + vm.VAddr(g*8))
+			if !ok {
+				cells = append(cells, "????????????????")
+				continue
+			}
+			any = true
+			cells = append(cells, fmt.Sprintf("%016x", w))
+		}
+		if !any {
+			continue
+		}
+		marker := "  "
+		if r.Addr >= base && r.Addr < base+64 {
+			marker = "=>"
+		}
+		fmt.Fprintf(&b, "  %s %#010x: %s\n", marker, uint64(base), strings.Join(cells, " "))
+	}
+	return b.String()
+}

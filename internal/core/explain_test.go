@@ -1,0 +1,58 @@
+package safemem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainOverflow(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 100)
+	r.m.Memset(p, 0xaa, 100)
+	r.m.Store8(p+130, 0xbd)
+	reports := r.tool.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	out := r.tool.Explain(reports[0])
+	for _, want := range []string{
+		"buffer-overflow",
+		"buffer   [0x",
+		"past the end of the buffer",
+		"access   store",
+		"memory near the fault",
+		"=>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+	// The dump shows the buffer's 0xaa fill.
+	if !strings.Contains(out, "aaaaaaaaaaaaaaaa") {
+		t.Errorf("Explain dump missing buffer contents:\n%s", out)
+	}
+}
+
+func TestExplainUnderflowAndLeak(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	_ = r.m.Load8(p - 2)
+	reports := r.tool.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	out := r.tool.Explain(reports[0])
+	if !strings.Contains(out, "before the start of the buffer") || !strings.Contains(out, "access   load") {
+		t.Errorf("underflow explanation wrong:\n%s", out)
+	}
+
+	// Leak reports explain too (no access line).
+	leak := BugReport{Kind: BugSLeak, Addr: p, BufferAddr: p, BufferSize: 64, Site: 7, Details: "d"}
+	out = r.tool.Explain(leak)
+	if strings.Contains(out, "access   ") {
+		t.Errorf("leak explanation has an access line:\n%s", out)
+	}
+	if !strings.Contains(out, "memory-leak(sometimes)") {
+		t.Errorf("leak explanation missing kind:\n%s", out)
+	}
+}

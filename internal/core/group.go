@@ -1,0 +1,137 @@
+package safemem
+
+import (
+	"safemem/internal/heap"
+	"safemem/internal/simtime"
+)
+
+// GroupKey identifies a memory-object group: the ⟨size, call-stack
+// signature⟩ tuple of Section 3. Grouping needs no program semantics.
+type GroupKey struct {
+	Size uint64
+	Site uint64
+}
+
+// object is SafeMem's per-live-object record. Objects of a group form a
+// doubly-linked list in allocation order, so the oldest objects — the only
+// SLeak candidates — are found in O(1) (Section 3.2.2).
+type object struct {
+	block      *heap.Block
+	group      *group
+	prev, next *object
+	// allocTime is the object's (possibly reset) birth time; pruning a
+	// false positive restarts the clock (Section 3.2.3).
+	allocTime simtime.Cycles
+	// suspect is non-nil while the object is an ECC-watched leak suspect.
+	suspect *watchRegion
+	// reported marks objects already reported as leaks.
+	reported bool
+}
+
+// group is the per-⟨size,site⟩ lifetime and usage record of Section 3.2.1.
+type group struct {
+	key GroupKey
+
+	// Live-object list, oldest first.
+	head, tail *object
+	liveCount  int
+
+	// Lifetime information.
+	maxLifetime   simtime.Cycles
+	stableTime    simtime.Cycles
+	lastUpdate    simtime.Cycles
+	lastMaxChange simtime.Cycles // the group's WarmUpTime (Figure 3)
+
+	// Memory usage information.
+	lastAllocTime simtime.Cycles
+	totalBytes    uint64
+	totalAllocs   uint64
+	frees         uint64
+
+	// reported marks groups already reported as leaking, so each buggy
+	// site produces one report.
+	reported bool
+
+	// suspendUntil pauses suspect-flagging for the group after one of its
+	// suspects was exonerated by an access: the group is demonstrably in
+	// use, so re-probing it every check would only buy watch/unwatch
+	// traffic ("the pruning process... is only performed on rare
+	// suspects", Section 3.2.3).
+	suspendUntil simtime.Cycles
+}
+
+// everFreed reports whether any object of this group was ever deallocated —
+// the ALeak/SLeak discriminator of Section 3.2.2.
+func (g *group) everFreed() bool { return g.frees > 0 }
+
+// append adds obj at the tail (newest end) of the live list.
+func (g *group) append(obj *object) {
+	obj.prev = g.tail
+	obj.next = nil
+	if g.tail != nil {
+		g.tail.next = obj
+	}
+	g.tail = obj
+	if g.head == nil {
+		g.head = obj
+	}
+	g.liveCount++
+}
+
+// remove unlinks obj from the live list.
+func (g *group) remove(obj *object) {
+	if obj.prev != nil {
+		obj.prev.next = obj.next
+	} else {
+		g.head = obj.next
+	}
+	if obj.next != nil {
+		obj.next.prev = obj.prev
+	} else {
+		g.tail = obj.prev
+	}
+	obj.prev, obj.next = nil, nil
+	g.liveCount--
+}
+
+// moveToTail re-queues obj as the newest object, used when pruning resets
+// its allocation time.
+func (g *group) moveToTail(obj *object) {
+	g.remove(obj)
+	g.append(obj)
+}
+
+// recordDealloc folds one deallocation into the group's lifetime statistics
+// (Section 3.2.1): within the tolerance band of the current maximum the
+// stability clock accumulates; beyond it the maximum is raised and
+// stability resets.
+func (g *group) recordDealloc(now, lifetime simtime.Cycles, tolerance float64) {
+	limit := simtime.Cycles(float64(g.maxLifetime) * (1 + tolerance))
+	if g.maxLifetime == 0 || lifetime > limit {
+		g.maxLifetime = lifetime
+		g.stableTime = 0
+		g.lastMaxChange = now
+	} else {
+		g.stableTime += now - g.lastUpdate
+	}
+	g.lastUpdate = now
+	g.frees++
+}
+
+// GroupInfo is a read-only snapshot of one memory-object group, used by the
+// Figure 3 lifetime-stability study and by reports.
+type GroupInfo struct {
+	Key           GroupKey
+	LiveCount     int
+	TotalAllocs   uint64
+	Frees         uint64
+	TotalBytes    uint64
+	MaxLifetime   simtime.Cycles
+	StableTime    simtime.Cycles
+	LastMaxChange simtime.Cycles
+	LastAllocTime simtime.Cycles
+}
+
+// WarmUpTime returns how long the group took to reach its stable maximal
+// lifetime — the x-axis quantity of Figure 3.
+func (gi GroupInfo) WarmUpTime() simtime.Cycles { return gi.LastMaxChange }

@@ -1,0 +1,158 @@
+package safemem
+
+import (
+	"fmt"
+
+	"safemem/internal/ecc"
+	"safemem/internal/kernel"
+	"safemem/internal/vm"
+)
+
+// handleECCFault is SafeMem's user-level ECC fault handler, registered via
+// RegisterECCFaultHandler (Section 2.2.1). Dispatch follows Section 2.2.2:
+//
+//  1. Is the faulting line one we are monitoring? If not, it is a hardware
+//     error somewhere else in memory — decline, and the kernel panics, the
+//     stock behaviour.
+//  2. Does the observed data carry the scramble signature (observed ==
+//     Scramble(saved original))? If not, a real hardware error hit a
+//     monitored line; repair it from the private saved copy and continue —
+//     the data there was not useful to the program anyway.
+//  3. Otherwise this is the first access to a watched location: a bug
+//     (corruption watches), a false positive to prune (leak suspects), or
+//     an initialisation event (uninit watches).
+func (t *Tool) handleECCFault(f *kernel.ECCFault) bool {
+	if !f.Watched {
+		return false
+	}
+	r, ok := t.byLine[f.VLine]
+	if !ok {
+		// The kernel watches it but SafeMem has no record: some other
+		// component owns the watch. Decline.
+		return false
+	}
+
+	// The access-fault signature depends on how the watch was armed: the
+	// commodity scramble trick leaves Scramble(original) in memory, while
+	// the direct-ECC interface (Section 2.2.3) leaves the data intact and
+	// corrupts only the check bits.
+	orig := r.originalWord(f.VLine, f.GroupIndex)
+	signatureOK := ecc.IsScrambleOf(f.Data, orig)
+	if f.Direct {
+		signatureOK = f.Data == orig
+	}
+	if !signatureOK {
+		// Signature mismatch: a genuine hardware error corrupted a watched
+		// line. Restore the whole region from the private copy.
+		t.stats.HardwareErrors++
+		if err := t.unwatch(r, true); err != nil {
+			panic(fmt.Sprintf("safemem: hardware-error repair: %v", err))
+		}
+		// Leak suspects lose their probe but keep their status; the next
+		// detection pass may re-watch them.
+		return true
+	}
+
+	faultVA := t.faultAddress(f.VLine)
+
+	switch r.kind {
+	case watchPadBefore, watchPadAfter:
+		t.reportCorruption(r, faultVA)
+	case watchFreed:
+		t.reportFreedAccess(r, faultVA)
+	case watchLeakSuspect:
+		t.pruneSuspect(r)
+	case watchUninit:
+		t.handleUninitFault(r, faultVA)
+	default:
+		panic(fmt.Sprintf("safemem: fault on unknown watch kind %v", r.kind))
+	}
+	return true
+}
+
+// faultAddress returns the most precise faulting address available: the
+// in-flight program access if the machine exposes one (the simulator's
+// precise-interrupt stand-in), else the line address.
+func (t *Tool) faultAddress(vline vm.VAddr) vm.VAddr {
+	if va, _, _, ok := t.m.AccessInFlight(); ok {
+		return va
+	}
+	return vline
+}
+
+// accessIsWrite reports whether the in-flight access is a store (false when
+// unknown, e.g. scrub-triggered faults).
+func (t *Tool) accessIsWrite() bool {
+	_, _, write, ok := t.m.AccessInFlight()
+	return ok && write
+}
+
+// reportCorruption reports a guard-line access as a buffer overflow or
+// underflow, then disables the tripped guard so execution can continue
+// ("SafeMem then simply pauses program execution..." — with StopOnBug the
+// program aborts here instead).
+func (t *Tool) reportCorruption(r *watchRegion, faultVA vm.VAddr) {
+	kind := BugOverflow
+	side := "past the end"
+	if r.kind == watchPadBefore {
+		kind = BugUnderflow
+		side = "before the start"
+	}
+	b := r.block
+	if err := t.unwatch(r, false); err != nil {
+		panic(fmt.Sprintf("safemem: unwatch tripped pad: %v", err))
+	}
+	t.report(BugReport{
+		Kind:        kind,
+		Addr:        faultVA,
+		BufferAddr:  b.Addr,
+		BufferSize:  b.Size,
+		Site:        b.Site,
+		AccessWrite: t.accessIsWrite(),
+		Details: fmt.Sprintf("access %s of buffer [%#x,%#x) allocated at site %#x",
+			side, uint64(b.Addr), uint64(b.Addr)+b.Size, b.Site),
+	})
+}
+
+// reportFreedAccess reports an access to a freed buffer and disables the
+// watch for the whole freed extent.
+func (t *Tool) reportFreedAccess(r *watchRegion, faultVA vm.VAddr) {
+	b := r.block
+	if err := t.unwatch(r, false); err != nil {
+		panic(fmt.Sprintf("safemem: unwatch tripped freed region: %v", err))
+	}
+	t.report(BugReport{
+		Kind:        BugFreedAccess,
+		Addr:        faultVA,
+		BufferAddr:  b.Addr,
+		BufferSize:  b.Size,
+		Site:        b.Site,
+		AccessWrite: t.accessIsWrite(),
+		Details: fmt.Sprintf("access to freed buffer [%#x,%#x) allocated at site %#x",
+			uint64(b.Addr), uint64(b.Addr)+b.Size, b.Site),
+	})
+}
+
+// handleUninitFault resolves the first access to a never-written buffer:
+// a write initialises it (watch silently disarmed), a read is a bug
+// (Section 4's extension).
+func (t *Tool) handleUninitFault(r *watchRegion, faultVA vm.VAddr) {
+	b := r.block
+	write := t.accessIsWrite()
+	if err := t.unwatch(r, false); err != nil {
+		panic(fmt.Sprintf("safemem: unwatch uninit region: %v", err))
+	}
+	if write {
+		t.stats.UninitWrites++
+		return
+	}
+	t.report(BugReport{
+		Kind:       BugUninitRead,
+		Addr:       faultVA,
+		BufferAddr: b.Addr,
+		BufferSize: b.Size,
+		Site:       b.Site,
+		Details: fmt.Sprintf("read of uninitialized buffer [%#x,%#x) allocated at site %#x",
+			uint64(b.Addr), uint64(b.Addr)+b.Size, b.Site),
+	})
+}

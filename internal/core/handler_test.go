@@ -1,0 +1,220 @@
+package safemem
+
+import (
+	"testing"
+
+	"safemem/internal/memctrl"
+	"safemem/internal/simtime"
+)
+
+func TestHardwareErrorInWatchedRegionRepaired(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 0xcafe)
+
+	// Corrupt the trailing guard line in DRAM with a double-bit flip. The
+	// stored data there is Scramble(original); two more flips break the
+	// scramble signature, so the handler must classify this as a hardware
+	// error, not an overflow.
+	pa, fault := r.m.AS.Translate(p+64, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 3)
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 44)
+
+	// Touch the guard line (a real overflow would normally be reported,
+	// but the corrupted data no longer carries the signature).
+	_ = r.m.Load8(p + 64)
+
+	st := r.tool.Stats()
+	if st.HardwareErrors != 1 {
+		t.Fatalf("HardwareErrors = %d, want 1", st.HardwareErrors)
+	}
+	if st.CorruptionReported != 0 {
+		t.Fatalf("hardware error misreported as corruption: %v", r.tool.Reports())
+	}
+	// The saved original data must have been restored.
+	if got := r.m.Load64(p + 64); got != 0 {
+		t.Fatalf("restored guard word = %#x, want 0", got)
+	}
+	if r.m.Kern.Panicked() {
+		t.Fatal("kernel panicked on a SafeMem-repairable error")
+	}
+}
+
+func TestHardwareErrorOutsideWatchesPanics(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 1)
+	r.m.Cache.FlushAll()
+	pa, _ := r.m.AS.Translate(p, false)
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 0)
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 9)
+
+	err := r.m.Run(func() error {
+		_ = r.m.Load64(p)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("unwatched hardware error did not panic the kernel")
+	}
+	if !r.m.Kern.Panicked() {
+		t.Fatal("kernel not in panic mode")
+	}
+}
+
+func TestSingleBitHardwareErrorInvisible(t *testing.T) {
+	// Single-bit errors are corrected by the controller without any
+	// interrupt; SafeMem never sees them (Section 2.1).
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 0x777)
+	r.m.Cache.FlushAll()
+	pa, _ := r.m.AS.Translate(p, false)
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 30)
+
+	if got := r.m.Load64(p); got != 0x777 {
+		t.Fatalf("corrected read = %#x", got)
+	}
+	if r.tool.Stats().HardwareErrors != 0 {
+		t.Fatal("single-bit error reached SafeMem")
+	}
+}
+
+func TestScrubCoordinationPreservesDetection(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	r.m.Ctrl.SetMode(memctrl.CorrectAndScrub)
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 42)
+
+	// A coordinated scrub pass must not fire or destroy the guard watches.
+	r.m.Kern.CoordinatedScrub()
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("scrub produced reports: %v", r.tool.Reports())
+	}
+	if got := r.m.Load64(p); got != 42 {
+		t.Fatalf("data after scrub = %d", got)
+	}
+	// The guards are still armed: an overflow after the scrub is caught.
+	r.m.Store8(p+64, 1)
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugOverflow {
+		t.Fatalf("post-scrub overflow reports = %v", kinds(reports))
+	}
+}
+
+func TestUninitReadDetected(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DetectUninitRead = true
+	r := newTool(t, opts)
+	p := r.malloc(t, 64)
+	_ = r.m.Load64(p) // read before any write
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugUninitRead {
+		t.Fatalf("reports = %v", kinds(reports))
+	}
+}
+
+func TestUninitFirstWriteDisarmsSilently(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DetectUninitRead = true
+	r := newTool(t, opts)
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 9) // first write initialises
+	_ = r.m.Load64(p) // subsequent read is fine
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("initialised read reported: %v", r.tool.Reports())
+	}
+	if r.tool.Stats().UninitWrites != 1 {
+		t.Fatalf("UninitWrites = %d, want 1", r.tool.Stats().UninitWrites)
+	}
+}
+
+func TestGroupsSnapshot(t *testing.T) {
+	o := leakOpts()
+	r := newTool(t, o)
+	for i := 0; i < 10; i++ {
+		r.m.Call(0x100)
+		p := r.malloc(t, 24)
+		r.m.Return()
+		r.m.Compute(500)
+		if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.m.Call(0x200)
+	r.malloc(t, 24)
+	r.m.Return()
+
+	gs := r.tool.Groups()
+	if len(gs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(gs))
+	}
+	var freed, unfreed *GroupInfo
+	for i := range gs {
+		if gs[i].Frees > 0 {
+			freed = &gs[i]
+		} else {
+			unfreed = &gs[i]
+		}
+	}
+	if freed == nil || unfreed == nil {
+		t.Fatalf("snapshot did not distinguish the groups: %+v", gs)
+	}
+	if freed.TotalAllocs != 10 || freed.LiveCount != 0 {
+		t.Fatalf("freed group: %+v", freed)
+	}
+	if freed.MaxLifetime == 0 {
+		t.Fatal("freed group has no lifetime statistics")
+	}
+	if freed.WarmUpTime() != freed.LastMaxChange {
+		t.Fatal("WarmUpTime accessor mismatch")
+	}
+	if unfreed.LiveCount != 1 || unfreed.TotalBytes != 24 {
+		t.Fatalf("unfreed group: %+v", unfreed)
+	}
+}
+
+func TestWatchAccountingStats(t *testing.T) {
+	r := newTool(t, DefaultOptions())
+	p1 := r.malloc(t, 64)
+	p2 := r.malloc(t, 64)
+	st := r.tool.Stats()
+	if st.WatchedLines != 4 { // 2 pads × 2 buffers
+		t.Fatalf("WatchedLines = %d, want 4", st.WatchedLines)
+	}
+	if err := r.alloc.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Freed watch covers the full extent: user line + 2 pads = 3 lines,
+	// plus p2's 2 pads.
+	st = r.tool.Stats()
+	if st.WatchedLines != 5 {
+		t.Fatalf("WatchedLines after free = %d, want 5", st.WatchedLines)
+	}
+	if st.MaxWatchedLines < 5 {
+		t.Fatalf("MaxWatchedLines = %d", st.MaxWatchedLines)
+	}
+	_ = p2
+	if st.Allocs != 2 || st.Frees != 1 {
+		t.Fatalf("event counts: %+v", st)
+	}
+}
+
+func TestLeakCheckRespectsCheckingPeriod(t *testing.T) {
+	o := leakOpts()
+	o.CheckingPeriod = simtime.FromMicroseconds(1000) // 1 ms
+	r := newTool(t, o)
+	for i := 0; i < 100; i++ {
+		p := r.malloc(t, 16)
+		if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ~100 alloc/free pairs within far less than 1 ms: at most a couple of
+	// checks can have fired.
+	if n := r.tool.Stats().LeakChecks; n > 2 {
+		t.Fatalf("LeakChecks = %d, expected ≤ 2 under the checking period", n)
+	}
+}

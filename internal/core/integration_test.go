@@ -1,0 +1,243 @@
+package safemem
+
+import (
+	"math/rand"
+	"testing"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/memctrl"
+	"safemem/internal/vm"
+)
+
+// newDirectTool builds a rig on a machine with the Section 2.2.3 direct-ECC
+// interface.
+func newDirectTool(t *testing.T, opts Options) *testRig {
+	t.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 16 << 20, DirectECCAccess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, HeapOptions(opts.DetectCorruption || opts.DetectUninitRead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, err := Attach(m, alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{m: m, alloc: alloc, tool: tool}
+}
+
+func TestDirectECCDetectionParity(t *testing.T) {
+	// All corruption detectors behave identically on the direct-ECC
+	// machine — only cheaper.
+	r := newDirectTool(t, DefaultOptions())
+	p := r.malloc(t, 100)
+	r.m.Store8(p+128, 1) // overflow
+	q := r.malloc(t, 64)
+	if err := r.alloc.Free(q); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.m.Load8(q) // freed access
+	ks := kinds(r.tool.Reports())
+	if len(ks) != 2 || ks[0] != BugOverflow || ks[1] != BugFreedAccess {
+		t.Fatalf("reports = %v", ks)
+	}
+}
+
+func TestDirectECCHardwareErrorRepair(t *testing.T) {
+	r := newDirectTool(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 0xabc)
+	// Double-bit error in the trailing guard (armed via check bits: the
+	// data there is intact, so two data flips break the signature).
+	pa, fault := r.m.AS.Translate(p+64, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 2)
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 50)
+	_ = r.m.Load8(p + 64)
+	st := r.tool.Stats()
+	if st.HardwareErrors != 1 || st.CorruptionReported != 0 {
+		t.Fatalf("stats = %+v, want 1 hardware error, 0 corruption", st)
+	}
+}
+
+func TestRandomProgramNoFalseReports(t *testing.T) {
+	// Property-style integration test: a random but CORRECT program —
+	// allocations, in-bounds accesses, frees, reallocation reuse — must
+	// never produce a SafeMem report, under either watch backend.
+	for _, direct := range []bool{false, true} {
+		direct := direct
+		name := "scramble"
+		if direct {
+			name = "direct"
+		}
+		t.Run(name, func(t *testing.T) {
+			var r *testRig
+			if direct {
+				r = newDirectTool(t, DefaultOptions())
+			} else {
+				r = newTool(t, DefaultOptions())
+			}
+			rng := rand.New(rand.NewSource(12345))
+			type blk struct {
+				p    vm.VAddr
+				size uint64
+			}
+			var live []blk
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4 && len(live) < 200: // malloc
+					size := uint64(rng.Intn(700) + 1)
+					p, err := r.alloc.Malloc(size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, blk{p, size})
+				case op < 6 && len(live) > 0: // free
+					i := rng.Intn(len(live))
+					if err := r.alloc.Free(live[i].p); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live[:i], live[i+1:]...)
+				case len(live) > 0: // in-bounds access
+					b := live[rng.Intn(len(live))]
+					off := vm.VAddr(rng.Intn(int(b.size)))
+					if rng.Intn(2) == 0 {
+						r.m.Store8(b.p+off, byte(step))
+					} else {
+						_ = r.m.Load8(b.p + off)
+					}
+				}
+				r.m.Compute(200)
+			}
+			if reports := r.tool.Reports(); len(reports) != 0 {
+				t.Fatalf("correct program produced reports: %v", reports)
+			}
+			// The heap's live accounting matches the program's.
+			if r.alloc.Live() != len(live) {
+				t.Fatalf("allocator live=%d, program live=%d", r.alloc.Live(), len(live))
+			}
+		})
+	}
+}
+
+func TestRandomProgramAllOverflowsCaught(t *testing.T) {
+	// Adversarial property: every first out-of-bounds access within the
+	// guard line must be reported, at any offset and access size.
+	r := newTool(t, DefaultOptions())
+	rng := rand.New(rand.NewSource(98765))
+	for trial := 0; trial < 120; trial++ {
+		size := uint64(rng.Intn(500) + 1)
+		p, err := r.alloc.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.alloc.BlockAt(p)
+		before := r.tool.Stats().CorruptionReported
+		// An access somewhere inside the trailing guard line.
+		off := vm.VAddr(b.RoundedSize) + vm.VAddr(rng.Intn(60))
+		if rng.Intn(2) == 0 {
+			r.m.Store8(p+off, 0xee)
+		} else {
+			_ = r.m.Load8(p + off)
+		}
+		if r.tool.Stats().CorruptionReported != before+1 {
+			t.Fatalf("trial %d: overflow at +%d of %d-byte buffer missed", trial, off, size)
+		}
+		if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScrubbingDuringMonitoredExecution(t *testing.T) {
+	// Full integration of Section 2.2.2's scrub coordination: a monitored
+	// program runs while the controller is in Correct-and-Scrub mode and
+	// the kernel periodically performs coordinated scrub passes. Watches
+	// survive, latent hardware errors are repaired, and no spurious
+	// reports appear.
+	r := newTool(t, DefaultOptions())
+	r.m.Ctrl.SetMode(memctrl.CorrectAndScrub)
+
+	var bufs []vm.VAddr
+	for i := 0; i < 40; i++ {
+		p := r.malloc(t, 96)
+		r.m.Memset(p, byte(i), 96)
+		bufs = append(bufs, p)
+	}
+	// Plant a latent single-bit error in a random buffer.
+	pa, _ := r.m.AS.Translate(bufs[7]+8, false)
+	r.m.Cache.FlushAll()
+	r.m.Phys.FlipDataBit(pa.GroupAddr(), 11)
+
+	for round := 0; round < 6; round++ {
+		r.m.Kern.CoordinatedScrub()
+		for i, p := range bufs {
+			if got := r.m.Load8(p); got != byte(i) {
+				t.Fatalf("round %d: buffer %d corrupted: %d", round, i, got)
+			}
+		}
+	}
+	if n := len(r.tool.Reports()); n != 0 {
+		t.Fatalf("scrubbed run produced %d reports: %v", n, r.tool.Reports())
+	}
+	if r.m.Ctrl.Stats().ScrubbedLines == 0 {
+		t.Fatal("scrubber never ran")
+	}
+	if r.m.Ctrl.Stats().ScrubCorrected == 0 {
+		t.Fatal("latent error never repaired by scrubbing")
+	}
+	// Guards still armed after all those scrub passes.
+	r.m.Store8(bufs[0]+128, 1)
+	if len(r.tool.Reports()) != 1 {
+		t.Fatal("guard lost across scrub coordination")
+	}
+}
+
+func TestSingleBitErrorStormInvisible(t *testing.T) {
+	// Robustness under a storm of random single-bit hardware errors: the
+	// controller corrects them all; SafeMem sees nothing; data survives.
+	r := newTool(t, DefaultOptions())
+	p := r.malloc(t, 4096)
+	for off := uint64(0); off < 4096; off += 8 {
+		r.m.Store64(p+vm.VAddr(off), off)
+	}
+	r.m.Cache.FlushAll()
+	rng := rand.New(rand.NewSource(777))
+	for n := 0; n < 200; n++ {
+		off := uint64(rng.Intn(512)) * 8
+		pa, fault := r.m.AS.Translate(p+vm.VAddr(off), false)
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		r.m.Phys.FlipDataBit(pa.GroupAddr(), uint(rng.Intn(64)))
+		if got := r.m.Load64(p + vm.VAddr(off)); got != off {
+			t.Fatalf("error %d not corrected: %#x", n, got)
+		}
+		r.m.Cache.FlushLine(pa.LineAddr())
+	}
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("single-bit errors caused reports: %v", r.tool.Reports())
+	}
+	if r.m.Ctrl.Stats().CorrectedSingle < 190 {
+		t.Fatalf("CorrectedSingle = %d", r.m.Ctrl.Stats().CorrectedSingle)
+	}
+}
+
+func TestMLOnlyHeapNeedsNoPads(t *testing.T) {
+	// Leak-only SafeMem runs on a pad-less (but line-aligned) heap.
+	m := machine.MustNew(machine.Config{MemBytes: 8 << 20})
+	alloc := heap.MustNew(m, HeapOptions(false))
+	if alloc.Options().PadBytes != 0 {
+		t.Fatal("leak-only heap should not pad")
+	}
+	opts := DefaultOptions()
+	opts.DetectCorruption = false
+	if _, err := Attach(m, alloc, opts); err != nil {
+		t.Fatalf("attach failed: %v", err)
+	}
+}

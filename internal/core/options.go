@@ -1,0 +1,111 @@
+// Package safemem implements the paper's contribution: a low-overhead
+// dynamic tool that detects memory leaks and memory corruption during
+// production runs by combining intelligent memory-usage behaviour analysis
+// (Section 3) with ECC-memory watchpoints (Sections 2 and 4).
+//
+// The tool attaches to a simulated machine and heap:
+//
+//	m := machine.MustNew(machine.DefaultConfig())
+//	alloc := heap.MustNew(m, safemem.HeapOptions(true))
+//	tool, _ := safemem.Attach(m, alloc, safemem.DefaultOptions())
+//	... run the program: it allocates via alloc, accesses via m ...
+//	for _, r := range tool.Reports() { fmt.Println(r) }
+//
+// Unlike Purify-style checkers, SafeMem never instruments individual loads
+// and stores: all of its work happens at allocation/deallocation time plus
+// the rare ECC faults raised by the watched locations themselves.
+package safemem
+
+import (
+	"safemem/internal/heap"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// Options configures the SafeMem tool. DefaultOptions returns the values
+// used throughout the paper's evaluation.
+type Options struct {
+	// DetectLeaks enables continuous-memory-leak detection (Section 3).
+	DetectLeaks bool
+	// DetectCorruption enables buffer-overflow and freed-memory detection
+	// (Section 4).
+	DetectCorruption bool
+	// DetectUninitRead enables the Section 4 extension: reads of
+	// never-written buffers are reported. Off by default (as in the
+	// paper's prototype).
+	DetectUninitRead bool
+	// PruneWithECC gates leak-suspect pruning by ECC watchpoints
+	// (Section 3.2.3). Disabling it reproduces the "before pruning" column
+	// of Table 5: suspects are reported immediately.
+	PruneWithECC bool
+	// StopOnBug pauses the program at the first corruption report, the
+	// paper's attach-gdb behaviour. Off by default so detection runs can
+	// count every bug.
+	StopOnBug bool
+
+	// WarmupTime delays leak checking after program start so lifetime
+	// statistics can stabilise (Section 3.1).
+	WarmupTime simtime.Cycles
+	// CheckingPeriod is the minimum CPU time between leak-detection passes;
+	// passes run only at allocation/deallocation time (Section 3.2.2).
+	CheckingPeriod simtime.Cycles
+	// ALeakLiveThreshold is the live-object count above which an
+	// always-leak group becomes suspicious.
+	ALeakLiveThreshold int
+	// ALeakRecentWindow bounds "the last allocation time is very recent":
+	// a group over threshold whose memory usage is still growing.
+	ALeakRecentWindow simtime.Cycles
+	// SLeakLifetimeFactor is the multiple of the expected maximal lifetime
+	// beyond which a live object becomes a sometimes-leak suspect
+	// (condition 1 of Section 3.2.2; the paper uses 2×).
+	SLeakLifetimeFactor float64
+	// SLeakStableTime is how long a group's maximal lifetime must have been
+	// stable before SLeak suspects are trusted (condition 2).
+	SLeakStableTime simtime.Cycles
+	// LifetimeTolerance is the fractional slack above the recorded maximal
+	// lifetime that does not reset stability (the paper's "tolerable
+	// range... based on a pre-defined threshold").
+	LifetimeTolerance float64
+	// LeakConfirmTime is how long a watched suspect must stay untouched
+	// before it is reported as a leak.
+	LeakConfirmTime simtime.Cycles
+	// MaxSuspectsPerGroup bounds how many of the oldest live objects are
+	// examined per group per pass ("SafeMem only needs to check the top few
+	// oldest memory objects").
+	MaxSuspectsPerGroup int
+}
+
+// DefaultOptions returns the paper-evaluation configuration: both detectors
+// on, ECC pruning on, thresholds scaled to the simulator's clock.
+func DefaultOptions() Options {
+	return Options{
+		DetectLeaks:         true,
+		DetectCorruption:    true,
+		PruneWithECC:        true,
+		WarmupTime:          simtime.FromMicroseconds(2000), // 2 ms
+		CheckingPeriod:      simtime.FromMicroseconds(1000), // 1 ms
+		ALeakLiveThreshold:  100,
+		ALeakRecentWindow:   simtime.FromMicroseconds(2000), // 2 ms
+		SLeakLifetimeFactor: 2.0,
+		SLeakStableTime:     simtime.FromMicroseconds(4000), // 4 ms
+		LifetimeTolerance:   0.2,
+		LeakConfirmTime:     simtime.FromMicroseconds(10000), // 10 ms
+		MaxSuspectsPerGroup: 3,
+	}
+}
+
+// PadLineBytes is the guard-padding unit: one cache line at each end of
+// every buffer (Section 4).
+const PadLineBytes = physmem.LineBytes
+
+// HeapOptions returns the allocator configuration SafeMem requires:
+// cache-line aligned buffers, with one guard line per side when corruption
+// detection is enabled (Section 4: "each memory buffer is cache line
+// aligned... padding space of two cache lines").
+func HeapOptions(detectCorruption bool) heap.Options {
+	opts := heap.Options{Align: physmem.LineBytes}
+	if detectCorruption {
+		opts.PadBytes = PadLineBytes
+	}
+	return opts
+}

@@ -1,0 +1,142 @@
+package safemem
+
+import (
+	"testing"
+
+	"safemem/internal/simtime"
+)
+
+func TestDefaultOptionValues(t *testing.T) {
+	o := DefaultOptions()
+	if !o.DetectLeaks || !o.DetectCorruption || !o.PruneWithECC {
+		t.Fatal("defaults must enable both detectors and pruning")
+	}
+	if o.DetectUninitRead || o.StopOnBug {
+		t.Fatal("extensions must default off")
+	}
+	if o.SLeakLifetimeFactor != 2.0 {
+		t.Fatalf("SLeak factor = %v, paper uses 2×", o.SLeakLifetimeFactor)
+	}
+	if o.WarmupTime == 0 || o.CheckingPeriod == 0 || o.LeakConfirmTime == 0 {
+		t.Fatal("zero time thresholds")
+	}
+	if o.CheckingPeriod >= o.LeakConfirmTime {
+		t.Fatal("checking period should be well below the confirm window")
+	}
+}
+
+func TestAttachFillsZeroOptions(t *testing.T) {
+	r := newTool(t, Options{DetectLeaks: true}) // most fields zero
+	if r.tool.Options().SLeakLifetimeFactor != 2.0 {
+		t.Fatal("zero SLeakLifetimeFactor not defaulted")
+	}
+	if r.tool.Options().MaxSuspectsPerGroup != 3 {
+		t.Fatal("zero MaxSuspectsPerGroup not defaulted")
+	}
+}
+
+// leakSetup drives a group to stability with `hold` un-freed stragglers.
+func leakSetup(t *testing.T, r *testRig, hold int, iters int) {
+	t.Helper()
+	kept := 0
+	for i := 0; i < iters; i++ {
+		r.m.Call(0x1212)
+		p, err := r.alloc.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.m.Return()
+		r.m.Compute(1000)
+		if kept < hold && i%9 == 4 {
+			kept++
+			continue // never freed
+		}
+		if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMaxSuspectsPerGroupBoundsWatches(t *testing.T) {
+	// With N stragglers but MaxSuspectsPerGroup=1, at most one suspect is
+	// ECC-watched per checking pass.
+	o := leakOpts()
+	o.MaxSuspectsPerGroup = 1
+	o.LeakConfirmTime = simtime.FromMicroseconds(100_000) // no confirms
+	r := newTool(t, o)
+	leakSetup(t, r, 6, 800)
+	if w := r.tool.Stats().WatchedLines; w > 1 {
+		t.Fatalf("%d suspect watches live, want ≤ 1", w)
+	}
+	if r.tool.Stats().SuspectsFlagged == 0 {
+		t.Fatal("nothing flagged")
+	}
+}
+
+func TestLifetimeFactorGatesSuspicion(t *testing.T) {
+	// With a huge lifetime factor, nothing is old enough to be a suspect.
+	o := leakOpts()
+	o.SLeakLifetimeFactor = 10_000
+	r := newTool(t, o)
+	leakSetup(t, r, 2, 1000)
+	if n := r.tool.Stats().SuspectsFlagged; n != 0 {
+		t.Fatalf("flagged %d suspects despite a 10000× factor", n)
+	}
+}
+
+func TestStabilityGateBlocksLowConfidence(t *testing.T) {
+	// With an enormous stability requirement, condition 2 of Section 3.2.2
+	// never holds and no SLeak suspects are singled out.
+	o := leakOpts()
+	o.SLeakStableTime = simtime.FromMicroseconds(10_000_000)
+	r := newTool(t, o)
+	leakSetup(t, r, 2, 1000)
+	if n := r.tool.Stats().SuspectsFlagged; n != 0 {
+		t.Fatalf("flagged %d suspects without stability", n)
+	}
+}
+
+func TestLifetimeToleranceControlsStability(t *testing.T) {
+	// The §3.2.1 update rule, directly: deallocations whose lifetime stays
+	// within (1+tolerance)×max accumulate stability; anything beyond
+	// raises the maximum and resets the stability clock.
+	feed := func(tolerance float64) (simtime.Cycles, simtime.Cycles) {
+		g := &group{key: GroupKey{Size: 1}}
+		now := simtime.Cycles(0)
+		lifetimes := []simtime.Cycles{100, 105, 112, 108, 118, 110, 115}
+		for _, lt := range lifetimes {
+			now += 1000
+			g.recordDealloc(now, lt, tolerance)
+		}
+		return g.maxLifetime, g.stableTime
+	}
+	// ±18% jitter: with a 20% tolerance only the first sample changes the
+	// maximum; with a 1% tolerance every new record resets stability.
+	maxLoose, stableLoose := feed(0.20)
+	maxTight, stableTight := feed(0.01)
+	if maxLoose != 100 {
+		t.Fatalf("loose max = %v, want the first sample (100)", maxLoose)
+	}
+	if maxTight != 118 {
+		t.Fatalf("tight max = %v, want the record (118)", maxTight)
+	}
+	if stableLoose != 6000 {
+		t.Fatalf("loose stability = %v, want 6000 (six in-band samples)", stableLoose)
+	}
+	if stableTight >= stableLoose {
+		t.Fatalf("tight stability (%v) not below loose (%v)", stableTight, stableLoose)
+	}
+}
+
+func TestUninitAndCorruptionCompose(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DetectUninitRead = true
+	r := newTool(t, opts)
+	p := r.malloc(t, 64)
+	_ = r.m.Load8(p + 8) // uninit read
+	r.m.Store8(p+64, 1)  // overflow into the guard
+	ks := kinds(r.tool.Reports())
+	if len(ks) != 2 || ks[0] != BugUninitRead || ks[1] != BugOverflow {
+		t.Fatalf("reports = %v", ks)
+	}
+}

@@ -1,0 +1,115 @@
+package safemem
+
+import (
+	"testing"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/memctrl"
+	"safemem/internal/vm"
+)
+
+func TestWatchesSurviveMemoryPressure(t *testing.T) {
+	// Section 2.2.2 "Dealing with Page Swapping", end to end: the kernel
+	// swaps aggressively under memory pressure, but pages holding watches
+	// are pinned, so detection still works afterwards — and unwatched data
+	// survives its swap round trips.
+	m, err := machine.New(machine.Config{MemBytes: 4 << 20}) // small DRAM
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{Align: 64, PadBytes: 64, Limit: 3 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.DetectLeaks = false
+	tool, err := Attach(m, alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A working set of guarded buffers filling a good chunk of memory.
+	// Each 16 KiB buffer spans ~4 pages: the guard-holding end pages are
+	// pinned, the interior pages are fair game for the swapper.
+	const bufBytes = 16384
+	var bufs []vm.VAddr
+	for i := 0; i < 60; i++ {
+		p, err := alloc.Malloc(bufBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Memset(p, byte(i+1), bufBytes)
+		bufs = append(bufs, p)
+	}
+
+	// Repeated waves of swap pressure with accesses in between.
+	for round := 0; round < 8; round++ {
+		if n := m.AS.SwapOutLRU(40); n == 0 && round == 0 {
+			t.Fatal("no swap pressure generated; shrink DRAM")
+		}
+		for i, p := range bufs {
+			if (i+round)%5 == 0 {
+				off := vm.VAddr((i*997 + round*4096) % bufBytes)
+				if got := m.Load8(p + off); got != byte(i+1) {
+					t.Fatalf("round %d: buffer %d corrupted: %d", round, i, got)
+				}
+			}
+		}
+	}
+	if n := len(tool.Reports()); n != 0 {
+		t.Fatalf("swap pressure produced %d reports: %v", n, tool.Reports())
+	}
+	if m.AS.Stats().SwapsOut == 0 || m.AS.Stats().SwapsIn == 0 {
+		t.Fatalf("swap never happened: %+v", m.AS.Stats())
+	}
+
+	// Every guard is still armed: overflowing any buffer is caught.
+	for _, i := range []int{0, 31, 59} {
+		before := tool.Stats().CorruptionReported
+		m.Store8(bufs[i]+bufBytes, 0xee)
+		if tool.Stats().CorruptionReported != before+1 {
+			t.Fatalf("guard of buffer %d lost across swapping", i)
+		}
+	}
+}
+
+func TestScrubPreservesSuspectConfirmationClock(t *testing.T) {
+	// A leak suspect's ECC watch is torn down and re-armed around every
+	// coordinated scrub pass; its confirmation clock must carry over, or
+	// frequent scrubbing would postpone leak reports forever.
+	o := leakOpts()
+	r := newTool(t, o)
+	r.m.Ctrl.SetMode(memctrl.CorrectAndScrub)
+
+	var leaked vm.VAddr
+	reported := false
+	for i := 0; i < 3000 && !reported; i++ {
+		r.m.Call(0x6666)
+		p, err := r.alloc.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.m.Return()
+		r.m.Compute(1000)
+		if i == 150 {
+			leaked = p
+		} else if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			r.m.Kern.CoordinatedScrub() // frequent scrubbing
+		}
+		reported = r.tool.Stats().LeaksReported > 0
+	}
+	if !reported {
+		t.Fatal("leak never reported despite frequent scrubbing")
+	}
+	reports := r.tool.Reports()
+	if reports[0].BufferAddr != leaked {
+		t.Fatalf("reported %#x, want %#x", uint64(reports[0].BufferAddr), uint64(leaked))
+	}
+	if r.m.Ctrl.Stats().ScrubbedLines == 0 {
+		t.Fatal("scrubbing never ran")
+	}
+}

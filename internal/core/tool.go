@@ -1,0 +1,260 @@
+package safemem
+
+import (
+	"fmt"
+	"sort"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// Bookkeeping charges for SafeMem's own user-level work (DESIGN.md §5).
+// These cover the group hash lookup, list surgery and statistics updates
+// performed inside the malloc/free wrappers — everything *except* the
+// ECC-watch syscalls, which charge themselves in the kernel.
+const (
+	costLeakAlloc     simtime.Cycles = 90
+	costLeakFree      simtime.Cycles = 110
+	costCheckBase     simtime.Cycles = 200
+	costCheckPerGroup simtime.Cycles = 40
+)
+
+// Tool is an attached SafeMem instance.
+type Tool struct {
+	m     *machine.Machine
+	alloc *heap.Allocator
+	opts  Options
+
+	groups  map[GroupKey]*group
+	objects map[vm.VAddr]*object // by user pointer
+
+	// ECC-watch bookkeeping (SafeMem's "private memory region").
+	regions map[*watchRegion]struct{}
+	byLine  map[vm.VAddr]*watchRegion
+
+	lastCheck     simtime.Cycles
+	startTime     simtime.Cycles
+	savedForScrub []*watchRegion
+
+	reports  []BugReport
+	onReport func(BugReport)
+	stats    Stats
+}
+
+// Attach wires a SafeMem tool onto machine m and allocator alloc. The
+// allocator must be cache-line aligned (Section 4); with corruption
+// detection enabled it must also carry one guard line of padding per side —
+// use HeapOptions to construct a compatible allocator.
+func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, error) {
+	ho := alloc.Options()
+	if ho.Align != physmem.LineBytes {
+		return nil, fmt.Errorf("safemem: allocator alignment %d, need cache-line alignment (%d)", ho.Align, physmem.LineBytes)
+	}
+	if opts.DetectCorruption && ho.PadBytes != PadLineBytes {
+		return nil, fmt.Errorf("safemem: corruption detection needs %d-byte guard padding, allocator has %d", PadLineBytes, ho.PadBytes)
+	}
+	if opts.SLeakLifetimeFactor == 0 {
+		opts.SLeakLifetimeFactor = 2.0
+	}
+	if opts.MaxSuspectsPerGroup == 0 {
+		opts.MaxSuspectsPerGroup = 3
+	}
+	t := &Tool{
+		m:         m,
+		alloc:     alloc,
+		opts:      opts,
+		groups:    make(map[GroupKey]*group),
+		objects:   make(map[vm.VAddr]*object),
+		regions:   make(map[*watchRegion]struct{}),
+		byLine:    make(map[vm.VAddr]*watchRegion),
+		startTime: m.Clock.Now(),
+		lastCheck: m.Clock.Now(),
+	}
+	alloc.AddHook(t)
+	m.Kern.RegisterECCFaultHandler(t.handleECCFault)
+	m.Kern.SetScrubHooks(t.scrubBefore, t.scrubAfter)
+	return t, nil
+}
+
+// Options returns the tool's configuration.
+func (t *Tool) Options() Options { return t.opts }
+
+// Reports returns all bug reports so far, in detection order.
+func (t *Tool) Reports() []BugReport {
+	out := make([]BugReport, len(t.reports))
+	copy(out, t.reports)
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (t *Tool) Stats() Stats {
+	s := t.stats
+	s.WatchedLines = uint64(len(t.byLine))
+	return s
+}
+
+// Groups returns snapshots of all memory-object groups, sorted by first
+// allocation order — the input to the Figure 3 lifetime-stability study.
+func (t *Tool) Groups() []GroupInfo {
+	out := make([]GroupInfo, 0, len(t.groups))
+	for _, g := range t.groups {
+		out = append(out, GroupInfo{
+			Key:           g.key,
+			LiveCount:     g.liveCount,
+			TotalAllocs:   g.totalAllocs,
+			Frees:         g.frees,
+			TotalBytes:    g.totalBytes,
+			MaxLifetime:   g.maxLifetime,
+			StableTime:    g.stableTime,
+			LastMaxChange: g.lastMaxChange,
+			LastAllocTime: g.lastAllocTime,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Site != out[j].Key.Site {
+			return out[i].Key.Site < out[j].Key.Site
+		}
+		return out[i].Key.Size < out[j].Key.Size
+	})
+	return out
+}
+
+// SetReportCallback registers a function invoked synchronously on every new
+// bug report — the hook a long-running server uses to stream findings to
+// its log instead of polling Reports().
+func (t *Tool) SetReportCallback(fn func(BugReport)) { t.onReport = fn }
+
+func (t *Tool) report(r BugReport) {
+	r.Time = t.m.Clock.Now()
+	t.reports = append(t.reports, r)
+	if r.Kind.IsLeak() {
+		t.stats.LeaksReported++
+	} else {
+		t.stats.CorruptionReported++
+	}
+	if t.onReport != nil {
+		t.onReport(r)
+	}
+	if t.opts.StopOnBug && !r.Kind.IsLeak() {
+		machine.Abort("safemem: %s", r)
+	}
+}
+
+// Shutdown runs the program-exit pass: any leak suspect that is still
+// ECC-watched and has aged past the confirmation window is reported (the
+// program is ending — no future access can exonerate it), and every watch
+// is disabled so memory is left in its natural state. Further allocator
+// activity is no longer monitored for corruption. Returns the newly
+// produced reports.
+func (t *Tool) Shutdown() []BugReport {
+	before := len(t.reports)
+	now := t.m.Clock.Now()
+	var confirm []*watchRegion
+	for r := range t.regions {
+		if r.kind == watchLeakSuspect && r.obj != nil && !r.obj.reported &&
+			now >= r.watchedAt && now-r.watchedAt >= t.opts.LeakConfirmTime {
+			confirm = append(confirm, r)
+		}
+	}
+	for _, r := range confirm {
+		t.reportLeak(r.obj.group, r.obj)
+	}
+	t.unwatchAll()
+	out := make([]BugReport, len(t.reports)-before)
+	copy(out, t.reports[before:])
+	return out
+}
+
+// OnAlloc implements heap.Hook: the malloc/calloc/realloc wrapper
+// (Section 3.2.1 for leak bookkeeping, Section 4 for corruption watches).
+func (t *Tool) OnAlloc(b *heap.Block) {
+	t.stats.Allocs++
+	now := t.m.Clock.Now()
+
+	// The allocator may have carved this block out of watched freed space;
+	// reallocation disables those watches (Section 4).
+	if err := t.unwatchOverlapping(b.FullAddr, b.FullSize); err != nil {
+		panic(fmt.Sprintf("safemem: unwatch on realloc: %v", err))
+	}
+
+	if t.opts.DetectLeaks {
+		t.m.Clock.Advance(costLeakAlloc)
+		key := GroupKey{Size: b.Size, Site: b.Site}
+		g := t.groups[key]
+		if g == nil {
+			g = &group{key: key, lastUpdate: now, lastMaxChange: now}
+			t.groups[key] = g
+		}
+		obj := &object{block: b, group: g, allocTime: now}
+		g.append(obj)
+		g.lastAllocTime = now
+		g.totalBytes += b.Size
+		g.totalAllocs++
+		t.objects[b.Addr] = obj
+	}
+
+	if t.opts.DetectCorruption {
+		t.mustWatchPad(b.PadBefore(), watchPadBefore, b)
+		t.mustWatchPad(b.PadAfter(), watchPadAfter, b)
+	}
+
+	if t.opts.DetectUninitRead && !t.lineWatched(b.Addr, b.RoundedSize) {
+		if _, err := t.watch(b.Addr, b.RoundedSize, watchUninit, b, nil); err != nil {
+			panic(fmt.Sprintf("safemem: uninit watch: %v", err))
+		}
+	}
+
+	t.maybeCheckLeaks()
+}
+
+func (t *Tool) mustWatchPad(base vm.VAddr, kind watchKind, b *heap.Block) {
+	if _, err := t.watch(base, PadLineBytes, kind, b, nil); err != nil {
+		panic(fmt.Sprintf("safemem: %v watch at %#x: %v", kind, uint64(base), err))
+	}
+}
+
+// OnFree implements heap.Hook: the free wrapper.
+func (t *Tool) OnFree(b *heap.Block) {
+	t.stats.Frees++
+	now := t.m.Clock.Now()
+
+	if t.opts.DetectLeaks {
+		t.m.Clock.Advance(costLeakFree)
+		if obj, ok := t.objects[b.Addr]; ok {
+			if obj.suspect != nil {
+				// Freeing a watched suspect exonerates it.
+				t.stats.SuspectsPruned++
+				if err := t.unwatch(obj.suspect, false); err != nil {
+					panic(fmt.Sprintf("safemem: unwatch on free: %v", err))
+				}
+			}
+			g := obj.group
+			g.remove(obj)
+			g.totalBytes -= b.Size
+			g.recordDealloc(now, now-obj.allocTime, t.opts.LifetimeTolerance)
+			delete(t.objects, b.Addr)
+		}
+	}
+
+	// Disable any remaining watches inside the block's extent (guard pads,
+	// uninit watch), then watch the whole freed extent (Section 4).
+	if err := t.unwatchOverlapping(b.FullAddr, b.FullSize); err != nil {
+		panic(fmt.Sprintf("safemem: unwatch pads on free: %v", err))
+	}
+	if t.opts.DetectCorruption {
+		if _, err := t.watch(b.FullAddr, b.FullSize, watchFreed, b, nil); err != nil {
+			panic(fmt.Sprintf("safemem: freed watch at %#x: %v", uint64(b.FullAddr), err))
+		}
+	}
+
+	t.maybeCheckLeaks()
+}
+
+// scrubBefore / scrubAfter implement the scrub-coordination protocol
+// (Section 2.2.2): all watches are temporarily disabled while the memory
+// controller scrubs, then re-armed.
+func (t *Tool) scrubBefore() { t.savedForScrub = t.unwatchAll() }
+func (t *Tool) scrubAfter()  { t.rewatchAll(t.savedForScrub); t.savedForScrub = nil }

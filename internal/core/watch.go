@@ -1,0 +1,182 @@
+package safemem
+
+import (
+	"fmt"
+
+	"safemem/internal/heap"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// watchKind distinguishes why a region is ECC-watched.
+type watchKind int
+
+const (
+	// watchPadBefore / watchPadAfter guard the two ends of a live buffer
+	// (buffer-overflow detection, Section 4).
+	watchPadBefore watchKind = iota
+	watchPadAfter
+	// watchFreed guards an entire freed buffer until reallocation.
+	watchFreed
+	// watchLeakSuspect guards a leak suspect for false-positive pruning
+	// (Section 3.2.3).
+	watchLeakSuspect
+	// watchUninit guards a freshly allocated, never-written buffer
+	// (the Section 4 extension).
+	watchUninit
+)
+
+func (k watchKind) String() string {
+	switch k {
+	case watchPadBefore:
+		return "pad-before"
+	case watchPadAfter:
+		return "pad-after"
+	case watchFreed:
+		return "freed"
+	case watchLeakSuspect:
+		return "leak-suspect"
+	case watchUninit:
+		return "uninit"
+	default:
+		return fmt.Sprintf("watchKind(%d)", int(k))
+	}
+}
+
+// watchRegion is SafeMem's private record of one ECC-watched region: its
+// extent, why it is watched, the buffer it belongs to, and — crucially —
+// the original data words returned by WatchMemory, which let the fault
+// handler tell access faults from hardware errors (Section 2.2.2).
+type watchRegion struct {
+	base vm.VAddr
+	size uint64
+	kind watchKind
+	// original holds 8 saved words per line.
+	original []uint64
+	// block is the associated buffer (nil for none).
+	block *heap.Block
+	// obj is the associated leak-suspect object (watchLeakSuspect only).
+	obj *object
+	// watchedAt is when monitoring began.
+	watchedAt simtime.Cycles
+}
+
+func (r *watchRegion) lines() int { return int(r.size / physmem.LineBytes) }
+
+// lineIndex returns which line of the region vline is.
+func (r *watchRegion) lineIndex(vline vm.VAddr) int {
+	return int(uint64(vline-r.base) / physmem.LineBytes)
+}
+
+// originalWord returns the saved word for the given line and ECC group.
+func (r *watchRegion) originalWord(vline vm.VAddr, groupIndex int) uint64 {
+	return r.original[r.lineIndex(vline)*physmem.GroupsPerLine+groupIndex]
+}
+
+// watch registers [base, base+size) with the kernel and records the region.
+// Regions must not overlap existing watches; callers check via lineWatched.
+func (t *Tool) watch(base vm.VAddr, size uint64, kind watchKind, blk *heap.Block, obj *object) (*watchRegion, error) {
+	orig, err := t.m.Kern.WatchMemory(base, size)
+	if err != nil {
+		return nil, err
+	}
+	r := &watchRegion{
+		base:      base,
+		size:      size,
+		kind:      kind,
+		original:  orig,
+		block:     blk,
+		obj:       obj,
+		watchedAt: t.m.Clock.Now(),
+	}
+	for line := base; line < base+vm.VAddr(size); line += physmem.LineBytes {
+		t.byLine[line] = r
+	}
+	t.regions[r] = struct{}{}
+	if n := uint64(len(t.byLine)); n > t.stats.MaxWatchedLines {
+		t.stats.MaxWatchedLines = n
+	}
+	return r, nil
+}
+
+// unwatch removes the region. When fromSaved is true the memory is restored
+// from SafeMem's private copy (hardware-error repair); otherwise the kernel
+// un-scrambles in place.
+func (t *Tool) unwatch(r *watchRegion, fromSaved bool) error {
+	var err error
+	if fromSaved {
+		err = t.m.Kern.DisableWatchMemoryWithData(r.base, r.size, r.original)
+	} else {
+		err = t.m.Kern.DisableWatchMemory(r.base, r.size)
+	}
+	if err != nil {
+		return err
+	}
+	for line := r.base; line < r.base+vm.VAddr(r.size); line += physmem.LineBytes {
+		delete(t.byLine, line)
+	}
+	delete(t.regions, r)
+	if r.obj != nil && r.obj.suspect == r {
+		r.obj.suspect = nil
+	}
+	return nil
+}
+
+// lineWatched reports whether any line of [base, base+size) is watched.
+func (t *Tool) lineWatched(base vm.VAddr, size uint64) bool {
+	for line := base.LineAddr(); line < base+vm.VAddr(size); line += physmem.LineBytes {
+		if _, ok := t.byLine[line]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// unwatchOverlapping removes every watch region that intersects
+// [base, base+size) — the reallocation path: when the allocator reuses a
+// freed extent, its freed-buffer watch must be disabled (Section 4).
+func (t *Tool) unwatchOverlapping(base vm.VAddr, size uint64) error {
+	seen := map[*watchRegion]bool{}
+	for line := base.LineAddr(); line < base+vm.VAddr(size); line += physmem.LineBytes {
+		if r, ok := t.byLine[line]; ok && !seen[r] {
+			seen[r] = true
+			if err := t.unwatch(r, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// unwatchAll removes every active watch (scrub coordination). It returns
+// the removed regions so rewatchAll can restore them.
+func (t *Tool) unwatchAll() []*watchRegion {
+	out := make([]*watchRegion, 0, len(t.regions))
+	for r := range t.regions {
+		out = append(out, r)
+	}
+	for _, r := range out {
+		if err := t.unwatch(r, false); err != nil {
+			// Scrub coordination failures leave the kernel inconsistent;
+			// this cannot happen unless the simulator itself is broken.
+			panic(fmt.Sprintf("safemem: unwatchAll: %v", err))
+		}
+	}
+	return out
+}
+
+// rewatchAll re-arms the given regions after a scrub pass, preserving their
+// kinds and associations.
+func (t *Tool) rewatchAll(saved []*watchRegion) {
+	for _, old := range saved {
+		r, err := t.watch(old.base, old.size, old.kind, old.block, old.obj)
+		if err != nil {
+			panic(fmt.Sprintf("safemem: rewatchAll: %v", err))
+		}
+		r.watchedAt = old.watchedAt // preserve leak-confirmation clocks
+		if old.obj != nil {
+			old.obj.suspect = r
+		}
+	}
+}

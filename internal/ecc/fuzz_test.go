@@ -1,0 +1,51 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode exercises the decoder with arbitrary data/check pairs: it must
+// never panic, must be idempotent on its own corrections, and must accept
+// what Encode produces.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(^uint64(0), uint8(0xff))
+	f.Add(uint64(0xdeadbeefcafebabe), uint8(Encode(0xdeadbeefcafebabe)))
+	f.Add(Scramble(42), uint8(Encode(42)))
+	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
+		d, c, res := Decode(data, Check(check))
+		switch res {
+		case OK:
+			if d != data || c != Check(check) {
+				t.Fatal("OK decode mutated its inputs")
+			}
+		case CorrectedData, CorrectedCheck:
+			// The corrected pair must decode clean.
+			d2, c2, res2 := Decode(d, c)
+			if res2 != OK || d2 != d || c2 != c {
+				t.Fatalf("correction not a fixed point: %v after %v", res2, res)
+			}
+		case Uncorrectable:
+			if d != data {
+				t.Fatal("uncorrectable decode mutated the data")
+			}
+		default:
+			t.Fatalf("unknown result %v", res)
+		}
+	})
+}
+
+// FuzzEncodeRoundTrip: whatever the data, Encode's output must decode OK
+// and survive any single data-bit flip.
+func FuzzEncodeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(3))
+	f.Fuzz(func(t *testing.T, data uint64, bit uint8) {
+		c := Encode(data)
+		if _, _, res := Decode(data, c); res != OK {
+			t.Fatalf("clean decode = %v", res)
+		}
+		i := uint(bit) % GroupBits
+		got, _, res := Decode(FlipDataBit(data, i), c)
+		if res != CorrectedData || got != data {
+			t.Fatalf("single-bit recovery failed: %v", res)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package ecc implements the SECDED (single-error-correct, double-error-
+// detect) extended Hamming(72,64) code used by commodity ECC memory
+// controllers such as the Intel E7500 in the paper's platform: 8 check bits
+// protect each 64-bit ECC group (Section 2.1).
+//
+// The package also provides the SafeMem data-scrambling pattern (Section
+// 2.2.2, Figure 2): three fixed data-bit positions chosen so that flipping
+// them produces a syndrome the decoder classifies as *uncorrectable*. This
+// choice matters — an arbitrary 3-bit flip has odd weight, so SECDED decoding
+// may alias it to a single-bit error and silently "correct" it, in which case
+// the watchpoint would never fire. The positions are found by a deterministic
+// search at package initialisation (see scramble.go).
+package ecc
+
+// GroupBits is the number of data bits in one ECC group.
+const GroupBits = 64
+
+// GroupBytes is the number of data bytes in one ECC group.
+const GroupBytes = 8
+
+// CheckBits is the number of ECC check bits per group.
+const CheckBits = 8
+
+// Check holds the 8 check bits stored alongside each 64-bit ECC group.
+type Check uint8
+
+// Result classifies the outcome of decoding one ECC group.
+type Result int
+
+const (
+	// OK: data and check bits are consistent.
+	OK Result = iota
+	// CorrectedData: a single flipped data bit was detected and corrected.
+	CorrectedData
+	// CorrectedCheck: a single flipped check bit was detected and corrected.
+	CorrectedCheck
+	// Uncorrectable: a multi-bit error was detected. The memory controller
+	// reports this to the processor with an interrupt (Figure 1b).
+	Uncorrectable
+)
+
+// String returns a short name for the result, for logs and bug reports.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data-bit"
+	case CorrectedCheck:
+		return "corrected-check-bit"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return "unknown"
+	}
+}
+
+// codeword layout (extended Hamming):
+//
+//	position 0            overall parity bit
+//	positions 2^j, j=0..6 Hamming parity bits
+//	remaining 64 positions in 1..71 carry the data bits, in order.
+const (
+	codewordLen = 72 // 64 data + 7 Hamming parity + 1 overall parity
+	maxPosition = codewordLen - 1
+)
+
+var (
+	// dataPos[i] is the codeword position of data bit i.
+	dataPos [GroupBits]uint
+	// posToData[p] is the data bit stored at codeword position p, or -1.
+	posToData [codewordLen]int
+	// parityMask[j] is a 64-bit mask of the data bits covered by Hamming
+	// parity bit j (i.e. data bits whose codeword position has bit j set).
+	parityMask [7]uint64
+)
+
+func init() {
+	for p := range posToData {
+		posToData[p] = -1
+	}
+	i := 0
+	for p := uint(1); p <= maxPosition; p++ {
+		if p&(p-1) == 0 { // power of two: Hamming parity position
+			continue
+		}
+		dataPos[i] = p
+		posToData[p] = i
+		i++
+	}
+	if i != GroupBits {
+		panic("ecc: codeword layout did not yield 64 data positions")
+	}
+	for j := 0; j < 7; j++ {
+		var mask uint64
+		for i := 0; i < GroupBits; i++ {
+			if dataPos[i]&(1<<uint(j)) != 0 {
+				mask |= 1 << uint(i)
+			}
+		}
+		parityMask[j] = mask
+	}
+	initScramble()
+}
+
+// parity64 returns the XOR of all bits of x.
+func parity64(x uint64) uint {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint(x & 1)
+}
+
+// Encode computes the 8 check bits for a 64-bit data word, exactly as the
+// memory controller's ECC generator does on every write (Figure 1a).
+func Encode(data uint64) Check {
+	var c Check
+	for j := 0; j < 7; j++ {
+		if parity64(data&parityMask[j]) != 0 {
+			c |= 1 << uint(j)
+		}
+	}
+	// Overall parity covers data plus the seven Hamming bits, and is chosen
+	// so the full 72-bit codeword has even weight.
+	overall := parity64(data) ^ parity64(uint64(c&0x7f))
+	if overall != 0 {
+		c |= 1 << 7
+	}
+	return c
+}
+
+// Decode checks a 64-bit data word against its stored check bits, returning
+// possibly-corrected data and check bits plus a Result. It mirrors the
+// controller's read path (Figure 1b): single-bit errors are corrected
+// transparently; multi-bit errors are reported as Uncorrectable.
+func Decode(data uint64, stored Check) (uint64, Check, Result) {
+	expected := Encode(data)
+	// Syndrome over the seven Hamming checks.
+	syndrome := uint((expected ^ stored) & 0x7f)
+	// Overall parity of the received 72-bit codeword. Encode produced a
+	// codeword of even weight, so any odd number of bit flips makes this 1.
+	parity := parity64(data) ^ parity64(uint64(stored))
+
+	switch {
+	case syndrome == 0 && parity == 0:
+		return data, stored, OK
+	case syndrome == 0 && parity == 1:
+		// Only the overall parity bit flipped.
+		return data, stored ^ (1 << 7), CorrectedCheck
+	case parity == 0:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, stored, Uncorrectable
+	}
+	// Odd parity, non-zero syndrome: decoder assumes a single-bit error at
+	// codeword position = syndrome.
+	if syndrome > maxPosition {
+		return data, stored, Uncorrectable
+	}
+	if syndrome&(syndrome-1) == 0 {
+		// A Hamming parity position: fix the corresponding check bit.
+		bit := uint(0)
+		for 1<<bit != syndrome {
+			bit++
+		}
+		return data, stored ^ Check(1<<bit), CorrectedCheck
+	}
+	d := posToData[syndrome]
+	if d < 0 {
+		return data, stored, Uncorrectable
+	}
+	return data ^ (1 << uint(d)), stored, CorrectedData
+}
+
+// FlipDataBit returns data with the i-th data bit inverted. It is used by
+// tests and by the fault injector to model hardware memory errors.
+func FlipDataBit(data uint64, i uint) uint64 {
+	if i >= GroupBits {
+		panic("ecc: data bit index out of range")
+	}
+	return data ^ (1 << i)
+}
+
+// FlipCheckBit returns the check bits with bit i inverted.
+func FlipCheckBit(c Check, i uint) Check {
+	if i >= CheckBits {
+		panic("ecc: check bit index out of range")
+	}
+	return c ^ Check(1<<i)
+}

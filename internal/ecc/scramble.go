@@ -1,0 +1,78 @@
+package ecc
+
+// SafeMem's WatchMemory implementation scrambles the data of a watched ECC
+// group while the ECC engine is disabled, leaving the stored check bits
+// computed over the *original* data (Section 2.2.2, Figure 2). The paper
+// requires the scramble to satisfy two properties:
+//
+//  1. it must decode as a multi-bit (uncorrectable) error, not a single-bit
+//     error, because controllers correct single-bit errors silently;
+//  2. it must form a recognisable signature so an access fault can be
+//     distinguished from a real hardware error.
+//
+// Property 1 is non-trivial for a 3-bit flip: three flips have odd weight, so
+// a SECDED decoder will treat the result as a single-bit error at codeword
+// position p1^p2^p3 and silently "correct" it — unless that XOR is not a
+// valid codeword position. initScramble searches, deterministically, for the
+// lexicographically first triple of data bits whose position XOR exceeds the
+// codeword length; flipping those three bits is then guaranteed to decode as
+// Uncorrectable.
+
+// scrambleBits holds the three data-bit indices flipped by Scramble.
+var scrambleBits [3]uint
+
+// scrambleMask is the 64-bit XOR mask implementing the 3-bit flip.
+var scrambleMask uint64
+
+func initScramble() {
+	for a := uint(0); a < GroupBits; a++ {
+		for b := a + 1; b < GroupBits; b++ {
+			for c := b + 1; c < GroupBits; c++ {
+				x := dataPos[a] ^ dataPos[b] ^ dataPos[c]
+				if x > maxPosition {
+					scrambleBits = [3]uint{a, b, c}
+					scrambleMask = 1<<a | 1<<b | 1<<c
+					return
+				}
+			}
+		}
+	}
+	panic("ecc: no uncorrectable 3-bit scramble pattern exists")
+}
+
+// ScrambleBits returns the three fixed data-bit indices flipped by the
+// SafeMem scramble.
+func ScrambleBits() [3]uint { return scrambleBits }
+
+// ScrambleMask returns the XOR mask applied by Scramble.
+func ScrambleMask() uint64 { return scrambleMask }
+
+// Scramble flips the three fixed scramble bits of data. Scramble is its own
+// inverse: Scramble(Scramble(x)) == x, which is how the fault handler
+// recomputes the expected in-memory value from the saved original.
+func Scramble(data uint64) uint64 { return data ^ scrambleMask }
+
+// IsScrambleOf reports whether observed is exactly the scrambled form of
+// original. SafeMem's fault handler uses this signature check to tell an
+// access fault (observed == Scramble(original)) from a real hardware memory
+// error (Section 2.2.2, "Differentiate Hardware Errors from Access Faults").
+func IsScrambleOf(observed, original uint64) bool {
+	return observed == original^scrambleMask
+}
+
+// CheckScrambleMask is the check-bit flip used to arm a watchpoint on a
+// controller with the Section 2.2.3 direct-ECC-access interface: flipping
+// Hamming check bits 3 and 6 plus the overall parity bit leaves the data
+// intact and produces syndrome 8^64 = 72 — not a valid codeword position —
+// with odd parity, which ALWAYS decodes as uncorrectable. The third
+// (parity) flip matters: with only the two Hamming flips, a real
+// single-bit memory error on the armed group would make three total flips
+// and alias to a plausible single-bit "correction", silently destroying
+// both the watch and the data. With this mask an extra single-bit error
+// yields even parity and a non-zero syndrome: still uncorrectable, and the
+// handler's signature check (data ≠ saved original) classifies it as a
+// hardware error.
+const CheckScrambleMask Check = 1<<3 | 1<<6 | 1<<7
+
+// ScrambleCheck flips the watchpoint check bits; it is its own inverse.
+func ScrambleCheck(c Check) Check { return c ^ CheckScrambleMask }

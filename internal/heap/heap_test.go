@@ -1,0 +1,324 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+func newHeap(t *testing.T, opts Options) (*Allocator, *machine.Machine) {
+	t.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func TestOptionValidation(t *testing.T) {
+	m := machine.MustNew(machine.Config{MemBytes: 1 << 20})
+	for _, opts := range []Options{
+		{Align: 3},
+		{Align: 4},
+		{Base: 0x1001},
+		{Align: 64, PadBytes: 65},
+	} {
+		if _, err := New(m, opts); err == nil {
+			t.Errorf("options %+v accepted", opts)
+		}
+	}
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	a, m := newHeap(t, Options{})
+	p, err := a.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p)%8 != 0 {
+		t.Fatalf("pointer %#x not 8-byte aligned", uint64(p))
+	}
+	m.Store64(p, 42)
+	if m.Load64(p) != 42 {
+		t.Fatal("allocated memory not usable")
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+	if err := a.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.Live() != 0 {
+		t.Fatal("block still live after free")
+	}
+	if err := a.Free(p); err == nil {
+		t.Fatal("double free accepted")
+	}
+}
+
+func TestDistinctBlocksDontOverlap(t *testing.T) {
+	a, _ := newHeap(t, Options{Align: 64, PadBytes: 64})
+	type rng struct{ lo, hi uint64 }
+	var ranges []rng
+	for i := 0; i < 50; i++ {
+		p, err := a.Malloc(uint64(i%7)*24 + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := a.BlockAt(p)
+		r := rng{uint64(b.FullAddr), uint64(b.FullAddr) + b.FullSize}
+		for _, o := range ranges {
+			if r.lo < o.hi && o.lo < r.hi {
+				t.Fatalf("overlap: [%#x,%#x) and [%#x,%#x)", r.lo, r.hi, o.lo, o.hi)
+			}
+		}
+		ranges = append(ranges, r)
+	}
+}
+
+func TestAlignmentAndPadding(t *testing.T) {
+	a, _ := newHeap(t, Options{Align: 64, PadBytes: 64})
+	p, err := a.Malloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(p)%64 != 0 {
+		t.Fatalf("pointer %#x not line aligned", uint64(p))
+	}
+	b, _ := a.BlockAt(p)
+	if b.RoundedSize != 64 {
+		t.Fatalf("RoundedSize = %d, want 64", b.RoundedSize)
+	}
+	if b.FullSize != 64+2*64 {
+		t.Fatalf("FullSize = %d, want 192", b.FullSize)
+	}
+	if b.PadBefore() != p-64 || b.PadAfter() != p+64 {
+		t.Fatalf("pads = %#x/%#x around %#x", uint64(b.PadBefore()), uint64(b.PadAfter()), uint64(p))
+	}
+	if uint64(b.PadBefore())%64 != 0 || uint64(b.PadAfter())%64 != 0 {
+		t.Fatal("pads not line aligned")
+	}
+}
+
+func TestCallocZeroes(t *testing.T) {
+	a, m := newHeap(t, Options{})
+	// Dirty some memory, free it, then calloc over the same region.
+	p, _ := a.Malloc(256)
+	m.Memset(p, 0xff, 256)
+	a.Free(p)
+	q, err := a.Calloc(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i += 8 {
+		if got := m.Load64(q + vm.VAddr(i)); got != 0 {
+			t.Fatalf("calloc byte %d = %#x", i, got)
+		}
+	}
+}
+
+func TestReallocPreservesPrefix(t *testing.T) {
+	a, m := newHeap(t, Options{})
+	p, _ := a.Malloc(16)
+	m.Store64(p, 0x1111)
+	m.Store64(p+8, 0x2222)
+	q, err := a.Realloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Load64(q) != 0x1111 || m.Load64(q+8) != 0x2222 {
+		t.Fatal("realloc lost data")
+	}
+	if _, live := a.BlockAt(p); live && p != q {
+		t.Fatal("old block still live after realloc")
+	}
+	// Shrink keeps the prefix.
+	r, err := a.Realloc(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Load64(r) != 0x1111 {
+		t.Fatal("shrinking realloc lost data")
+	}
+	if _, err := a.Realloc(0x999999, 8); err == nil {
+		t.Fatal("realloc of unknown pointer accepted")
+	}
+	if p2, err := a.Realloc(0, 8); err != nil || p2 == 0 {
+		t.Fatal("realloc(NULL) should behave as malloc")
+	}
+}
+
+func TestFreeListCoalescing(t *testing.T) {
+	a, _ := newHeap(t, Options{})
+	p1, _ := a.Malloc(64)
+	p2, _ := a.Malloc(64)
+	p3, _ := a.Malloc(64)
+	a.Free(p1)
+	a.Free(p3)
+	a.Free(p2) // middle free must coalesce all three
+	// A block spanning all three extents must now fit without growing.
+	arenaBefore := a.Stats().ArenaBytes
+	q, err := a.Malloc(192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p1 {
+		t.Fatalf("coalesced alloc at %#x, want %#x", uint64(q), uint64(p1))
+	}
+	if a.Stats().ArenaBytes != arenaBefore {
+		t.Fatal("arena grew despite coalesced space")
+	}
+}
+
+func TestReuseAfterFree(t *testing.T) {
+	a, _ := newHeap(t, Options{Align: 64, PadBytes: 64})
+	p, _ := a.Malloc(100)
+	a.Free(p)
+	q, _ := a.Malloc(100)
+	if q != p {
+		t.Fatalf("first-fit did not reuse freed extent: %#x vs %#x", uint64(q), uint64(p))
+	}
+}
+
+func TestArenaLimit(t *testing.T) {
+	a, _ := newHeap(t, Options{Limit: 64 * 1024})
+	var ptrs []vm.VAddr
+	for {
+		p, err := a.Malloc(4096)
+		if err != nil {
+			break
+		}
+		ptrs = append(ptrs, p)
+	}
+	if len(ptrs) == 0 || len(ptrs) > 16 {
+		t.Fatalf("allocated %d×4KiB within a 64KiB arena", len(ptrs))
+	}
+	if a.Stats().FailedAlloc == 0 {
+		t.Fatal("failure not counted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a, _ := newHeap(t, Options{Align: 64, PadBytes: 64})
+	p1, _ := a.Malloc(10) // waste: 54 align + 128 pad
+	p2, _ := a.Malloc(64) // waste: 128 pad
+	st := a.Stats()
+	if st.BytesLive != 74 || st.TotalUser != 74 {
+		t.Fatalf("user bytes = %d/%d", st.BytesLive, st.TotalUser)
+	}
+	wantWaste := uint64((64 - 10) + 128 + 128)
+	if st.WasteLive != wantWaste {
+		t.Fatalf("WasteLive = %d, want %d", st.WasteLive, wantWaste)
+	}
+	a.Free(p1)
+	a.Free(p2)
+	st = a.Stats()
+	if st.BytesLive != 0 || st.WasteLive != 0 {
+		t.Fatalf("live after frees = %d/%d", st.BytesLive, st.WasteLive)
+	}
+	if st.BytesPeak != 74 || st.WastePeak != wantWaste {
+		t.Fatalf("peaks = %d/%d", st.BytesPeak, st.WastePeak)
+	}
+}
+
+func TestSiteSignatureCaptured(t *testing.T) {
+	a, m := newHeap(t, Options{})
+	m.Call(0x111)
+	p1, _ := a.Malloc(8)
+	m.Return()
+	m.Call(0x222)
+	p2, _ := a.Malloc(8)
+	m.Return()
+	b1, _ := a.BlockAt(p1)
+	b2, _ := a.BlockAt(p2)
+	if b1.Site == b2.Site {
+		t.Fatal("different call sites share a signature")
+	}
+	if b1.Seq >= b2.Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+}
+
+type recordingHook struct {
+	allocs, frees []*Block
+}
+
+func (r *recordingHook) OnAlloc(b *Block) { r.allocs = append(r.allocs, b) }
+func (r *recordingHook) OnFree(b *Block)  { r.frees = append(r.frees, b) }
+
+func TestHooks(t *testing.T) {
+	a, _ := newHeap(t, Options{})
+	h := &recordingHook{}
+	a.AddHook(h)
+	p, _ := a.Malloc(8)
+	a.Free(p)
+	if len(h.allocs) != 1 || len(h.frees) != 1 {
+		t.Fatalf("hook saw %d/%d events", len(h.allocs), len(h.frees))
+	}
+	if h.allocs[0] != h.frees[0] {
+		t.Fatal("alloc and free delivered different blocks")
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	a, _ := newHeap(t, Options{})
+	p, _ := a.Malloc(32)
+	if b, ok := a.BlockContaining(p + 31); !ok || b.Addr != p {
+		t.Fatal("interior pointer not resolved")
+	}
+	if _, ok := a.BlockContaining(p + 32); ok {
+		t.Fatal("one-past-end resolved to block")
+	}
+}
+
+func TestQuickLiveAccountingInvariant(t *testing.T) {
+	a, _ := newHeap(t, Options{Align: 64, PadBytes: 64})
+	live := map[vm.VAddr]uint64{}
+	f := func(sizes []uint16, freeMask []bool) bool {
+		for _, s := range sizes {
+			p, err := a.Malloc(uint64(s%2000) + 1)
+			if err != nil {
+				return true
+			}
+			live[p] = uint64(s%2000) + 1
+		}
+		i := 0
+		for p := range live {
+			if i < len(freeMask) && freeMask[i] {
+				if a.Free(p) != nil {
+					return false
+				}
+				delete(live, p)
+			}
+			i++
+		}
+		var sum uint64
+		for _, s := range live {
+			sum += s
+		}
+		return a.Stats().BytesLive == sum && a.Live() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newHeapB is newHeap for benchmarks.
+func newHeapB(b *testing.B, opts Options) (*Allocator, *machine.Machine) {
+	b.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := New(m, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, m
+}

@@ -1,0 +1,140 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"safemem/internal/vm"
+)
+
+// TestAgainstReferenceModel drives the allocator with a long random
+// malloc/free/realloc sequence, mirroring every operation in a simple
+// reference model, and checks the invariants an allocator must uphold:
+// no overlap between live extents, exact live accounting, and content
+// preservation across realloc.
+func TestAgainstReferenceModel(t *testing.T) {
+	for _, opts := range []Options{
+		{},                        // stock malloc
+		{Align: 64, PadBytes: 64}, // SafeMem layout
+		{Align: 4096, PadBytes: 4096, Limit: 256 << 20}, // page-protection layout
+	} {
+		opts := opts
+		a, m := newHeap(t, opts)
+		rng := rand.New(rand.NewSource(4242))
+
+		type ref struct {
+			addr vm.VAddr
+			size uint64
+			tag  byte
+		}
+		var live []ref
+
+		checkNoOverlap := func() {
+			blocks := a.LiveBlocks()
+			for i := 1; i < len(blocks); i++ {
+				prevEnd := blocks[i-1].FullAddr + vm.VAddr(blocks[i-1].FullSize)
+				if blocks[i].FullAddr < prevEnd {
+					t.Fatalf("overlap: [%#x+%d] and [%#x]",
+						uint64(blocks[i-1].FullAddr), blocks[i-1].FullSize, uint64(blocks[i].FullAddr))
+				}
+			}
+		}
+
+		steps := 1500
+		if opts.Align == 4096 {
+			steps = 300 // page-granularity arenas are big
+		}
+		for step := 0; step < steps; step++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // malloc
+				size := uint64(rng.Intn(2000) + 1)
+				p, err := a.Malloc(size)
+				if err != nil {
+					continue // arena exhausted: acceptable, keep going
+				}
+				tag := byte(step)
+				m.Memset(p, tag, size)
+				live = append(live, ref{p, size, tag})
+			case op < 6 && len(live) > 0: // free
+				i := rng.Intn(len(live))
+				if err := a.Free(live[i].addr); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			case op < 8 && len(live) > 0: // realloc
+				i := rng.Intn(len(live))
+				newSize := uint64(rng.Intn(2500) + 1)
+				q, err := a.Realloc(live[i].addr, newSize)
+				if err != nil {
+					continue
+				}
+				keep := live[i].size
+				if newSize < keep {
+					keep = newSize
+				}
+				for off := uint64(0); off < keep; off += 97 {
+					if got := m.Load8(q + vm.VAddr(off)); got != live[i].tag {
+						t.Fatalf("realloc lost byte %d: %d != %d", off, got, live[i].tag)
+					}
+				}
+				// Newly grown region gets the tag too.
+				m.Memset(q, live[i].tag, newSize)
+				live[i].addr, live[i].size = q, newSize
+			case len(live) > 0: // verify a random survivor
+				r := live[rng.Intn(len(live))]
+				off := vm.VAddr(rng.Intn(int(r.size)))
+				if got := m.Load8(r.addr + off); got != r.tag {
+					t.Fatalf("content of %#x+%d = %d, want %d", uint64(r.addr), off, got, r.tag)
+				}
+			}
+			if step%100 == 0 {
+				checkNoOverlap()
+			}
+			var wantLive uint64
+			for _, r := range live {
+				wantLive += r.size
+			}
+			if st := a.Stats(); st.BytesLive != wantLive || a.Live() != len(live) {
+				t.Fatalf("step %d: accounting live=%d/%d model=%d/%d",
+					step, st.BytesLive, a.Live(), wantLive, len(live))
+			}
+		}
+		// Drain and confirm everything returns to the free list.
+		for _, r := range live {
+			if err := a.Free(r.addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := a.Stats(); st.BytesLive != 0 || st.WasteLive != 0 || a.Live() != 0 {
+			t.Fatalf("drain left live=%d waste=%d n=%d", a.Stats().BytesLive, a.Stats().WasteLive, a.Live())
+		}
+	}
+}
+
+func BenchmarkMallocFree(b *testing.B) {
+	a, _ := newHeapB(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Malloc(uint64(i%512 + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMallocFreeAligned(b *testing.B) {
+	a, _ := newHeapB(b, Options{Align: 64, PadBytes: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Malloc(uint64(i%512 + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package inject drives hardware-error injection campaigns: while a
+// workload runs, random bit flips are planted in DRAM at a configurable
+// rate, and the outcome counters show how the ECC machinery and SafeMem
+// divide the work — single-bit errors corrected silently by the controller,
+// multi-bit errors in watched regions repaired from SafeMem's saved copies,
+// multi-bit errors elsewhere escalating to a kernel panic (the stock OS
+// behaviour the paper describes in Section 2.1).
+//
+// The injector attaches as a machine.Monitor and uses the program's own
+// access stream as its clock: every N-th access plants one fault in a
+// uniformly random mapped frame.
+package inject
+
+import (
+	"math/rand"
+
+	"safemem/internal/machine"
+	"safemem/internal/physmem"
+	"safemem/internal/vm"
+)
+
+// Mode selects the planted fault type.
+type Mode int
+
+const (
+	// SingleBit plants correctable single-bit errors.
+	SingleBit Mode = iota
+	// DoubleBit plants uncorrectable double-bit errors.
+	DoubleBit
+	// Mixed plants mostly single-bit with ~1/8 double-bit errors.
+	Mixed
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case SingleBit:
+		return "single-bit"
+	case DoubleBit:
+		return "double-bit"
+	case Mixed:
+		return "mixed"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a campaign.
+type Config struct {
+	// EveryN plants one fault per N program accesses.
+	EveryN uint64
+	// Mode selects the fault type.
+	Mode Mode
+	// Seed drives the fault-site generator.
+	Seed int64
+	// Targets restricts fault sites to the given virtual regions (e.g. the
+	// heap arena); empty means any of them.
+	Targets []Region
+}
+
+// Region is a virtual address range.
+type Region struct {
+	Base vm.VAddr
+	Size uint64
+}
+
+// Stats counts campaign activity.
+type Stats struct {
+	Planted       uint64
+	PlantedSingle uint64
+	PlantedDouble uint64
+	// SkippedUnmapped counts fault attempts on non-resident pages (the
+	// bits would have flipped in swap, which the model does not cover).
+	SkippedUnmapped uint64
+}
+
+// Injector plants faults. Attach with machine.AttachMonitor.
+type Injector struct {
+	m        *machine.Machine
+	cfg      Config
+	rng      *rand.Rand
+	accesses uint64
+	stats    Stats
+}
+
+// New creates an injector for m.
+func New(m *machine.Machine, cfg Config) *Injector {
+	if cfg.EveryN == 0 {
+		cfg.EveryN = 10_000
+	}
+	return &Injector{m: m, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))}
+}
+
+// Stats returns a copy of the counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// OnLoad implements machine.Monitor.
+func (in *Injector) OnLoad(va vm.VAddr, size int) { in.tick() }
+
+// OnStore implements machine.Monitor.
+func (in *Injector) OnStore(va vm.VAddr, size int) { in.tick() }
+
+func (in *Injector) tick() {
+	in.accesses++
+	if in.accesses%in.cfg.EveryN != 0 {
+		return
+	}
+	in.plant()
+}
+
+// plant flips bit(s) of one ECC group on a random resident target page.
+func (in *Injector) plant() {
+	va, ok := in.site()
+	if !ok {
+		in.stats.SkippedUnmapped++
+		return
+	}
+	frame, resident := in.m.AS.FrameOf(va)
+	if !resident {
+		in.stats.SkippedUnmapped++
+		return
+	}
+	ga := (frame + physmem.Addr(va.PageOffset())).GroupAddr()
+	// Evict any cached copy first: a fault under a cache-resident line is
+	// invisible until eviction (and a dirty write-back would simply
+	// overwrite it). Flushing models the common case — a fault in data
+	// that is not currently cached.
+	in.m.Cache.FlushLine(ga.LineAddr())
+	double := in.cfg.Mode == DoubleBit || (in.cfg.Mode == Mixed && in.rng.Intn(8) == 0)
+	b1 := uint(in.rng.Intn(64))
+	in.m.Phys.FlipDataBit(ga, b1)
+	in.stats.Planted++
+	if double {
+		b2 := uint(in.rng.Intn(63))
+		if b2 >= b1 {
+			b2++
+		}
+		in.m.Phys.FlipDataBit(ga, b2)
+		in.stats.PlantedDouble++
+	} else {
+		in.stats.PlantedSingle++
+	}
+	// A fault in DRAM under a dirty cached line will be overwritten by the
+	// write-back before anyone reads it — exactly as on real hardware; no
+	// special handling needed.
+}
+
+// site picks a random virtual fault address.
+func (in *Injector) site() (vm.VAddr, bool) {
+	if len(in.cfg.Targets) == 0 {
+		return 0, false
+	}
+	r := in.cfg.Targets[in.rng.Intn(len(in.cfg.Targets))]
+	if r.Size == 0 {
+		return 0, false
+	}
+	return r.Base + vm.VAddr(in.rng.Int63n(int64(r.Size))), true
+}

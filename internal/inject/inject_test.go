@@ -1,0 +1,139 @@
+package inject
+
+import (
+	"errors"
+	"testing"
+
+	"safemem/internal/apps"
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/kernel"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// campaign runs ypserv1 under SafeMem with fault injection and returns the
+// run outcome plus all counters.
+func campaign(t *testing.T, mode Mode, everyN uint64) (runErr error, in *Injector, tool *safemem.Tool, m *machine.Machine) {
+	t.Helper()
+	m = machine.MustNew(machine.Config{MemBytes: 64 << 20})
+	alloc := heap.MustNew(m, safemem.HeapOptions(true))
+	opts := safemem.DefaultOptions()
+	// Evaluation-harness leak thresholds (see bench.SafeMemOptions): the
+	// warm-up must exceed the app's initialisation phase.
+	opts.WarmupTime = simtime.FromMicroseconds(4000)
+	var err error
+	tool, err = safemem.Attach(m, alloc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := alloc.ArenaRange()
+	in = New(m, Config{
+		EveryN: everyN,
+		Mode:   mode,
+		Seed:   7,
+		// Target the first 128 KiB of the heap (mapped early in the run).
+		Targets: []Region{{Base: lo, Size: 128 << 10}},
+	})
+	m.AttachMonitor(in)
+
+	app, _ := apps.Get("ypserv1")
+	env := &apps.Env{M: m, Alloc: alloc}
+	runErr = m.Run(func() error { return app.Run(env, apps.Config{Seed: 42}) })
+	return runErr, in, tool, m
+}
+
+func TestSingleBitCampaignIsInvisible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	runErr, in, tool, m := campaign(t, SingleBit, 10_000)
+	if runErr != nil {
+		t.Fatalf("run failed under single-bit injection: %v", runErr)
+	}
+	st := in.Stats()
+	if st.PlantedSingle < 100 {
+		t.Fatalf("only %d faults planted", st.PlantedSingle)
+	}
+	// The controller corrected at least the planted errors that any read
+	// ever saw; SafeMem saw none of them; the program produced no reports.
+	if m.Ctrl.Stats().CorrectedSingle == 0 {
+		t.Fatal("no corrections recorded")
+	}
+	if tool.Stats().HardwareErrors != 0 {
+		t.Fatalf("single-bit faults escalated to SafeMem: %d", tool.Stats().HardwareErrors)
+	}
+	if n := len(tool.Reports()); n != 0 {
+		for _, r := range tool.Reports() {
+			t.Logf("report: %s", r)
+		}
+		t.Fatalf("injection produced %d bug reports", n)
+	}
+	t.Logf("planted %d single-bit faults; controller corrected %d reads; zero reports",
+		st.PlantedSingle, m.Ctrl.Stats().CorrectedSingle)
+}
+
+func TestDoubleBitCampaignEscalates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Double-bit faults sprayed over the heap: some land in watched guard
+	// lines (SafeMem repairs them from its saved copies), and sooner or
+	// later one lands in plain data — kernel panic, like an unmodified OS.
+	runErr, in, tool, _ := campaign(t, DoubleBit, 40_000)
+	st := in.Stats()
+	if st.PlantedDouble == 0 {
+		t.Fatal("no faults planted")
+	}
+	var pe *kernel.PanicError
+	switch {
+	case runErr == nil:
+		// Statistically possible (every double-bit fault was overwritten
+		// or hit a watched line) but with this seed a panic is expected.
+		if tool.Stats().HardwareErrors == 0 {
+			t.Fatal("run survived but SafeMem repaired nothing — injection ineffective")
+		}
+	case errors.As(runErr, &pe):
+		// Expected: an uncorrectable error outside SafeMem's regions.
+	default:
+		t.Fatalf("unexpected termination: %v", runErr)
+	}
+	t.Logf("planted %d double-bit faults; SafeMem repaired %d; outcome: %v",
+		st.PlantedDouble, tool.Stats().HardwareErrors, runErr)
+}
+
+func TestInjectorConfigDefaults(t *testing.T) {
+	m := machine.MustNew(machine.Config{MemBytes: 4 << 20})
+	in := New(m, Config{})
+	if in.cfg.EveryN == 0 {
+		t.Fatal("EveryN default not applied")
+	}
+	// No targets: plants are skipped, not panics.
+	in.accesses = in.cfg.EveryN - 1
+	in.tick()
+	if in.Stats().Planted != 0 || in.Stats().SkippedUnmapped != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if SingleBit.String() != "single-bit" || DoubleBit.String() != "double-bit" || Mixed.String() != "mixed" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestRegionTargeting(t *testing.T) {
+	m := machine.MustNew(machine.Config{MemBytes: 4 << 20})
+	if err := m.Kern.MapPages(0x40000, 1); err != nil {
+		t.Fatal(err)
+	}
+	in := New(m, Config{EveryN: 1, Mode: SingleBit, Seed: 3,
+		Targets: []Region{{Base: 0x40000, Size: vm.PageBytes}}})
+	m.AttachMonitor(in)
+	m.Store64(0x40000, 1) // each access plants one fault in the page
+	m.Store64(0x40008, 2)
+	if in.Stats().Planted != 2 {
+		t.Fatalf("planted = %d", in.Stats().Planted)
+	}
+}

@@ -1,0 +1,488 @@
+// Package kernel models the operating-system layer of the simulated
+// machine, extended with the paper's three new system calls (Section 2.2.1):
+//
+//	WatchMemory(address, size)        — start ECC-watching a region
+//	DisableWatchMemory(address, size) — stop watching it
+//	RegisterECCFaultHandler(fn)       — install a user-level ECC fault handler
+//
+// plus the stock Mprotect used by the page-protection baseline, page-mapping
+// calls used by the heap, ECC machine-check delivery, the default
+// panic-on-ECC-error behaviour of unmodified kernels, and scrub
+// coordination (Section 2.2.2).
+package kernel
+
+import (
+	"fmt"
+
+	"safemem/internal/cache"
+	"safemem/internal/ecc"
+	"safemem/internal/memctrl"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// ECCFault is the information delivered to the user-level ECC fault handler
+// when the memory controller reports an uncorrectable error.
+type ECCFault struct {
+	// Watched reports whether the faulting line is registered via
+	// WatchMemory. A fault on an unwatched line is a hardware error.
+	Watched bool
+	// VLine is the virtual address of the faulting cache line (valid only
+	// when Watched).
+	VLine vm.VAddr
+	// PLine is the physical address of the faulting cache line.
+	PLine physmem.Addr
+	// GroupIndex is the index (0..7) of the faulting ECC group in the line.
+	GroupIndex int
+	// Data and Check are the raw bits the controller observed.
+	Data  uint64
+	Check uint8
+	// DuringScrub is true when the scrubber, not a demand access, found the
+	// error.
+	DuringScrub bool
+	// Direct is true when the watch was armed through the direct-ECC
+	// interface (check bits flipped, data intact) rather than the
+	// commodity data-scramble trick. The fault handler's signature check
+	// differs accordingly.
+	Direct bool
+}
+
+// ECCFaultHandler is a user-level ECC fault handler. It returns true when
+// it handled the fault (after repairing memory, e.g. via
+// DisableWatchMemory); returning false sends the kernel to panic mode, the
+// behaviour of unmodified Linux/Windows on ECC errors (Section 2.1).
+type ECCFaultHandler func(*ECCFault) bool
+
+// PageFaultHandler is a user-level page-protection fault handler (SIGSEGV
+// style), used by the page-protection baseline. It returns true to retry
+// the faulting access.
+type PageFaultHandler func(*vm.Fault) bool
+
+// PanicError is the value thrown when the kernel enters panic mode. The
+// machine's Run wrapper recovers it and turns it into a normal error.
+type PanicError struct {
+	Msg string
+}
+
+// Error implements error.
+func (p *PanicError) Error() string { return "kernel panic: " + p.Msg }
+
+// Stats counts kernel activity.
+type Stats struct {
+	WatchCalls        uint64
+	DisableCalls      uint64
+	MprotectCalls     uint64
+	MapCalls          uint64
+	ECCFaultsHandled  uint64
+	ECCFaultsHardware uint64
+	PageFaults        uint64
+	ScrubPasses       uint64
+	LinesWatched      uint64 // currently watched
+	MaxLinesWatched   uint64 // high-water mark
+}
+
+// watchEntry is the kernel's record of one watched line.
+type watchEntry struct {
+	pline  physmem.Addr
+	direct bool // armed via the direct-ECC interface
+}
+
+// Kernel is the simulated operating system.
+type Kernel struct {
+	clock *simtime.Clock
+	ctrl  *memctrl.Controller
+	cache *cache.Cache
+	as    *vm.AddressSpace
+
+	// watches maps virtual line address -> watch bookkeeping.
+	watches map[vm.VAddr]watchEntry
+	// byPhys is the reverse index used during fault delivery.
+	byPhys map[physmem.Addr]vm.VAddr
+
+	eccHandler  ECCFaultHandler
+	pageHandler PageFaultHandler
+
+	// scrub coordination hooks (SafeMem temporarily unwatches everything
+	// around a scrub pass, Section 2.2.2).
+	scrubBefore func()
+	scrubAfter  func()
+
+	panicked bool
+	stats    Stats
+}
+
+// New wires a kernel to the hardware. It installs itself as the
+// controller's machine-check handler.
+func New(clock *simtime.Clock, ctrl *memctrl.Controller, c *cache.Cache, as *vm.AddressSpace) *Kernel {
+	k := &Kernel{
+		clock:   clock,
+		ctrl:    ctrl,
+		cache:   c,
+		as:      as,
+		watches: make(map[vm.VAddr]watchEntry),
+		byPhys:  make(map[physmem.Addr]vm.VAddr),
+	}
+	ctrl.SetInterruptHandler(k.handleECCInterrupt)
+	// Keep paging coherent with the CPU cache: frames are flushed before
+	// swap transfers and ownership changes.
+	as.SetFlusher(c)
+	return k
+}
+
+// AddressSpace returns the process address space managed by this kernel.
+func (k *Kernel) AddressSpace() *vm.AddressSpace { return k.as }
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.LinesWatched = uint64(len(k.watches))
+	return s
+}
+
+// Panicked reports whether the kernel has entered panic mode.
+func (k *Kernel) Panicked() bool { return k.panicked }
+
+// Panic puts the kernel into panic mode — the blue-screen/reboot path of
+// Section 2.1 — and unwinds with a *PanicError.
+func (k *Kernel) Panic(format string, args ...any) {
+	k.panicked = true
+	panic(&PanicError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// RegisterECCFaultHandler installs the user-level ECC fault handler
+// (syscall 3 of Section 2.2.1).
+func (k *Kernel) RegisterECCFaultHandler(h ECCFaultHandler) {
+	k.clock.Advance(simtime.CostSyscall)
+	k.eccHandler = h
+}
+
+// RegisterPageFaultHandler installs a user-level page-fault handler
+// (the SIGSEGV path used by the page-protection baseline).
+func (k *Kernel) RegisterPageFaultHandler(h PageFaultHandler) {
+	k.clock.Advance(simtime.CostSyscall)
+	k.pageHandler = h
+}
+
+// PageFaultHandler returns the installed page-fault handler, if any.
+func (k *Kernel) PageFaultHandler() PageFaultHandler { return k.pageHandler }
+
+// SetScrubHooks registers callbacks run before and after each coordinated
+// scrub pass. SafeMem uses them to unwatch and rewatch all regions.
+func (k *Kernel) SetScrubHooks(before, after func()) {
+	k.scrubBefore = before
+	k.scrubAfter = after
+}
+
+// handleECCInterrupt is the machine-check entry point called by the memory
+// controller on an uncorrectable error.
+func (k *Kernel) handleECCInterrupt(r memctrl.FaultReport) {
+	if k.panicked {
+		return
+	}
+	fault := &ECCFault{
+		PLine:       r.Line,
+		GroupIndex:  r.Group.GroupInLine(),
+		Data:        r.Data,
+		Check:       r.Check,
+		DuringScrub: r.DuringScrub,
+	}
+	if vline, ok := k.byPhys[r.Line]; ok {
+		fault.Watched = true
+		fault.VLine = vline
+		fault.Direct = k.watches[vline].direct
+	}
+	if k.eccHandler != nil {
+		if k.eccHandler(fault) {
+			k.stats.ECCFaultsHandled++
+			return
+		}
+	}
+	k.stats.ECCFaultsHardware++
+	k.Panic("uncorrectable ECC error at physical line %#x group %d (data %#x check %#x)",
+		uint64(r.Line), fault.GroupIndex, r.Data, r.Check)
+}
+
+// checkLineRegion validates the WatchMemory alignment rules: the region and
+// its size must be cache-line aligned (Section 2.2.1).
+func checkLineRegion(va vm.VAddr, size uint64) error {
+	if uint64(va)%physmem.LineBytes != 0 {
+		return fmt.Errorf("kernel: region %#x not cache-line aligned", uint64(va))
+	}
+	if size == 0 || size%physmem.LineBytes != 0 {
+		return fmt.Errorf("kernel: region size %d not a positive multiple of the line size", size)
+	}
+	return nil
+}
+
+// WatchMemory registers the [va, va+size) region for ECC monitoring and
+// returns the original data words (8 per line). The caller — SafeMem's
+// user-level library — stores them in its private memory to differentiate
+// access faults from hardware errors (Section 2.2.2, Figure 2).
+//
+// Implementation follows the paper exactly: pin the pages, flush the lines
+// from the cache, lock the memory bus, disable ECC, write the scrambled
+// data (leaving the stale check bits), re-enable ECC, unlock.
+func (k *Kernel) WatchMemory(va vm.VAddr, size uint64) ([]uint64, error) {
+	k.clock.Advance(simtime.CostSyscall)
+	k.stats.WatchCalls++
+	if err := checkLineRegion(va, size); err != nil {
+		return nil, err
+	}
+	nLines := int(size / physmem.LineBytes)
+
+	// Validate and translate every line up front so failures leave no
+	// partial watches behind.
+	plines := make([]physmem.Addr, nLines)
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		if _, dup := k.watches[lva]; dup {
+			return nil, fmt.Errorf("kernel: line %#x already watched", uint64(lva))
+		}
+		pa, fault := k.as.Translate(lva, true)
+		if fault != nil {
+			return nil, fault
+		}
+		plines[i] = pa.LineAddr()
+	}
+
+	// Pin every page covering the region so swapping cannot silently
+	// destroy the stale-check-bit state.
+	for pg := va.PageAddr(); pg < va+vm.VAddr(size); pg += vm.PageBytes {
+		if err := k.as.Pin(pg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Flush every line BEFORE disabling ECC: a dirty write-back must go
+	// through the ECC generator so the stored check bits match the data we
+	// are about to save as "original". (Flushing inside the disabled
+	// window would store the write-back with stale check bits, and the
+	// scrambled word could then alias to a correctable — or even clean —
+	// codeword, silently defeating the watchpoint.)
+	for i := 0; i < nLines; i++ {
+		k.cache.FlushLine(plines[i])
+	}
+
+	if k.ctrl.Capabilities().DirectECCAccess {
+		// The Section 2.2.3 generalised interface: arm each group by
+		// flipping two check bits. Data stays intact, no bus lock, no
+		// ECC-disable window.
+		original := make([]uint64, 0, nLines*physmem.GroupsPerLine)
+		for i := 0; i < nLines; i++ {
+			lva := va + vm.VAddr(i*physmem.LineBytes)
+			pl := plines[i]
+			words := k.ctrl.PeekLine(pl)
+			for g, w := range words {
+				original = append(original, w)
+				ga := pl + physmem.Addr(g*physmem.GroupBytes)
+				k.ctrl.WriteCheckBits(ga, uint8(ecc.ScrambleCheck(ecc.Check(k.ctrl.ReadCheckBits(ga)))))
+			}
+			k.watches[lva] = watchEntry{pline: pl, direct: true}
+			k.byPhys[pl] = lva
+		}
+		if n := uint64(len(k.watches)); n > k.stats.MaxLinesWatched {
+			k.stats.MaxLinesWatched = n
+		}
+		return original, nil
+	}
+
+	// One lock/disable window covers the whole region: the expensive bus
+	// quiesce and chipset mode switches are paid once, the per-line work
+	// (save, scramble) is paid per line.
+	k.ctrl.LockBus()
+	prevMode := k.ctrl.Mode()
+	k.ctrl.SetMode(memctrl.Disabled)
+	original := make([]uint64, 0, nLines*physmem.GroupsPerLine)
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		pl := plines[i]
+
+		words := k.ctrl.PeekLine(pl)
+		var scrambled [physmem.GroupsPerLine]uint64
+		for g, w := range words {
+			original = append(original, w)
+			scrambled[g] = ecc.Scramble(w)
+		}
+		k.clock.Advance(simtime.CostScrambleWord * physmem.GroupsPerLine)
+		k.ctrl.WriteLine(pl, scrambled) // data only; check bits stay stale
+
+		k.watches[lva] = watchEntry{pline: pl}
+		k.byPhys[pl] = lva
+	}
+	k.ctrl.SetMode(prevMode)
+	k.ctrl.UnlockBus()
+	if n := uint64(len(k.watches)); n > k.stats.MaxLinesWatched {
+		k.stats.MaxLinesWatched = n
+	}
+	return original, nil
+}
+
+// DisableWatchMemory removes monitoring from [va, va+size): it restores the
+// original data (un-scrambling — the scramble is an involution), writes it
+// through the ECC-enabled path so the check bits become consistent again,
+// and unpins the pages.
+func (k *Kernel) DisableWatchMemory(va vm.VAddr, size uint64) error {
+	k.clock.Advance(simtime.CostSyscall)
+	k.stats.DisableCalls++
+	if err := checkLineRegion(va, size); err != nil {
+		return err
+	}
+	nLines := int(size / physmem.LineBytes)
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		if _, ok := k.watches[lva]; !ok {
+			return fmt.Errorf("kernel: line %#x not watched", uint64(lva))
+		}
+	}
+	// Direct-armed regions disarm with per-group check-bit restores; the
+	// commodity path un-scrambles under the bus lock. Mixed regions are
+	// impossible (the backend is chosen per WatchMemory call and regions
+	// are disabled with the same extents), but handle lines individually
+	// anyway.
+	anyScrambled := false
+	for i := 0; i < nLines; i++ {
+		if !k.watches[va+vm.VAddr(i*physmem.LineBytes)].direct {
+			anyScrambled = true
+		}
+	}
+	if anyScrambled {
+		k.ctrl.LockBus()
+	}
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		entry := k.watches[lva]
+		pl := entry.pline
+
+		// The line cannot be validly cached (it was flushed at watch time
+		// and every fill since would have faulted), but flush defensively
+		// so a stale copy can never mask the restore.
+		k.cache.FlushLine(pl)
+
+		if entry.direct {
+			// Data is intact; recompute honest check bits per group.
+			raw := k.ctrl.PeekLine(pl)
+			for g, w := range raw {
+				ga := pl + physmem.Addr(g*physmem.GroupBytes)
+				k.ctrl.WriteCheckBits(ga, uint8(ecc.Encode(w)))
+			}
+		} else {
+			raw := k.ctrl.PeekLine(pl)
+			var restored [physmem.GroupsPerLine]uint64
+			for g, w := range raw {
+				restored[g] = ecc.Scramble(w) // involution: unscramble
+			}
+			k.clock.Advance(simtime.CostScrambleWord*physmem.GroupsPerLine + simtime.CostWriteBack)
+			k.ctrl.WriteLine(pl, restored) // ECC enabled: fresh check bits
+		}
+
+		delete(k.watches, lva)
+		delete(k.byPhys, pl)
+	}
+	if anyScrambled {
+		k.ctrl.UnlockBus()
+	}
+	for pg := va.PageAddr(); pg < va+vm.VAddr(size); pg += vm.PageBytes {
+		if err := k.as.Unpin(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DisableWatchMemoryWithData removes monitoring from [va, va+size) and
+// restores the region from the caller-provided original words (8 per line)
+// instead of un-scrambling the in-memory data. SafeMem uses this path after
+// a real hardware error corrupted a watched line: the in-memory bits are no
+// longer Scramble(original), so only the private saved copy can repair them
+// (Section 2.2.2, "Differentiate Hardware Errors from Access Faults").
+func (k *Kernel) DisableWatchMemoryWithData(va vm.VAddr, size uint64, original []uint64) error {
+	k.clock.Advance(simtime.CostSyscall)
+	k.stats.DisableCalls++
+	if err := checkLineRegion(va, size); err != nil {
+		return err
+	}
+	nLines := int(size / physmem.LineBytes)
+	if len(original) != nLines*physmem.GroupsPerLine {
+		return fmt.Errorf("kernel: original data has %d words, want %d", len(original), nLines*physmem.GroupsPerLine)
+	}
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		if _, ok := k.watches[lva]; !ok {
+			return fmt.Errorf("kernel: line %#x not watched", uint64(lva))
+		}
+	}
+	for i := 0; i < nLines; i++ {
+		lva := va + vm.VAddr(i*physmem.LineBytes)
+		pl := k.watches[lva].pline
+		k.cache.FlushLine(pl)
+		k.ctrl.LockBus()
+		var restored [physmem.GroupsPerLine]uint64
+		copy(restored[:], original[i*physmem.GroupsPerLine:])
+		k.clock.Advance(simtime.CostScrambleWord*physmem.GroupsPerLine + simtime.CostWriteBack)
+		k.ctrl.WriteLine(pl, restored)
+		k.ctrl.UnlockBus()
+		delete(k.watches, lva)
+		delete(k.byPhys, pl)
+	}
+	for pg := va.PageAddr(); pg < va+vm.VAddr(size); pg += vm.PageBytes {
+		if err := k.as.Unpin(pg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Watched reports whether the line containing va is currently watched.
+func (k *Kernel) Watched(va vm.VAddr) bool {
+	_, ok := k.watches[va.LineAddr()]
+	return ok
+}
+
+// WatchedLines returns the virtual addresses of all watched lines, in
+// unspecified order. Used by the scrub coordinator.
+func (k *Kernel) WatchedLines() []vm.VAddr {
+	out := make([]vm.VAddr, 0, len(k.watches))
+	for lva := range k.watches {
+		out = append(out, lva)
+	}
+	return out
+}
+
+// Mprotect changes the protection of npages pages at va — the stock
+// syscall the page-protection baseline builds on.
+func (k *Kernel) Mprotect(va vm.VAddr, npages int, prot vm.Prot) error {
+	k.clock.Advance(simtime.CostSyscall + simtime.CostTLBFlush)
+	k.stats.MprotectCalls++
+	return k.as.Protect(va, npages, prot)
+}
+
+// MapPages maps npages fresh pages at va with read-write protection — the
+// mmap/sbrk path used by the heap allocator.
+func (k *Kernel) MapPages(va vm.VAddr, npages int) error {
+	k.clock.Advance(simtime.CostSyscall)
+	k.stats.MapCalls++
+	return k.as.Map(va, npages, vm.ProtRW)
+}
+
+// UnmapPages unmaps npages pages at va.
+func (k *Kernel) UnmapPages(va vm.VAddr, npages int) error {
+	k.clock.Advance(simtime.CostSyscall)
+	return k.as.Unmap(va, npages)
+}
+
+// CoordinatedScrub performs one full scrub pass with the coordination
+// protocol of Section 2.2.2: the before-hook (SafeMem) unwatches all
+// regions and blocks the program, the scrubber runs, and the after-hook
+// re-watches. Without the hooks, scrubbing a watched line would raise a
+// spurious fault.
+func (k *Kernel) CoordinatedScrub() {
+	k.stats.ScrubPasses++
+	if k.scrubBefore != nil {
+		k.scrubBefore()
+	}
+	k.ctrl.ScrubAll()
+	if k.scrubAfter != nil {
+		k.scrubAfter()
+	}
+}

@@ -1,0 +1,329 @@
+// Package machine assembles the simulated computer — CPU, call stack, data
+// cache, ECC memory controller, DRAM, virtual memory, kernel — and exposes
+// the load/store interface simulated programs run against.
+//
+// Monitoring tools attach in two very different ways, mirroring the paper:
+//
+//   - Purify-style tools implement Monitor and are invoked on *every* load
+//     and store, which is where their overhead comes from;
+//   - SafeMem never sees individual accesses: it only wraps allocation
+//     events and receives ECC faults through the kernel.
+package machine
+
+import (
+	"fmt"
+
+	"safemem/internal/cache"
+	"safemem/internal/callstack"
+	"safemem/internal/kernel"
+	"safemem/internal/memctrl"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// Config sizes the machine.
+type Config struct {
+	// MemBytes is the physical DRAM size. Default 64 MiB.
+	MemBytes uint64
+	// Cache configures the data cache. Default cache.DefaultConfig.
+	Cache cache.Config
+	// DirectECCAccess equips the memory controller with the generalised
+	// software-friendly ECC interface the paper proposes in Section 2.2.3.
+	// Off by default: commodity chipsets (the paper's platform) lack it.
+	DirectECCAccess bool
+}
+
+// DefaultConfig returns the standard machine configuration.
+func DefaultConfig() Config {
+	return Config{MemBytes: 64 << 20, Cache: cache.DefaultConfig}
+}
+
+// Monitor observes every memory access of the simulated program. This is
+// the attachment point for Purify-style dynamic checkers. Implementations
+// charge their own instrumentation cycles to the machine clock.
+type Monitor interface {
+	// OnLoad is called before a load of size bytes at va executes.
+	OnLoad(va vm.VAddr, size int)
+	// OnStore is called before a store of size bytes at va executes.
+	OnStore(va vm.VAddr, size int)
+}
+
+// Tracer additionally observes the non-memory program events — compute
+// charges and call-stack movement — that a full workload trace needs
+// (package trace). Unlike monitors, at most one tracer is attached and it
+// charges no cycles.
+type Tracer interface {
+	OnCompute(cycles uint64)
+	OnCall(site uint64)
+	OnReturn()
+}
+
+// AccessError is thrown (via panic) when the simulated program performs an
+// access the VM cannot satisfy — the simulator's SIGSEGV.
+type AccessError struct {
+	Fault *vm.Fault
+}
+
+// Error implements error.
+func (e *AccessError) Error() string { return "segmentation fault: " + e.Fault.Error() }
+
+// Stats counts program-level activity.
+type Stats struct {
+	Loads  uint64
+	Stores uint64
+}
+
+// Machine is the assembled simulated computer. Create with New.
+type Machine struct {
+	Clock *simtime.Clock
+	Phys  *physmem.Memory
+	Ctrl  *memctrl.Controller
+	Cache *cache.Cache
+	AS    *vm.AddressSpace
+	Kern  *kernel.Kernel
+	Stack *callstack.Stack
+
+	monitors []Monitor
+	tracer   Tracer
+	stats    Stats
+	cur      access
+}
+
+// access describes the load/store currently executing, if any.
+type access struct {
+	active bool
+	write  bool
+	va     vm.VAddr
+	size   int
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 64 << 20
+	}
+	if cfg.Cache.Sets == 0 {
+		cfg.Cache = cache.DefaultConfig
+	}
+	clock := &simtime.Clock{}
+	phys, err := physmem.New(cfg.MemBytes)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := memctrl.New(phys, clock)
+	if cfg.DirectECCAccess {
+		ctrl.EnableDirectECCAccess()
+	}
+	ch, err := cache.New(ctrl, clock, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	as := vm.New(phys, clock)
+	kern := kernel.New(clock, ctrl, ch, as)
+	return &Machine{
+		Clock: clock,
+		Phys:  phys,
+		Ctrl:  ctrl,
+		Cache: ch,
+		AS:    as,
+		Kern:  kern,
+		Stack: &callstack.Stack{},
+	}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AttachMonitor registers a per-access monitor (Purify-style tool).
+func (m *Machine) AttachMonitor(mon Monitor) { m.monitors = append(m.monitors, mon) }
+
+// DetachMonitors removes all monitors.
+func (m *Machine) DetachMonitors() { m.monitors = nil }
+
+// Stats returns a copy of the access counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// translate resolves va for a size-byte access, delivering protection
+// faults to the registered user handler (the page-protection baseline) and
+// retrying once if the handler claims to have resolved the fault.
+func (m *Machine) translate(va vm.VAddr, write bool) physmem.Addr {
+	for attempt := 0; ; attempt++ {
+		pa, fault := m.AS.Translate(va, write)
+		if fault == nil {
+			return pa
+		}
+		if fault.Kind == vm.FaultProtection && attempt == 0 {
+			if h := m.Kern.PageFaultHandler(); h != nil && h(fault) {
+				continue
+			}
+		}
+		panic(&AccessError{Fault: fault})
+	}
+}
+
+// Load reads size bytes (1, 2, 4 or 8; must not cross an 8-byte boundary)
+// at va, returned little-endian in the low bytes of the result.
+func (m *Machine) Load(va vm.VAddr, size int) uint64 {
+	for _, mon := range m.monitors {
+		mon.OnLoad(va, size)
+	}
+	m.stats.Loads++
+	m.Clock.Advance(simtime.CostInstr)
+	m.cur = access{active: true, write: false, va: va, size: size}
+	defer func() { m.cur = access{} }()
+	pa := m.translate(va, false)
+	return m.Cache.LoadBytes(pa, size)
+}
+
+// Store writes the low size bytes of v at va.
+func (m *Machine) Store(va vm.VAddr, size int, v uint64) {
+	for _, mon := range m.monitors {
+		mon.OnStore(va, size)
+	}
+	m.stats.Stores++
+	m.Clock.Advance(simtime.CostInstr)
+	m.cur = access{active: true, write: true, va: va, size: size}
+	defer func() { m.cur = access{} }()
+	pa := m.translate(va, true)
+	m.Cache.StoreBytes(pa, size, v)
+}
+
+// AccessInFlight describes the program access currently executing, for use
+// by fault handlers. ok is false outside any access. On the paper's
+// hardware this information would come from a precise ECC interrupt
+// decoding the faulting instruction (Section 2.2.3); the simulator provides
+// it directly, which SafeMem uses only for the uninitialized-read
+// extension, exactly the enhancement the paper says precise interrupts
+// would enable.
+func (m *Machine) AccessInFlight() (va vm.VAddr, size int, write bool, ok bool) {
+	return m.cur.va, m.cur.size, m.cur.write, m.cur.active
+}
+
+// Load8 reads one byte at va.
+func (m *Machine) Load8(va vm.VAddr) uint8 { return uint8(m.Load(va, 1)) }
+
+// Load64 reads an 8-byte word at va (must be 8-byte aligned).
+func (m *Machine) Load64(va vm.VAddr) uint64 { return m.Load(va, 8) }
+
+// Store8 writes one byte at va.
+func (m *Machine) Store8(va vm.VAddr, v uint8) { m.Store(va, 1, uint64(v)) }
+
+// Store64 writes an 8-byte word at va (must be 8-byte aligned).
+func (m *Machine) Store64(va vm.VAddr, v uint64) { m.Store(va, 8, v) }
+
+// Memset writes b to n consecutive bytes starting at va, using word stores
+// where alignment allows — the simulated memset.
+func (m *Machine) Memset(va vm.VAddr, b uint8, n uint64) {
+	word := uint64(b)
+	word |= word << 8
+	word |= word << 16
+	word |= word << 32
+	end := va + vm.VAddr(n)
+	for va < end {
+		if uint64(va)%8 == 0 && end-va >= 8 {
+			m.Store(va, 8, word)
+			va += 8
+		} else {
+			m.Store(va, 1, uint64(b))
+			va++
+		}
+	}
+}
+
+// Memcpy copies n bytes from src to dst (non-overlapping), word-at-a-time
+// where alignment allows.
+func (m *Machine) Memcpy(dst, src vm.VAddr, n uint64) {
+	for n > 0 {
+		if uint64(dst)%8 == 0 && uint64(src)%8 == 0 && n >= 8 {
+			m.Store(dst, 8, m.Load(src, 8))
+			dst, src, n = dst+8, src+8, n-8
+		} else {
+			m.Store(dst, 1, m.Load(src, 1))
+			dst, src, n = dst+1, src+1, n-1
+		}
+	}
+}
+
+// PeekWord reads the aligned 8-byte word containing va as the CPU would
+// observe it, without charging cycles, notifying monitors, or raising
+// faults. Tools use it for whole-heap scans whose cost is modelled
+// separately (e.g. Purify's mark-and-sweep). Returns 0,false if va is not
+// mapped.
+func (m *Machine) PeekWord(va vm.VAddr) (uint64, bool) {
+	// Bypass protection checks — a scanner sees all resident data — and
+	// skip pages that are swapped out rather than forcing them in.
+	frame, ok := m.AS.FrameOf(va)
+	if !ok {
+		return 0, false
+	}
+	pa := frame + physmem.Addr(va.PageOffset()&^7)
+	return m.Cache.PeekWord(pa), true
+}
+
+// SetTracer installs (or, with nil, removes) the workload tracer.
+func (m *Machine) SetTracer(tr Tracer) { m.tracer = tr }
+
+// Compute charges n cycles of pure computation (no memory traffic).
+func (m *Machine) Compute(n uint64) {
+	if m.tracer != nil {
+		m.tracer.OnCompute(n)
+	}
+	m.Clock.Advance(simtime.Cycles(n))
+}
+
+// Call records entry into a simulated function whose call site is ret.
+func (m *Machine) Call(ret uint64) {
+	if m.tracer != nil {
+		m.tracer.OnCall(ret)
+	}
+	m.Stack.Push(ret)
+}
+
+// Return records exit from the current simulated function.
+func (m *Machine) Return() {
+	if m.tracer != nil {
+		m.tracer.OnReturn()
+	}
+	m.Stack.Pop()
+}
+
+// Run executes the simulated program f, converting the simulator's
+// termination panics — kernel panic mode and segmentation faults — into
+// ordinary errors. Any other panic is a simulator bug and is re-raised.
+func (m *Machine) Run(f func() error) (err error) {
+	defer func() {
+		switch v := recover().(type) {
+		case nil:
+		case *kernel.PanicError:
+			err = v
+		case *AccessError:
+			err = v
+		case *ProgramAbort:
+			err = v
+		default:
+			panic(v)
+		}
+	}()
+	return f()
+}
+
+// ProgramAbort is thrown by tools that pause/stop the program on a detected
+// bug (SafeMem's "pause execution so the programmer can attach gdb").
+type ProgramAbort struct {
+	Reason string
+}
+
+// Error implements error.
+func (p *ProgramAbort) Error() string { return "program aborted: " + p.Reason }
+
+// Abort stops the simulated program with the given reason.
+func Abort(format string, args ...any) {
+	panic(&ProgramAbort{Reason: fmt.Sprintf(format, args...)})
+}

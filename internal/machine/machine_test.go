@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"safemem/internal/kernel"
+	"safemem/internal/vm"
+)
+
+const heapBase = vm.VAddr(0x10000)
+
+func newM(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(Config{MemBytes: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Kern.MapPages(heapBase, 4); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestLoadStore(t *testing.T) {
+	m := newM(t)
+	m.Store64(heapBase, 0x1122334455667788)
+	if got := m.Load64(heapBase); got != 0x1122334455667788 {
+		t.Fatalf("Load64 = %#x", got)
+	}
+	m.Store8(heapBase+2, 0xff)
+	if got := m.Load64(heapBase); got != 0x1122334455ff7788 {
+		t.Fatalf("after byte store = %#x", got)
+	}
+	if m.Stats().Loads != 2 || m.Stats().Stores != 2 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	m := newM(t)
+	m.Memset(heapBase+3, 0xab, 13)
+	for i := uint64(0); i < 13; i++ {
+		if got := m.Load8(heapBase + 3 + vm.VAddr(i)); got != 0xab {
+			t.Fatalf("byte %d = %#x", i, got)
+		}
+	}
+	if m.Load8(heapBase+2) != 0 || m.Load8(heapBase+16) != 0 {
+		t.Fatal("memset wrote outside its range")
+	}
+	m.Memcpy(heapBase+100, heapBase+3, 13)
+	for i := uint64(0); i < 13; i++ {
+		if m.Load8(heapBase+100+vm.VAddr(i)) != 0xab {
+			t.Fatal("memcpy mismatch")
+		}
+	}
+}
+
+func TestUnmappedAccessIsSegfault(t *testing.T) {
+	m := newM(t)
+	err := m.Run(func() error {
+		m.Load64(0xdead0000)
+		return nil
+	})
+	var ae *AccessError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want AccessError", err)
+	}
+	if ae.Fault.Kind != vm.FaultUnmapped {
+		t.Fatalf("fault kind = %v", ae.Fault.Kind)
+	}
+}
+
+func TestProtectionFaultRetriedByHandler(t *testing.T) {
+	m := newM(t)
+	if err := m.Kern.Mprotect(heapBase, 1, vm.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	handled := 0
+	m.Kern.RegisterPageFaultHandler(func(f *vm.Fault) bool {
+		handled++
+		return m.Kern.Mprotect(f.Addr.PageAddr(), 1, vm.ProtRW) == nil
+	})
+	err := m.Run(func() error {
+		m.Store64(heapBase, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times", handled)
+	}
+	if m.Load64(heapBase) != 5 {
+		t.Fatal("store lost")
+	}
+}
+
+func TestProtectionFaultWithoutHandlerIsSegfault(t *testing.T) {
+	m := newM(t)
+	if err := m.Kern.Mprotect(heapBase, 1, vm.ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(func() error {
+		m.Load64(heapBase)
+		return nil
+	})
+	var ae *AccessError
+	if !errors.As(err, &ae) || ae.Fault.Kind != vm.FaultProtection {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type countingMonitor struct {
+	loads, stores int
+}
+
+func (c *countingMonitor) OnLoad(vm.VAddr, int)  { c.loads++ }
+func (c *countingMonitor) OnStore(vm.VAddr, int) { c.stores++ }
+
+func TestMonitorSeesEveryAccess(t *testing.T) {
+	m := newM(t)
+	mon := &countingMonitor{}
+	m.AttachMonitor(mon)
+	m.Store64(heapBase, 1)
+	m.Load8(heapBase)
+	m.Load8(heapBase + 1)
+	if mon.loads != 2 || mon.stores != 1 {
+		t.Fatalf("monitor saw %d/%d, want 2/1", mon.loads, mon.stores)
+	}
+	m.DetachMonitors()
+	m.Load8(heapBase)
+	if mon.loads != 2 {
+		t.Fatal("detached monitor still invoked")
+	}
+}
+
+func TestRunConvertsKernelPanic(t *testing.T) {
+	m := newM(t)
+	err := m.Run(func() error {
+		m.Kern.Panic("test panic")
+		return nil
+	})
+	var pe *kernel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+}
+
+func TestRunConvertsAbort(t *testing.T) {
+	m := newM(t)
+	err := m.Run(func() error {
+		Abort("bug detected at %#x", 0x1234)
+		return nil
+	})
+	var pa *ProgramAbort
+	if !errors.As(err, &pa) {
+		t.Fatalf("err = %v, want ProgramAbort", err)
+	}
+}
+
+func TestRunPassesThroughOtherPanics(t *testing.T) {
+	m := newM(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_ = m.Run(func() error {
+		panic("simulator bug")
+	})
+}
+
+func TestCallReturnDriveSignature(t *testing.T) {
+	m := newM(t)
+	m.Call(0x100)
+	sig1 := m.Stack.Signature()
+	m.Call(0x200)
+	sig2 := m.Stack.Signature()
+	if sig1 == sig2 {
+		t.Fatal("signature did not change on call")
+	}
+	m.Return()
+	if m.Stack.Signature() != sig1 {
+		t.Fatal("signature not restored on return")
+	}
+	m.Return()
+}
+
+func TestClockAdvancesOnAccess(t *testing.T) {
+	m := newM(t)
+	before := m.Clock.Now()
+	m.Load64(heapBase)
+	if m.Clock.Now() == before {
+		t.Fatal("load did not advance the clock")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	m := MustNew(Config{})
+	if m.Phys.Size() != 64<<20 {
+		t.Fatalf("default mem = %d", m.Phys.Size())
+	}
+}

@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"testing"
+
+	"safemem/internal/kernel"
+	"safemem/internal/vm"
+)
+
+func TestPeekWordSeesCachedDirtyData(t *testing.T) {
+	m := newM(t)
+	m.Store64(heapBase, 0x1111)
+	// The store is dirty in cache; DRAM still has the old value. PeekWord
+	// must return the CPU's view.
+	if got, ok := m.PeekWord(heapBase); !ok || got != 0x1111 {
+		t.Fatalf("PeekWord = %#x, %v", got, ok)
+	}
+	m.Cache.FlushAll()
+	if got, ok := m.PeekWord(heapBase); !ok || got != 0x1111 {
+		t.Fatalf("PeekWord after flush = %#x, %v", got, ok)
+	}
+}
+
+func TestPeekWordUnmapped(t *testing.T) {
+	m := newM(t)
+	if _, ok := m.PeekWord(0xdddd0000); ok {
+		t.Fatal("PeekWord of unmapped address succeeded")
+	}
+}
+
+func TestPeekWordIgnoresProtection(t *testing.T) {
+	m := newM(t)
+	m.Store64(heapBase, 7)
+	if err := m.Kern.Mprotect(heapBase, 1, vm.ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := m.PeekWord(heapBase); !ok || got != 7 {
+		t.Fatalf("scanner blocked by protection: %#x %v", got, ok)
+	}
+}
+
+func TestPeekWordChargesNothing(t *testing.T) {
+	m := newM(t)
+	m.Store64(heapBase, 1)
+	before := m.Clock.Now()
+	m.PeekWord(heapBase)
+	if m.Clock.Now() != before {
+		t.Fatal("PeekWord advanced the clock")
+	}
+	loads := m.Stats().Loads
+	m.PeekWord(heapBase)
+	if m.Stats().Loads != loads {
+		t.Fatal("PeekWord counted as a program load")
+	}
+}
+
+func TestPeekWordUnaligned(t *testing.T) {
+	m := newM(t)
+	m.Store64(heapBase, 0x8877665544332211)
+	// Peek of any byte within the word returns the containing word.
+	if got, _ := m.PeekWord(heapBase + 5); got != 0x8877665544332211 {
+		t.Fatalf("PeekWord mid-word = %#x", got)
+	}
+}
+
+func TestAccessInFlight(t *testing.T) {
+	m := newM(t)
+	if _, _, _, ok := m.AccessInFlight(); ok {
+		t.Fatal("access in flight outside any access")
+	}
+	// Probe from an ECC fault handler — exactly where SafeMem uses it.
+	if err := m.Kern.MapPages(0x40000, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Store64(0x40000, 9)
+	m.Cache.FlushAll()
+	if _, err := m.Kern.WatchMemory(0x40000, 64); err != nil {
+		t.Fatal(err)
+	}
+	var gotVA vm.VAddr
+	var gotSize int
+	var gotWrite, gotOK bool
+	m.Kern.RegisterECCFaultHandler(func(f *kernel.ECCFault) bool {
+		gotVA, gotSize, gotWrite, gotOK = m.AccessInFlight()
+		return m.Kern.DisableWatchMemory(f.VLine, 64) == nil
+	})
+	m.Store(0x40010, 2, 0xabcd)
+	if !gotOK {
+		t.Fatal("no access in flight during the fault")
+	}
+	if gotVA != 0x40010 || gotSize != 2 || !gotWrite {
+		t.Fatalf("in-flight access = %#x size %d write %v", uint64(gotVA), gotSize, gotWrite)
+	}
+	if _, _, _, ok := m.AccessInFlight(); ok {
+		t.Fatal("access still in flight after completion")
+	}
+}

@@ -1,0 +1,292 @@
+// Package memctrl models a commodity ECC memory controller (the paper's
+// Intel E7500 chipset, Section 2.1): it sits between the CPU cache and DRAM,
+// generates check bits on every write, verifies them on every read, corrects
+// single-bit errors transparently, and reports multi-bit errors to the
+// processor with an interrupt (Figure 1).
+//
+// Like real off-the-shelf controllers — and unlike the research parts used
+// by fine-grained DSM systems — it exposes only a narrow software interface:
+// software can switch the ECC mode, lock the bus, and enable scrubbing, but
+// it can never read or write the stored check bits directly. SafeMem's
+// scramble trick (write data with ECC disabled) exists precisely because of
+// this restriction.
+package memctrl
+
+import (
+	"fmt"
+
+	"safemem/internal/ecc"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// Mode selects the controller's ECC behaviour (Section 2.1).
+type Mode int
+
+const (
+	// Disabled turns off all ECC functionality: reads return raw data and
+	// writes do not update the stored check bits.
+	Disabled Mode = iota
+	// CheckOnly detects and reports single- and multi-bit errors but does
+	// not correct them.
+	CheckOnly
+	// CorrectError detects both and corrects single-bit errors on the fly.
+	CorrectError
+	// CorrectAndScrub additionally scans memory periodically to find and
+	// repair latent errors.
+	CorrectAndScrub
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Disabled:
+		return "Disabled"
+	case CheckOnly:
+		return "Check-Only"
+	case CorrectError:
+		return "Correct-Error"
+	case CorrectAndScrub:
+		return "Correct-and-Scrub"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FaultReport describes an uncorrectable ECC error delivered to the
+// processor. The report identifies the faulting ECC group and the raw bits
+// observed; software (SafeMem's handler) decides whether this is a watched-
+// location access fault or a genuine hardware error.
+type FaultReport struct {
+	// Group is the physical address of the faulting ECC group.
+	Group physmem.Addr
+	// Line is the physical address of the containing cache line.
+	Line physmem.Addr
+	// Data and Check are the raw bits read from DRAM.
+	Data  uint64
+	Check uint8
+	// DuringScrub is true when the error was found by the scrubber rather
+	// than by a demand read.
+	DuringScrub bool
+}
+
+// InterruptHandler receives uncorrectable-error interrupts. The handler may
+// repair the faulting group (e.g. SafeMem restoring original data); the
+// controller re-reads the group after the handler returns.
+type InterruptHandler func(FaultReport)
+
+// Stats counts controller activity.
+type Stats struct {
+	LineReads       uint64
+	LineWrites      uint64
+	CorrectedSingle uint64 // single-bit errors corrected (or reported in CheckOnly)
+	Uncorrectable   uint64 // multi-bit errors reported
+	ScrubbedLines   uint64
+	ScrubCorrected  uint64
+}
+
+// Capabilities describes optional controller features beyond the narrow
+// commodity interface. DirectECCAccess is the generalised interface the
+// paper proposes in Section 2.2.3: the OS may read and write the stored
+// check bits of any group directly, so watchpoints need no bus lock,
+// no ECC-disable window and no data scrambling.
+type Capabilities struct {
+	DirectECCAccess bool
+}
+
+// Controller is the simulated ECC memory controller.
+type Controller struct {
+	mem     *physmem.Memory
+	clock   *simtime.Clock
+	mode    Mode
+	handler InterruptHandler
+	locked  bool
+	caps    Capabilities
+	stats   Stats
+
+	// scrubCursor is the next line the incremental scrubber will visit.
+	scrubCursor physmem.Addr
+}
+
+// New creates a controller over mem, charging costs to clock. The initial
+// mode is CorrectError, the common server default.
+func New(mem *physmem.Memory, clock *simtime.Clock) *Controller {
+	return &Controller{mem: mem, clock: clock, mode: CorrectError}
+}
+
+// Memory returns the underlying DRAM (used by the fault injector in tests).
+func (c *Controller) Memory() *physmem.Memory { return c.mem }
+
+// Capabilities returns the controller's optional feature set.
+func (c *Controller) Capabilities() Capabilities { return c.caps }
+
+// EnableDirectECCAccess turns on the Section 2.2.3 generalised interface.
+// Real E7500-class chipsets do not have it; the simulator offers it so the
+// paper's proposed hardware extension can be evaluated (see
+// BenchmarkExtensionDirectECC).
+func (c *Controller) EnableDirectECCAccess() { c.caps.DirectECCAccess = true }
+
+// ReadCheckBits returns the stored check bits of the ECC group at a.
+// Requires DirectECCAccess.
+func (c *Controller) ReadCheckBits(a physmem.Addr) uint8 {
+	if !c.caps.DirectECCAccess {
+		panic("memctrl: ReadCheckBits without DirectECCAccess capability")
+	}
+	c.clock.Advance(simtime.CostDirectECCWrite)
+	_, check := c.mem.ReadGroupRaw(a.GroupAddr())
+	return check
+}
+
+// WriteCheckBits overwrites the stored check bits of the ECC group at a,
+// leaving the data untouched. Requires DirectECCAccess. This is the
+// one-register-write watchpoint arm/disarm of the paper's proposed
+// interface.
+func (c *Controller) WriteCheckBits(a physmem.Addr, check uint8) {
+	if !c.caps.DirectECCAccess {
+		panic("memctrl: WriteCheckBits without DirectECCAccess capability")
+	}
+	c.clock.Advance(simtime.CostDirectECCWrite)
+	data, _ := c.mem.ReadGroupRaw(a.GroupAddr())
+	c.mem.WriteGroupRaw(a.GroupAddr(), data, check)
+}
+
+// Mode returns the current ECC mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// SetMode switches the ECC mode, charging the chipset register-write cost.
+func (c *Controller) SetMode(m Mode) {
+	c.clock.Advance(simtime.CostECCModeSwitch)
+	c.mode = m
+}
+
+// SetInterruptHandler installs the processor's ECC machine-check handler
+// (in the simulator, the kernel's entry point).
+func (c *Controller) SetInterruptHandler(h InterruptHandler) { c.handler = h }
+
+// LockBus locks the memory bus. While locked, background traffic (the
+// scrubber — the simulator's stand-in for other processors and DMA) is
+// blocked. WatchMemory holds the lock across its disable-scramble-enable
+// window (Section 2.2.2).
+func (c *Controller) LockBus() {
+	if c.locked {
+		panic("memctrl: bus already locked")
+	}
+	c.clock.Advance(simtime.CostBusLock)
+	c.locked = true
+}
+
+// UnlockBus releases the memory bus.
+func (c *Controller) UnlockBus() {
+	if !c.locked {
+		panic("memctrl: bus not locked")
+	}
+	c.clock.Advance(simtime.CostBusUnlock)
+	c.locked = false
+}
+
+// BusLocked reports whether the bus is currently locked.
+func (c *Controller) BusLocked() bool { return c.locked }
+
+// Stats returns a copy of the controller's counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// readGroup performs the ECC read path (Figure 1b) for one group and
+// returns the (possibly corrected) data.
+func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
+	data, check := c.mem.ReadGroupRaw(a)
+	if c.mode == Disabled {
+		return data
+	}
+	corrected, correctedCheck, res := ecc.Decode(data, ecc.Check(check))
+	switch res {
+	case ecc.OK:
+		return data
+	case ecc.CorrectedData, ecc.CorrectedCheck:
+		c.stats.CorrectedSingle++
+		if duringScrub {
+			c.stats.ScrubCorrected++
+		}
+		if c.mode == CheckOnly {
+			// Detected and reported, but not corrected in memory.
+			return data
+		}
+		c.mem.WriteGroupRaw(a, corrected, uint8(correctedCheck))
+		return corrected
+	case ecc.Uncorrectable:
+		c.stats.Uncorrectable++
+		report := FaultReport{
+			Group:       a,
+			Line:        a.LineAddr(),
+			Data:        data,
+			Check:       check,
+			DuringScrub: duringScrub,
+		}
+		if c.handler != nil {
+			c.clock.Advance(simtime.CostInterrupt)
+			c.handler(report)
+			// The handler may have repaired the group (SafeMem restores the
+			// original data and check bits). Re-read once; if still broken,
+			// hand back the raw bits — the kernel has already decided what
+			// to do (typically panic).
+			data2, check2 := c.mem.ReadGroupRaw(a)
+			if d, _, res2 := ecc.Decode(data2, ecc.Check(check2)); res2 != ecc.Uncorrectable {
+				if res2 == ecc.CorrectedData {
+					return d
+				}
+				return data2
+			}
+		}
+		return data
+	}
+	return data
+}
+
+// ReadLine fetches the 64-byte line at a (which must be line-aligned) from
+// DRAM, running every ECC group through the check/correct path.
+func (c *Controller) ReadLine(a physmem.Addr) [physmem.GroupsPerLine]uint64 {
+	if !a.IsLineAligned() {
+		panic(fmt.Sprintf("memctrl: ReadLine at unaligned address %#x", uint64(a)))
+	}
+	c.stats.LineReads++
+	var out [physmem.GroupsPerLine]uint64
+	for i := 0; i < physmem.GroupsPerLine; i++ {
+		out[i] = c.readGroup(a+physmem.Addr(i*physmem.GroupBytes), false)
+	}
+	return out
+}
+
+// WriteLine stores a 64-byte line to DRAM. With ECC enabled the controller's
+// generator computes fresh check bits for every group (Figure 1a); with ECC
+// disabled the stored check bits are left untouched — the WatchMemory
+// scramble path.
+func (c *Controller) WriteLine(a physmem.Addr, words [physmem.GroupsPerLine]uint64) {
+	if !a.IsLineAligned() {
+		panic(fmt.Sprintf("memctrl: WriteLine at unaligned address %#x", uint64(a)))
+	}
+	c.stats.LineWrites++
+	for i := 0; i < physmem.GroupsPerLine; i++ {
+		ga := a + physmem.Addr(i*physmem.GroupBytes)
+		if c.mode == Disabled {
+			c.mem.WriteGroupDataOnly(ga, words[i])
+		} else {
+			c.mem.WriteGroupRaw(ga, words[i], uint8(ecc.Encode(words[i])))
+		}
+	}
+}
+
+// PeekLine returns the raw data words of a line without ECC checking or
+// cycle charges. It is used by the kernel to save original data before
+// scrambling, and by tests.
+func (c *Controller) PeekLine(a physmem.Addr) [physmem.GroupsPerLine]uint64 {
+	if !a.IsLineAligned() {
+		panic(fmt.Sprintf("memctrl: PeekLine at unaligned address %#x", uint64(a)))
+	}
+	var out [physmem.GroupsPerLine]uint64
+	for i := 0; i < physmem.GroupsPerLine; i++ {
+		out[i], _ = c.mem.ReadGroupRaw(a + physmem.Addr(i*physmem.GroupBytes))
+	}
+	return out
+}

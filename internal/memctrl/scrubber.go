@@ -1,0 +1,55 @@
+package memctrl
+
+import (
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// Memory scrubbing (Section 2.2.2, "Dealing with ECC Memory Scrubbing"):
+// in Correct-and-Scrub mode the controller periodically walks DRAM, reading
+// every line through the ECC path so latent single-bit errors are repaired
+// before they can pair up into uncorrectable ones. Scrubbing reads watched
+// lines too, which would raise spurious ECC faults — so the kernel
+// coordinates with SafeMem to unwatch regions for the duration of a scrub
+// pass (see kernel.CoordinatedScrub).
+
+// costScrubLine is the charge for scrubbing one line. Scrubbing runs in idle
+// periods on real hardware; the simulator charges it to the clock so that
+// experiments enabling scrubbing see its (small) cost.
+const costScrubLine simtime.Cycles = 60
+
+// ScrubStep scrubs the next n lines in physical-address order, wrapping at
+// the end of memory. It is a no-op unless the mode is CorrectAndScrub or the
+// bus is locked (scrubbing is background traffic and must respect the lock).
+// It returns the number of lines actually scrubbed.
+func (c *Controller) ScrubStep(n int) int {
+	if c.mode != CorrectAndScrub || c.locked {
+		return 0
+	}
+	lines := c.mem.Lines()
+	if lines == 0 {
+		return 0
+	}
+	done := 0
+	for ; done < n; done++ {
+		a := c.scrubCursor
+		for i := 0; i < 8; i++ {
+			c.readGroup(a+physmem.Addr(i*physmem.GroupBytes), true)
+		}
+		c.stats.ScrubbedLines++
+		c.clock.Advance(costScrubLine)
+		c.scrubCursor += 64
+		if uint64(c.scrubCursor) >= c.mem.Size() {
+			c.scrubCursor = 0
+		}
+	}
+	return done
+}
+
+// ScrubAll performs one full scrub pass over all of DRAM.
+func (c *Controller) ScrubAll() {
+	c.ScrubStep(int(c.mem.Lines()))
+}
+
+// ScrubCursor returns the physical address the scrubber will visit next.
+func (c *Controller) ScrubCursor() uint64 { return uint64(c.scrubCursor) }

@@ -1,0 +1,150 @@
+package mmp
+
+import (
+	"errors"
+	"testing"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+type rig struct {
+	m     *machine.Machine
+	alloc *heap.Allocator
+	tool  *Tool
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{}) // plain layout: no padding at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{m: m, alloc: alloc, tool: Attach(m, alloc, false)}
+}
+
+func (r *rig) malloc(t *testing.T, n uint64) vm.VAddr {
+	t.Helper()
+	p, err := r.alloc.Malloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExactBoundsOffByOne(t *testing.T) {
+	// The word-granularity claim: even a ONE-byte overflow is caught with
+	// zero padding — finer than SafeMem's 64-byte guard granularity.
+	r := newRig(t)
+	p := r.malloc(t, 21) // rounded to 24: bytes 21-23 are slack
+	q := r.malloc(t, 24) // packed immediately after the slack
+	r.m.Store8(p+20, 1)  // last valid byte
+	r.m.Store8(q, 1)     // neighbour's first byte: fine
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("in-bounds access reported: %v", r.tool.Reports())
+	}
+	r.m.Store8(p+21, 1) // ONE byte past the end, into the rounding slack
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugOutOfBounds {
+		t.Fatalf("reports = %v", reports)
+	}
+	if reports[0].BufferAddr != p {
+		t.Fatalf("attributed to %#x, want %#x", uint64(reports[0].BufferAddr), uint64(p))
+	}
+	// The packed-neighbour caveat: an overflow that lands exactly inside
+	// the adjacent live object is invisible even at word granularity —
+	// address-based protection cannot tell objects in the same domain
+	// apart. (SafeMem's guard lines force a gap instead.)
+	r.m.Store8(p+24, 1) // == q's first byte
+	if n := len(r.tool.Reports()); n != 1 {
+		t.Fatalf("packed-neighbour overflow unexpectedly reported: %d", n)
+	}
+}
+
+func TestFreedAccess(t *testing.T) {
+	r := newRig(t)
+	p := r.malloc(t, 64)
+	r.m.Store64(p, 1)
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.m.Load64(p + 8)
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugFreedAccess {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestReuseClearsFreedState(t *testing.T) {
+	r := newRig(t)
+	p := r.malloc(t, 64)
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q := r.malloc(t, 64)
+	if q != p {
+		t.Skip("extent not reused")
+	}
+	r.m.Store64(q, 2)
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("reuse reported: %v", r.tool.Reports())
+	}
+}
+
+func TestZeroSpaceOverhead(t *testing.T) {
+	// The Table 4 endpoint: MMP needs no guard bytes at all; the only
+	// waste is the allocator's natural 8-byte rounding.
+	r := newRig(t)
+	for i := 0; i < 100; i++ {
+		r.malloc(t, uint64(100+i*13))
+	}
+	st := r.alloc.Stats()
+	wastePct := 100 * float64(st.WasteLive) / float64(st.BytesLive)
+	if wastePct > 1.0 {
+		t.Fatalf("MMP waste = %.2f%%, expected < 1%%", wastePct)
+	}
+}
+
+func TestStopOnBug(t *testing.T) {
+	m := machine.MustNew(machine.Config{MemBytes: 8 << 20})
+	alloc := heap.MustNew(m, heap.Options{})
+	Attach(m, alloc, true)
+	p, err := alloc.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m.Run(func() error {
+		m.Store8(p+8, 1)
+		return nil
+	})
+	var abort *machine.ProgramAbort
+	if !errors.As(runErr, &abort) {
+		t.Fatalf("err = %v", runErr)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	r := newRig(t)
+	p := r.malloc(t, 16)
+	r.m.Store8(p+16, 1)
+	r.m.Store8(p+16, 2)
+	if n := len(r.tool.Reports()); n != 1 {
+		t.Fatalf("reports = %d", n)
+	}
+}
+
+func TestOutsideHeapIgnored(t *testing.T) {
+	r := newRig(t)
+	if err := r.m.Kern.MapPages(0x8000000, 1); err != nil {
+		t.Fatal(err)
+	}
+	r.m.Store64(0x8000000, 1)
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("non-heap access reported: %v", r.tool.Reports())
+	}
+}

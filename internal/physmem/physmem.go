@@ -1,0 +1,129 @@
+// Package physmem models the physical DRAM of the simulated machine.
+//
+// Memory is organised the way the ECC memory controller sees it: 64-byte
+// lines (the granularity of all main-memory traffic, Section 2.2.1), each
+// made of eight 64-bit ECC groups, each group stored together with its 8 ECC
+// check bits (Section 2.1). The package stores raw bits only; the encode/
+// check policy — when check bits are regenerated, when errors are corrected
+// or reported — belongs to package memctrl, mirroring the hardware split
+// between DRAM modules and the chipset.
+package physmem
+
+import "fmt"
+
+const (
+	// LineBytes is the size of one cache line / memory-bus transfer.
+	LineBytes = 64
+	// GroupsPerLine is the number of 64-bit ECC groups per line.
+	GroupsPerLine = LineBytes / 8
+	// GroupBytes is the number of data bytes per ECC group.
+	GroupBytes = 8
+)
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// LineAddr returns the address of the line containing a.
+func (a Addr) LineAddr() Addr { return a &^ (LineBytes - 1) }
+
+// LineOffset returns a's byte offset within its line.
+func (a Addr) LineOffset() uint64 { return uint64(a) & (LineBytes - 1) }
+
+// GroupAddr returns the address of the ECC group containing a.
+func (a Addr) GroupAddr() Addr { return a &^ (GroupBytes - 1) }
+
+// GroupInLine returns the index (0..7) of a's ECC group within its line.
+func (a Addr) GroupInLine() int { return int(a.LineOffset() / GroupBytes) }
+
+// IsLineAligned reports whether a is aligned to a line boundary.
+func (a Addr) IsLineAligned() bool { return a%LineBytes == 0 }
+
+// group is one stored ECC group: 64 data bits plus 8 check bits.
+type group struct {
+	data  uint64
+	check uint8
+}
+
+// Memory is the simulated DRAM. The zero value is unusable; create with New.
+type Memory struct {
+	groups []group
+	size   uint64
+}
+
+// New allocates a simulated DRAM of the given size in bytes. The size must
+// be a positive multiple of the line size.
+func New(size uint64) (*Memory, error) {
+	if size == 0 || size%LineBytes != 0 {
+		return nil, fmt.Errorf("physmem: size %d is not a positive multiple of %d", size, LineBytes)
+	}
+	return &Memory{
+		groups: make([]group, size/GroupBytes),
+		size:   size,
+	}, nil
+}
+
+// MustNew is New, panicking on error. For tests and examples.
+func MustNew(size uint64) *Memory {
+	m, err := New(size)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// Lines returns the number of 64-byte lines.
+func (m *Memory) Lines() uint64 { return m.size / LineBytes }
+
+// check panics on out-of-range group-aligned addresses; the simulator's own
+// components are the only callers, so a violation is a simulator bug.
+func (m *Memory) groupIndex(a Addr) uint64 {
+	if uint64(a) >= m.size {
+		panic(fmt.Sprintf("physmem: address %#x out of range (size %#x)", uint64(a), m.size))
+	}
+	if a%GroupBytes != 0 {
+		panic(fmt.Sprintf("physmem: address %#x not group aligned", uint64(a)))
+	}
+	return uint64(a) / GroupBytes
+}
+
+// ReadGroupRaw returns the stored data word and check bits of the ECC group
+// at a, without any ECC checking.
+func (m *Memory) ReadGroupRaw(a Addr) (data uint64, check uint8) {
+	g := m.groups[m.groupIndex(a)]
+	return g.data, g.check
+}
+
+// WriteGroupRaw stores both the data word and the check bits of the group at
+// a. This is the full-control path used by the controller and by the fault
+// injector.
+func (m *Memory) WriteGroupRaw(a Addr, data uint64, check uint8) {
+	m.groups[m.groupIndex(a)] = group{data: data, check: check}
+}
+
+// WriteGroupDataOnly stores the data word at a while leaving the stored
+// check bits untouched. This models a write performed while the ECC engine
+// is disabled — the heart of SafeMem's WatchMemory trick (Figure 2): the old
+// check bits now mismatch the new data.
+func (m *Memory) WriteGroupDataOnly(a Addr, data uint64) {
+	m.groups[m.groupIndex(a)].data = data
+}
+
+// FlipDataBit inverts one data bit of the group at a, leaving the check bits
+// untouched. It models a hardware memory error (cosmic ray, failing cell).
+func (m *Memory) FlipDataBit(a Addr, bit uint) {
+	if bit >= 64 {
+		panic("physmem: data bit out of range")
+	}
+	m.groups[m.groupIndex(a)].data ^= 1 << bit
+}
+
+// FlipCheckBit inverts one stored check bit of the group at a.
+func (m *Memory) FlipCheckBit(a Addr, bit uint) {
+	if bit >= 8 {
+		panic("physmem: check bit out of range")
+	}
+	m.groups[m.groupIndex(a)].check ^= 1 << bit
+}

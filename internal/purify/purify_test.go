@@ -1,0 +1,400 @@
+package purify
+
+import (
+	"errors"
+	"testing"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+type rig struct {
+	m     *machine.Machine
+	alloc *heap.Allocator
+	tool  *Tool
+}
+
+func newRig(t *testing.T, opts Options) *rig {
+	t.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{m: m, alloc: alloc, tool: Attach(m, alloc, opts)}
+}
+
+func (r *rig) malloc(t *testing.T, n uint64) vm.VAddr {
+	t.Helper()
+	p, err := r.alloc.Malloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func kindsOf(rs []Report) []BugKind {
+	out := make([]BugKind, len(rs))
+	for i, r := range rs {
+		out[i] = r.Kind
+	}
+	return out
+}
+
+func TestCleanProgramNoReports(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 64)
+	r.m.Memset(p, 7, 64)
+	for i := uint64(0); i < 64; i++ {
+		_ = r.m.Load8(p + vm.VAddr(i))
+	}
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("clean run reported: %v", kindsOf(r.tool.Reports()))
+	}
+}
+
+func TestOverflowIsInvalidAccess(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 24)
+	r.m.Store8(p+24, 1) // one byte past the end
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugInvalidWrite {
+		t.Fatalf("reports = %v", kindsOf(reports))
+	}
+}
+
+func TestFreedAccessDetected(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 32)
+	r.m.Memset(p, 1, 32)
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.m.Load8(p)
+	r.m.Store8(p+1, 9)
+	reports := r.tool.Reports()
+	if len(reports) != 2 || reports[0].Kind != BugFreeRead || reports[1].Kind != BugFreeWrite {
+		t.Fatalf("reports = %v", kindsOf(reports))
+	}
+}
+
+func TestUninitReadDetected(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 16)
+	r.m.Store8(p, 1)     // initialise byte 0 only
+	_ = r.m.Load8(p)     // fine
+	_ = r.m.Load8(p + 1) // uninit
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugUninitRead {
+		t.Fatalf("reports = %v", kindsOf(reports))
+	}
+}
+
+func TestUninitCheckCanBeDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CheckUninit = false
+	r := newRig(t, opts)
+	p := r.malloc(t, 16)
+	_ = r.m.Load8(p)
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("uninit reported despite disabled check: %v", kindsOf(r.tool.Reports()))
+	}
+}
+
+func TestDuplicateReportsSuppressed(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 8)
+	r.m.Store8(p+8, 1)
+	r.m.Store8(p+8, 2)
+	if n := len(r.tool.Reports()); n != 1 {
+		t.Fatalf("reports = %d, want 1 (deduped)", n)
+	}
+}
+
+func TestReuseAfterFreeIsClean(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 32)
+	r.m.Memset(p, 1, 32)
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q := r.malloc(t, 32)
+	if q != p {
+		t.Skip("allocator did not reuse the extent")
+	}
+	r.m.Store8(q, 5) // write to reallocated memory: fine
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("reuse reported: %v", kindsOf(r.tool.Reports()))
+	}
+}
+
+func TestLeakScanFindsUnreachableBlock(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = 0 // manual scans only
+	r := newRig(t, opts)
+
+	// rootCell is a word in simulated memory holding a pointer.
+	rootBlock := r.malloc(t, 8)
+	r.tool.AddRoot(rootBlock)
+
+	reachable := r.malloc(t, 64)
+	r.m.Store64(rootBlock, uint64(reachable)) // root -> reachable
+	leaked := r.malloc(t, 48)
+	r.m.Memset(leaked, 3, 48) // initialised but unreachable
+
+	r.tool.LeakScan()
+	var leaks []Report
+	for _, rep := range r.tool.Reports() {
+		if rep.Kind == BugLeak {
+			leaks = append(leaks, rep)
+		}
+	}
+	if len(leaks) != 1 || leaks[0].Addr != leaked {
+		t.Fatalf("leak reports = %v", leaks)
+	}
+	// A second scan does not re-report.
+	r.tool.LeakScan()
+	n := 0
+	for _, rep := range r.tool.Reports() {
+		if rep.Kind == BugLeak {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("leak re-reported: %d", n)
+	}
+}
+
+func TestLeakScanFollowsPointerChains(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = 0
+	r := newRig(t, opts)
+	root := r.malloc(t, 8)
+	r.tool.AddRoot(root)
+	a := r.malloc(t, 16)
+	b := r.malloc(t, 16)
+	c := r.malloc(t, 16)
+	r.m.Store64(root, uint64(a))
+	r.m.Store64(a, uint64(b)) // a -> b
+	r.m.Store64(b, uint64(c)) // b -> c
+	r.tool.LeakScan()
+	for _, rep := range r.tool.Reports() {
+		if rep.Kind == BugLeak {
+			t.Fatalf("chained block reported leaked: %v", rep)
+		}
+	}
+}
+
+func TestLeakScanHonorsInteriorPointers(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = 0
+	r := newRig(t, opts)
+	root := r.malloc(t, 8)
+	r.tool.AddRoot(root)
+	blk := r.malloc(t, 128)
+	r.m.Store64(root, uint64(blk)+40) // interior pointer
+	r.tool.LeakScan()
+	for _, rep := range r.tool.Reports() {
+		if rep.Kind == BugLeak && rep.Addr == blk {
+			t.Fatal("conservatively reachable block reported leaked")
+		}
+	}
+}
+
+func TestPerAccessOverheadCharged(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 8)
+	r.m.Store64(p, 1)
+	before := r.m.Clock.Now()
+	_ = r.m.Load64(p)
+	cost := r.m.Clock.Now() - before
+	if cost < costCheckAccess {
+		t.Fatalf("access cost %d < instrumentation charge %d", cost, costCheckAccess)
+	}
+}
+
+func TestPeriodicScanTriggersFromAllocations(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = simtime.FromMicroseconds(100)
+	r := newRig(t, opts)
+	for i := 0; i < 300; i++ {
+		p := r.malloc(t, 64)
+		r.m.Compute(5000)
+		if err := r.alloc.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.tool.Stats().LeakScans == 0 {
+		t.Fatal("periodic scan never ran")
+	}
+}
+
+func TestScanPausesProgram(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = 0
+	r := newRig(t, opts)
+	for i := 0; i < 100; i++ {
+		p := r.malloc(t, 1024)
+		r.m.Store8(p, 1)
+	}
+	before := r.m.Clock.Now()
+	r.tool.LeakScan()
+	pause := r.m.Clock.Now() - before
+	if pause < costSweepBase {
+		t.Fatalf("scan pause %d below base cost", pause)
+	}
+	if r.tool.Stats().BytesSwept != 100*1024 {
+		t.Fatalf("BytesSwept = %d", r.tool.Stats().BytesSwept)
+	}
+}
+
+func BenchmarkAccessCheck(b *testing.B) {
+	m, err := machine.New(machine.Config{MemBytes: 4 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tool := Attach(m, alloc, DefaultOptions())
+	p, err := alloc.Malloc(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Store64(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tool.OnLoad(p, 8)
+	}
+}
+
+func BenchmarkLeakScan(b *testing.B) {
+	m, err := machine.New(machine.Config{MemBytes: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{Limit: 12 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.LeakScanPeriod = 0
+	tool := Attach(m, alloc, opts)
+	root, err := alloc.Malloc(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tool.AddRoot(root)
+	prev := root
+	for i := 0; i < 500; i++ {
+		p, err := alloc.Malloc(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Store64(prev, uint64(p)) // chain: all reachable
+		prev = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tool.LeakScan()
+	}
+}
+
+func TestReallocTracksShadow(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	p := r.malloc(t, 32)
+	r.m.Memset(p, 1, 32)
+	q, err := r.alloc.Realloc(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The preserved prefix is initialized; the grown tail is not.
+	_ = r.m.Load8(q + 31)
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("copied prefix flagged: %v", kindsOf(r.tool.Reports()))
+	}
+	_ = r.m.Load8(q + 63)
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugUninitRead {
+		t.Fatalf("grown tail reports = %v", kindsOf(reports))
+	}
+	// The old extent (if moved) is freed memory now.
+	if q != p {
+		r.m.Store8(p, 9)
+		found := false
+		for _, rep := range r.tool.Reports() {
+			if rep.Kind == BugFreeWrite {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("write to pre-realloc extent not flagged")
+		}
+	}
+}
+
+func TestShadowSpansPages(t *testing.T) {
+	// One allocation crossing a 4 KiB page boundary: state must be tracked
+	// seamlessly across the shadow's per-page arrays.
+	r := newRig(t, DefaultOptions())
+	filler := r.malloc(t, 4000) // push the next block near the page edge
+	_ = filler
+	p := r.malloc(t, 2000)
+	r.m.Memset(p, 5, 2000)
+	for off := uint64(0); off < 2000; off += 123 {
+		_ = r.m.Load8(p + vm.VAddr(off))
+	}
+	if len(r.tool.Reports()) != 0 {
+		t.Fatalf("cross-page block misflagged: %v", kindsOf(r.tool.Reports()))
+	}
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.m.Load8(p + 1999) // far end, other page
+	reports := r.tool.Reports()
+	if len(reports) != 1 || reports[0].Kind != BugFreeRead {
+		t.Fatalf("cross-page freed read = %v", kindsOf(reports))
+	}
+}
+
+func TestStopOnBugAborts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.StopOnBug = true
+	r := newRig(t, opts)
+	p := r.malloc(t, 8)
+	err := r.m.Run(func() error {
+		r.m.Store8(p+8, 1)
+		return nil
+	})
+	var abort *machine.ProgramAbort
+	if !errors.As(err, &abort) {
+		t.Fatalf("err = %v, want abort", err)
+	}
+}
+
+func TestSiteAttributionOnFreedAccess(t *testing.T) {
+	r := newRig(t, DefaultOptions())
+	r.m.Call(0xabc)
+	p := r.malloc(t, 32)
+	r.m.Return()
+	r.m.Memset(p, 1, 32)
+	if err := r.alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	q := r.malloc(t, 32) // same extent, new block, no site frame
+	if q == p {
+		r.m.Store8(q, 1)
+		if len(r.tool.Reports()) != 0 {
+			t.Fatalf("reuse flagged: %v", kindsOf(r.tool.Reports()))
+		}
+	}
+}

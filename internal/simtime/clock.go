@@ -1,0 +1,128 @@
+// Package simtime provides the virtual CPU clock used by the simulated
+// machine, together with the cost-model constants that calibrate the
+// simulation to the paper's platform (a 2.4 GHz Pentium 4 with an Intel
+// E7500 ECC chipset).
+//
+// Every component of the simulator charges cycles to a Clock instead of
+// reading wall-clock time, so experiments are fully deterministic and the
+// "CPU time of the monitored program" notion used by the paper's leak
+// detector (Section 3) is exact: idle periods between simulated client
+// requests simply never advance the clock.
+package simtime
+
+import "fmt"
+
+// CyclesPerMicrosecond is the clock rate of the simulated CPU: 2.4 GHz,
+// matching the paper's evaluation platform (Section 5.1).
+const CyclesPerMicrosecond = 2400
+
+// Cycles counts simulated CPU cycles. It is the only unit of time in the
+// simulator; conversions to nanoseconds or microseconds are for display.
+type Cycles uint64
+
+// Microseconds converts a cycle count to microseconds on the simulated
+// 2.4 GHz machine.
+func (c Cycles) Microseconds() float64 {
+	return float64(c) / CyclesPerMicrosecond
+}
+
+// Seconds converts a cycle count to seconds on the simulated machine.
+func (c Cycles) Seconds() float64 {
+	return float64(c) / (CyclesPerMicrosecond * 1e6)
+}
+
+// String renders the count in a human-friendly unit.
+func (c Cycles) String() string {
+	switch {
+	case c >= CyclesPerMicrosecond*1e6:
+		return fmt.Sprintf("%.3fs", c.Seconds())
+	case c >= CyclesPerMicrosecond*1000:
+		return fmt.Sprintf("%.3fms", c.Microseconds()/1000)
+	case c >= CyclesPerMicrosecond:
+		return fmt.Sprintf("%.3fµs", c.Microseconds())
+	default:
+		return fmt.Sprintf("%dcy", uint64(c))
+	}
+}
+
+// FromMicroseconds converts a duration in microseconds to cycles.
+func FromMicroseconds(us float64) Cycles {
+	return Cycles(us * CyclesPerMicrosecond)
+}
+
+// Cost-model constants. These calibrate the simulator; they are shared by
+// every tool under test so overheads are comparable. See DESIGN.md §5.
+const (
+	// CostInstr is the charge for one ordinary ALU instruction.
+	CostInstr Cycles = 1
+
+	// CostCacheHit is a load/store that hits in the CPU cache.
+	CostCacheHit Cycles = 3
+
+	// CostCacheMiss is a load that must fetch a line from DRAM.
+	CostCacheMiss Cycles = 240
+
+	// CostWriteBack is the charge for writing a dirty line back to DRAM.
+	CostWriteBack Cycles = 120
+
+	// CostLineFlush is an explicit clflush of one line (used by WatchMemory).
+	CostLineFlush Cycles = 180
+
+	// CostSyscall is the fixed entry/exit cost of any system call
+	// (trap, register save/restore, kernel dispatch).
+	CostSyscall Cycles = 1400
+
+	// CostBusLock / CostBusUnlock charge for locking the memory bus during
+	// the disable-ECC scramble window (Section 2.2.2, Figure 2). Locking
+	// quiesces all other bus agents (other processors, DMA), which is slow.
+	CostBusLock   Cycles = 800
+	CostBusUnlock Cycles = 500
+
+	// CostECCModeSwitch is the chipset configuration-register write that
+	// disables or enables the ECC engine; PCI config-space accesses are
+	// slow on real chipsets.
+	CostECCModeSwitch Cycles = 700
+
+	// CostScrambleWord covers scrambling (or restoring) one 64-bit ECC
+	// group, including saving the original data to SafeMem's private area.
+	CostScrambleWord Cycles = 40
+
+	// CostPageTableOp is one page-table walk/update (protection change,
+	// pin/unpin) inside the kernel.
+	CostPageTableOp Cycles = 180
+
+	// CostDirectECCWrite is one check-bit register write on a controller
+	// implementing the paper's proposed software-friendly ECC interface
+	// (Section 2.2.3): no bus lock or mode switch needed.
+	CostDirectECCWrite Cycles = 20
+
+	// CostTLBFlush is the TLB shootdown performed after a protection
+	// change (mprotect).
+	CostTLBFlush Cycles = 850
+
+	// CostInterrupt is the delivery of an ECC machine-check interrupt from
+	// controller to kernel to user-level handler.
+	CostInterrupt Cycles = 2200
+
+	// CostPageFault is the delivery of a page-protection fault.
+	CostPageFault Cycles = 1800
+)
+
+// Clock is the virtual CPU clock. The zero value is a clock at time zero,
+// ready to use. Clock is not safe for concurrent use; the simulated machine
+// is single-threaded, like the paper's monitored programs.
+type Clock struct {
+	now Cycles
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves the clock forward by n cycles.
+func (c *Clock) Advance(n Cycles) { c.now += n }
+
+// AdvanceInstr charges n ordinary instructions.
+func (c *Clock) AdvanceInstr(n uint64) { c.now += Cycles(n) * CostInstr }
+
+// Reset rewinds the clock to zero. Used between benchmark repetitions.
+func (c *Clock) Reset() { c.now = 0 }

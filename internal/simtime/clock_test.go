@@ -1,0 +1,75 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockBasics(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock not at 0")
+	}
+	c.Advance(100)
+	c.AdvanceInstr(5)
+	if c.Now() != 100+5*CostInstr {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := Cycles(2400).Microseconds(); got != 1.0 {
+		t.Errorf("2400 cycles = %vµs", got)
+	}
+	if got := Cycles(2400 * 1e6).Seconds(); got != 1.0 {
+		t.Errorf("seconds = %v", got)
+	}
+	if FromMicroseconds(2.5) != 6000 {
+		t.Errorf("FromMicroseconds(2.5) = %d", FromMicroseconds(2.5))
+	}
+}
+
+func TestStringUnits(t *testing.T) {
+	cases := []struct {
+		c    Cycles
+		want string
+	}{
+		{100, "cy"},
+		{4800, "µs"},
+		{4_800_000, "ms"},
+		{4_800_000_000, "s"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("%d cycles -> %q, want unit %q", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestQuickConversionRoundTrip(t *testing.T) {
+	f := func(us uint16) bool {
+		c := FromMicroseconds(float64(us))
+		return c.Microseconds() == float64(us)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Sanity of the cost model's internal ordering.
+	if CostCacheHit >= CostCacheMiss {
+		t.Error("hit not cheaper than miss")
+	}
+	if CostSyscall <= CostCacheMiss {
+		t.Error("syscall not dearer than a miss")
+	}
+	if CostInterrupt <= CostSyscall {
+		t.Error("ECC interrupt delivery should exceed a bare syscall")
+	}
+}

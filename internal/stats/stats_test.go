@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 2})
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Max() != 3 {
+		t.Errorf("Max = %v", c.Max())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(5) != 0 || c.Max() != 0 || c.Quantile(0.5) != 0 || c.N() != 0 {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if c.Quantile(0) != 10 || c.Quantile(1) != 40 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := c.Quantile(0.5); got != 30 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{5, 1}
+	c := NewCDF(in)
+	in[0] = 100
+	if c.Max() != 5 {
+		t.Fatal("CDF aliased caller slice")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		c := NewCDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "Name", "Value")
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "12345")
+	tab.AddRow("extra-cell-dropped", "2", "IGNORED")
+	out := tab.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "a-much-longer-name") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if strings.Contains(out, "IGNORED") {
+		t.Fatal("extra cell not dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All non-title lines share the same width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if tab.Rows() != 3 {
+		t.Fatalf("Rows = %d", tab.Rows())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.123))
+	}
+	if Factor(2.5) != "2.5X" {
+		t.Errorf("Factor = %s", Factor(2.5))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Std < 2.13 || s.Std > 2.15 { // sample std ≈ 2.138
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Std != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	if one := Summarize([]float64{3}); one.Mean != 3 || one.Std != 0 {
+		t.Fatalf("singleton = %+v", one)
+	}
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Offline leak analysis: the Section 3 algorithm applied to a recorded
+// trace instead of a live run. The trace contains every access, so the
+// false-positive pruning that SafeMem performs with ECC watchpoints online
+// is exact here — a suspect is exonerated by simply observing a later
+// access to it. The trade-offs flip accordingly:
+//
+//   - online SafeMem: tiny overhead, needs ECC; pruning waits for a real
+//     access to arrive;
+//   - offline analysis: zero production overhead beyond trace capture, no
+//     special hardware, perfect hindsight — but reports arrive only after
+//     the trace is shipped home.
+//
+// Time is measured in trace cycles: the Compute events plus a nominal
+// charge per access, mirroring the simulator's CPU-time notion.
+
+// AnalyzeOptions parameterises the offline analyzer. The fields mirror the
+// online safemem.Options thresholds.
+type AnalyzeOptions struct {
+	// ALeakLiveThreshold is the live count above which a never-freed group
+	// is suspicious.
+	ALeakLiveThreshold int
+	// SLeakLifetimeFactor is the multiple of the maximal lifetime beyond
+	// which an object is an outlier.
+	SLeakLifetimeFactor float64
+	// AccessCycleCharge approximates the CPU time of one access (the trace
+	// does not carry timing for accesses).
+	AccessCycleCharge uint64
+}
+
+// DefaultAnalyzeOptions returns the standard thresholds.
+func DefaultAnalyzeOptions() AnalyzeOptions {
+	return AnalyzeOptions{
+		ALeakLiveThreshold:  24,
+		SLeakLifetimeFactor: 2.0,
+		AccessCycleCharge:   5,
+	}
+}
+
+// LeakFinding is one suspicious allocation group found offline.
+type LeakFinding struct {
+	// Site and Size identify the group.
+	Site uint64
+	Size uint64
+	// Always is true for never-freed, growing groups (ALeak).
+	Always bool
+	// LeakedIDs are the allocations never freed and never accessed after
+	// their suspicion point.
+	LeakedIDs []uint64
+	// LiveAtEnd counts the group's live objects at end of trace.
+	LiveAtEnd int
+	// MaxLifetime is the largest observed alloc→free distance in cycles.
+	MaxLifetime uint64
+}
+
+// String renders the finding.
+func (f LeakFinding) String() string {
+	kind := "SLeak"
+	if f.Always {
+		kind = "ALeak"
+	}
+	return fmt.Sprintf("%s group ⟨size=%d,site=%#x⟩: %d leaked object(s), %d live at end, max lifetime %d cycles",
+		kind, f.Size, f.Site, len(f.LeakedIDs), f.LiveAtEnd, f.MaxLifetime)
+}
+
+// analysis state per allocation.
+type allocState struct {
+	id         uint64
+	site, size uint64
+	born       uint64 // cycles
+	lastAccess uint64
+	freedAt    uint64
+	freed      bool
+}
+
+type groupState struct {
+	site, size  uint64
+	live        map[uint64]*allocState
+	frees       int
+	allocs      int
+	maxLifetime uint64
+	lastAllocAt uint64
+}
+
+// Analyze reads an entire trace and applies the offline leak analysis.
+func Analyze(r *Reader, opts AnalyzeOptions) ([]LeakFinding, error) {
+	if opts.SLeakLifetimeFactor == 0 {
+		opts.SLeakLifetimeFactor = 2.0
+	}
+	if opts.ALeakLiveThreshold == 0 {
+		opts.ALeakLiveThreshold = 24
+	}
+	var now uint64
+	allocs := map[uint64]*allocState{}
+	groups := map[[2]uint64]*groupState{}
+
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case KindCompute:
+			now += ev.Cycles
+		case KindMalloc:
+			a := &allocState{id: ev.ID, site: ev.Site, size: ev.Size, born: now, lastAccess: now}
+			allocs[ev.ID] = a
+			key := [2]uint64{ev.Site, ev.Size}
+			g := groups[key]
+			if g == nil {
+				g = &groupState{site: ev.Site, size: ev.Size, live: map[uint64]*allocState{}}
+				groups[key] = g
+			}
+			g.live[ev.ID] = a
+			g.allocs++
+			g.lastAllocAt = now
+		case KindFree:
+			if a, ok := allocs[ev.ID]; ok && !a.freed {
+				a.freed = true
+				a.freedAt = now
+				key := [2]uint64{a.site, a.size}
+				if g := groups[key]; g != nil {
+					delete(g.live, ev.ID)
+					g.frees++
+					if lt := now - a.born; lt > g.maxLifetime {
+						g.maxLifetime = lt
+					}
+				}
+			}
+		case KindAccess:
+			now += opts.AccessCycleCharge
+			if a, ok := allocs[ev.ID]; ok {
+				a.lastAccess = now
+			}
+		}
+	}
+
+	// Judgement with perfect hindsight: an object leaked if it is live at
+	// the end AND was never accessed after it became an outlier (2× the
+	// group's maximal lifetime past its birth), or — for never-freed
+	// growing groups — never accessed again at all after its last touch
+	// well before the end.
+	var out []LeakFinding
+	for _, g := range groups {
+		if g.allocs == 0 {
+			continue
+		}
+		f := LeakFinding{Site: g.site, Size: g.size, LiveAtEnd: len(g.live), MaxLifetime: g.maxLifetime}
+		if g.frees == 0 {
+			// ALeak candidate: the group never frees anything — and, per
+			// Section 3.2.2, its memory usage must still be GROWING. An
+			// init-time working set whose last allocation is ancient
+			// history is not a continuous leak.
+			if len(g.live) < opts.ALeakLiveThreshold {
+				continue
+			}
+			if now-g.lastAllocAt > now/10 {
+				continue
+			}
+			f.Always = true
+			for id, a := range g.live {
+				// Exonerate anything the program kept touching: "accessed
+				// recently" = in the second half of the trace.
+				if a.lastAccess > a.born && now-a.lastAccess < now/2 {
+					continue
+				}
+				f.LeakedIDs = append(f.LeakedIDs, id)
+			}
+			// A growing group whose objects are all in active use is a
+			// cache, not a leak.
+			if len(f.LeakedIDs) < opts.ALeakLiveThreshold/2 {
+				continue
+			}
+		} else {
+			if g.maxLifetime == 0 {
+				continue
+			}
+			limit := uint64(opts.SLeakLifetimeFactor * float64(g.maxLifetime))
+			for id, a := range g.live {
+				suspectAt := a.born + limit
+				if suspectAt >= now {
+					continue // never became an outlier within the trace
+				}
+				if a.lastAccess > suspectAt {
+					continue // exonerated by a later access
+				}
+				f.LeakedIDs = append(f.LeakedIDs, id)
+			}
+			if len(f.LeakedIDs) == 0 {
+				continue
+			}
+		}
+		sort.Slice(f.LeakedIDs, func(i, j int) bool { return f.LeakedIDs[i] < f.LeakedIDs[j] })
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Size < out[j].Size
+	})
+	return out, nil
+}

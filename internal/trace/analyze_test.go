@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"safemem/internal/apps"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+)
+
+// synthetic builds a trace by hand: a stable group with one forgotten
+// object, a touched-forever object, and an init-time working set.
+func synthetic(t *testing.T) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(0)
+	// Init working set: 40 objects, never freed, touched throughout.
+	var ws []uint64
+	for i := 0; i < 40; i++ {
+		id++
+		w.Malloc(id, 64, 0xaaaa)
+		ws = append(ws, id)
+	}
+	// The churn group: alloc/free pairs with ~1000-cycle lifetimes.
+	var leaked, touched uint64
+	for i := 0; i < 400; i++ {
+		id++
+		w.Malloc(id, 32, 0xbbbb)
+		w.Compute(1000)
+		switch i {
+		case 50:
+			leaked = id // never freed, never touched again
+		case 51:
+			touched = id // never freed, touched every iteration
+		default:
+			w.Free(id)
+		}
+		if touched != 0 {
+			w.Access(touched, 0, 8, false)
+		}
+		w.Access(ws[i%len(ws)], 0, 8, true) // working set in active use
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = leaked
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyzeFindsTheLeakOnly(t *testing.T) {
+	findings, err := Analyze(synthetic(t), DefaultAnalyzeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	f := findings[0]
+	if f.Always || f.Site != 0xbbbb || f.Size != 32 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if len(f.LeakedIDs) != 1 {
+		t.Fatalf("leaked ids = %v (the touched object must be exonerated)", f.LeakedIDs)
+	}
+}
+
+func TestAnalyzeZeroValueOptionsDefaulted(t *testing.T) {
+	if _, err := Analyze(synthetic(t), AnalyzeOptions{AccessCycleCharge: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeAgreesWithOnlineSafeMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Record ypserv2's buggy run on a plain machine, analyze the trace
+	// offline, and check the offline finding names the same buggy group
+	// the online detector reports (the ground-truth transaction site).
+	m := machine.MustNew(machine.DefaultConfig())
+	alloc := heap.MustNew(m, heap.Options{Limit: 48 << 20})
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(w)
+	rec.Attach(m, alloc)
+	app, _ := apps.Get("ypserv2")
+	env := &apps.Env{M: m, Alloc: alloc}
+	if err := m.Run(func() error { return app.Run(env, apps.Config{Seed: 42, Buggy: true}) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Analyze(r, DefaultAnalyzeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, f := range findings {
+		if app.IsRealLeak(f.Site, f.Size) && len(f.LeakedIDs) > 0 {
+			hit = true
+		}
+		if f.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	if !hit {
+		t.Fatalf("offline analysis missed the planted leak; findings: %v", findings)
+	}
+	// And the false-positive count stays small (the online Table 5 story,
+	// with hindsight pruning instead of ECC watches).
+	fps := 0
+	for _, f := range findings {
+		if !app.IsRealLeak(f.Site, f.Size) {
+			fps += 1
+		}
+	}
+	if fps > 2 {
+		t.Fatalf("offline analysis produced %d false-positive groups: %v", fps, findings)
+	}
+}

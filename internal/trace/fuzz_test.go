@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder: it must terminate
+// with a clean EOF or an error, never panic or loop.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Call(1)
+	w.Malloc(1, 64, 2)
+	w.Access(1, 10, 8, true)
+	w.Free(1)
+	w.Return()
+	_ = w.Close()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add(append(append([]byte{}, valid...), 0xff, 0x00))
+	f.Add([]byte(Magic + "\x01"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for n := 0; n < 1_000_000; n++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+		t.Fatal("reader did not terminate")
+	})
+}

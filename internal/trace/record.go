@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"sort"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+// maxResolveSlack bounds how far outside a buffer an access may land and
+// still be attributed to it (covers guard-line overflows, freed-buffer
+// tails and modest wild pointers).
+const maxResolveSlack = 2 * vm.PageBytes
+
+// RecorderStats counts recording activity.
+type RecorderStats struct {
+	Mallocs  uint64
+	Frees    uint64
+	Accesses uint64
+	Computes uint64
+	Calls    uint64
+	// Dropped counts accesses that could not be attributed to any
+	// allocation (too far from every known buffer).
+	Dropped uint64
+}
+
+// indexed is one allocation in the recorder's address index. Freed blocks
+// stay in the index (tombstoned) so use-after-free accesses still resolve;
+// they are evicted when a new allocation overlaps their extent.
+type indexed struct {
+	addr     vm.VAddr
+	size     uint64
+	fullAddr vm.VAddr
+	fullEnd  vm.VAddr
+	id       uint64
+	freed    bool
+}
+
+// Recorder captures a workload trace. Attach it to the machine and heap
+// with Attach; every allocator event and memory access is encoded to the
+// underlying Writer.
+type Recorder struct {
+	w     *Writer
+	stats RecorderStats
+
+	// byAddr is the address index, sorted by addr.
+	byAddr []*indexed
+	byID   map[uint64]*indexed
+}
+
+// NewRecorder wraps w.
+func NewRecorder(w *Writer) *Recorder {
+	return &Recorder{w: w, byID: make(map[uint64]*indexed)}
+}
+
+// Attach registers the recorder with the machine and allocator. Recording
+// charges no simulated cycles: on the paper's platform this corresponds to
+// trace capture via the allocator wrappers and a (hardware-assisted or
+// offline) access trace.
+func (r *Recorder) Attach(m *machine.Machine, alloc *heap.Allocator) {
+	alloc.AddHook(r)
+	m.AttachMonitor(r)
+	m.SetTracer(r)
+}
+
+// Stats returns a copy of the counters.
+func (r *Recorder) Stats() RecorderStats { return r.stats }
+
+// search returns the position of the first indexed entry with addr > va.
+func (r *Recorder) search(va vm.VAddr) int {
+	return sort.Search(len(r.byAddr), func(i int) bool { return r.byAddr[i].addr > va })
+}
+
+// insert adds e keeping byAddr sorted, evicting tombstones its full extent
+// overlaps.
+func (r *Recorder) insert(e *indexed) {
+	// Evict overlapped tombstones (their memory is being reused).
+	kept := r.byAddr[:0]
+	for _, old := range r.byAddr {
+		if old.freed && old.fullAddr < e.fullEnd && e.fullAddr < old.fullEnd {
+			delete(r.byID, old.id)
+			continue
+		}
+		kept = append(kept, old)
+	}
+	r.byAddr = kept
+	i := r.search(e.addr)
+	r.byAddr = append(r.byAddr, nil)
+	copy(r.byAddr[i+1:], r.byAddr[i:])
+	r.byAddr[i] = e
+	r.byID[e.id] = e
+}
+
+// OnAlloc implements heap.Hook.
+func (r *Recorder) OnAlloc(b *heap.Block) {
+	r.stats.Mallocs++
+	r.w.Malloc(b.Seq, b.Size, b.Site)
+	r.insert(&indexed{
+		addr:     b.Addr,
+		size:     b.Size,
+		fullAddr: b.FullAddr,
+		fullEnd:  b.FullAddr + vm.VAddr(b.FullSize),
+		id:       b.Seq,
+	})
+}
+
+// OnFree implements heap.Hook.
+func (r *Recorder) OnFree(b *heap.Block) {
+	r.stats.Frees++
+	r.w.Free(b.Seq)
+	if e, ok := r.byID[b.Seq]; ok {
+		e.freed = true
+	}
+}
+
+// resolve maps va to (allocation id, offset). Live blocks containing va win
+// outright; otherwise the nearest block (live or freed) within the slack is
+// chosen, preserving out-of-bounds offsets.
+func (r *Recorder) resolve(va vm.VAddr) (uint64, int64, bool) {
+	i := r.search(va)
+	var best *indexed
+	bestDist := int64(maxResolveSlack) + 1
+	consider := func(e *indexed) {
+		if e == nil {
+			return
+		}
+		var dist int64
+		switch {
+		case va >= e.addr && uint64(va-e.addr) < e.size:
+			dist = 0
+		case va < e.addr:
+			dist = int64(e.addr - va)
+		default:
+			dist = int64(uint64(va-e.addr) - e.size + 1)
+		}
+		if dist < bestDist {
+			best, bestDist = e, dist
+		}
+	}
+	if i > 0 {
+		consider(r.byAddr[i-1])
+	}
+	if i < len(r.byAddr) {
+		consider(r.byAddr[i])
+	}
+	if i > 1 {
+		consider(r.byAddr[i-2]) // a freed neighbour may sit between
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.id, int64(va) - int64(best.addr), true
+}
+
+func (r *Recorder) access(va vm.VAddr, size int, write bool) {
+	id, off, ok := r.resolve(va)
+	if !ok {
+		r.stats.Dropped++
+		return
+	}
+	r.stats.Accesses++
+	r.w.Access(id, off, uint8(size), write)
+}
+
+// OnLoad implements machine.Monitor.
+func (r *Recorder) OnLoad(va vm.VAddr, size int) { r.access(va, size, false) }
+
+// OnStore implements machine.Monitor.
+func (r *Recorder) OnStore(va vm.VAddr, size int) { r.access(va, size, true) }
+
+// OnCompute implements machine.Tracer.
+func (r *Recorder) OnCompute(cycles uint64) {
+	r.stats.Computes++
+	r.w.Compute(cycles)
+}
+
+// OnCall implements machine.Tracer.
+func (r *Recorder) OnCall(site uint64) {
+	r.stats.Calls++
+	r.w.Call(site)
+}
+
+// OnReturn implements machine.Tracer.
+func (r *Recorder) OnReturn() { r.w.Return() }

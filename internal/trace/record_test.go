@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"safemem/internal/apps"
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+// recordRig is a plain (uninstrumented) machine with a recorder attached —
+// the "production" side of the trace workflow.
+func recordRig(t *testing.T) (*machine.Machine, *heap.Allocator, *Recorder, *bytes.Buffer) {
+	t.Helper()
+	m, err := machine.New(machine.Config{MemBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := heap.New(m, heap.Options{Limit: 48 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(w)
+	rec.Attach(m, alloc)
+	return m, alloc, rec, &buf
+}
+
+func TestRecordResolvesInAndOutOfBounds(t *testing.T) {
+	m, alloc, rec, buf := recordRig(t)
+	// A leading allocation keeps the page below p mapped, so the underflow
+	// access below lands in arena memory rather than segfaulting.
+	dummy, err := alloc.Malloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dummyBlk, _ := alloc.BlockAt(dummy)
+	p, err := alloc.Malloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := alloc.BlockAt(p)
+	m.Store8(p+50, 1)  // in bounds
+	m.Store8(p+110, 2) // past the end (rounded size 104 on the plain heap)
+	_ = m.Load8(p - 1) // before the start — hits the previous block or slack
+	if err := alloc.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Load8(p + 4) // use after free
+	if err := recCloseHelper(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accesses []Event
+	for {
+		ev, err := r.Next()
+		if err != nil {
+			break
+		}
+		if ev.Kind == KindAccess {
+			accesses = append(accesses, ev)
+		}
+	}
+	if len(accesses) != 4 {
+		t.Fatalf("recorded %d accesses, want 4 (stats %+v)", len(accesses), rec.Stats())
+	}
+	if accesses[0].ID != b.Seq || accesses[0].Offset != 50 || !accesses[0].Write {
+		t.Fatalf("in-bounds access = %+v", accesses[0])
+	}
+	if accesses[1].Offset != 110 {
+		t.Fatalf("overflow access offset = %d", accesses[1].Offset)
+	}
+	// On the packed plain heap, p-1 is literally the last byte of the
+	// previous block — the resolver attributes it there (offset 15 of the
+	// 16-byte dummy), which is what that underflow corrupts in reality.
+	if accesses[2].ID != dummyBlk.Seq || accesses[2].Offset != 15 {
+		t.Fatalf("underflow access = %+v, want last byte of block %d", accesses[2], dummyBlk.Seq)
+	}
+	if accesses[3].ID != b.Seq || accesses[3].Offset != 4 {
+		t.Fatalf("UAF access = %+v (should resolve to the freed block)", accesses[3])
+	}
+}
+
+func recCloseHelper(rec *Recorder) error { return rec.w.Close() }
+
+func TestRecordDropsWildAccesses(t *testing.T) {
+	m, alloc, rec, _ := recordRig(t)
+	if _, err := alloc.Malloc(16); err != nil {
+		t.Fatal(err)
+	}
+	// An access megabytes away from any allocation is unattributable.
+	if err := m.Kern.MapPages(0x7000000, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Store8(0x7000000, 1)
+	if rec.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d", rec.Stats().Dropped)
+	}
+}
+
+func TestRecordReplayRoundTripCleanProgram(t *testing.T) {
+	// Record a correct little program, replay it on a DIFFERENTLY laid-out
+	// heap (SafeMem padding) with the detector attached: same behaviour,
+	// zero reports.
+	m, alloc, rec, buf := recordRig(t)
+	var ptrs []vm.VAddr
+	m.Call(0x900)
+	for i := 0; i < 40; i++ {
+		p, err := alloc.Malloc(uint64(16 + i*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Memset(p, byte(i), uint64(16+i*8))
+		ptrs = append(ptrs, p)
+		m.Compute(500)
+	}
+	for i, p := range ptrs {
+		if i%2 == 0 {
+			if err := alloc.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			_ = m.Load8(p)
+		}
+	}
+	m.Return()
+	if err := recCloseHelper(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := machine.MustNew(machine.Config{MemBytes: 32 << 20})
+	alloc2 := heap.MustNew(m2, safemem.HeapOptions(true))
+	tool, err := safemem.Attach(m2, alloc2, safemem.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ReplayStats
+	runErr := m2.Run(func() error {
+		var err error
+		st, err = Replay(r, m2, alloc2)
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("replay: %v", runErr)
+	}
+	if st.Mallocs != 40 || st.Frees != 20 {
+		t.Fatalf("replay stats %+v", st)
+	}
+	if st.SiteMismatches != 0 {
+		t.Fatalf("site mismatches: %d", st.SiteMismatches)
+	}
+	if reports := tool.Reports(); len(reports) != 0 {
+		t.Fatalf("clean trace produced reports under SafeMem: %v", reports)
+	}
+	// The replayed program's live set matches the recorded one.
+	if alloc2.Live() != 20 {
+		t.Fatalf("live after replay = %d", alloc2.Live())
+	}
+}
+
+func TestRecordedBugReproducesUnderSafeMem(t *testing.T) {
+	// The production-debugging workflow end to end: record gzip with its
+	// crafted input on a PLAIN machine (no tool, overflow silently
+	// corrupts memory), then replay the trace in-house under SafeMem —
+	// which reports the overflow.
+	m, alloc, rec, buf := recordRig(t)
+	app, _ := apps.Get("gzip")
+	env := &apps.Env{M: m, Alloc: alloc}
+	if err := m.Run(func() error { return app.Run(env, apps.Config{Seed: 42, Buggy: true}) }); err != nil {
+		t.Fatalf("recording run: %v", err)
+	}
+	if err := recCloseHelper(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats().Dropped != 0 {
+		t.Fatalf("recorder dropped %d accesses", rec.Stats().Dropped)
+	}
+
+	m2 := machine.MustNew(machine.Config{MemBytes: 32 << 20})
+	alloc2 := heap.MustNew(m2, safemem.HeapOptions(true))
+	opts := safemem.DefaultOptions()
+	opts.DetectLeaks = false
+	tool, err := safemem.Attach(m2, alloc2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := m2.Run(func() error {
+		_, err := Replay(r, m2, alloc2)
+		return err
+	})
+	if runErr != nil {
+		t.Fatalf("replay: %v", runErr)
+	}
+	foundOverflow := false
+	for _, rep := range tool.Reports() {
+		if rep.Kind == safemem.BugOverflow {
+			foundOverflow = true
+		}
+	}
+	if !foundOverflow {
+		t.Fatalf("replayed trace did not reproduce the overflow; reports: %v", tool.Reports())
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+// ReplayStats summarises a replay.
+type ReplayStats struct {
+	Events   uint64
+	Mallocs  uint64
+	Frees    uint64
+	Accesses uint64
+	// SiteMismatches counts allocations whose replayed call-stack signature
+	// differs from the recorded one (a drift indicator, not an error).
+	SiteMismatches uint64
+	// SkippedAccesses counts accesses to ids with no known address
+	// (allocation failed during replay).
+	SkippedAccesses uint64
+}
+
+// Replay executes a recorded trace against a machine and allocator — which
+// may be configured completely differently from the recording pair (e.g.
+// replayed onto a SafeMem-padded heap with the detector attached). Returns
+// the stats and the first hard error.
+//
+// The caller runs it inside machine.Run if tools may abort the program:
+//
+//	err := m.Run(func() error { _, err := trace.Replay(r, m, alloc); return err })
+func Replay(r *Reader, m *machine.Machine, alloc *heap.Allocator) (ReplayStats, error) {
+	var st ReplayStats
+	addrs := make(map[uint64]vm.VAddr)
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		st.Events++
+		switch ev.Kind {
+		case KindMalloc:
+			p, err := alloc.Malloc(ev.Size)
+			if err != nil {
+				return st, fmt.Errorf("trace: replay malloc(%d) for id %d: %w", ev.Size, ev.ID, err)
+			}
+			st.Mallocs++
+			addrs[ev.ID] = p
+			if b, ok := alloc.BlockAt(p); ok && b.Site != ev.Site {
+				st.SiteMismatches++
+			}
+		case KindFree:
+			p, ok := addrs[ev.ID]
+			if !ok {
+				return st, fmt.Errorf("trace: replay free of unknown id %d", ev.ID)
+			}
+			if err := alloc.Free(p); err != nil {
+				return st, fmt.Errorf("trace: replay free id %d: %w", ev.ID, err)
+			}
+			st.Frees++
+			// Keep the address: later accesses to the freed buffer must
+			// replay (that is the use-after-free being reproduced).
+		case KindAccess:
+			p, ok := addrs[ev.ID]
+			if !ok {
+				st.SkippedAccesses++
+				continue
+			}
+			va := vm.VAddr(int64(p) + ev.Offset)
+			st.Accesses++
+			if ev.Write {
+				m.Store(va, int(ev.AccessSize), uint64(st.Events))
+			} else {
+				m.Load(va, int(ev.AccessSize))
+			}
+		case KindCompute:
+			m.Compute(ev.Cycles)
+		case KindCall:
+			m.Call(ev.Site)
+		case KindReturn:
+			m.Return()
+		default:
+			return st, fmt.Errorf("trace: replay: unexpected event %v", ev.Kind)
+		}
+	}
+}

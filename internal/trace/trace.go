@@ -1,0 +1,327 @@
+// Package trace records and replays workload traces: the allocation events,
+// call-stack movements and memory accesses of a simulated program, in a
+// compact binary format.
+//
+// The point of traces in a SafeMem-style workflow is the production-run
+// story: capture a trace of the misbehaving service once (recording is just
+// the allocator hooks plus an access monitor), then replay it in-house
+// under SafeMem, Purify, or any other tool — deterministically, as many
+// times as needed.
+//
+// Accesses are recorded relative to the allocation they touch (block id +
+// signed offset), not as raw addresses, so a trace replays correctly on an
+// allocator with a different layout (plain malloc vs SafeMem's padded
+// cache-line-aligned heap vs page-granularity guards). Out-of-bounds and
+// use-after-free accesses are preserved relative to their buffer — which is
+// exactly what lets a recorded bug reproduce under a different detector.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a trace stream; Version is bumped on format changes.
+const (
+	Magic   = "SAFEMEMTRACE"
+	Version = 1
+)
+
+// Kind enumerates trace events.
+type Kind uint8
+
+const (
+	// KindMalloc: Block allocation. Fields: ID, Size, Site.
+	KindMalloc Kind = iota + 1
+	// KindFree: deallocation. Fields: ID.
+	KindFree
+	// KindAccess: memory access. Fields: ID, Offset (signed), AccessSize,
+	// Write.
+	KindAccess
+	// KindCompute: pure computation. Fields: Cycles.
+	KindCompute
+	// KindCall: push a call frame. Fields: Site.
+	KindCall
+	// KindReturn: pop a call frame.
+	KindReturn
+	// KindEnd terminates the stream.
+	KindEnd
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMalloc:
+		return "malloc"
+	case KindFree:
+		return "free"
+	case KindAccess:
+		return "access"
+	case KindCompute:
+		return "compute"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one decoded trace event.
+type Event struct {
+	Kind Kind
+	// ID identifies the allocation (malloc/free/access).
+	ID uint64
+	// Size is the allocation size (malloc) in bytes.
+	Size uint64
+	// Site is the call-site signature (malloc/call).
+	Site uint64
+	// Offset is the access position relative to the buffer start; it may
+	// be negative (underflow) or beyond Size (overflow/UAF tails).
+	Offset int64
+	// AccessSize is 1, 2, 4 or 8 bytes.
+	AccessSize uint8
+	// Write distinguishes stores from loads.
+	Write bool
+	// Cycles is the computation charge (compute).
+	Cycles uint64
+}
+
+// Writer encodes events to a stream.
+type Writer struct {
+	w      *bufio.Writer
+	events uint64
+	err    error
+}
+
+// NewWriter writes a trace header to w and returns the encoder.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) put(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *Writer) putSigned(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *Writer) putKind(k Kind) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(byte(k))
+	w.events++
+}
+
+// Malloc records an allocation.
+func (w *Writer) Malloc(id, size, site uint64) {
+	w.putKind(KindMalloc)
+	w.put(id)
+	w.put(size)
+	w.put(site)
+}
+
+// Free records a deallocation.
+func (w *Writer) Free(id uint64) {
+	w.putKind(KindFree)
+	w.put(id)
+}
+
+// Access records a load or store relative to block id.
+func (w *Writer) Access(id uint64, offset int64, size uint8, write bool) {
+	w.putKind(KindAccess)
+	w.put(id)
+	w.putSigned(offset)
+	flags := uint64(size)
+	if write {
+		flags |= 0x80
+	}
+	w.put(flags)
+}
+
+// Compute records a pure-computation charge.
+func (w *Writer) Compute(cycles uint64) {
+	w.putKind(KindCompute)
+	w.put(cycles)
+}
+
+// Call records a call-frame push.
+func (w *Writer) Call(site uint64) {
+	w.putKind(KindCall)
+	w.put(site)
+}
+
+// Return records a call-frame pop.
+func (w *Writer) Return() {
+	w.putKind(KindReturn)
+}
+
+// Close terminates and flushes the stream.
+func (w *Writer) Close() error {
+	w.putKind(KindEnd)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Events returns the number of events written (including the end marker).
+func (w *Writer) Events() uint64 { return w.events }
+
+// Err returns the first encoding error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// ErrBadHeader is returned when the stream is not a trace.
+var ErrBadHeader = errors.New("trace: bad header")
+
+// NewReader validates the header of r and returns the decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if string(head[:len(Magic)]) != Magic {
+		return nil, ErrBadHeader
+	}
+	if head[len(Magic)] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadHeader, head[len(Magic)], Version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes one event. After the end marker it returns io.EOF.
+func (r *Reader) Next() (Event, error) {
+	k, err := r.r.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: truncated stream: %w", err)
+	}
+	ev := Event{Kind: Kind(k)}
+	switch ev.Kind {
+	case KindMalloc:
+		if ev.ID, err = binary.ReadUvarint(r.r); err == nil {
+			if ev.Size, err = binary.ReadUvarint(r.r); err == nil {
+				ev.Site, err = binary.ReadUvarint(r.r)
+			}
+		}
+	case KindFree:
+		ev.ID, err = binary.ReadUvarint(r.r)
+	case KindAccess:
+		if ev.ID, err = binary.ReadUvarint(r.r); err == nil {
+			if ev.Offset, err = binary.ReadVarint(r.r); err == nil {
+				var flags uint64
+				if flags, err = binary.ReadUvarint(r.r); err == nil {
+					ev.AccessSize = uint8(flags & 0x7f)
+					ev.Write = flags&0x80 != 0
+				}
+			}
+		}
+	case KindCompute:
+		ev.Cycles, err = binary.ReadUvarint(r.r)
+	case KindCall:
+		ev.Site, err = binary.ReadUvarint(r.r)
+	case KindReturn:
+	case KindEnd:
+		return ev, io.EOF
+	default:
+		return ev, fmt.Errorf("trace: unknown event kind %d", k)
+	}
+	if err != nil {
+		return ev, fmt.Errorf("trace: decode %v: %w", ev.Kind, err)
+	}
+	return ev, nil
+}
+
+// Summary aggregates a trace stream's contents.
+type Summary struct {
+	Events       uint64
+	Mallocs      uint64
+	Frees        uint64
+	Loads        uint64
+	Stores       uint64
+	Computes     uint64
+	Calls        uint64
+	Returns      uint64
+	BytesAlloced uint64
+	// OutOfBounds counts accesses whose offset falls outside [0, size) of
+	// their allocation — the recorded bugs.
+	OutOfBounds uint64
+	// FreedAccesses counts accesses to allocations after their free event.
+	FreedAccesses uint64
+}
+
+// Summarize drains r and aggregates its events.
+func Summarize(r *Reader) (Summary, error) {
+	var s Summary
+	sizes := map[uint64]uint64{}
+	freed := map[uint64]bool{}
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Events++
+		switch ev.Kind {
+		case KindMalloc:
+			s.Mallocs++
+			s.BytesAlloced += ev.Size
+			sizes[ev.ID] = ev.Size
+			delete(freed, ev.ID)
+		case KindFree:
+			s.Frees++
+			freed[ev.ID] = true
+		case KindAccess:
+			if ev.Write {
+				s.Stores++
+			} else {
+				s.Loads++
+			}
+			if freed[ev.ID] {
+				s.FreedAccesses++
+			} else if size, ok := sizes[ev.ID]; ok {
+				if ev.Offset < 0 || uint64(ev.Offset) >= size {
+					s.OutOfBounds++
+				}
+			}
+		case KindCompute:
+			s.Computes++
+		case KindCall:
+			s.Calls++
+		case KindReturn:
+			s.Returns++
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Call(0x1234)
+	w.Malloc(7, 100, 0xabc)
+	w.Access(7, -3, 1, true)
+	w.Access(7, 99, 8, false)
+	w.Compute(50_000)
+	w.Free(7)
+	w.Return()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() != 8 { // 7 events + end marker
+		t.Fatalf("Events = %d", w.Events())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: KindCall, Site: 0x1234},
+		{Kind: KindMalloc, ID: 7, Size: 100, Site: 0xabc},
+		{Kind: KindAccess, ID: 7, Offset: -3, AccessSize: 1, Write: true},
+		{Kind: KindAccess, ID: 7, Offset: 99, AccessSize: 8, Write: false},
+		{Kind: KindCompute, Cycles: 50_000},
+		{Kind: KindFree, ID: 7},
+		{Kind: KindReturn},
+	}
+	for i, w := range want {
+		ev, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != w {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, w)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end marker: %v", err)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACE....")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewBufferString("SAFEMEMTRACE\x7f")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("wrong version: %v", err)
+	}
+	if _, err := NewReader(bytes.NewBufferString("SA")); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("short stream: %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Malloc(1, 8, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the end marker and half the malloc.
+	data := buf.Bytes()[:len(buf.Bytes())-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		// First event may or may not decode depending on where the cut
+		// fell; drain until an error.
+		for {
+			if _, err := r.Next(); err != nil {
+				if errors.Is(err, io.EOF) {
+					t.Fatal("truncated stream reported clean EOF")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestQuickAccessRoundTrip(t *testing.T) {
+	f := func(id uint64, off int64, sizeSel uint8, write bool) bool {
+		size := []uint8{1, 2, 4, 8}[sizeSel%4]
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Access(id, off, size, write)
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		ev, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return ev.Kind == KindAccess && ev.ID == id && ev.Offset == off &&
+			ev.AccessSize == size && ev.Write == write
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindMalloc; k <= KindEnd; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d) badly named: %q", k, s)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Call(1)
+	w.Malloc(1, 100, 9)
+	w.Access(1, 50, 8, true)   // in bounds store
+	w.Access(1, 120, 1, false) // overflow load
+	w.Free(1)
+	w.Access(1, 4, 8, false) // use after free
+	w.Compute(10)
+	w.Return()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{
+		Events: 8, Mallocs: 1, Frees: 1, Loads: 2, Stores: 1,
+		Computes: 1, Calls: 1, Returns: 1, BytesAlloced: 100,
+		OutOfBounds: 1, FreedAccesses: 1,
+	}
+	if s != want {
+		t.Fatalf("summary = %+v, want %+v", s, want)
+	}
+}

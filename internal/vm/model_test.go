@@ -1,0 +1,159 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// TestAgainstReferenceModel drives the address space with random map /
+// unmap / protect / pin / swap / translate traffic, mirroring the state in
+// a simple reference model, and checks that translation outcomes, pin
+// semantics and frame accounting always agree.
+func TestAgainstReferenceModel(t *testing.T) {
+	const frames = 32
+	clock := &simtime.Clock{}
+	mem := physmem.MustNew(frames * PageBytes)
+	as := New(mem, clock)
+
+	type page struct {
+		prot   Prot
+		pinned int
+	}
+	model := map[uint64]*page{} // vpn -> state
+	rng := rand.New(rand.NewSource(555))
+
+	for step := 0; step < 20_000; step++ {
+		vpn := uint64(rng.Intn(64))
+		va := VAddr(vpn * PageBytes)
+		switch rng.Intn(12) {
+		case 0, 1, 2: // map
+			n := rng.Intn(3) + 1
+			conflict := false
+			for i := 0; i < n; i++ {
+				if _, ok := model[vpn+uint64(i)]; ok {
+					conflict = true
+				}
+			}
+			room := as.FreeFrames() >= n // observable pre-state
+			err := as.Map(va, n, ProtRW)
+			if conflict || !room {
+				if err == nil {
+					t.Fatalf("step %d: Map(%d,%d) succeeded; conflict=%v room=%v", step, vpn, n, conflict, room)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d: Map failed: %v", step, err)
+				}
+				for i := 0; i < n; i++ {
+					model[vpn+uint64(i)] = &page{prot: ProtRW}
+				}
+			}
+		case 3: // unmap
+			p, ok := model[vpn]
+			err := as.Unmap(va, 1)
+			if !ok || p.pinned > 0 {
+				if err == nil {
+					t.Fatalf("step %d: Unmap(%d) succeeded; model ok=%v", step, vpn, ok)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d: Unmap failed: %v", step, err)
+				}
+				delete(model, vpn)
+			}
+		case 4, 5: // protect
+			prot := []Prot{ProtNone, ProtRead, ProtRW}[rng.Intn(3)]
+			err := as.Protect(va, 1, prot)
+			if p, ok := model[vpn]; ok {
+				if err != nil {
+					t.Fatalf("step %d: Protect failed: %v", step, err)
+				}
+				p.prot = prot
+			} else if err == nil {
+				t.Fatalf("step %d: Protect of unmapped page succeeded", step)
+			}
+		case 6: // pin
+			wasResident := as.Present(va)
+			err := as.Pin(va)
+			if p, ok := model[vpn]; ok {
+				if err != nil {
+					if !wasResident {
+						// Pinning a swapped-out page needs a swap-in, which
+						// can fail when every frame is pinned.
+						break
+					}
+					t.Fatalf("step %d: Pin failed: %v", step, err)
+				}
+				p.pinned++
+			} else if err == nil {
+				t.Fatalf("step %d: Pin of unmapped page succeeded", step)
+			}
+		case 7: // unpin
+			err := as.Unpin(va)
+			if p, ok := model[vpn]; ok && p.pinned > 0 {
+				if err != nil {
+					t.Fatalf("step %d: Unpin failed: %v", step, err)
+				}
+				p.pinned--
+			} else if err == nil {
+				t.Fatalf("step %d: bad Unpin succeeded", step)
+			}
+		case 8: // swap pressure
+			want := 0
+			for _, p := range model {
+				if p.pinned == 0 {
+					want++
+				}
+			}
+			n := rng.Intn(4)
+			got := as.SwapOutLRU(n)
+			max := n
+			if want < max {
+				max = want
+			}
+			if got > max {
+				t.Fatalf("step %d: swapped %d, at most %d evictable", step, got, max)
+			}
+		default: // translate
+			write := rng.Intn(2) == 0
+			wasResident := as.Present(va)
+			_, fault := as.Translate(va+VAddr(rng.Intn(PageBytes)), write)
+			p, ok := model[vpn]
+			switch {
+			case !ok:
+				if fault == nil || fault.Kind != FaultUnmapped {
+					t.Fatalf("step %d: unmapped translate fault = %v", step, fault)
+				}
+			default:
+				need := ProtRead
+				if write {
+					need = ProtWrite
+				}
+				switch {
+				case p.prot&need == 0:
+					// Demand swap-in runs before the protection check, so a
+					// non-resident page may report the swap failure first.
+					if fault == nil ||
+						(fault.Kind != FaultProtection &&
+							!(fault.Kind == FaultSwappedOut && !wasResident)) {
+						t.Fatalf("step %d: protection violation fault = %v (prot %v write %v)", step, fault, p.prot, write)
+					}
+				case fault != nil && fault.Kind == FaultSwappedOut && !wasResident:
+					// Legal only when the demand swap-in found no
+					// evictable frame.
+				case fault != nil:
+					// Swapped-out pages swap back in transparently, so a
+					// permitted access never faults otherwise.
+					t.Fatalf("step %d: permitted access faulted: %v", step, fault)
+				}
+			}
+		}
+		// Mapped-page accounting always agrees with the model.
+		if got := int(as.Stats().FramesInUse); got != len(model) {
+			t.Fatalf("step %d: mapped pages %d, model %d", step, got, len(model))
+		}
+	}
+}

@@ -1,0 +1,434 @@
+// Package vm models the virtual-memory system of the simulated machine:
+// a page table mapping 4 KiB virtual pages to physical frames, per-page
+// protection bits (the substrate for the mprotect/page-protection baseline),
+// page pinning, and an LRU swapper.
+//
+// Two properties of the paper's design live here:
+//
+//   - page protection is *page* granularity, so a page-protection watcher
+//     pads and aligns to 4096-byte units — 64× coarser than a cache line,
+//     which is the source of the Table 4 space-overhead gap;
+//   - ECC protection is attached to *physical* memory, so swapping a watched
+//     page breaks the watch (the swap file stores data, not check bits);
+//     SafeMem pins watched pages (Section 2.2.2, "Dealing with Page
+//     Swapping"), which this package implements and tests demonstrate.
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"safemem/internal/ecc"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+// encodeCheck computes fresh ECC check bits, as the memory controller does
+// when the swap device's DMA writes a page back into DRAM.
+func encodeCheck(w uint64) uint8 { return uint8(ecc.Encode(w)) }
+
+// Flusher writes back and invalidates all cached lines of one physical
+// frame. The kernel wires the CPU cache in here so paging stays coherent:
+// frames are flushed before their contents move to or from the swap
+// device and before a frame changes owners.
+type Flusher interface {
+	FlushFrame(frame physmem.Addr)
+}
+
+// PageBytes is the virtual-memory page size.
+const PageBytes = 4096
+
+// LinesPerPage is the number of cache lines per page.
+const LinesPerPage = PageBytes / physmem.LineBytes
+
+// VAddr is a virtual byte address in the simulated process.
+type VAddr uint64
+
+// PageAddr returns the page-aligned base of a.
+func (a VAddr) PageAddr() VAddr { return a &^ (PageBytes - 1) }
+
+// PageOffset returns a's offset within its page.
+func (a VAddr) PageOffset() uint64 { return uint64(a) & (PageBytes - 1) }
+
+// LineAddr returns the cache-line-aligned base of a.
+func (a VAddr) LineAddr() VAddr { return a &^ (physmem.LineBytes - 1) }
+
+// Prot is a page-protection bit set.
+type Prot uint8
+
+const (
+	// ProtNone forbids all access.
+	ProtNone Prot = 0
+	// ProtRead allows loads.
+	ProtRead Prot = 1 << iota
+	// ProtWrite allows stores.
+	ProtWrite
+	// ProtRW allows both.
+	ProtRW = ProtRead | ProtWrite
+)
+
+// String renders the protection like mprotect flags.
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtRW:
+		return "rw-"
+	default:
+		return fmt.Sprintf("Prot(%d)", uint8(p))
+	}
+}
+
+// FaultKind distinguishes translation failures.
+type FaultKind int
+
+const (
+	// FaultUnmapped: no mapping exists for the page.
+	FaultUnmapped FaultKind = iota
+	// FaultProtection: the mapping exists but forbids this access.
+	FaultProtection
+	// FaultSwappedOut: the page is on the swap device.
+	FaultSwappedOut
+)
+
+// Fault is a page fault.
+type Fault struct {
+	Addr  VAddr
+	Write bool
+	Kind  FaultKind
+	Prot  Prot // the page's protection at fault time (FaultProtection only)
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := map[FaultKind]string{
+		FaultUnmapped:   "unmapped",
+		FaultProtection: "protection",
+		FaultSwappedOut: "swapped-out",
+	}[f.Kind]
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("vm: %s page fault on %s at %#x", kind, op, uint64(f.Addr))
+}
+
+// pte is one page-table entry.
+type pte struct {
+	frame   physmem.Addr // base physical address of the frame
+	prot    Prot
+	present bool // false when swapped out
+	pins    int  // pin count; pinned pages are never swapped
+	swapped []uint64
+	touch   uint64 // LRU stamp
+}
+
+// AddressSpace is one simulated process's virtual memory.
+type AddressSpace struct {
+	clock   *simtime.Clock
+	mem     *physmem.Memory
+	pages   map[uint64]*pte // vpn -> pte
+	frames  []physmem.Addr  // free frame list
+	tick    uint64
+	flusher Flusher
+
+	stats Stats
+}
+
+// Stats counts VM activity.
+type Stats struct {
+	Maps        uint64
+	Protects    uint64
+	Pins        uint64
+	Unpins      uint64
+	SwapsOut    uint64
+	SwapsIn     uint64
+	Translates  uint64
+	ProtFaults  uint64
+	FramesInUse uint64
+}
+
+// New creates an address space backed by mem's frames.
+func New(mem *physmem.Memory, clock *simtime.Clock) *AddressSpace {
+	nframes := mem.Size() / PageBytes
+	frames := make([]physmem.Addr, 0, nframes)
+	// Hand out high frames first so physical and virtual addresses differ,
+	// catching any accidental identity-mapping assumptions in callers.
+	for i := int64(nframes) - 1; i >= 0; i-- {
+		frames = append(frames, physmem.Addr(uint64(i)*PageBytes))
+	}
+	return &AddressSpace{
+		clock:  clock,
+		mem:    mem,
+		pages:  make(map[uint64]*pte),
+		frames: frames,
+	}
+}
+
+// SetFlusher wires the CPU cache (or any Flusher) into the paging paths.
+func (as *AddressSpace) SetFlusher(f Flusher) { as.flusher = f }
+
+func (as *AddressSpace) flushFrame(frame physmem.Addr) {
+	if as.flusher != nil {
+		as.flusher.FlushFrame(frame)
+	}
+}
+
+// Stats returns a copy of the counters.
+func (as *AddressSpace) Stats() Stats {
+	s := as.stats
+	s.FramesInUse = uint64(len(as.pages))
+	return s
+}
+
+// Map allocates frames for n pages starting at the page-aligned address va.
+func (as *AddressSpace) Map(va VAddr, n int, prot Prot) error {
+	if va.PageOffset() != 0 {
+		return fmt.Errorf("vm: Map at non-page-aligned %#x", uint64(va))
+	}
+	if n <= 0 {
+		return fmt.Errorf("vm: Map of %d pages", n)
+	}
+	vpn := uint64(va) / PageBytes
+	for i := 0; i < n; i++ {
+		if _, ok := as.pages[vpn+uint64(i)]; ok {
+			return fmt.Errorf("vm: page %#x already mapped", (vpn+uint64(i))*PageBytes)
+		}
+	}
+	if len(as.frames) < n {
+		return fmt.Errorf("vm: out of physical frames (%d free, %d needed)", len(as.frames), n)
+	}
+	for i := 0; i < n; i++ {
+		frame := as.frames[len(as.frames)-1]
+		as.frames = as.frames[:len(as.frames)-1]
+		as.pages[vpn+uint64(i)] = &pte{frame: frame, prot: prot, present: true}
+		as.clock.Advance(simtime.CostPageTableOp)
+		as.stats.Maps++
+	}
+	return nil
+}
+
+// Unmap releases the mapping for n pages at va, returning frames to the
+// free list. Pinned pages cannot be unmapped.
+func (as *AddressSpace) Unmap(va VAddr, n int) error {
+	if va.PageOffset() != 0 {
+		return fmt.Errorf("vm: Unmap at non-page-aligned %#x", uint64(va))
+	}
+	vpn := uint64(va) / PageBytes
+	for i := 0; i < n; i++ {
+		p, ok := as.pages[vpn+uint64(i)]
+		if !ok {
+			return fmt.Errorf("vm: page %#x not mapped", (vpn+uint64(i))*PageBytes)
+		}
+		if p.pins > 0 {
+			return fmt.Errorf("vm: page %#x is pinned", (vpn+uint64(i))*PageBytes)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := as.pages[vpn+uint64(i)]
+		if p.present {
+			// The frame is changing owners: purge its cached lines.
+			as.flushFrame(p.frame)
+			as.frames = append(as.frames, p.frame)
+		}
+		delete(as.pages, vpn+uint64(i))
+		as.clock.Advance(simtime.CostPageTableOp)
+	}
+	return nil
+}
+
+// Protect changes the protection of the n pages starting at va.
+func (as *AddressSpace) Protect(va VAddr, n int, prot Prot) error {
+	if va.PageOffset() != 0 {
+		return fmt.Errorf("vm: Protect at non-page-aligned %#x", uint64(va))
+	}
+	vpn := uint64(va) / PageBytes
+	for i := 0; i < n; i++ {
+		p, ok := as.pages[vpn+uint64(i)]
+		if !ok {
+			return fmt.Errorf("vm: page %#x not mapped", (vpn+uint64(i))*PageBytes)
+		}
+		p.prot = prot
+		as.clock.Advance(simtime.CostPageTableOp)
+		as.stats.Protects++
+	}
+	return nil
+}
+
+// ProtOf returns the protection of the page containing va.
+func (as *AddressSpace) ProtOf(va VAddr) (Prot, bool) {
+	p, ok := as.pages[uint64(va)/PageBytes]
+	if !ok {
+		return ProtNone, false
+	}
+	return p.prot, true
+}
+
+// Pin increments the pin count of the page containing va, preventing
+// swap-out. WatchMemory pins every page that holds a watched line.
+func (as *AddressSpace) Pin(va VAddr) error {
+	p, ok := as.pages[uint64(va)/PageBytes]
+	if !ok {
+		return fmt.Errorf("vm: Pin of unmapped page %#x", uint64(va.PageAddr()))
+	}
+	if !p.present {
+		if err := as.swapIn(uint64(va)/PageBytes, p); err != nil {
+			return err
+		}
+	}
+	p.pins++
+	as.stats.Pins++
+	as.clock.Advance(simtime.CostPageTableOp)
+	return nil
+}
+
+// Unpin decrements the pin count of the page containing va.
+func (as *AddressSpace) Unpin(va VAddr) error {
+	p, ok := as.pages[uint64(va)/PageBytes]
+	if !ok {
+		return fmt.Errorf("vm: Unpin of unmapped page %#x", uint64(va.PageAddr()))
+	}
+	if p.pins == 0 {
+		return fmt.Errorf("vm: Unpin of unpinned page %#x", uint64(va.PageAddr()))
+	}
+	p.pins--
+	as.stats.Unpins++
+	as.clock.Advance(simtime.CostPageTableOp)
+	return nil
+}
+
+// Pinned reports the pin count of the page containing va.
+func (as *AddressSpace) Pinned(va VAddr) int {
+	if p, ok := as.pages[uint64(va)/PageBytes]; ok {
+		return p.pins
+	}
+	return 0
+}
+
+// Translate maps a virtual address to a physical one, enforcing protection.
+// On a swapped-out page it transparently swaps the page back in (demand
+// paging) and retries.
+func (as *AddressSpace) Translate(va VAddr, write bool) (physmem.Addr, *Fault) {
+	as.stats.Translates++
+	p, ok := as.pages[uint64(va)/PageBytes]
+	if !ok {
+		return 0, &Fault{Addr: va, Write: write, Kind: FaultUnmapped}
+	}
+	if !p.present {
+		if err := as.swapIn(uint64(va)/PageBytes, p); err != nil {
+			return 0, &Fault{Addr: va, Write: write, Kind: FaultSwappedOut}
+		}
+	}
+	need := ProtRead
+	if write {
+		need = ProtWrite
+	}
+	if p.prot&need == 0 {
+		as.stats.ProtFaults++
+		as.clock.Advance(simtime.CostPageFault)
+		return 0, &Fault{Addr: va, Write: write, Kind: FaultProtection, Prot: p.prot}
+	}
+	as.tick++
+	p.touch = as.tick
+	return p.frame + physmem.Addr(va.PageOffset()), nil
+}
+
+// costSwapPage approximates a 4 KiB disk transfer; the exact figure only
+// matters in that swapping must be visibly expensive.
+const costSwapPage simtime.Cycles = 200_000
+
+// SwapOutLRU swaps out up to n of the least-recently-used, unpinned,
+// present pages, returning how many were evicted. The swap device stores
+// *data only* — check bits do not survive, which is why ECC watches break
+// across swap unless the page is pinned.
+func (as *AddressSpace) SwapOutLRU(n int) int {
+	type cand struct {
+		vpn   uint64
+		touch uint64
+	}
+	var cands []cand
+	for vpn, p := range as.pages {
+		if p.present && p.pins == 0 {
+			cands = append(cands, cand{vpn, p.touch})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].touch != cands[j].touch {
+			return cands[i].touch < cands[j].touch
+		}
+		return cands[i].vpn < cands[j].vpn
+	})
+	done := 0
+	for _, c := range cands {
+		if done >= n {
+			break
+		}
+		as.swapOut(c.vpn, as.pages[c.vpn])
+		done++
+	}
+	return done
+}
+
+func (as *AddressSpace) swapOut(vpn uint64, p *pte) {
+	// Write back and invalidate cached lines first: the swap device reads
+	// DRAM, and the frame is about to change owners.
+	as.flushFrame(p.frame)
+	// Read raw data words from the frame (DMA to the swap device).
+	words := make([]uint64, PageBytes/physmem.GroupBytes)
+	for i := range words {
+		words[i], _ = as.mem.ReadGroupRaw(p.frame + physmem.Addr(i*physmem.GroupBytes))
+	}
+	p.swapped = words
+	p.present = false
+	as.frames = append(as.frames, p.frame)
+	as.stats.SwapsOut++
+	as.clock.Advance(costSwapPage)
+}
+
+func (as *AddressSpace) swapIn(vpn uint64, p *pte) error {
+	if len(as.frames) == 0 {
+		// Make room by evicting someone else.
+		if as.SwapOutLRU(1) == 0 {
+			return fmt.Errorf("vm: no evictable frames for swap-in of page %#x", vpn*PageBytes)
+		}
+	}
+	frame := as.frames[len(as.frames)-1]
+	as.frames = as.frames[:len(as.frames)-1]
+	// Drop any stale cached lines left by the frame's previous owner.
+	as.flushFrame(frame)
+	// Write data back through the normal (ECC-enabled) path: every group
+	// gets *freshly encoded* check bits, so a scramble that was swapped out
+	// comes back self-consistent — the watch is silently lost. This is the
+	// hazard pinning exists to prevent.
+	for i, w := range p.swapped {
+		as.mem.WriteGroupRaw(frame+physmem.Addr(i*physmem.GroupBytes), w, encodeCheck(w))
+	}
+	p.swapped = nil
+	p.frame = frame
+	p.present = true
+	as.stats.SwapsIn++
+	as.clock.Advance(costSwapPage)
+	return nil
+}
+
+// Present reports whether the page containing va is resident.
+func (as *AddressSpace) Present(va VAddr) bool {
+	p, ok := as.pages[uint64(va)/PageBytes]
+	return ok && p.present
+}
+
+// FrameOf returns the physical frame of the page containing va, for tests.
+func (as *AddressSpace) FrameOf(va VAddr) (physmem.Addr, bool) {
+	p, ok := as.pages[uint64(va)/PageBytes]
+	if !ok || !p.present {
+		return 0, false
+	}
+	return p.frame, true
+}
+
+// FreeFrames returns the number of unallocated physical frames.
+func (as *AddressSpace) FreeFrames() int { return len(as.frames) }

@@ -1,0 +1,279 @@
+package vm
+
+import (
+	"testing"
+
+	"safemem/internal/ecc"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+)
+
+func newAS(frames int) (*AddressSpace, *physmem.Memory) {
+	clock := &simtime.Clock{}
+	mem := physmem.MustNew(uint64(frames) * PageBytes)
+	return New(mem, clock), mem
+}
+
+func TestMapTranslate(t *testing.T) {
+	as, _ := newAS(4)
+	if err := as.Map(0x10000, 2, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	pa, fault := as.Translate(0x10008, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	frame, _ := as.FrameOf(0x10000)
+	if pa != frame+8 {
+		t.Fatalf("pa = %#x, want frame+8 = %#x", pa, frame+8)
+	}
+	// Second page translates into a different frame.
+	pa2, fault := as.Translate(0x10000+PageBytes, true)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if pa2.LineAddr() == pa.LineAddr() {
+		t.Fatal("distinct pages share a frame")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	as, _ := newAS(2)
+	if err := as.Map(123, 1, ProtRW); err == nil {
+		t.Error("unaligned Map accepted")
+	}
+	if err := as.Map(0x1000, 0, ProtRW); err == nil {
+		t.Error("zero-page Map accepted")
+	}
+	if err := as.Map(0x1000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x1000, 1, ProtRW); err == nil {
+		t.Error("double Map accepted")
+	}
+	if err := as.Map(0x10000, 5, ProtRW); err == nil {
+		t.Error("Map beyond physical frames accepted")
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	as, _ := newAS(2)
+	_, fault := as.Translate(0xdead000, false)
+	if fault == nil || fault.Kind != FaultUnmapped {
+		t.Fatalf("fault = %+v, want unmapped", fault)
+	}
+	if fault.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestProtectionFaults(t *testing.T) {
+	as, _ := newAS(2)
+	if err := as.Map(0x2000, 1, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := as.Translate(0x2000, false); fault != nil {
+		t.Fatalf("read under ProtRead faulted: %v", fault)
+	}
+	_, fault := as.Translate(0x2000, true)
+	if fault == nil || fault.Kind != FaultProtection || !fault.Write {
+		t.Fatalf("write under ProtRead: fault = %+v", fault)
+	}
+	if err := as.Protect(0x2000, 1, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	_, fault = as.Translate(0x2000, false)
+	if fault == nil || fault.Kind != FaultProtection {
+		t.Fatalf("read under ProtNone: fault = %+v", fault)
+	}
+	if err := as.Protect(0x2000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := as.Translate(0x2000, true); fault != nil {
+		t.Fatalf("write under ProtRW faulted: %v", fault)
+	}
+	if as.Stats().ProtFaults != 2 {
+		t.Fatalf("ProtFaults = %d, want 2", as.Stats().ProtFaults)
+	}
+}
+
+func TestUnmapReturnsFrames(t *testing.T) {
+	as, _ := newAS(3)
+	free := as.FreeFrames()
+	if err := as.Map(0, 2, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if as.FreeFrames() != free-2 {
+		t.Fatal("frames not consumed")
+	}
+	if err := as.Unmap(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if as.FreeFrames() != free {
+		t.Fatal("frames not returned")
+	}
+	if _, fault := as.Translate(0, false); fault == nil {
+		t.Fatal("translate after unmap succeeded")
+	}
+}
+
+func TestPinBlocksSwapAndUnmap(t *testing.T) {
+	as, _ := newAS(4)
+	if err := as.Map(0x4000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Pin(0x4000 + 100); err != nil {
+		t.Fatal(err)
+	}
+	if as.Pinned(0x4000) != 1 {
+		t.Fatal("pin count wrong")
+	}
+	if n := as.SwapOutLRU(10); n != 0 {
+		t.Fatalf("swapped out %d pinned pages", n)
+	}
+	if err := as.Unmap(0x4000, 1); err == nil {
+		t.Fatal("unmapped a pinned page")
+	}
+	if err := as.Unpin(0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unpin(0x4000); err == nil {
+		t.Fatal("unpin below zero accepted")
+	}
+	if n := as.SwapOutLRU(10); n != 1 {
+		t.Fatalf("swap after unpin evicted %d, want 1", n)
+	}
+}
+
+func TestSwapRoundTripPreservesData(t *testing.T) {
+	as, mem := newAS(4)
+	if err := as.Map(0x8000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := as.FrameOf(0x8000)
+	mem.WriteGroupRaw(frame, 0x1122334455667788, uint8(ecc.Encode(0x1122334455667788)))
+
+	if n := as.SwapOutLRU(1); n != 1 {
+		t.Fatal("swap-out failed")
+	}
+	if as.Present(0x8000) {
+		t.Fatal("page still present")
+	}
+	// Demand paging: translation swaps the page back in.
+	pa, fault := as.Translate(0x8000, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	d, _ := mem.ReadGroupRaw(pa.GroupAddr())
+	if d != 0x1122334455667788 {
+		t.Fatalf("data after swap round trip = %#x", d)
+	}
+	st := as.Stats()
+	if st.SwapsOut != 1 || st.SwapsIn != 1 {
+		t.Fatalf("swap stats = %+v", st)
+	}
+}
+
+func TestSwapDestroysECCWatch(t *testing.T) {
+	// The Section 2.2.2 hazard: a scrambled (watched) group swapped out and
+	// back comes back with *fresh, matching* check bits — the watch is
+	// silently lost and the memory now holds scrambled garbage.
+	as, mem := newAS(4)
+	if err := as.Map(0x8000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	frame, _ := as.FrameOf(0x8000)
+	orig := uint64(0xabcdef)
+	// Simulate WatchMemory: data scrambled, check bits still for orig.
+	mem.WriteGroupRaw(frame, ecc.Scramble(orig), uint8(ecc.Encode(orig)))
+
+	as.SwapOutLRU(1)
+	pa, fault := as.Translate(0x8000, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	d, c := mem.ReadGroupRaw(pa.GroupAddr())
+	if _, _, res := ecc.Decode(d, ecc.Check(c)); res != ecc.OK {
+		t.Fatalf("swapped-in group decodes as %v; expected the watch to be silently lost (OK)", res)
+	}
+	if d != ecc.Scramble(orig) {
+		t.Fatalf("data = %#x, expected scrambled garbage %#x", d, ecc.Scramble(orig))
+	}
+}
+
+func TestSwapInEvictsWhenFull(t *testing.T) {
+	as, _ := newAS(2)
+	if err := as.Map(0x0, 2, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	as.Translate(0x0, false)       // touch page 0
+	as.Translate(PageBytes, false) // touch page 1 (more recent)
+	if n := as.SwapOutLRU(1); n != 1 {
+		t.Fatal("initial eviction failed")
+	}
+	if as.Present(0) {
+		t.Fatal("LRU page (0) should have been evicted")
+	}
+	// Consume the freed frame so the swap-in below finds none available.
+	if err := as.Map(0x100000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if as.FreeFrames() != 0 {
+		t.Fatalf("free frames = %d, want 0", as.FreeFrames())
+	}
+	// Bringing page 0 back requires evicting another page.
+	if _, fault := as.Translate(0x0, false); fault != nil {
+		t.Fatal(fault)
+	}
+	if !as.Present(0) {
+		t.Fatal("page 0 not resident after demand swap-in")
+	}
+	if as.Present(PageBytes) && as.Present(0x100000) {
+		t.Fatal("no page was evicted to make room")
+	}
+}
+
+func TestPinSwappedOutPageSwapsItIn(t *testing.T) {
+	as, _ := newAS(4)
+	if err := as.Map(0x0, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	as.SwapOutLRU(1)
+	if err := as.Pin(0x0); err != nil {
+		t.Fatal(err)
+	}
+	if !as.Present(0x0) {
+		t.Fatal("pinned page not resident")
+	}
+}
+
+func TestVAddrHelpers(t *testing.T) {
+	a := VAddr(PageBytes*2 + 100)
+	if a.PageAddr() != PageBytes*2 {
+		t.Errorf("PageAddr = %#x", uint64(a.PageAddr()))
+	}
+	if a.PageOffset() != 100 {
+		t.Errorf("PageOffset = %d", a.PageOffset())
+	}
+	if a.LineAddr() != PageBytes*2+64 {
+		t.Errorf("LineAddr = %#x", uint64(a.LineAddr()))
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if ProtRW.String() != "rw-" || ProtNone.String() != "---" || ProtRead.String() != "r--" {
+		t.Fatal("Prot.String mismatch")
+	}
+}
+
+func BenchmarkTranslate(b *testing.B) {
+	clock := &simtime.Clock{}
+	as := New(physmem.MustNew(1<<20), clock)
+	if err := as.Map(0x10000, 16, ProtRW); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Translate(VAddr(0x10000+i%(16*PageBytes)), i%2 == 0)
+	}
+}
