@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: compile, vet, tests, race tests.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

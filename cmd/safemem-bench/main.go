@@ -5,6 +5,8 @@
 //
 //	safemem-bench [-experiment table2|table3|table4|table5|figure3|all]
 //	              [-seed N] [-scale N] [-iterations N]
+//	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
+//	              [-sample-interval MS]
 //
 // Absolute numbers are simulated-cycle measurements; the shapes — who wins,
 // by roughly what factor, where the crossovers fall — are the reproduction
@@ -19,6 +21,8 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // jsonOutput aggregates the requested experiments for -format json.
@@ -39,11 +43,24 @@ func main() {
 	scale := flag.Int("scale", 0, "workload scale multiplier (0 = per-experiment default)")
 	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
 	format := flag.String("format", "text", "output format: text or json")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump covering every run to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (one process per run) to this file")
+	jsonlOut := flag.String("jsonl-out", "", "write the JSONL event log to this file")
+	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	var session *telemetry.Session
+	if *metricsOut != "" || *traceOut != "" || *jsonlOut != "" {
+		session = telemetry.NewSession(telemetry.Config{
+			TraceEnabled:   *traceOut != "" || *jsonlOut != "",
+			SampleInterval: simtime.FromMicroseconds(*sampleMS * 1000),
+		})
+		bench.Telemetry = session
 	}
 	asJSON := *format == "json"
 	out := jsonOutput{Seed: *seed, Scale: *scale}
@@ -146,6 +163,13 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-bench: encode: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if session != nil {
+		if err := session.ExportFiles(*metricsOut, *jsonlOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-bench: telemetry export: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -6,12 +6,15 @@
 //
 //	safemem-run -app ypserv1 [-tool safemem|safemem-ml|safemem-mc|purify|pageprot|none]
 //	            [-buggy] [-seed N] [-scale N] [-stop]
+//	            [-stats] [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
+//	            [-sample-interval MS]
 //
 // Examples:
 //
 //	safemem-run -app gzip -buggy            # catch the overflow with SafeMem
 //	safemem-run -app squid1 -buggy          # catch the leak
 //	safemem-run -app gzip -tool purify      # same workload under Purify
+//	safemem-run -app squid1 -buggy -trace-out /tmp/t.json   # Perfetto timeline
 package main
 
 import (
@@ -22,6 +25,8 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +36,11 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
 	explain := flag.Bool("explain", false, "print gdb-style elaborations of SafeMem reports")
+	stats := flag.Bool("stats", false, "print cache and ECC-controller statistics at exit")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) to this file")
+	jsonlOut := flag.String("jsonl-out", "", "write the JSONL event log to this file")
+	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
 	flag.Parse()
 
 	if *appName == "" {
@@ -66,6 +76,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "safemem-run: unknown tool %q\n", *toolName)
 		os.Exit(2)
+	}
+
+	telemetryWanted := *metricsOut != "" || *traceOut != "" || *jsonlOut != ""
+	var session *telemetry.Session
+	if telemetryWanted {
+		session = telemetry.NewSession(telemetry.Config{
+			TraceEnabled:   *traceOut != "" || *jsonlOut != "",
+			SampleInterval: simtime.FromMicroseconds(*sampleMS * 1000),
+		})
+		bench.Telemetry = session
 	}
 
 	cfg := apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}
@@ -119,6 +139,29 @@ func main() {
 		fmt.Printf("  mmp: %d allocations tabled, %d accesses checked\n", st.Allocs, st.Checks)
 		for _, r := range res.MMP {
 			fmt.Printf("  BUG %s\n", r)
+		}
+	}
+
+	if *stats {
+		cs := res.Cache
+		total := cs.Hits + cs.Misses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(cs.Hits) / float64(total)
+		}
+		fmt.Printf("  cache: %d hits, %d misses (%.2f%% hit ratio), %d write-backs, %d flushes\n",
+			cs.Hits, cs.Misses, 100*ratio, cs.WriteBacks, cs.Flushes)
+		ms := res.Ctrl
+		fmt.Printf("  ecc-ctrl: %d line reads, %d line writes, %d corrected-single, %d uncorrectable\n",
+			ms.LineReads, ms.LineWrites, ms.CorrectedSingle, ms.Uncorrectable)
+		fmt.Printf("  scrub: %d lines scrubbed (%d corrected), %d coordinated passes\n",
+			ms.ScrubbedLines, ms.ScrubCorrected, res.Kern.ScrubPasses)
+	}
+
+	if session != nil {
+		if err := session.ExportFiles(*metricsOut, *jsonlOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-run: telemetry export: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

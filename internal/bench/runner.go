@@ -8,14 +8,24 @@ import (
 	"fmt"
 
 	"safemem/internal/apps"
+	"safemem/internal/cache"
 	safemem "safemem/internal/core"
 	"safemem/internal/heap"
+	"safemem/internal/kernel"
 	"safemem/internal/machine"
+	"safemem/internal/memctrl"
 	"safemem/internal/mmp"
 	"safemem/internal/pageprot"
 	"safemem/internal/purify"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
+
+// Telemetry, when set, collects metrics and traces for every run started
+// through this package: each run gets its own registry in the session,
+// labelled "app/tool". Nil (the default) leaves runs on a quiet private
+// registry. The CLIs set it from their -metrics-out / -trace-out flags.
+var Telemetry *telemetry.Session
 
 // Tool selects the monitoring configuration of a run (the columns of
 // Table 3).
@@ -104,6 +114,15 @@ type Result struct {
 	// Heap and machine statistics (all runs).
 	Heap    heap.Stats
 	Machine machine.Stats
+
+	// Substrate statistics (all runs) — cache, ECC controller, kernel.
+	Cache cache.Stats
+	Ctrl  memctrl.Stats
+	Kern  kernel.Stats
+
+	// Registry is the run's telemetry registry (always non-nil; shared with
+	// the package-level Session when one is installed).
+	Registry *telemetry.Registry
 }
 
 // heapOptionsFor returns the allocator configuration each tool requires.
@@ -134,6 +153,9 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	app, ok := apps.Get(appName)
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	if mcfg.Telemetry == nil && Telemetry != nil {
+		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/" + tool.String())
 	}
 	m, err := machine.New(mcfg)
 	if err != nil {
@@ -176,10 +198,16 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		return nil, err
 	}
 
+	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/"+tool.String())
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	runSpan.End()
 	res.Cycles = m.Clock.Now()
 	res.Heap = alloc.Stats()
 	res.Machine = m.Stats()
+	res.Cache = m.Cache.Stats()
+	res.Ctrl = m.Ctrl.Stats()
+	res.Kern = m.Kern.Stats()
+	res.Registry = m.Telemetry
 
 	if smTool != nil {
 		res.SafeMem = smTool.Reports()
@@ -203,6 +231,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		res.MMP = mmpTool.Reports()
 		res.MMPStats = mmpTool.Stats()
 	}
+	m.Telemetry.Finish()
 	return res, nil
 }
 
@@ -213,7 +242,11 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown app %q", appName)
 	}
-	m, err := machine.New(machine.DefaultConfig())
+	mcfg := machine.DefaultConfig()
+	if Telemetry != nil {
+		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/custom")
+	}
+	m, err := machine.New(mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -229,13 +262,20 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	}
 	res := &Result{App: appName, Tool: ToolSafeMemBoth, Cfg: cfg}
 	env := &apps.Env{M: m, Alloc: alloc}
+	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/custom")
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	runSpan.End()
 	res.Cycles = m.Clock.Now()
 	res.Heap = alloc.Stats()
 	res.Machine = m.Stats()
+	res.Cache = m.Cache.Stats()
+	res.Ctrl = m.Ctrl.Stats()
+	res.Kern = m.Kern.Stats()
+	res.Registry = m.Telemetry
 	res.SafeMem = smTool.Reports()
 	res.SafeMemStats = smTool.Stats()
 	res.Groups = smTool.Groups()
+	m.Telemetry.Finish()
 	return res, nil
 }
 

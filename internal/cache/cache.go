@@ -19,6 +19,7 @@ import (
 	"safemem/internal/memctrl"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // Config sizes the cache.
@@ -57,6 +58,7 @@ type Cache struct {
 	sets  [][]way
 	tick  uint64
 	stats Stats
+	tr    *telemetry.Tracer
 }
 
 // New builds a cache over ctrl with the given configuration.
@@ -88,6 +90,23 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the counters.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// RegisterTelemetry registers the cache's counters with the registry and
+// adopts its tracer for flush spans. The load/store lookup path itself is
+// deliberately uninstrumented — it stays plain struct-field increments.
+func (c *Cache) RegisterTelemetry(reg *telemetry.Registry) {
+	c.tr = reg.Tracer()
+	reg.RegisterSource("cache", func(emit func(string, float64)) {
+		s := c.stats
+		emit("hits", float64(s.Hits))
+		emit("misses", float64(s.Misses))
+		emit("write_backs", float64(s.WriteBacks))
+		emit("flushes", float64(s.Flushes))
+		if total := s.Hits + s.Misses; total > 0 {
+			emit("hit_ratio", float64(s.Hits)/float64(total))
+		}
+	})
+}
 
 func (c *Cache) setIndex(line physmem.Addr) int {
 	return int(uint64(line) / physmem.LineBytes % uint64(c.cfg.Sets))
@@ -206,6 +225,8 @@ func (c *Cache) FlushLine(line physmem.Addr) {
 	if !line.IsLineAligned() {
 		panic(fmt.Sprintf("cache: FlushLine at unaligned address %#x", uint64(line)))
 	}
+	sp := c.tr.Begin("cache", "flush-line", telemetry.KV("line", uint64(line)))
+	defer sp.End()
 	c.stats.Flushes++
 	c.clock.Advance(simtime.CostLineFlush)
 	w := c.find(line)
@@ -243,6 +264,8 @@ func (c *Cache) Contains(line physmem.Addr) bool { return c.find(line) != nil }
 // it has been handed to a new owner, and stale clean lines would serve a
 // new owner the previous tenant's data.
 func (c *Cache) FlushFrame(base physmem.Addr) {
+	sp := c.tr.Begin("cache", "flush-frame", telemetry.KV("frame", uint64(base)))
+	defer sp.End()
 	for off := physmem.Addr(0); off < 4096; off += physmem.LineBytes {
 		line := base + off
 		if w := c.find(line); w != nil {
@@ -261,6 +284,8 @@ func (c *Cache) FlushFrame(base physmem.Addr) {
 // FlushAll writes back and invalidates every line (used when the kernel
 // swaps a page out).
 func (c *Cache) FlushAll() {
+	sp := c.tr.Begin("cache", "flush-all")
+	defer sp.End()
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			w := &c.sets[si][wi]

@@ -99,11 +99,13 @@ func (t *Tool) reportCorruption(r *watchRegion, faultVA vm.VAddr) {
 		side = "before the start"
 	}
 	b := r.block
+	latency := t.m.Clock.Now() - r.watchedAt
 	if err := t.unwatch(r, false); err != nil {
 		panic(fmt.Sprintf("safemem: unwatch tripped pad: %v", err))
 	}
 	t.report(BugReport{
 		Kind:        kind,
+		Latency:     latency,
 		Addr:        faultVA,
 		BufferAddr:  b.Addr,
 		BufferSize:  b.Size,
@@ -118,11 +120,13 @@ func (t *Tool) reportCorruption(r *watchRegion, faultVA vm.VAddr) {
 // watch for the whole freed extent.
 func (t *Tool) reportFreedAccess(r *watchRegion, faultVA vm.VAddr) {
 	b := r.block
+	latency := t.m.Clock.Now() - r.watchedAt
 	if err := t.unwatch(r, false); err != nil {
 		panic(fmt.Sprintf("safemem: unwatch tripped freed region: %v", err))
 	}
 	t.report(BugReport{
 		Kind:        BugFreedAccess,
+		Latency:     latency,
 		Addr:        faultVA,
 		BufferAddr:  b.Addr,
 		BufferSize:  b.Size,
@@ -139,6 +143,7 @@ func (t *Tool) reportFreedAccess(r *watchRegion, faultVA vm.VAddr) {
 func (t *Tool) handleUninitFault(r *watchRegion, faultVA vm.VAddr) {
 	b := r.block
 	write := t.accessIsWrite()
+	latency := t.m.Clock.Now() - r.watchedAt
 	if err := t.unwatch(r, false); err != nil {
 		panic(fmt.Sprintf("safemem: unwatch uninit region: %v", err))
 	}
@@ -148,6 +153,7 @@ func (t *Tool) handleUninitFault(r *watchRegion, faultVA vm.VAddr) {
 	}
 	t.report(BugReport{
 		Kind:       BugUninitRead,
+		Latency:    latency,
 		Addr:       faultVA,
 		BufferAddr: b.Addr,
 		BufferSize: b.Size,

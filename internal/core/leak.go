@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // maybeCheckLeaks runs the periodic leak-detection pass (Section 3.2.2).
@@ -24,6 +25,8 @@ func (t *Tool) maybeCheckLeaks() {
 	}
 	t.lastCheck = now
 	t.stats.LeakChecks++
+	sp := t.tr.Begin("safemem", "leak-check", telemetry.KV("groups", uint64(len(t.groups))))
+	defer sp.End()
 	t.m.Clock.Advance(costCheckBase + costCheckPerGroup*simtime.Cycles(len(t.groups)))
 
 	for _, g := range t.groups {
@@ -144,8 +147,15 @@ func (t *Tool) reportLeak(g *group, obj *object) {
 		details = fmt.Sprintf("object outlived %.1f× the stable maximal lifetime (%s) of group ⟨size=%d,site=%#x⟩ and was never accessed again",
 			t.opts.SLeakLifetimeFactor, g.maxLifetime, g.key.Size, g.key.Site)
 	}
+	var latency simtime.Cycles
+	if obj.suspect != nil {
+		// Confirmation latency: time from flagging (and ECC-watching) the
+		// suspect until the report.
+		latency = t.m.Clock.Now() - obj.suspect.watchedAt
+	}
 	t.report(BugReport{
 		Kind:       kind,
+		Latency:    latency,
 		Addr:       obj.block.Addr,
 		BufferAddr: obj.block.Addr,
 		BufferSize: obj.block.Size,

@@ -60,6 +60,11 @@ type BugReport struct {
 	Kind BugKind
 	// Time is the simulated CPU time of the report.
 	Time simtime.Cycles
+	// Latency is the detection latency in simulated cycles: the time from
+	// when the bug became observable (the watch was armed — free time for
+	// freed accesses, allocation for overflows and uninit reads, suspect
+	// flagging for leaks) until this report. Zero when unknown.
+	Latency simtime.Cycles
 	// Addr is the faulting address (corruption) or the object's user
 	// pointer (leaks).
 	Addr vm.VAddr

@@ -8,6 +8,7 @@ import (
 	"safemem/internal/machine"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 	"safemem/internal/vm"
 )
 
@@ -42,6 +43,9 @@ type Tool struct {
 	reports  []BugReport
 	onReport func(BugReport)
 	stats    Stats
+
+	tr      *telemetry.Tracer
+	latency *telemetry.Histogram
 }
 
 // Attach wires a SafeMem tool onto machine m and allocator alloc. The
@@ -76,6 +80,22 @@ func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, err
 	alloc.AddHook(t)
 	m.Kern.RegisterECCFaultHandler(t.handleECCFault)
 	m.Kern.SetScrubHooks(t.scrubBefore, t.scrubAfter)
+	t.tr = m.Telemetry.Tracer()
+	t.latency = m.Telemetry.Histogram("safemem", "detection_latency_cycles", telemetry.LatencyBuckets)
+	m.Telemetry.RegisterSource("safemem", func(emit func(string, float64)) {
+		s := t.Stats()
+		emit("allocs", float64(s.Allocs))
+		emit("frees", float64(s.Frees))
+		emit("leak_checks", float64(s.LeakChecks))
+		emit("suspects_flagged", float64(s.SuspectsFlagged))
+		emit("suspects_pruned", float64(s.SuspectsPruned))
+		emit("leaks_reported", float64(s.LeaksReported))
+		emit("corruption_reported", float64(s.CorruptionReported))
+		emit("hardware_errors", float64(s.HardwareErrors))
+		emit("watched_lines", float64(s.WatchedLines))
+		emit("max_watched_lines", float64(s.MaxWatchedLines))
+		emit("uninit_writes", float64(s.UninitWrites))
+	})
 	return t, nil
 }
 
@@ -135,6 +155,12 @@ func (t *Tool) report(r BugReport) {
 	} else {
 		t.stats.CorruptionReported++
 	}
+	if r.Latency > 0 {
+		t.latency.ObserveCycles(r.Latency)
+	}
+	t.tr.Instant("safemem", "report:"+r.Kind.String(),
+		telemetry.KV("addr", uint64(r.Addr)),
+		telemetry.KV("latency_cycles", uint64(r.Latency)))
 	if t.onReport != nil {
 		t.onReport(r)
 	}
@@ -150,6 +176,8 @@ func (t *Tool) report(r BugReport) {
 // activity is no longer monitored for corruption. Returns the newly
 // produced reports.
 func (t *Tool) Shutdown() []BugReport {
+	sp := t.tr.Begin("safemem", "shutdown")
+	defer sp.End()
 	before := len(t.reports)
 	now := t.m.Clock.Now()
 	var confirm []*watchRegion

@@ -133,12 +133,27 @@ func New(m *machine.Machine, opts Options) (*Allocator, error) {
 	if opts.PadBytes%opts.Align != 0 {
 		return nil, fmt.Errorf("heap: padding %d not a multiple of alignment %d", opts.PadBytes, opts.Align)
 	}
-	return &Allocator{
+	a := &Allocator{
 		m:      m,
 		opts:   opts,
 		brk:    opts.Base,
 		blocks: make(map[vm.VAddr]*Block),
-	}, nil
+	}
+	m.Telemetry.RegisterSource("heap", func(emit func(string, float64)) {
+		s := a.stats
+		emit("mallocs", float64(s.Mallocs))
+		emit("frees", float64(s.Frees))
+		emit("reallocs", float64(s.Reallocs))
+		emit("bytes_live", float64(s.BytesLive))
+		emit("bytes_peak", float64(s.BytesPeak))
+		emit("waste_live", float64(s.WasteLive))
+		emit("waste_peak", float64(s.WastePeak))
+		emit("total_user", float64(s.TotalUser))
+		emit("total_waste", float64(s.TotalWaste))
+		emit("arena_bytes", float64(s.ArenaBytes))
+		emit("failed_alloc", float64(s.FailedAlloc))
+	})
+	return a, nil
 }
 
 // MustNew is New, panicking on error.

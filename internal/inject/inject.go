@@ -16,6 +16,8 @@ import (
 
 	"safemem/internal/machine"
 	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 	"safemem/internal/vm"
 )
 
@@ -81,14 +83,45 @@ type Injector struct {
 	rng      *rand.Rand
 	accesses uint64
 	stats    Stats
+
+	// plantTime records when each planted-but-undetected fault went in, so
+	// the controller's fault observer can measure plant→detection latency.
+	plantTime map[physmem.Addr]simtime.Cycles
+	tr        *telemetry.Tracer
+	latency   *telemetry.Histogram
 }
 
-// New creates an injector for m.
+// New creates an injector for m. It registers an "inject" telemetry source
+// and hooks the memory controller's fault observer so every ECC event on a
+// planted group records its detection latency.
 func New(m *machine.Machine, cfg Config) *Injector {
 	if cfg.EveryN == 0 {
 		cfg.EveryN = 10_000
 	}
-	return &Injector{m: m, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))}
+	in := &Injector{
+		m:         m,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		plantTime: make(map[physmem.Addr]simtime.Cycles),
+	}
+	in.tr = m.Telemetry.Tracer()
+	in.latency = m.Telemetry.Histogram("inject", "detection_latency_cycles", telemetry.LatencyBuckets)
+	m.Telemetry.RegisterSource("inject", func(emit func(string, float64)) {
+		s := in.stats
+		emit("planted", float64(s.Planted))
+		emit("planted_single", float64(s.PlantedSingle))
+		emit("planted_double", float64(s.PlantedDouble))
+		emit("skipped_unmapped", float64(s.SkippedUnmapped))
+	})
+	m.Ctrl.SetFaultObserver(func(group physmem.Addr, uncorrectable bool) {
+		at, ok := in.plantTime[group]
+		if !ok {
+			return
+		}
+		delete(in.plantTime, group)
+		in.latency.ObserveCycles(m.Clock.Now() - at)
+	})
+	return in
 }
 
 // Stats returns a copy of the counters.
@@ -130,6 +163,8 @@ func (in *Injector) plant() {
 	b1 := uint(in.rng.Intn(64))
 	in.m.Phys.FlipDataBit(ga, b1)
 	in.stats.Planted++
+	in.plantTime[ga] = in.m.Clock.Now()
+	in.tr.Instant("inject", "plant", telemetry.KV("group", uint64(ga)))
 	if double {
 		b2 := uint(in.rng.Intn(63))
 		if b2 >= b1 {

@@ -19,6 +19,7 @@ import (
 	"safemem/internal/memctrl"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 	"safemem/internal/vm"
 )
 
@@ -108,6 +109,7 @@ type Kernel struct {
 	scrubBefore func()
 	scrubAfter  func()
 
+	tr       *telemetry.Tracer
 	panicked bool
 	stats    Stats
 }
@@ -132,6 +134,26 @@ func New(clock *simtime.Clock, ctrl *memctrl.Controller, c *cache.Cache, as *vm.
 
 // AddressSpace returns the process address space managed by this kernel.
 func (k *Kernel) AddressSpace() *vm.AddressSpace { return k.as }
+
+// RegisterTelemetry registers the kernel's counters with the registry and
+// adopts its tracer for syscall-level spans (WatchMemory, DisableWatch,
+// coordinated scrubs).
+func (k *Kernel) RegisterTelemetry(reg *telemetry.Registry) {
+	k.tr = reg.Tracer()
+	reg.RegisterSource("kernel", func(emit func(string, float64)) {
+		s := k.Stats()
+		emit("watch_calls", float64(s.WatchCalls))
+		emit("disable_calls", float64(s.DisableCalls))
+		emit("mprotect_calls", float64(s.MprotectCalls))
+		emit("map_calls", float64(s.MapCalls))
+		emit("ecc_faults_handled", float64(s.ECCFaultsHandled))
+		emit("ecc_faults_hardware", float64(s.ECCFaultsHardware))
+		emit("page_faults", float64(s.PageFaults))
+		emit("scrub_passes", float64(s.ScrubPasses))
+		emit("lines_watched", float64(s.LinesWatched))
+		emit("max_lines_watched", float64(s.MaxLinesWatched))
+	})
+}
 
 // Stats returns a copy of the counters.
 func (k *Kernel) Stats() Stats {
@@ -224,6 +246,9 @@ func checkLineRegion(va vm.VAddr, size uint64) error {
 // from the cache, lock the memory bus, disable ECC, write the scrambled
 // data (leaving the stale check bits), re-enable ECC, unlock.
 func (k *Kernel) WatchMemory(va vm.VAddr, size uint64) ([]uint64, error) {
+	sp := k.tr.Begin("kernel", "WatchMemory",
+		telemetry.KV("va", uint64(va)), telemetry.KV("bytes", size))
+	defer sp.End()
 	k.clock.Advance(simtime.CostSyscall)
 	k.stats.WatchCalls++
 	if err := checkLineRegion(va, size); err != nil {
@@ -323,6 +348,9 @@ func (k *Kernel) WatchMemory(va vm.VAddr, size uint64) ([]uint64, error) {
 // through the ECC-enabled path so the check bits become consistent again,
 // and unpins the pages.
 func (k *Kernel) DisableWatchMemory(va vm.VAddr, size uint64) error {
+	sp := k.tr.Begin("kernel", "DisableWatchMemory",
+		telemetry.KV("va", uint64(va)), telemetry.KV("bytes", size))
+	defer sp.End()
 	k.clock.Advance(simtime.CostSyscall)
 	k.stats.DisableCalls++
 	if err := checkLineRegion(va, size); err != nil {
@@ -397,6 +425,9 @@ func (k *Kernel) DisableWatchMemory(va vm.VAddr, size uint64) error {
 // longer Scramble(original), so only the private saved copy can repair them
 // (Section 2.2.2, "Differentiate Hardware Errors from Access Faults").
 func (k *Kernel) DisableWatchMemoryWithData(va vm.VAddr, size uint64, original []uint64) error {
+	sp := k.tr.Begin("kernel", "DisableWatchMemoryWithData",
+		telemetry.KV("va", uint64(va)), telemetry.KV("bytes", size))
+	defer sp.End()
 	k.clock.Advance(simtime.CostSyscall)
 	k.stats.DisableCalls++
 	if err := checkLineRegion(va, size); err != nil {
@@ -477,6 +508,8 @@ func (k *Kernel) UnmapPages(va vm.VAddr, npages int) error {
 // re-watches. Without the hooks, scrubbing a watched line would raise a
 // spurious fault.
 func (k *Kernel) CoordinatedScrub() {
+	sp := k.tr.Begin("kernel", "CoordinatedScrub")
+	defer sp.End()
 	k.stats.ScrubPasses++
 	if k.scrubBefore != nil {
 		k.scrubBefore()

@@ -19,6 +19,7 @@ import (
 	"safemem/internal/memctrl"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 	"safemem/internal/vm"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// software-friendly ECC interface the paper proposes in Section 2.2.3.
 	// Off by default: commodity chipsets (the paper's platform) lack it.
 	DirectECCAccess bool
+	// Telemetry is the metrics/trace registry the machine's components
+	// register into. When nil, New creates a quiet default (tracing off, no
+	// sampler) so components can stay registry-agnostic.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the standard machine configuration.
@@ -84,6 +89,9 @@ type Machine struct {
 	Kern  *kernel.Kernel
 	Stack *callstack.Stack
 
+	// Telemetry is the registry every component of this machine reports into.
+	Telemetry *telemetry.Registry
+
 	monitors []Monitor
 	tracer   Tracer
 	stats    Stats
@@ -121,15 +129,31 @@ func New(cfg Config) (*Machine, error) {
 	}
 	as := vm.New(phys, clock)
 	kern := kernel.New(clock, ctrl, ch, as)
-	return &Machine{
-		Clock: clock,
-		Phys:  phys,
-		Ctrl:  ctrl,
-		Cache: ch,
-		AS:    as,
-		Kern:  kern,
-		Stack: &callstack.Stack{},
-	}, nil
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry("", telemetry.Config{})
+	}
+	reg.AttachClock(clock)
+	m := &Machine{
+		Clock:     clock,
+		Phys:      phys,
+		Ctrl:      ctrl,
+		Cache:     ch,
+		AS:        as,
+		Kern:      kern,
+		Stack:     &callstack.Stack{},
+		Telemetry: reg,
+	}
+	phys.RegisterTelemetry(reg)
+	ctrl.RegisterTelemetry(reg)
+	ch.RegisterTelemetry(reg)
+	as.RegisterTelemetry(reg)
+	kern.RegisterTelemetry(reg)
+	reg.RegisterSource("machine", func(emit func(string, float64)) {
+		emit("loads", float64(m.stats.Loads))
+		emit("stores", float64(m.stats.Stores))
+	})
+	return m, nil
 }
 
 // MustNew is New, panicking on error.

@@ -18,6 +18,7 @@ import (
 	"safemem/internal/ecc"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // Mode selects the controller's ECC behaviour (Section 2.1).
@@ -75,6 +76,13 @@ type FaultReport struct {
 // controller re-reads the group after the handler returns.
 type InterruptHandler func(FaultReport)
 
+// FaultObserver is notified of every ECC error event the controller sees —
+// corrected single-bit errors and uncorrectable reports alike — with the
+// group's physical address. The fault injector uses it to measure detection
+// latency (cycles from planting a fault to the controller noticing it).
+// Observers are measurement probes: they charge no cycles.
+type FaultObserver func(group physmem.Addr, uncorrectable bool)
+
 // Stats counts controller activity.
 type Stats struct {
 	LineReads       uint64
@@ -96,13 +104,17 @@ type Capabilities struct {
 
 // Controller is the simulated ECC memory controller.
 type Controller struct {
-	mem     *physmem.Memory
-	clock   *simtime.Clock
-	mode    Mode
-	handler InterruptHandler
-	locked  bool
-	caps    Capabilities
-	stats   Stats
+	mem      *physmem.Memory
+	clock    *simtime.Clock
+	mode     Mode
+	handler  InterruptHandler
+	observer FaultObserver
+	locked   bool
+	caps     Capabilities
+	stats    Stats
+
+	tr      *telemetry.Tracer
+	busSpan telemetry.Span
 
 	// scrubCursor is the next line the incremental scrubber will visit.
 	scrubCursor physmem.Addr
@@ -163,6 +175,25 @@ func (c *Controller) SetMode(m Mode) {
 // (in the simulator, the kernel's entry point).
 func (c *Controller) SetInterruptHandler(h InterruptHandler) { c.handler = h }
 
+// SetFaultObserver installs a measurement probe notified on every ECC error
+// event (see FaultObserver).
+func (c *Controller) SetFaultObserver(fn FaultObserver) { c.observer = fn }
+
+// RegisterTelemetry registers the controller's counters with the registry
+// and adopts its tracer for bus-lock, scrub and fault-delivery spans.
+func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
+	c.tr = reg.Tracer()
+	reg.RegisterSource("memctrl", func(emit func(string, float64)) {
+		s := c.stats
+		emit("line_reads", float64(s.LineReads))
+		emit("line_writes", float64(s.LineWrites))
+		emit("corrected_single", float64(s.CorrectedSingle))
+		emit("uncorrectable", float64(s.Uncorrectable))
+		emit("scrubbed_lines", float64(s.ScrubbedLines))
+		emit("scrub_corrected", float64(s.ScrubCorrected))
+	})
+}
+
 // LockBus locks the memory bus. While locked, background traffic (the
 // scrubber — the simulator's stand-in for other processors and DMA) is
 // blocked. WatchMemory holds the lock across its disable-scramble-enable
@@ -171,6 +202,7 @@ func (c *Controller) LockBus() {
 	if c.locked {
 		panic("memctrl: bus already locked")
 	}
+	c.busSpan = c.tr.Begin("memctrl", "bus-locked")
 	c.clock.Advance(simtime.CostBusLock)
 	c.locked = true
 }
@@ -182,6 +214,8 @@ func (c *Controller) UnlockBus() {
 	}
 	c.clock.Advance(simtime.CostBusUnlock)
 	c.locked = false
+	c.busSpan.End()
+	c.busSpan = telemetry.Span{}
 }
 
 // BusLocked reports whether the bus is currently locked.
@@ -209,6 +243,9 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 		if duringScrub {
 			c.stats.ScrubCorrected++
 		}
+		if c.observer != nil {
+			c.observer(a, false)
+		}
 		if c.mode == CheckOnly {
 			// Detected and reported, but not corrected in memory.
 			return data
@@ -217,6 +254,9 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 		return corrected
 	case ecc.Uncorrectable:
 		c.stats.Uncorrectable++
+		if c.observer != nil {
+			c.observer(a, true)
+		}
 		report := FaultReport{
 			Group:       a,
 			Line:        a.LineAddr(),
@@ -225,8 +265,10 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 			DuringScrub: duringScrub,
 		}
 		if c.handler != nil {
+			sp := c.tr.Begin("memctrl", "ecc-fault", telemetry.KV("group", uint64(a)))
 			c.clock.Advance(simtime.CostInterrupt)
 			c.handler(report)
+			sp.End()
 			// The handler may have repaired the group (SafeMem restores the
 			// original data and check bits). Re-read once; if still broken,
 			// hand back the raw bits — the kernel has already decided what

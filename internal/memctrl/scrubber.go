@@ -3,6 +3,7 @@ package memctrl
 import (
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // Memory scrubbing (Section 2.2.2, "Dealing with ECC Memory Scrubbing"):
@@ -30,6 +31,8 @@ func (c *Controller) ScrubStep(n int) int {
 	if lines == 0 {
 		return 0
 	}
+	sp := c.tr.Begin("memctrl", "scrub", telemetry.KV("lines", uint64(n)))
+	defer sp.End()
 	done := 0
 	for ; done < n; done++ {
 		a := c.scrubCursor

@@ -120,6 +120,13 @@ func Attach(m *machine.Machine, alloc *heap.Allocator, stopOnBug bool) *Tool {
 	}
 	alloc.AddHook(t)
 	m.AttachMonitor(t)
+	m.Telemetry.RegisterSource("mmp", func(emit func(string, float64)) {
+		s := t.stats
+		emit("allocs", float64(s.Allocs))
+		emit("frees", float64(s.Frees))
+		emit("checks", float64(s.Checks))
+		emit("reports", float64(s.Reports))
+	})
 	return t
 }
 
@@ -132,6 +139,9 @@ func (t *Tool) Reports() []Report {
 
 // Stats returns a copy of the counters.
 func (t *Tool) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *Tool) ResetStats() { t.stats = Stats{} }
 
 func (t *Tool) search(va vm.VAddr) int {
 	return sort.Search(len(t.regions), func(i int) bool { return t.regions[i].addr > va })

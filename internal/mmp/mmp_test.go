@@ -148,3 +148,13 @@ func TestOutsideHeapIgnored(t *testing.T) {
 		t.Fatalf("non-heap access reported: %v", r.tool.Reports())
 	}
 }
+
+func TestResetStats(t *testing.T) {
+	r := newRig(t)
+	p := r.malloc(t, 16)
+	r.m.Store8(p, 1)
+	r.tool.ResetStats()
+	if r.tool.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset = %+v", r.tool.Stats())
+	}
+}

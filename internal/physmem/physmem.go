@@ -9,7 +9,11 @@
 // between DRAM modules and the chipset.
 package physmem
 
-import "fmt"
+import (
+	"fmt"
+
+	"safemem/internal/telemetry"
+)
 
 const (
 	// LineBytes is the size of one cache line / memory-bus transfer.
@@ -73,6 +77,14 @@ func MustNew(size uint64) *Memory {
 
 // Size returns the memory size in bytes.
 func (m *Memory) Size() uint64 { return m.size }
+
+// RegisterTelemetry registers the DRAM geometry with the registry.
+func (m *Memory) RegisterTelemetry(reg *telemetry.Registry) {
+	reg.RegisterSource("physmem", func(emit func(string, float64)) {
+		emit("size_bytes", float64(m.size))
+		emit("lines", float64(m.Lines()))
+	})
+}
 
 // Lines returns the number of 64-byte lines.
 func (m *Memory) Lines() uint64 { return m.size / LineBytes }

@@ -112,17 +112,52 @@ const (
 // ready to use. Clock is not safe for concurrent use; the simulated machine
 // is single-threaded, like the paper's monitored programs.
 type Clock struct {
-	now Cycles
+	now    Cycles
+	wakeAt Cycles
+	onWake func(now Cycles) Cycles
 }
 
 // Now returns the current simulated time.
 func (c *Clock) Now() Cycles { return c.now }
 
 // Advance moves the clock forward by n cycles.
-func (c *Clock) Advance(n Cycles) { c.now += n }
+func (c *Clock) Advance(n Cycles) {
+	c.now += n
+	if c.onWake != nil && c.now >= c.wakeAt {
+		c.fireWake()
+	}
+}
 
 // AdvanceInstr charges n ordinary instructions.
-func (c *Clock) AdvanceInstr(n uint64) { c.now += Cycles(n) * CostInstr }
+func (c *Clock) AdvanceInstr(n uint64) { c.Advance(Cycles(n) * CostInstr) }
 
 // Reset rewinds the clock to zero. Used between benchmark repetitions.
+// Any wake hook stays installed with its deadline unchanged, so periodic
+// work resumes once the clock catches back up.
 func (c *Clock) Reset() { c.now = 0 }
+
+// SetWake installs fn to run the first time the clock reaches or passes at.
+// A deadline crossed mid-Advance fires once, late, at the post-Advance time
+// (missed periods do not replay). fn returns the next wake time; returning
+// a time not after the current time uninstalls the hook. The hook must not
+// advance the clock. The telemetry sampler uses this to snapshot gauges
+// every N simulated ms with a single compare-and-branch on the Advance hot
+// path.
+func (c *Clock) SetWake(at Cycles, fn func(now Cycles) Cycles) {
+	c.wakeAt = at
+	c.onWake = fn
+}
+
+// ClearWake uninstalls the wake hook.
+func (c *Clock) ClearWake() { c.onWake = nil }
+
+func (c *Clock) fireWake() {
+	for c.onWake != nil && c.now >= c.wakeAt {
+		next := c.onWake(c.now)
+		if next <= c.now {
+			c.onWake = nil
+			return
+		}
+		c.wakeAt = next
+	}
+}

@@ -73,3 +73,38 @@ func TestCostOrdering(t *testing.T) {
 		t.Error("ECC interrupt delivery should exceed a bare syscall")
 	}
 }
+
+func TestWakeHook(t *testing.T) {
+	var c Clock
+	var fired []Cycles
+	c.SetWake(100, func(now Cycles) Cycles {
+		fired = append(fired, now)
+		return now + 100
+	})
+	c.Advance(50)
+	if len(fired) != 0 {
+		t.Fatalf("woke early at %v", fired)
+	}
+	c.Advance(50)  // now=100: fire, rearm at 200
+	c.Advance(250) // now=350: the 200 deadline fires once, late, at 350
+	if want := []Cycles{100, 350}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	c.ClearWake()
+	c.Advance(1000)
+	if len(fired) != 2 {
+		t.Fatalf("fired after ClearWake: %v", fired)
+	}
+}
+
+func TestWakeHookOneShot(t *testing.T) {
+	var c Clock
+	n := 0
+	// Returning a wake time not after now uninstalls the hook.
+	c.SetWake(10, func(now Cycles) Cycles { n++; return now })
+	c.Advance(100)
+	c.Advance(100)
+	if n != 1 {
+		t.Fatalf("one-shot wake fired %d times", n)
+	}
+}

@@ -1,0 +1,412 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"safemem/internal/simtime"
+)
+
+// Session groups the registries of one CLI invocation — one registry per
+// simulated machine/run — so a multi-run experiment exports into a single
+// set of files (one Chrome-trace "process" per run).
+type Session struct {
+	cfg Config
+
+	mu   sync.Mutex
+	regs []*Registry
+}
+
+// NewSession creates a session whose registries all share cfg.
+func NewSession(cfg Config) *Session { return &Session{cfg: cfg} }
+
+// NewRegistry creates and adopts a registry labelled run.
+func (s *Session) NewRegistry(run string) *Registry {
+	r := NewRegistry(run, s.cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regs = append(s.regs, r)
+	return r
+}
+
+// Registries returns the adopted registries in creation order.
+func (s *Session) Registries() []*Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Registry(nil), s.regs...)
+}
+
+// ExportFiles writes each requested dump of the session to its path; an
+// empty path skips that exporter. This is the CLI back end for the
+// -metrics-out / -jsonl-out / -trace-out flags.
+func (s *Session) ExportFiles(metricsPath, jsonlPath, tracePath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(metricsPath, s.WritePrometheus); err != nil {
+		return err
+	}
+	if err := write(jsonlPath, s.WriteJSONL); err != nil {
+		return err
+	}
+	return write(tracePath, s.WriteChromeTrace)
+}
+
+// promName sanitises a metric path component for Prometheus exposition.
+func promName(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promValue renders a float the way Prometheus expects (integers without a
+// decimal point).
+func promValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func promLabels(run string, extra ...string) string {
+	var parts []string
+	if run != "" {
+		parts = append(parts, fmt.Sprintf("run=%q", run))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus dumps every registry of the session in the Prometheus
+// text exposition format. Metric names are safemem_<component>_<name>;
+// multi-run sessions distinguish runs with a run="…" label. Must be called
+// from the simulation thread (it reads component sources).
+func (s *Session) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, s.Registries())
+}
+
+// WritePrometheus dumps this registry alone; see Session.WritePrometheus.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, []*Registry{r})
+}
+
+func writePrometheus(w io.Writer, regs []*Registry) error {
+	bw := bufio.NewWriter(w)
+
+	// Scalars: gather (name → kind, rows) so a metric's TYPE header is
+	// emitted once even when several runs export it.
+	type row struct{ labels, value string }
+	scalar := map[string]struct {
+		kind Kind
+		rows []row
+	}{}
+	var names []string
+	for _, reg := range regs {
+		for _, mv := range reg.Snapshot() {
+			name := "safemem_" + promName(mv.Component) + "_" + promName(mv.Name)
+			e, ok := scalar[name]
+			if !ok {
+				names = append(names, name)
+				e.kind = mv.Kind
+			}
+			e.rows = append(e.rows, row{promLabels(reg.Run()), promValue(mv.Value)})
+			scalar[name] = e
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := scalar[name]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, e.kind)
+		for _, r := range e.rows {
+			fmt.Fprintf(bw, "%s%s %s\n", name, r.labels, r.value)
+		}
+	}
+
+	// Histograms, in the standard _bucket/_sum/_count form.
+	for _, reg := range regs {
+		for _, h := range reg.Histograms() {
+			name := "safemem_" + promName(h.component) + "_" + promName(h.name)
+			bounds, counts, sum, count := h.Snapshot()
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+					promLabels(reg.Run(), "le", promValue(b)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(reg.Run(), "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(reg.Run()), promValue(sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(reg.Run()), count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Event is one JSONL record. A run's log is a meta line, then span/instant
+// lines in chronological order, then sampler rows, then final metric and
+// histogram values. Numeric zero fields are omitted on write; omitted
+// fields decode back to zero, so write→read round-trips exactly.
+type Event struct {
+	Type      string  `json:"type"` // meta | span | instant | sample | metric | histogram
+	Run       string  `json:"run,omitempty"`
+	Component string  `json:"component,omitempty"`
+	Name      string  `json:"name,omitempty"`
+	Kind      string  `json:"kind,omitempty"`
+	Start     uint64  `json:"start_cycles,omitempty"`
+	End       uint64  `json:"end_cycles,omitempty"`
+	Time      uint64  `json:"ts_cycles,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Dropped   uint64  `json:"dropped,omitempty"`
+
+	Args map[string]uint64 `json:"args,omitempty"`
+
+	// Histogram payload.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Count  uint64    `json:"count,omitempty"`
+}
+
+func argMap(args []Arg) map[string]uint64 {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]uint64, len(args))
+	for _, a := range args {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// events converts the registry's state into the JSONL record stream.
+func (r *Registry) events() []Event {
+	out := []Event{{
+		Type:    "meta",
+		Run:     r.run,
+		Name:    "cycles_per_microsecond",
+		Value:   simtime.CyclesPerMicrosecond,
+		Dropped: r.tracer.Dropped(),
+	}}
+
+	// Pair B/E trace events into span records via the nesting stack.
+	var stack []Event
+	for _, te := range r.tracer.Events() {
+		switch te.Phase {
+		case PhaseBegin:
+			stack = append(stack, Event{
+				Type: "span", Run: r.run, Component: te.Component, Name: te.Name,
+				Start: uint64(te.Time), Args: argMap(te.Args),
+			})
+		case PhaseEnd:
+			if len(stack) == 0 {
+				continue
+			}
+			ev := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ev.End = uint64(te.Time)
+			out = append(out, ev)
+		case PhaseInstant:
+			out = append(out, Event{
+				Type: "instant", Run: r.run, Component: te.Component, Name: te.Name,
+				Time: uint64(te.Time), Args: argMap(te.Args),
+			})
+		}
+	}
+	for _, s := range r.Samples() {
+		out = append(out, Event{
+			Type: "sample", Run: r.run, Component: s.Component, Name: s.Name,
+			Time: uint64(s.Time), Value: s.Value,
+		})
+	}
+	for _, mv := range r.Snapshot() {
+		out = append(out, Event{
+			Type: "metric", Run: r.run, Component: mv.Component, Name: mv.Name,
+			Kind: mv.Kind.String(), Value: mv.Value,
+		})
+	}
+	for _, h := range r.Histograms() {
+		bounds, counts, sum, count := h.Snapshot()
+		out = append(out, Event{
+			Type: "histogram", Run: r.run, Component: h.component, Name: h.name,
+			Bounds: bounds, Counts: counts, Sum: sum, Count: count,
+		})
+	}
+	return out
+}
+
+// WriteJSONL writes the session's full event log, one JSON object per line.
+func (s *Session) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, s.Registries())
+}
+
+// WriteJSONL writes this registry's event log; see Session.WriteJSONL.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	return writeJSONL(w, []*Registry{r})
+}
+
+func writeJSONL(w io.Writer, regs []*Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, reg := range regs {
+		for _, ev := range reg.events() {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an event log written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// chromeEvent is one trace_event record (the Chrome Trace Event Format,
+// JSON-object flavour, loadable in chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string         `json:"name,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func cyclesToUs(c simtime.Cycles) float64 {
+	return float64(c) / simtime.CyclesPerMicrosecond
+}
+
+// WriteChromeTrace writes the session as one Chrome trace_event JSON file.
+// Each run is a trace "process" (its simulated machine); spans live on
+// thread 1, sampler counters on thread 0 as counter ('C') events. All
+// timestamps are simulated microseconds.
+func (s *Session) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, s.Registries())
+}
+
+// WriteChromeTrace writes this registry alone; see Session.WriteChromeTrace.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, []*Registry{r})
+}
+
+func writeChromeTrace(w io.Writer, regs []*Registry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(&nopNewline{bw})
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(ev)
+	}
+
+	for i, reg := range regs {
+		pid := i + 1
+		name := reg.Run()
+		if name == "" {
+			name = fmt.Sprintf("run-%d", pid)
+		}
+		if err := emit(chromeEvent{
+			Name: "process_name", Phase: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": name},
+		}); err != nil {
+			return err
+		}
+		for _, te := range reg.Tracer().Events() {
+			ev := chromeEvent{
+				Name: te.Name, Cat: te.Component, Phase: string(te.Phase),
+				Ts: cyclesToUs(te.Time), Pid: pid, Tid: 1,
+			}
+			if te.Phase == PhaseInstant {
+				ev.Scope = "t"
+			}
+			if len(te.Args) > 0 {
+				args := make(map[string]any, len(te.Args))
+				for _, a := range te.Args {
+					args[a.Key] = a.Value
+				}
+				ev.Args = args
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+		for _, sa := range reg.Samples() {
+			if err := emit(chromeEvent{
+				Name: sa.Component + "/" + sa.Name, Phase: "C",
+				Ts: cyclesToUs(sa.Time), Pid: pid, Tid: 0,
+				Args: map[string]any{"value": sa.Value},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// nopNewline strips the trailing newline json.Encoder appends, so events
+// can be comma-joined.
+type nopNewline struct{ w *bufio.Writer }
+
+func (n *nopNewline) Write(p []byte) (int, error) {
+	m := len(p)
+	for m > 0 && p[m-1] == '\n' {
+		m--
+	}
+	if _, err := n.w.Write(p[:m]); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"safemem/internal/simtime"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sessionFixture builds a deterministic two-run session exercising every
+// exporter feature: owned metrics, a source, spans, instants, samples and a
+// histogram.
+func sessionFixture() *Session {
+	s := NewSession(Config{TraceEnabled: true, SampleInterval: 100})
+
+	r1 := s.NewRegistry("app/tool")
+	var c1 simtime.Clock
+	r1.AttachClock(&c1)
+	r1.Counter("cache", "hits").Add(12)
+	r1.Gauge("heap", "bytes_live").Set(4096)
+	h := r1.Histogram("safemem", "detection_latency_cycles", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(700)
+	h.Observe(4000)
+	r1.RegisterSource("kernel", func(emit func(string, float64)) {
+		emit("watch_calls", 3)
+	})
+	tr := r1.Tracer()
+	sp := tr.Begin("kernel", "WatchMemory", KV("bytes", 64))
+	c1.Advance(150) // one sampler tick at t=150
+	inner := tr.Begin("cache", "flush-line")
+	c1.Advance(10)
+	inner.End()
+	tr.Instant("safemem", "report", KV("addr", 0x1000))
+	sp.End()
+	r1.Finish()
+
+	r2 := s.NewRegistry("app/none")
+	var c2 simtime.Clock
+	r2.AttachClock(&c2)
+	r2.Counter("cache", "hits").Add(5)
+	c2.Advance(120)
+	r2.Finish()
+	return s
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sessionFixture().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus dump drifted from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := sessionFixture()
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	for _, reg := range s.Registries() {
+		want = append(want, reg.events()...)
+	}
+	got, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// The log carries at least a meta, a span and an instant per traced run.
+	kinds := map[string]int{}
+	for _, ev := range got {
+		kinds[ev.Type]++
+	}
+	for _, k := range []string{"meta", "span", "instant", "sample", "metric", "histogram"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events in log (%v)", k, kinds)
+		}
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sessionFixture().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Ph    string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Pid   int     `json:"pid"`
+			Tid   int     `json:"tid"`
+			Scope string  `json:"s"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	// Per (pid,tid) stream: B/E balanced, timestamps monotonic.
+	type lane struct{ pid, tid int }
+	depth := map[lane]int{}
+	lastTs := map[lane]float64{}
+	pids := map[int]bool{}
+	metas := 0
+	for _, ev := range doc.TraceEvents {
+		pids[ev.Pid] = true
+		l := lane{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "M":
+			metas++
+			continue
+		case "B":
+			depth[l]++
+		case "E":
+			depth[l]--
+			if depth[l] < 0 {
+				t.Fatalf("E before B on %+v", l)
+			}
+		case "i":
+			if ev.Scope != "t" {
+				t.Fatalf("instant scope = %q", ev.Scope)
+			}
+		case "C":
+		default:
+			t.Fatalf("unknown phase %q", ev.Ph)
+		}
+		if ev.Ts < lastTs[l] {
+			t.Fatalf("ts regressed on %+v: %v after %v", l, ev.Ts, lastTs[l])
+		}
+		lastTs[l] = ev.Ts
+	}
+	for l, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced lane %+v: depth %d", l, d)
+		}
+	}
+	if len(pids) != 2 || metas != 2 {
+		t.Fatalf("want 2 run processes with metadata, got pids=%v metas=%d", pids, metas)
+	}
+}
+
+func TestExportFiles(t *testing.T) {
+	dir := t.TempDir()
+	m := filepath.Join(dir, "m.txt")
+	j := filepath.Join(dir, "e.jsonl")
+	c := filepath.Join(dir, "t.json")
+	if err := sessionFixture().ExportFiles(m, j, c); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{m, j, c} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

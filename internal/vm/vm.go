@@ -21,6 +21,7 @@ import (
 	"safemem/internal/ecc"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
 )
 
 // encodeCheck computes fresh ECC check bits, as the memory controller does
@@ -135,6 +136,7 @@ type AddressSpace struct {
 	frames  []physmem.Addr  // free frame list
 	tick    uint64
 	flusher Flusher
+	tr      *telemetry.Tracer
 
 	stats Stats
 }
@@ -171,6 +173,24 @@ func New(mem *physmem.Memory, clock *simtime.Clock) *AddressSpace {
 
 // SetFlusher wires the CPU cache (or any Flusher) into the paging paths.
 func (as *AddressSpace) SetFlusher(f Flusher) { as.flusher = f }
+
+// RegisterTelemetry registers the address space's counters with the
+// registry and adopts its tracer for swap spans.
+func (as *AddressSpace) RegisterTelemetry(reg *telemetry.Registry) {
+	as.tr = reg.Tracer()
+	reg.RegisterSource("vm", func(emit func(string, float64)) {
+		s := as.Stats()
+		emit("maps", float64(s.Maps))
+		emit("protects", float64(s.Protects))
+		emit("pins", float64(s.Pins))
+		emit("unpins", float64(s.Unpins))
+		emit("swaps_out", float64(s.SwapsOut))
+		emit("swaps_in", float64(s.SwapsIn))
+		emit("translates", float64(s.Translates))
+		emit("prot_faults", float64(s.ProtFaults))
+		emit("frames_in_use", float64(s.FramesInUse))
+	})
+}
 
 func (as *AddressSpace) flushFrame(frame physmem.Addr) {
 	if as.flusher != nil {
@@ -374,6 +394,8 @@ func (as *AddressSpace) SwapOutLRU(n int) int {
 }
 
 func (as *AddressSpace) swapOut(vpn uint64, p *pte) {
+	sp := as.tr.Begin("vm", "swap-out", telemetry.KV("page", vpn*PageBytes))
+	defer sp.End()
 	// Write back and invalidate cached lines first: the swap device reads
 	// DRAM, and the frame is about to change owners.
 	as.flushFrame(p.frame)
@@ -390,6 +412,8 @@ func (as *AddressSpace) swapOut(vpn uint64, p *pte) {
 }
 
 func (as *AddressSpace) swapIn(vpn uint64, p *pte) error {
+	sp := as.tr.Begin("vm", "swap-in", telemetry.KV("page", vpn*PageBytes))
+	defer sp.End()
 	if len(as.frames) == 0 {
 		// Make room by evicting someone else.
 		if as.SwapOutLRU(1) == 0 {
