@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench campaign fuzz-short
 
 all: check
 
@@ -13,11 +13,28 @@ vet:
 test:
 	$(GO) test ./...
 
+# internal/bench alone needs most of an hour of CPU under the race
+# detector; the explicit timeout keeps it from dying at go test's 10m
+# default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
-# check is the full verification gate: compile, vet, tests, race tests.
-check: build vet test race
+# campaign runs the randomized bug campaign on a fixed seed set with a
+# wall-clock budget. Exit status 1 (with one-line repro commands printed)
+# on any oracle violation.
+campaign:
+	$(GO) run ./cmd/safemem-fuzz -seeds 48 -shards 8 -budget 30s
+
+# fuzz-short gives each native fuzz target a few seconds of coverage-guided
+# exploration on top of its checked-in seed corpus.
+fuzz-short:
+	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzDecode -fuzztime 3s
+	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzEncodeRoundTrip -fuzztime 3s
+	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
+
+# check is the full verification gate: compile, vet, tests, race tests,
+# short fuzzing, and the randomized campaign.
+check: build vet test race fuzz-short campaign
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -1,0 +1,182 @@
+// Command safemem-fuzz runs randomized bug campaigns against the SafeMem
+// detection stack: seed-reproducible synthetic workloads with planted leaks,
+// corruptions and benign near-misses, judged by a ground-truth oracle
+// (package campaign, DESIGN.md §4.5).
+//
+// Usage:
+//
+//	safemem-fuzz [-seeds N] [-base-seed N] [-shards N] [-budget 30s]
+//	             [-tool ml,mc,both] [-json] [-shrink] [-sabotage]
+//	safemem-fuzz -seed N [-tool both] [-scenario 'cv1|...']
+//
+// The first form runs a campaign: N scenarios sharded over goroutines, a
+// summary on stdout, exit status 1 if the oracle found violations (each with
+// a one-line repro command). The second form replays one scenario — either
+// regenerated from -seed or parsed from -scenario, exactly what a printed
+// repro command contains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"safemem/internal/campaign"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 100, "campaign size: number of generated scenarios")
+	baseSeed := flag.Uint64("base-seed", 42, "base seed; scenario i uses a sub-seed derived from it")
+	seed := flag.Uint64("seed", 0, "single-scenario mode: run exactly this scenario seed")
+	shards := flag.Int("shards", 8, "worker goroutines (summary is identical at any shard count)")
+	budget := flag.Duration("budget", 0, "wall-clock budget; 0 = run all seeds")
+	tool := flag.String("tool", "ml,mc,both", "tool configurations to judge (comma-separated: none, ml, mc, both)")
+	asJSON := flag.Bool("json", false, "print the canonical JSON summary instead of text")
+	shrink := flag.Bool("shrink", true, "shrink violating scenarios to minimal repros")
+	sabotage := flag.Bool("sabotage", false, "self-test: silently break corruption detection; the campaign must fail")
+	scenario := flag.String("scenario", "", "single-scenario mode: replay this encoded scenario instead of generating one")
+	flag.Parse()
+
+	tools, err := parseTools(*tool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		os.Exit(2)
+	}
+
+	single := *scenario != "" || isFlagSet("seed")
+	if single {
+		os.Exit(runSingle(*seed, *scenario, tools, *sabotage))
+	}
+
+	sum, err := campaign.Run(campaign.Config{
+		Seeds:    *seeds,
+		BaseSeed: *baseSeed,
+		Shards:   *shards,
+		Tools:    tools,
+		Budget:   *budget,
+		Shrink:   *shrink,
+		Sabotage: *sabotage,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		b, err := sum.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		printText(sum)
+	}
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %d oracle violation(s)\n", len(sum.Violations))
+		os.Exit(1)
+	}
+}
+
+// runSingle replays one scenario under one configuration and reports the
+// oracle's verdict. This is the mode a printed repro command invokes.
+func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, sabotage bool) int {
+	var s *campaign.Scenario
+	if encoded != "" {
+		var err error
+		if s, err = campaign.Decode(encoded); err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+			return 2
+		}
+		// Decode carries no seed; the flag restores it so hardware-fault
+		// bit positions replay identically.
+		s.Seed = seed
+	} else {
+		s = campaign.Generate(seed)
+	}
+	cfg := tools[0]
+
+	res, err := campaign.Execute(s, cfg, sabotage)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		return 1
+	}
+	v := campaign.Judge(s, cfg, res)
+	fmt.Printf("scenario seed=%d tool=%s: %d ops, %d planted, %d near-misses\n",
+		seed, cfg, len(s.Ops), len(s.Plan), len(s.Misses))
+	fmt.Printf("verdict: %d true positives, %d false positives, %d missed, %d expected misses\n",
+		v.TruePositives, v.FalsePositives, v.Missed, v.ExpectedMisses)
+	for _, r := range res.Reports {
+		fmt.Printf("  report: %s at site %#x: %s\n", r.Kind, r.Site, r.Details)
+	}
+	if len(v.Violations) == 0 {
+		fmt.Println("oracle: PASS")
+		return 0
+	}
+	for _, w := range v.Violations {
+		fmt.Printf("violation: %s %s site=%#x strand=%d: %s\n", w.Kind, w.BugKind, w.Site, w.Strand, w.Detail)
+	}
+	return 1
+}
+
+// printText renders the human-readable campaign summary.
+func printText(sum *campaign.Summary) {
+	fmt.Printf("campaign: %d/%d scenarios (base seed %d)", sum.ScenariosRun, sum.Seeds, sum.BaseSeed)
+	if sum.Sabotage {
+		fmt.Print(" [SABOTAGE]")
+	}
+	fmt.Println()
+	for _, cs := range sum.Configs {
+		fmt.Printf("  %-4s  TP=%-3d FP=%-3d missed=%-3d expected-miss=%-3d hw=%d\n",
+			cs.Config, cs.TruePositives, cs.FalsePositives, cs.Missed, cs.ExpectedMisses, cs.HardwareErrors)
+		if cs.Latency != nil {
+			fmt.Printf("        detection latency (cycles): p50=%.0f p95=%.0f max=%.0f (n=%d)\n",
+				cs.Latency.P50, cs.Latency.P95, cs.Latency.Max, cs.Latency.Count)
+		}
+		if cs.Overhead != nil {
+			fmt.Printf("        overhead vs baseline: mean=%.1f%% p95=%.1f%%\n",
+				cs.Overhead.Mean*100, cs.Overhead.P95*100)
+		}
+	}
+	if len(sum.Violations) == 0 {
+		fmt.Println("oracle: PASS")
+		return
+	}
+	fmt.Printf("oracle: FAIL — %d violation(s)\n", len(sum.Violations))
+	for _, v := range sum.Violations {
+		fmt.Printf("  [%s/%s] seed=%d cfg=%s: %s\n", v.Kind, v.BugKind, v.Seed, v.Config, v.Detail)
+		if v.Shrunk != "" {
+			fmt.Printf("    repro (shrunk): %s\n", v.Shrunk)
+		} else if v.Repro != "" {
+			fmt.Printf("    repro: %s\n", v.Repro)
+		}
+	}
+}
+
+// parseTools resolves the -tool flag's comma-separated list.
+func parseTools(s string) ([]campaign.ToolConfig, error) {
+	var out []campaign.ToolConfig
+	for _, name := range strings.Split(s, ",") {
+		c, err := campaign.ParseToolConfig(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -tool list")
+	}
+	return out, nil
+}
+
+// isFlagSet reports whether the named flag was given explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safemem/internal/apps"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from this run's output")
+
+// raceEnabled is set by race_test.go when the race detector is on. The
+// golden runs are byte-comparison regression pins over workloads the other
+// bench tests already exercise under race; repeating them there only
+// pushes the package past the test timeout.
+var raceEnabled = false
+
+// TestGoldenOutputs pins the rendered text of the paper's tables and
+// Figure 3 for the canonical seed. The simulation is deterministic, so any
+// diff here is a real behaviour change in the detection stack, the
+// workloads or the renderers — inspect it, then refresh the files with
+//
+//	go test ./internal/bench -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full table workloads")
+	}
+	if raceEnabled {
+		t.Skip("byte-identical output comparison; raced elsewhere")
+	}
+	cfg := apps.Config{Seed: 42}
+
+	cases := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"table3", func() (string, error) {
+			rows, err := RunTable3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable3(rows), nil
+		}},
+		{"table4", func() (string, error) {
+			rows, err := RunTable4(cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable4(rows), nil
+		}},
+		{"table5", func() (string, error) {
+			rows, err := RunTable5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable5(rows), nil
+		}},
+		{"figure3", func() (string, error) {
+			series, err := RunFigure3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderFigure3(series), nil
+		}},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got, err := tc.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from golden file %s\n--- got\n%s\n--- want\n%s",
+					tc.name, path, got, want)
+			}
+		})
+	}
+}

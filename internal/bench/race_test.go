@@ -1,0 +1,5 @@
+//go:build race
+
+package bench
+
+func init() { raceEnabled = true }

@@ -1,0 +1,281 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
+)
+
+// Config parameterises a campaign run.
+type Config struct {
+	// Seeds is the number of scenarios to generate and run.
+	Seeds int
+	// BaseSeed is mixed with each scenario index to derive its sub-seed, so
+	// scenario i means the same test case at any shard count.
+	BaseSeed uint64
+	// Shards is the number of worker goroutines (default 1). Sharding
+	// changes wall-clock time only: every scenario runs on its own machine
+	// from its own sub-seed, results are collected by index and aggregated
+	// sequentially, so the summary is byte-identical at any shard count.
+	Shards int
+	// Tools lists the configurations to judge (default ml, mc, both). The
+	// uninstrumented baseline always runs for the overhead denominator,
+	// whether or not CfgNone is listed.
+	Tools []ToolConfig
+	// Budget, when non-zero, stops workers from *starting* new scenarios
+	// once the wall-clock budget is spent (in-flight scenarios finish).
+	// Truncation is recorded in the summary's scenarios_run; byte-identical
+	// summaries are only guaranteed for unbudgeted runs.
+	Budget time.Duration
+	// Shrink enables minimisation of violating scenarios.
+	Shrink bool
+	// Sabotage silently disables corruption detection while still judging
+	// against the declared configuration — a self-test that must produce
+	// violations (and working repro commands) on any scenario with a
+	// corruption-class plant.
+	Sabotage bool
+	// Registry, when non-nil, receives the campaign's aggregate telemetry
+	// (true/false positive counters, detection-latency and overhead
+	// histograms). Nil creates a private registry.
+	Registry *telemetry.Registry
+}
+
+// maxShrinks bounds shrinking work per campaign: violations are rare (a
+// green campaign has none), but a systemic breakage would otherwise shrink
+// hundreds of scenarios at one re-execution per removed op.
+const maxShrinks = 10
+
+// Dist summarises a sample distribution. All fields derive from the sorted
+// sample set, so equal inputs give byte-equal JSON.
+type Dist struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+func distOf(samples []float64) *Dist {
+	if len(samples) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	q := func(p int) float64 { return s[(len(s)-1)*p/100] }
+	return &Dist{
+		Count: len(s), Min: s[0], Max: s[len(s)-1],
+		Mean: sum / float64(len(s)), P50: q(50), P95: q(95),
+	}
+}
+
+// ConfigSummary aggregates one configuration's results across the campaign.
+type ConfigSummary struct {
+	Config         string `json:"config"`
+	Scenarios      int    `json:"scenarios"`
+	TruePositives  int    `json:"true_positives"`
+	FalsePositives int    `json:"false_positives"`
+	Missed         int    `json:"missed"`
+	ExpectedMisses int    `json:"expected_misses"`
+	TotalCycles    uint64 `json:"total_cycles"`
+	Latency        *Dist  `json:"latency_cycles,omitempty"`
+	Overhead       *Dist  `json:"overhead,omitempty"`
+	HardwareErrors uint64 `json:"hardware_errors"`
+}
+
+// Summary is the campaign's result. It deliberately contains nothing about
+// the execution environment — no shard count, budget or wall-clock times —
+// so summaries compare byte-for-byte across machines and parallelism.
+type Summary struct {
+	Version      string          `json:"version"`
+	BaseSeed     uint64          `json:"base_seed"`
+	Seeds        int             `json:"seeds"`
+	ScenariosRun int             `json:"scenarios_run"`
+	Sabotage     bool            `json:"sabotage,omitempty"`
+	Configs      []ConfigSummary `json:"configs"`
+	Violations   []Violation     `json:"violations"`
+}
+
+// JSON renders the summary in its canonical indented form.
+func (s *Summary) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// ReproCommand builds the one-line command that replays a single violating
+// scenario.
+func ReproCommand(v Violation, scenario *Scenario, sabotage bool) string {
+	cmd := fmt.Sprintf("safemem-fuzz -seed=%d -tool=%s", v.Seed, v.Config)
+	if sabotage {
+		cmd += " -sabotage"
+	}
+	return fmt.Sprintf("%s -scenario='%s'", cmd, scenario.Encode())
+}
+
+// outcome is one scenario's full result set, collected by index.
+type outcome struct {
+	scenario *Scenario
+	baseline *ExecResult
+	runs     []*ExecResult // parallel to the judged config list
+	verdicts []*Verdict
+	err      error
+}
+
+// Run executes the campaign and returns its aggregate summary. Scenario i
+// is generated from subSeed(BaseSeed, i) and runs on a fresh machine per
+// configuration; workers claim indices atomically and post results into an
+// index-ordered slice, and all aggregation happens sequentially afterwards,
+// which is what makes the summary independent of Shards and GOMAXPROCS.
+func Run(cfg Config) (*Summary, error) {
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	tools := cfg.Tools
+	if len(tools) == 0 {
+		tools = []ToolConfig{CfgML, CfgMC, CfgBoth}
+	}
+
+	var deadline time.Time
+	if cfg.Budget > 0 {
+		deadline = time.Now().Add(cfg.Budget)
+	}
+
+	results := make([]*outcome, cfg.Seeds)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Seeds {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				results[i] = runScenario(subSeed(cfg.BaseSeed, i), tools, cfg.Sabotage)
+			}
+		}()
+	}
+	wg.Wait()
+
+	return aggregate(cfg, tools, results)
+}
+
+// runScenario generates and executes one scenario under the baseline and
+// every judged configuration.
+func runScenario(seed uint64, tools []ToolConfig, sabotage bool) *outcome {
+	o := &outcome{scenario: Generate(seed)}
+	base, err := Execute(o.scenario, CfgNone, sabotage)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	o.baseline = base
+	for _, tc := range tools {
+		res := base
+		if tc != CfgNone {
+			if res, err = Execute(o.scenario, tc, sabotage); err != nil {
+				o.err = err
+				return o
+			}
+		}
+		o.runs = append(o.runs, res)
+		o.verdicts = append(o.verdicts, Judge(o.scenario, tc, res))
+	}
+	return o
+}
+
+// aggregate folds the index-ordered outcomes into the summary and the
+// telemetry registry.
+func aggregate(cfg Config, tools []ToolConfig, results []*outcome) (*Summary, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry("campaign", telemetry.Config{})
+	}
+	latencyHist := reg.Histogram("campaign", "detection_latency_cycles", telemetry.LatencyBuckets)
+	overheadHist := reg.Histogram("campaign", "overhead", telemetry.OverheadBuckets)
+	tpCtr := reg.Counter("campaign", "true_positives")
+	fpCtr := reg.Counter("campaign", "false_positives")
+	missCtr := reg.Counter("campaign", "missed")
+	vioCtr := reg.Counter("campaign", "violations")
+
+	sum := &Summary{
+		Version:    scenarioVersion,
+		BaseSeed:   cfg.BaseSeed,
+		Seeds:      cfg.Seeds,
+		Sabotage:   cfg.Sabotage,
+		Violations: []Violation{},
+	}
+	per := make([]ConfigSummary, len(tools))
+	latencies := make([][]float64, len(tools))
+	overheads := make([][]float64, len(tools))
+	for ti, tc := range tools {
+		per[ti].Config = tc.String()
+	}
+
+	shrinks := 0
+	for _, o := range results {
+		if o == nil {
+			continue // budget-truncated
+		}
+		if o.err != nil {
+			return nil, o.err
+		}
+		sum.ScenariosRun++
+		for ti, tc := range tools {
+			cs := &per[ti]
+			verdict, res := o.verdicts[ti], o.runs[ti]
+			cs.Scenarios++
+			cs.TruePositives += verdict.TruePositives
+			cs.FalsePositives += verdict.FalsePositives
+			cs.Missed += verdict.Missed
+			cs.ExpectedMisses += verdict.ExpectedMisses
+			cs.TotalCycles += uint64(res.Cycles)
+			cs.HardwareErrors += res.Stats.HardwareErrors
+			for _, l := range verdict.Latencies {
+				latencies[ti] = append(latencies[ti], float64(l))
+				latencyHist.ObserveCycles(l)
+			}
+			if tc != CfgNone && o.baseline.Cycles > 0 {
+				ov := (float64(res.Cycles) - float64(o.baseline.Cycles)) / float64(o.baseline.Cycles)
+				overheads[ti] = append(overheads[ti], ov)
+				overheadHist.Observe(ov)
+			}
+			tpCtr.Add(uint64(verdict.TruePositives))
+			fpCtr.Add(uint64(verdict.FalsePositives))
+			missCtr.Add(uint64(verdict.Missed))
+			for _, v := range verdict.Violations {
+				vioCtr.Inc()
+				v.Repro = ReproCommand(v, o.scenario, cfg.Sabotage)
+				if cfg.Shrink && shrinks < maxShrinks {
+					shrinks++
+					small := Shrink(o.scenario, tc, cfg.Sabotage, v)
+					v.Shrunk = ReproCommand(v, small, cfg.Sabotage)
+				}
+				sum.Violations = append(sum.Violations, v)
+			}
+		}
+	}
+	for ti := range tools {
+		per[ti].Latency = distOf(latencies[ti])
+		per[ti].Overhead = distOf(overheads[ti])
+	}
+	sum.Configs = per
+	return sum, nil
+}
+
+// Cycles2Micros converts simulated cycles to microseconds for display.
+func Cycles2Micros(c simtime.Cycles) float64 { return c.Microseconds() }

@@ -1,0 +1,249 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"safemem/internal/simtime"
+)
+
+// TestCampaignShort is the CI entry point: a fixed-seed mini-campaign that
+// must finish with zero oracle violations and a healthy true-positive count.
+func TestCampaignShort(t *testing.T) {
+	sum, err := Run(Config{Seeds: 12, BaseSeed: 42, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ScenariosRun != 12 {
+		t.Fatalf("ScenariosRun = %d, want 12", sum.ScenariosRun)
+	}
+	if len(sum.Violations) != 0 {
+		for _, v := range sum.Violations {
+			t.Errorf("violation: %s %s site=%#x cfg=%s: %s", v.Kind, v.BugKind, v.Site, v.Config, v.Detail)
+		}
+		t.Fatalf("campaign produced %d oracle violations", len(sum.Violations))
+	}
+	for _, cs := range sum.Configs {
+		switch cs.Config {
+		case "ml", "both":
+			if cs.TruePositives == 0 {
+				t.Errorf("config %s: no true positives across %d scenarios", cs.Config, cs.Scenarios)
+			}
+		}
+		if cs.FalsePositives != 0 || cs.Missed != 0 {
+			t.Errorf("config %s: FP=%d missed=%d, want 0/0", cs.Config, cs.FalsePositives, cs.Missed)
+		}
+		if cs.Overhead == nil || cs.Overhead.Count != cs.Scenarios {
+			t.Errorf("config %s: missing overhead distribution", cs.Config)
+		}
+	}
+}
+
+// TestShardDeterminism is the acceptance check: the summary JSON must be
+// byte-identical regardless of the shard count.
+func TestShardDeterminism(t *testing.T) {
+	one, err := Run(Config{Seeds: 10, BaseSeed: 7, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(Config{Seeds: 10, BaseSeed: 7, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := one.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := many.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatalf("summaries differ between 1 and 4 shards:\n--- shards=1\n%s\n--- shards=4\n%s", j1, j4)
+	}
+}
+
+// TestGenerateDeterministic pins that a seed means the same scenario on
+// every call (the repro-command contract).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0xdeadbeef, subSeed(42, 3)} {
+		a, b := Generate(seed), Generate(seed)
+		if a.Encode() != b.Encode() {
+			t.Fatalf("seed %#x: two Generate calls disagree", seed)
+		}
+	}
+}
+
+// TestScenarioRoundTrip checks the -scenario wire form: decode(encode(s))
+// must reproduce the script, plan and near-miss set exactly.
+func TestScenarioRoundTrip(t *testing.T) {
+	for i := 0; i < 25; i++ {
+		s := Generate(subSeed(99, i))
+		text := s.Encode()
+		d, err := Decode(text)
+		if err != nil {
+			t.Fatalf("seed idx %d: decode: %v", i, err)
+		}
+		if got := d.Encode(); got != text {
+			t.Fatalf("seed idx %d: round trip drifted:\n in: %s\nout: %s", i, text, got)
+		}
+		if len(d.Ops) != len(s.Ops) || len(d.Plan) != len(s.Plan) || len(d.Misses) != len(s.Misses) {
+			t.Fatalf("seed idx %d: shape changed", i)
+		}
+		if d.HWFaults != s.HWFaults {
+			t.Fatalf("seed idx %d: HWFaults %d != %d", i, d.HWFaults, s.HWFaults)
+		}
+	}
+	if _, err := Decode("cv0|||"); err == nil {
+		t.Error("decode accepted wrong version")
+	}
+	if _, err := Decode("cv1|Z1:2||"); err == nil {
+		t.Error("decode accepted unknown op")
+	}
+}
+
+// extractScenario pulls the quoted -scenario payload out of a repro command.
+func extractScenario(t *testing.T, cmd string) *Scenario {
+	t.Helper()
+	i := strings.Index(cmd, "-scenario='")
+	if i < 0 {
+		t.Fatalf("repro command lacks -scenario: %q", cmd)
+	}
+	rest := cmd[i+len("-scenario='"):]
+	j := strings.IndexByte(rest, '\'')
+	if j < 0 {
+		t.Fatalf("unterminated -scenario in %q", cmd)
+	}
+	s, err := Decode(rest[:j])
+	if err != nil {
+		t.Fatalf("repro scenario does not decode: %v", err)
+	}
+	return s
+}
+
+// TestSabotageShrinksToRepro is the broken-oracle acceptance check: with
+// corruption detection silently disabled, any scenario that plants a
+// corruption-class bug must yield violations, and each shrunk repro command
+// must replay to the same failure with no more ops than the original.
+func TestSabotageShrinksToRepro(t *testing.T) {
+	// Find a seed whose plan has a corruption-class plant (most do).
+	base, idx := uint64(42), -1
+	for i := 0; i < 32; i++ {
+		s := Generate(subSeed(base, i))
+		for _, p := range s.Plan {
+			if p.Kind == BugOverflow || p.Kind == BugUnderflow || p.Kind == BugUAF {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no corruption-planting scenario in 32 seeds — generator broken")
+	}
+
+	seed := subSeed(base, idx)
+	orig := Generate(seed)
+	res, err := Execute(orig, CfgBoth, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Judge(orig, CfgBoth, res)
+	if len(verdict.Violations) == 0 {
+		t.Fatal("sabotaged run produced no violations — oracle cannot see broken detection")
+	}
+
+	target := verdict.Violations[0]
+	small := Shrink(orig, CfgBoth, true, target)
+	if len(small.Ops) > len(orig.Ops) {
+		t.Fatalf("shrink grew the scenario: %d -> %d ops", len(orig.Ops), len(small.Ops))
+	}
+
+	// The printed repro must replay to the same failure.
+	cmd := ReproCommand(target, small, true)
+	if !strings.Contains(cmd, "safemem-fuzz -seed=") || !strings.Contains(cmd, "-sabotage") {
+		t.Fatalf("malformed repro command: %q", cmd)
+	}
+	replay := extractScenario(t, cmd)
+	rres, err := Execute(replay, CfgBoth, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range Judge(replay, CfgBoth, rres).Violations {
+		if target.sameFailure(w) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("shrunk repro does not reproduce the %s/%s violation:\n%s", target.Kind, target.BugKind, cmd)
+	}
+	t.Logf("shrunk %d ops -> %d ops; repro: %s", len(orig.Ops), len(small.Ops), cmd)
+}
+
+// TestSabotageCampaignEndToEnd runs the sabotage path through Run itself:
+// violations must surface in the summary with repro and shrunk commands.
+func TestSabotageCampaignEndToEnd(t *testing.T) {
+	sum, err := Run(Config{Seeds: 4, BaseSeed: 42, Shards: 2, Sabotage: true, Shrink: true,
+		Tools: []ToolConfig{CfgBoth}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) == 0 {
+		t.Fatal("sabotaged campaign reported no violations")
+	}
+	for _, v := range sum.Violations[:1] {
+		if v.Repro == "" {
+			t.Error("violation missing repro command")
+		}
+		if v.Shrunk == "" {
+			t.Error("violation missing shrunk repro command")
+		}
+	}
+}
+
+// TestGeneratorTimingInvariants pins the relationships between the
+// generator's timing constants and Tuning() that the bug templates' trigger
+// guarantees rest on. A change to either side that breaks an inequality
+// shows up here, not as flaky campaign failures.
+func TestGeneratorTimingInvariants(t *testing.T) {
+	o := Tuning()
+	if simtime.Cycles(genWarmup) <= o.WarmupTime {
+		t.Errorf("prologue advance %d must exceed WarmupTime %d", genWarmup, o.WarmupTime)
+	}
+	if simtime.Cycles(genCloseOut) <= o.LeakConfirmTime {
+		t.Errorf("closer advance %d must exceed LeakConfirmTime %d", genCloseOut, o.LeakConfirmTime)
+	}
+	if simtime.Cycles(genCloseOut) <= o.CheckingPeriod {
+		t.Errorf("closer advance %d must exceed CheckingPeriod %d", genCloseOut, o.CheckingPeriod)
+	}
+	// SLeak: the aging advance must push the leaked object past the
+	// suspicion bound, factor × established maximal lifetime (tolerance
+	// only gates stability accrual, not suspicion).
+	bound := o.SLeakLifetimeFactor * genChurnLife
+	if float64(genAgeAdvance) <= bound {
+		t.Errorf("aging advance %d must exceed lifetime bound %.0f", genAgeAdvance, bound)
+	}
+	if simtime.Cycles(genAgeAdvance) <= o.CheckingPeriod {
+		t.Errorf("aging advance %d must exceed CheckingPeriod %d", genAgeAdvance, o.CheckingPeriod)
+	}
+	// Two inter-free gaps of the prologue must establish stability.
+	if simtime.Cycles(2*genChurnLife) <= o.SLeakStableTime {
+		t.Errorf("2×churn lifetime %d must exceed SLeakStableTime %d", 2*genChurnLife, o.SLeakStableTime)
+	}
+	// ALeak: the trigger's recent-allocation gap must land inside the
+	// recent window yet still let a periodic check fire.
+	if simtime.Cycles(genRecentGap) <= o.CheckingPeriod {
+		t.Errorf("recent gap %d must exceed CheckingPeriod %d", genRecentGap, o.CheckingPeriod)
+	}
+	if simtime.Cycles(genRecentGap) >= o.ALeakRecentWindow {
+		t.Errorf("recent gap %d must stay inside ALeakRecentWindow %d", genRecentGap, o.ALeakRecentWindow)
+	}
+	if genALeakAllocs+4 <= o.ALeakLiveThreshold {
+		t.Errorf("aleak allocations %d+4 must exceed ALeakLiveThreshold %d", genALeakAllocs, o.ALeakLiveThreshold)
+	}
+}

@@ -1,0 +1,224 @@
+package campaign
+
+import (
+	"fmt"
+
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/inject"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// ToolConfig selects which SafeMem detectors a scenario runs under.
+type ToolConfig int
+
+const (
+	// CfgNone runs uninstrumented — the overhead baseline, and a crash
+	// canary for the generator itself.
+	CfgNone ToolConfig = iota
+	// CfgML enables only leak detection.
+	CfgML
+	// CfgMC enables only corruption detection.
+	CfgMC
+	// CfgBoth enables the full tool.
+	CfgBoth
+)
+
+// AllConfigs lists every configuration, baseline first.
+var AllConfigs = []ToolConfig{CfgNone, CfgML, CfgMC, CfgBoth}
+
+// String names the configuration (also the -tool flag vocabulary).
+func (c ToolConfig) String() string {
+	switch c {
+	case CfgNone:
+		return "none"
+	case CfgML:
+		return "ml"
+	case CfgMC:
+		return "mc"
+	case CfgBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("ToolConfig(%d)", int(c))
+	}
+}
+
+// Leaks reports whether the configuration detects memory leaks.
+func (c ToolConfig) Leaks() bool { return c == CfgML || c == CfgBoth }
+
+// Corruption reports whether the configuration detects memory corruption.
+func (c ToolConfig) Corruption() bool { return c == CfgMC || c == CfgBoth }
+
+// ParseToolConfig resolves a -tool flag value.
+func ParseToolConfig(s string) (ToolConfig, error) {
+	for _, c := range AllConfigs {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown tool config %q (want none|ml|mc|both)", s)
+}
+
+// Tuning returns the SafeMem options every campaign run uses: the stock
+// detection logic with windows scaled to the generator's scenario lengths
+// (a few million cycles, versus the multi-second server runs the default
+// options target). The generator's timing constants are sized against
+// these values; TestGeneratorTimingInvariants pins the relationships.
+func Tuning() safemem.Options {
+	o := safemem.DefaultOptions()
+	o.WarmupTime = 200_000
+	o.CheckingPeriod = 100_000
+	o.ALeakLiveThreshold = 16
+	o.ALeakRecentWindow = 400_000
+	o.SLeakStableTime = 200_000
+	o.SLeakLifetimeFactor = 2.0
+	o.LifetimeTolerance = 0.25
+	o.LeakConfirmTime = 300_000
+	o.MaxSuspectsPerGroup = 3
+	return o
+}
+
+// ExecResult is everything one scenario run produced.
+type ExecResult struct {
+	// Err is the run's abnormal termination, if any (kernel panic,
+	// segmentation fault). Campaign scenarios are constructed to run to
+	// completion, so any error is an oracle violation.
+	Err error
+	// Reports are SafeMem's bug reports in detection order (empty under
+	// CfgNone).
+	Reports []safemem.BugReport
+	// Stats are SafeMem's activity counters.
+	Stats safemem.Stats
+	// Cycles is the simulated duration of the run.
+	Cycles simtime.Cycles
+	// HWPlanted counts hardware faults actually planted (OpHWFault executes
+	// only under configurations that declare corruption detection).
+	HWPlanted int
+}
+
+type slotState struct {
+	addr      vm.VAddr
+	size      uint64
+	allocated bool
+	ever      bool
+}
+
+// Execute runs one scenario under one tool configuration on a fresh
+// machine. With sabotage set, corruption detection is silently disabled
+// while the configuration still declares it — the oracle keeps judging
+// against the declared configuration, so sabotaged runs produce violations;
+// this is the harness's own self-test (and the -sabotage CLI flag).
+//
+// Every configuration uses the corruption-ready heap layout (line-aligned
+// with guard padding) so out-of-bounds offsets land in mapped guard space
+// under every configuration and heap addresses are comparable across them.
+func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
+	m, err := machine.New(machine.Config{MemBytes: 32 << 20})
+	if err != nil {
+		return nil, err
+	}
+	ho := safemem.HeapOptions(true)
+	ho.Limit = 16 << 20
+	alloc, err := heap.New(m, ho)
+	if err != nil {
+		return nil, err
+	}
+
+	var tool *safemem.Tool
+	if cfg != CfgNone {
+		opts := Tuning()
+		opts.DetectLeaks = cfg.Leaks()
+		opts.DetectCorruption = cfg.Corruption() && !sabotage
+		tool, err = safemem.Attach(m, alloc, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var in *inject.Injector
+	for _, op := range s.Ops {
+		if op.Kind == OpHWFault {
+			in = inject.New(m, inject.Config{Seed: int64(s.Seed)})
+			break
+		}
+	}
+
+	res := &ExecResult{}
+	nslots := 0
+	for _, op := range s.Ops {
+		if op.Slot >= nslots {
+			nslots = op.Slot + 1
+		}
+	}
+	slots := make([]slotState, nslots)
+
+	// Skip semantics make every subsequence of a valid script executable —
+	// the property the shrinker relies on: ops on never-allocated slots are
+	// skipped, double frees are skipped, but accesses to freed slots do run
+	// (the slot keeps its last address, which is what use-after-free means).
+	res.Err = m.Run(func() error {
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case OpAlloc:
+				sl := &slots[op.Slot]
+				m.Call(op.Site)
+				addr, aerr := alloc.Malloc(op.Size)
+				m.Return()
+				if aerr != nil {
+					sl.allocated = false
+					continue
+				}
+				*sl = slotState{addr: addr, size: op.Size, allocated: true, ever: true}
+			case OpFree:
+				sl := &slots[op.Slot]
+				if !sl.allocated {
+					continue
+				}
+				if ferr := alloc.Free(sl.addr); ferr != nil {
+					return ferr
+				}
+				sl.allocated = false
+			case OpWrite:
+				sl := &slots[op.Slot]
+				if !sl.ever {
+					continue
+				}
+				m.Memset(vaddrOff(sl.addr, op.Off), 0xa5, op.Size)
+			case OpRead:
+				sl := &slots[op.Slot]
+				if !sl.ever {
+					continue
+				}
+				base := vaddrOff(sl.addr, op.Off)
+				for i := uint64(0); i < op.Size; i++ {
+					m.Load8(base + vm.VAddr(i))
+				}
+			case OpAdvance:
+				m.Compute(op.Size)
+			case OpHWFault:
+				sl := &slots[op.Slot]
+				if !sl.ever || !cfg.Corruption() {
+					continue
+				}
+				pad := vaddrOff(sl.addr, int64(roundLine(sl.size)))
+				if in.PlantAt(pad, true) {
+					res.HWPlanted++
+				}
+			}
+		}
+		return nil
+	})
+
+	if tool != nil && res.Err == nil {
+		// The exit pass: confirm aged suspects, disarm every watch.
+		tool.Shutdown()
+	}
+	res.Cycles = m.Clock.Now()
+	if tool != nil {
+		res.Reports = tool.Reports()
+		res.Stats = tool.Stats()
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"fmt"
+
+	safemem "safemem/internal/core"
+	"safemem/internal/simtime"
+)
+
+// ViolationKind classifies an oracle failure.
+type ViolationKind string
+
+const (
+	// ViolationFalsePositive is a report matching no expected plant — a
+	// duplicate, a wrong-kind report, or a report at a near-miss or benign
+	// site.
+	ViolationFalsePositive ViolationKind = "false-positive"
+	// ViolationMissed is a planted bug the configuration should have
+	// detected but did not.
+	ViolationMissed ViolationKind = "missed"
+	// ViolationCrash is a scenario that terminated abnormally — campaign
+	// scenarios are constructed to run to completion under every
+	// configuration.
+	ViolationCrash ViolationKind = "crash"
+	// ViolationHardware is a mismatch between planted hardware faults and
+	// SafeMem's hardware-error counter under a corruption-detecting
+	// configuration.
+	ViolationHardware ViolationKind = "hardware"
+)
+
+// Violation is one oracle failure, carrying everything needed to reproduce
+// it: the scenario seed, the configuration, and (when the campaign runner
+// fills them in) the repro command and the shrunken scenario.
+type Violation struct {
+	Seed   uint64        `json:"seed"`
+	Config string        `json:"config"`
+	Kind   ViolationKind `json:"kind"`
+	// BugKind is the planted kind for missed plants, or the reported kind
+	// for false positives.
+	BugKind string `json:"bug_kind,omitempty"`
+	Site    uint64 `json:"site,omitempty"`
+	// Strand is the scenario strand implicated, or -1 when unknown.
+	Strand int    `json:"strand"`
+	Detail string `json:"detail"`
+	Repro  string `json:"repro,omitempty"`
+	Shrunk string `json:"shrunk,omitempty"`
+}
+
+// sameFailure reports whether two violations describe the same oracle
+// failure — the identity the shrinker must preserve while cutting ops.
+func (v Violation) sameFailure(w Violation) bool {
+	return v.Kind == w.Kind && v.BugKind == w.BugKind && v.Site == w.Site
+}
+
+// Verdict is the oracle's judgement of one ⟨scenario, configuration⟩ run.
+type Verdict struct {
+	TruePositives  int
+	FalsePositives int
+	Missed         int
+	// ExpectedMisses counts plants the configuration does not claim to
+	// detect (e.g. a leak under CfgMC) — correct silence, not a violation.
+	ExpectedMisses int
+	// Latencies holds each true positive's detection latency.
+	Latencies  []simtime.Cycles
+	Violations []Violation
+}
+
+// expectedDetected reports whether cfg claims to detect kind.
+func expectedDetected(kind BugKind, cfg ToolConfig) bool {
+	switch kind {
+	case BugALeak, BugSLeak:
+		return cfg.Leaks()
+	case BugOverflow, BugUnderflow, BugUAF:
+		return cfg.Corruption()
+	default:
+		return false
+	}
+}
+
+// reportMatches reports whether a SafeMem report is the detection of plant
+// kind: the kinds correspond and the call-site signatures agree.
+func reportMatches(kind BugKind, r safemem.BugReport) bool {
+	switch kind {
+	case BugALeak:
+		return r.Kind == safemem.BugALeak
+	case BugSLeak:
+		return r.Kind == safemem.BugSLeak
+	case BugOverflow:
+		return r.Kind == safemem.BugOverflow
+	case BugUnderflow:
+		return r.Kind == safemem.BugUnderflow
+	case BugUAF:
+		return r.Kind == safemem.BugFreedAccess
+	default:
+		return false
+	}
+}
+
+// Judge classifies every report of a run against the scenario's ground
+// truth. Each plant expects exactly one report of its kind at its site
+// under configurations that detect that kind; everything else a report can
+// be — duplicate, wrong kind, near-miss site, unknown site — is a false
+// positive, and every unmatched expected plant is a miss.
+func Judge(s *Scenario, cfg ToolConfig, res *ExecResult) *Verdict {
+	v := &Verdict{}
+	cfgName := cfg.String()
+
+	if res.Err != nil {
+		v.Violations = append(v.Violations, Violation{
+			Seed: s.Seed, Config: cfgName, Kind: ViolationCrash, Strand: -1,
+			Detail: fmt.Sprintf("scenario terminated abnormally: %v", res.Err),
+		})
+	}
+
+	claimed := make([]bool, len(s.Plan))
+	for _, r := range res.Reports {
+		matched := false
+		for i, p := range s.Plan {
+			if !claimed[i] && p.Site == r.Site && reportMatches(p.Kind, r) && expectedDetected(p.Kind, cfg) {
+				claimed[i] = true
+				matched = true
+				v.TruePositives++
+				v.Latencies = append(v.Latencies, r.Latency)
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		v.FalsePositives++
+		detail := fmt.Sprintf("unexpected %s report at site %#x: %s", r.Kind, r.Site, r.Details)
+		strand := -1
+		for _, nm := range s.Misses {
+			if nm.Site == r.Site {
+				detail = fmt.Sprintf("near-miss %q (site %#x) was reported as %s: %s", nm.Name, r.Site, r.Kind, r.Details)
+				strand = nm.Strand
+				break
+			}
+		}
+		if strand == -1 {
+			for _, p := range s.Plan {
+				if p.Site == r.Site {
+					detail = fmt.Sprintf("plant %s at site %#x drew an extra/mismatched %s report: %s", p.Kind, r.Site, r.Kind, r.Details)
+					strand = p.Strand
+					break
+				}
+			}
+		}
+		v.Violations = append(v.Violations, Violation{
+			Seed: s.Seed, Config: cfgName, Kind: ViolationFalsePositive,
+			BugKind: r.Kind.String(), Site: r.Site, Strand: strand, Detail: detail,
+		})
+	}
+
+	for i, p := range s.Plan {
+		if claimed[i] {
+			continue
+		}
+		if !expectedDetected(p.Kind, cfg) {
+			v.ExpectedMisses++
+			continue
+		}
+		v.Missed++
+		v.Violations = append(v.Violations, Violation{
+			Seed: s.Seed, Config: cfgName, Kind: ViolationMissed,
+			BugKind: string(p.Kind), Site: p.Site, Strand: p.Strand,
+			Detail: fmt.Sprintf("planted %s at site %#x was not reported", p.Kind, p.Site),
+		})
+	}
+
+	if cfg.Corruption() && res.HWPlanted != int(res.Stats.HardwareErrors) {
+		v.Violations = append(v.Violations, Violation{
+			Seed: s.Seed, Config: cfgName, Kind: ViolationHardware, Strand: -1,
+			Detail: fmt.Sprintf("planted %d hardware faults but SafeMem repaired %d",
+				res.HWPlanted, res.Stats.HardwareErrors),
+		})
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+// Package campaign is the randomized correctness harness: it generates
+// seed-reproducible synthetic workloads with a known plan of injected bugs
+// (and benign near-misses that must stay silent), executes them on fresh
+// simulated machines under each SafeMem configuration, and judges the
+// resulting reports against the plan with a ground-truth oracle. Campaigns
+// shard across goroutines with per-scenario sub-seeds and aggregate into a
+// byte-stable JSON summary; any oracle violation is shrunk to a minimal
+// scenario with a one-line repro command. See DESIGN.md §4.5.
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"safemem/internal/vm"
+)
+
+// OpKind enumerates the scenario script operations.
+type OpKind int
+
+const (
+	// OpAlloc allocates Size bytes into Slot at call site Site.
+	OpAlloc OpKind = iota
+	// OpFree frees Slot (skipped if the slot is not currently allocated).
+	OpFree
+	// OpWrite writes Size bytes at Slot's address + Off (Off may be
+	// negative, reaching the prefix guard line).
+	OpWrite
+	// OpRead reads Size bytes at Slot's address + Off.
+	OpRead
+	// OpAdvance advances the simulated clock by Size cycles of computation.
+	OpAdvance
+	// OpHWFault plants an uncorrectable double-bit hardware fault in Slot's
+	// suffix guard line (executed only under configurations that declare
+	// corruption detection; without the guard watch the fault would panic
+	// the machine, which models nothing the oracle wants to test).
+	OpHWFault
+)
+
+// Op is one scenario script operation. Ops carry the strand that emitted
+// them so the shrinker can remove whole strands and the oracle can
+// attribute near-miss sites.
+type Op struct {
+	Kind   OpKind
+	Slot   int
+	Size   uint64 // bytes for Alloc/Write/Read, cycles for Advance
+	Off    int64  // access offset relative to the slot base (Write/Read)
+	Site   uint64 // allocation call site (Alloc only)
+	Strand int
+}
+
+// BugKind enumerates the planted bug classes.
+type BugKind string
+
+const (
+	BugALeak     BugKind = "aleak"
+	BugSLeak     BugKind = "sleak"
+	BugOverflow  BugKind = "overflow"
+	BugUnderflow BugKind = "underflow"
+	BugUAF       BugKind = "uaf"
+)
+
+// Planted is one ground-truth bug in the scenario plan: the oracle expects
+// exactly one report of the matching kind at Site under configurations that
+// detect that kind, and none otherwise.
+type Planted struct {
+	Kind   BugKind
+	Site   uint64
+	Strand int
+}
+
+// NearMiss is a benign pattern that skirts a detector's trigger condition —
+// an in-bounds edge write, a free-then-realloc reuse, a suspect exonerated
+// by a late access, a hardware fault masked inside a guard line. Any report
+// at a near-miss site is a false positive.
+type NearMiss struct {
+	Name   string
+	Site   uint64
+	Strand int
+}
+
+// Scenario is one generated test case: a script plus its ground-truth plan.
+type Scenario struct {
+	Seed     uint64
+	Ops      []Op
+	Plan     []Planted
+	Misses   []NearMiss
+	HWFaults int // number of OpHWFault ops in the script
+}
+
+// scenarioVersion tags the wire format; bump on incompatible change.
+const scenarioVersion = "cv1"
+
+// Encode renders the scenario in the compact single-line form accepted by
+// `safemem-fuzz -scenario=...`:
+//
+//	cv1|<op>,<op>,...|<kind>@<site>:<strand>,...|<name>@<site>:<strand>,...
+//
+// with op tokens A<slot>:<size>:<site>:<strand>, F<slot>:<strand>,
+// W<slot>:<off>:<len>:<strand>, R<slot>:<off>:<len>:<strand>,
+// C<cycles>:<strand> and H<slot>:<strand>.
+func (s *Scenario) Encode() string {
+	var b strings.Builder
+	b.WriteString(scenarioVersion)
+	b.WriteByte('|')
+	for i, op := range s.Ops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch op.Kind {
+		case OpAlloc:
+			fmt.Fprintf(&b, "A%d:%d:%d:%d", op.Slot, op.Size, op.Site, op.Strand)
+		case OpFree:
+			fmt.Fprintf(&b, "F%d:%d", op.Slot, op.Strand)
+		case OpWrite:
+			fmt.Fprintf(&b, "W%d:%d:%d:%d", op.Slot, op.Off, op.Size, op.Strand)
+		case OpRead:
+			fmt.Fprintf(&b, "R%d:%d:%d:%d", op.Slot, op.Off, op.Size, op.Strand)
+		case OpAdvance:
+			fmt.Fprintf(&b, "C%d:%d", op.Size, op.Strand)
+		case OpHWFault:
+			fmt.Fprintf(&b, "H%d:%d", op.Slot, op.Strand)
+		}
+	}
+	b.WriteByte('|')
+	for i, p := range s.Plan {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%d:%d", p.Kind, p.Site, p.Strand)
+	}
+	b.WriteByte('|')
+	for i, nm := range s.Misses {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%d:%d", nm.Name, nm.Site, nm.Strand)
+	}
+	return b.String()
+}
+
+// Decode parses the Encode wire form.
+func Decode(text string) (*Scenario, error) {
+	parts := strings.Split(text, "|")
+	if len(parts) != 4 || parts[0] != scenarioVersion {
+		return nil, fmt.Errorf("campaign: malformed scenario (want %s|ops|plan|misses)", scenarioVersion)
+	}
+	s := &Scenario{}
+	if parts[1] != "" {
+		for _, tok := range strings.Split(parts[1], ",") {
+			op, err := decodeOp(tok)
+			if err != nil {
+				return nil, err
+			}
+			if op.Kind == OpHWFault {
+				s.HWFaults++
+			}
+			s.Ops = append(s.Ops, op)
+		}
+	}
+	if parts[2] != "" {
+		for _, tok := range strings.Split(parts[2], ",") {
+			kind, site, strand, err := decodeTagged(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Plan = append(s.Plan, Planted{Kind: BugKind(kind), Site: site, Strand: strand})
+		}
+	}
+	if parts[3] != "" {
+		for _, tok := range strings.Split(parts[3], ",") {
+			name, site, strand, err := decodeTagged(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Misses = append(s.Misses, NearMiss{Name: name, Site: site, Strand: strand})
+		}
+	}
+	return s, nil
+}
+
+func decodeOp(tok string) (Op, error) {
+	if tok == "" {
+		return Op{}, fmt.Errorf("campaign: empty op token")
+	}
+	fields := strings.Split(tok[1:], ":")
+	nums := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return Op{}, fmt.Errorf("campaign: op %q: %v", tok, err)
+		}
+		nums[i] = v
+	}
+	switch {
+	case tok[0] == 'A' && len(nums) == 4:
+		return Op{Kind: OpAlloc, Slot: int(nums[0]), Size: uint64(nums[1]), Site: uint64(nums[2]), Strand: int(nums[3])}, nil
+	case tok[0] == 'F' && len(nums) == 2:
+		return Op{Kind: OpFree, Slot: int(nums[0]), Strand: int(nums[1])}, nil
+	case tok[0] == 'W' && len(nums) == 4:
+		return Op{Kind: OpWrite, Slot: int(nums[0]), Off: nums[1], Size: uint64(nums[2]), Strand: int(nums[3])}, nil
+	case tok[0] == 'R' && len(nums) == 4:
+		return Op{Kind: OpRead, Slot: int(nums[0]), Off: nums[1], Size: uint64(nums[2]), Strand: int(nums[3])}, nil
+	case tok[0] == 'C' && len(nums) == 2:
+		return Op{Kind: OpAdvance, Size: uint64(nums[0]), Strand: int(nums[1])}, nil
+	case tok[0] == 'H' && len(nums) == 2:
+		return Op{Kind: OpHWFault, Slot: int(nums[0]), Strand: int(nums[1])}, nil
+	default:
+		return Op{}, fmt.Errorf("campaign: unknown op token %q", tok)
+	}
+}
+
+func decodeTagged(tok string) (name string, site uint64, strand int, err error) {
+	at := strings.IndexByte(tok, '@')
+	colon := strings.LastIndexByte(tok, ':')
+	if at < 1 || colon < at {
+		return "", 0, 0, fmt.Errorf("campaign: malformed plan token %q", tok)
+	}
+	site, err = strconv.ParseUint(tok[at+1:colon], 10, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("campaign: plan token %q: %v", tok, err)
+	}
+	s, err := strconv.Atoi(tok[colon+1:])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("campaign: plan token %q: %v", tok, err)
+	}
+	return tok[:at], site, s, nil
+}
+
+// vaddrOff applies a signed offset to a virtual address.
+func vaddrOff(base vm.VAddr, off int64) vm.VAddr {
+	return vm.VAddr(uint64(base) + uint64(off))
+}

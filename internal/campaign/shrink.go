@@ -1,0 +1,123 @@
+package campaign
+
+// Shrink reduces a violating scenario to a (locally) minimal one that still
+// produces the same oracle failure — same violation kind, bug kind and site
+// — under the same configuration. Two greedy passes:
+//
+//  1. strand removal: drop whole strands (ops plus their plan/near-miss
+//     entries) to a fixpoint;
+//  2. op removal: drop single surviving ops to a fixpoint.
+//
+// Ops of the violating strand itself are never removed: a Missed violation
+// trivially "survives" deleting the plant's own allocations (the plan entry
+// still goes unmatched), and such a shrink would destroy exactly the
+// behaviour the repro needs to show. The interpreter's skip semantics
+// guarantee every candidate subsequence is executable, so each trial is
+// just one re-run plus a re-judge.
+func Shrink(s *Scenario, cfg ToolConfig, sabotage bool, target Violation) *Scenario {
+	check := func(c *Scenario) bool {
+		res, err := Execute(c, cfg, sabotage)
+		if err != nil {
+			return false
+		}
+		for _, w := range Judge(c, cfg, res).Violations {
+			if target.sameFailure(w) {
+				return true
+			}
+		}
+		return false
+	}
+	if !check(s) {
+		// Not reproducible in isolation (should not happen — runs are
+		// deterministic); return unshrunk rather than a bogus minimum.
+		return s
+	}
+
+	cur := s
+	// Pass 1: whole strands.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range strandsOf(cur) {
+			if st == target.Strand {
+				continue
+			}
+			cand := withoutStrand(cur, st)
+			if check(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	// Pass 2: single ops.
+	for changed := true; changed; {
+		changed = false
+		for i := len(cur.Ops) - 1; i >= 0; i-- {
+			if cur.Ops[i].Strand == target.Strand {
+				continue
+			}
+			cand := withoutOp(cur, i)
+			if check(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}
+
+// strandsOf lists the distinct strand ids present in the scenario's ops, in
+// first-appearance order (includes -1, the prologue/closer pseudo-strand).
+func strandsOf(s *Scenario) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, op := range s.Ops {
+		if !seen[op.Strand] {
+			seen[op.Strand] = true
+			out = append(out, op.Strand)
+		}
+	}
+	return out
+}
+
+// withoutStrand copies s minus one strand's ops and its plan/near-miss
+// entries (a stale plan entry for a removed strand would manufacture new
+// Missed noise in every re-judge).
+func withoutStrand(s *Scenario, strand int) *Scenario {
+	out := &Scenario{Seed: s.Seed}
+	for _, op := range s.Ops {
+		if op.Strand == strand {
+			continue
+		}
+		if op.Kind == OpHWFault {
+			out.HWFaults++
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	for _, p := range s.Plan {
+		if p.Strand != strand {
+			out.Plan = append(out.Plan, p)
+		}
+	}
+	for _, nm := range s.Misses {
+		if nm.Strand != strand {
+			out.Misses = append(out.Misses, nm)
+		}
+	}
+	return out
+}
+
+// withoutOp copies s minus op i. Plan entries stay: op-level shrinking
+// narrows the script, not the expectations.
+func withoutOp(s *Scenario, i int) *Scenario {
+	out := &Scenario{Seed: s.Seed, Plan: s.Plan, Misses: s.Misses}
+	for j, op := range s.Ops {
+		if j == i {
+			continue
+		}
+		if op.Kind == OpHWFault {
+			out.HWFaults++
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package safemem
 
 import (
 	"fmt"
+	"sort"
 
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
@@ -29,7 +30,7 @@ func (t *Tool) maybeCheckLeaks() {
 	defer sp.End()
 	t.m.Clock.Advance(costCheckBase + costCheckPerGroup*simtime.Cycles(len(t.groups)))
 
-	for _, g := range t.groups {
+	for _, g := range t.sortedGroups() {
 		if g.reported || now < g.suspendUntil {
 			continue
 		}
@@ -109,19 +110,47 @@ func (t *Tool) flagSuspects(g *group, now simtime.Cycles, cond func(*object) boo
 	}
 }
 
+// sortedGroups returns the groups in deterministic ⟨site, size⟩ order. Group
+// iteration both arms watches (advancing the clock mid-pass) and emits
+// reports, so map order would leak into watch timestamps, detection
+// latencies and report order — unacceptable for reproducible runs (the
+// campaign harness compares whole-run summaries byte for byte).
+func (t *Tool) sortedGroups() []*group {
+	out := make([]*group, 0, len(t.groups))
+	for _, g := range t.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.Site != out[j].key.Site {
+			return out[i].key.Site < out[j].key.Site
+		}
+		return out[i].key.Size < out[j].key.Size
+	})
+	return out
+}
+
+// sortedSuspectRegions returns the leak-suspect watch regions aged past the
+// confirmation window, in deterministic base-address order (see
+// sortedGroups for why map order must not reach the report stream).
+func (t *Tool) sortedSuspectRegions(now simtime.Cycles) []*watchRegion {
+	var out []*watchRegion
+	for r := range t.regions {
+		if r.kind == watchLeakSuspect && r.obj != nil && !r.obj.reported &&
+			now >= r.watchedAt && now-r.watchedAt >= t.opts.LeakConfirmTime {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
+	return out
+}
+
 // confirmSuspects reports watched suspects whose memory has stayed
 // untouched for the confirmation window: the program had every chance to
 // access them and never did. The clock is re-read here because the watch
 // syscalls of this same pass advanced it past the time the pass started.
 func (t *Tool) confirmSuspects() {
 	now := t.m.Clock.Now()
-	var confirmed []*watchRegion
-	for r := range t.regions {
-		if r.kind == watchLeakSuspect && r.obj != nil && !r.obj.reported &&
-			now >= r.watchedAt && now-r.watchedAt >= t.opts.LeakConfirmTime {
-			confirmed = append(confirmed, r)
-		}
-	}
+	confirmed := t.sortedSuspectRegions(now)
 	for _, r := range confirmed {
 		obj := r.obj
 		t.reportLeak(obj.group, obj)

@@ -180,13 +180,7 @@ func (t *Tool) Shutdown() []BugReport {
 	defer sp.End()
 	before := len(t.reports)
 	now := t.m.Clock.Now()
-	var confirm []*watchRegion
-	for r := range t.regions {
-		if r.kind == watchLeakSuspect && r.obj != nil && !r.obj.reported &&
-			now >= r.watchedAt && now-r.watchedAt >= t.opts.LeakConfirmTime {
-			confirm = append(confirm, r)
-		}
-	}
+	confirm := t.sortedSuspectRegions(now)
 	for _, r := range confirm {
 		t.reportLeak(r.obj.group, r.obj)
 	}

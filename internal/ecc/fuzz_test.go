@@ -49,3 +49,51 @@ func FuzzEncodeRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScramble pins the scramble algebra SafeMem's watchpoints stand on:
+// the data and check scrambles are involutions, a scrambled group always
+// decodes as uncorrectable against its stale check bits (never silently
+// "corrected"), and the signature predicate recognises exactly the
+// scrambled form.
+func FuzzScramble(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0xdeadbeefcafebabe))
+	f.Add(ScrambleMask())
+	f.Fuzz(func(t *testing.T, data uint64) {
+		if Scramble(Scramble(data)) != data {
+			t.Fatal("data scramble is not an involution")
+		}
+		c := Encode(data)
+		if ScrambleCheck(ScrambleCheck(c)) != c {
+			t.Fatal("check scramble is not an involution")
+		}
+		// Data scramble vs stale check bits: must fault, not correct.
+		got, _, res := Decode(Scramble(data), c)
+		if res != Uncorrectable {
+			t.Fatalf("scrambled group decoded as %v, want Uncorrectable", res)
+		}
+		if got != Scramble(data) {
+			t.Fatal("uncorrectable decode mutated the scrambled data")
+		}
+		// Check-bit scramble (direct ECC access interface): same guarantee.
+		if _, _, res := Decode(data, ScrambleCheck(c)); res != Uncorrectable {
+			t.Fatalf("check-scrambled group decoded as %v, want Uncorrectable", res)
+		}
+		// Signature: recognises the scramble, rejects the original (the
+		// mask is non-zero, so x is never its own scramble).
+		if !IsScrambleOf(Scramble(data), data) {
+			t.Fatal("signature check rejected a genuine scramble")
+		}
+		if IsScrambleOf(data, data) {
+			t.Fatal("signature check accepted unscrambled data")
+		}
+		// A hardware error on top of a scrambled group must not restore
+		// the signature: flipping any one further bit breaks it.
+		for _, b := range ScrambleBits() {
+			if IsScrambleOf(Scramble(data)^(1<<uint(b)), data) {
+				t.Fatal("signature survived a bit flip")
+			}
+		}
+	})
+}

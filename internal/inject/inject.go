@@ -8,11 +8,20 @@
 //
 // The injector attaches as a machine.Monitor and uses the program's own
 // access stream as its clock: every N-th access plants one fault in a
-// uniformly random mapped frame.
+// uniformly random mapped frame. Deterministic harnesses (package campaign)
+// instead call PlantAt to place a fault at a chosen virtual address.
+//
+// Every plant is recorded as a structured Plant — intended site, fault
+// class, bit positions and plant time — and detections are matched back to
+// plants through a per-group FIFO, so two plants landing on the same ECC
+// group (an address collision) are disambiguated by order instead of the
+// newer plant silently overwriting the older one's bookkeeping.
 package inject
 
 import (
 	"math/rand"
+
+	"safemem/internal/ecc"
 
 	"safemem/internal/machine"
 	"safemem/internal/physmem"
@@ -71,38 +80,81 @@ type Stats struct {
 	Planted       uint64
 	PlantedSingle uint64
 	PlantedDouble uint64
+	// Resolved counts plants matched to an ECC event (corrected or
+	// reported); Planted - Resolved plants are still latent in DRAM.
+	Resolved uint64
 	// SkippedUnmapped counts fault attempts on non-resident pages (the
 	// bits would have flipped in swap, which the model does not cover).
 	SkippedUnmapped uint64
 }
 
-// Injector plants faults. Attach with machine.AttachMonitor.
+// Plant is the structured record of one injected fault — the ground truth an
+// oracle needs to classify what the detection stack later reports. The
+// intended "bug" is identified by kind (single vs double bit) and site (the
+// virtual address and the physical ECC group), not merely by the group
+// address the old bookkeeping kept.
+type Plant struct {
+	// Seq is the plant's campaign-unique sequence number.
+	Seq uint64
+	// VAddr is the virtual fault site (0 when planted physically).
+	VAddr vm.VAddr
+	// Group is the physical ECC group the bits flipped in.
+	Group physmem.Addr
+	// Time is the simulated time of the plant.
+	Time simtime.Cycles
+	// Double reports whether two bits were flipped (uncorrectable).
+	Double bool
+	// Bits holds the flipped data-bit positions (Bits[1] is meaningful only
+	// when Double).
+	Bits [2]uint
+}
+
+// Outcome ties an ECC event back to the plant that caused it.
+type Outcome struct {
+	Plant Plant
+	// DetectedAt is the simulated time the controller saw the error.
+	DetectedAt simtime.Cycles
+	// Uncorrectable reports whether the event escalated past silent
+	// correction.
+	Uncorrectable bool
+}
+
+// Latency is the plant→detection interval.
+func (o Outcome) Latency() simtime.Cycles { return o.DetectedAt - o.Plant.Time }
+
+// Injector plants faults. Attach with machine.AttachMonitor for rate-driven
+// campaigns, or drive it directly with PlantAt.
 type Injector struct {
 	m        *machine.Machine
 	cfg      Config
 	rng      *rand.Rand
 	accesses uint64
+	seq      uint64
 	stats    Stats
 
-	// plantTime records when each planted-but-undetected fault went in, so
-	// the controller's fault observer can measure plant→detection latency.
-	plantTime map[physmem.Addr]simtime.Cycles
-	tr        *telemetry.Tracer
-	latency   *telemetry.Histogram
+	// pending holds planted-but-undetected faults per ECC group, oldest
+	// first. A FIFO (not a single timestamp) so address collisions — two
+	// plants in the same group — stay distinguishable.
+	pending  map[physmem.Addr][]Plant
+	outcomes []Outcome
+	observer func(Outcome)
+
+	tr      *telemetry.Tracer
+	latency *telemetry.Histogram
 }
 
 // New creates an injector for m. It registers an "inject" telemetry source
 // and hooks the memory controller's fault observer so every ECC event on a
-// planted group records its detection latency.
+// planted group records its detection latency and resolves the plant.
 func New(m *machine.Machine, cfg Config) *Injector {
 	if cfg.EveryN == 0 {
 		cfg.EveryN = 10_000
 	}
 	in := &Injector{
-		m:         m,
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
-		plantTime: make(map[physmem.Addr]simtime.Cycles),
+		m:       m,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		pending: make(map[physmem.Addr][]Plant),
 	}
 	in.tr = m.Telemetry.Tracer()
 	in.latency = m.Telemetry.Histogram("inject", "detection_latency_cycles", telemetry.LatencyBuckets)
@@ -111,21 +163,73 @@ func New(m *machine.Machine, cfg Config) *Injector {
 		emit("planted", float64(s.Planted))
 		emit("planted_single", float64(s.PlantedSingle))
 		emit("planted_double", float64(s.PlantedDouble))
+		emit("resolved", float64(s.Resolved))
 		emit("skipped_unmapped", float64(s.SkippedUnmapped))
 	})
-	m.Ctrl.SetFaultObserver(func(group physmem.Addr, uncorrectable bool) {
-		at, ok := in.plantTime[group]
-		if !ok {
-			return
-		}
-		delete(in.plantTime, group)
-		in.latency.ObserveCycles(m.Clock.Now() - at)
-	})
+	m.Ctrl.SetFaultObserver(in.observeFault)
 	return in
 }
 
+// observeFault resolves pending plants on the faulting group. A correctable
+// event consumes only the oldest plant (one flipped bit, one correction);
+// an uncorrectable event resolves every pending plant on the group — they
+// all contributed to the multi-bit pattern the controller saw.
+func (in *Injector) observeFault(group physmem.Addr, uncorrectable bool) {
+	q := in.pending[group]
+	if len(q) == 0 {
+		return
+	}
+	n := 1
+	if uncorrectable {
+		n = len(q)
+	}
+	now := in.m.Clock.Now()
+	for _, p := range q[:n] {
+		o := Outcome{Plant: p, DetectedAt: now, Uncorrectable: uncorrectable}
+		in.outcomes = append(in.outcomes, o)
+		in.stats.Resolved++
+		in.latency.ObserveCycles(o.Latency())
+		if in.observer != nil {
+			in.observer(o)
+		}
+	}
+	if n == len(q) {
+		delete(in.pending, group)
+	} else {
+		in.pending[group] = q[n:]
+	}
+}
+
+// SetOutcomeObserver registers a callback invoked synchronously for every
+// resolved plant — the hook a campaign oracle uses to stream ground-truth
+// matches instead of polling Outcomes.
+func (in *Injector) SetOutcomeObserver(fn func(Outcome)) { in.observer = fn }
+
 // Stats returns a copy of the counters.
 func (in *Injector) Stats() Stats { return in.stats }
+
+// Outcomes returns all resolved plants in detection order.
+func (in *Injector) Outcomes() []Outcome {
+	out := make([]Outcome, len(in.outcomes))
+	copy(out, in.outcomes)
+	return out
+}
+
+// PendingPlants returns the plants not yet seen by the controller, in plant
+// order.
+func (in *Injector) PendingPlants() []Plant {
+	var out []Plant
+	for _, q := range in.pending {
+		out = append(out, q...)
+	}
+	// Map order is irrelevant once sorted by sequence number.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
 
 // OnLoad implements machine.Monitor.
 func (in *Injector) OnLoad(va vm.VAddr, size int) { in.tick() }
@@ -138,20 +242,39 @@ func (in *Injector) tick() {
 	if in.accesses%in.cfg.EveryN != 0 {
 		return
 	}
-	in.plant()
-}
-
-// plant flips bit(s) of one ECC group on a random resident target page.
-func (in *Injector) plant() {
 	va, ok := in.site()
 	if !ok {
 		in.stats.SkippedUnmapped++
 		return
 	}
+	double := in.cfg.Mode == DoubleBit || (in.cfg.Mode == Mixed && in.rng.Intn(8) == 0)
+	b1 := uint(in.rng.Intn(64))
+	b2 := uint(in.rng.Intn(63))
+	if b2 >= b1 {
+		b2++
+	}
+	if !in.plant(va, double, b1, b2) {
+		in.stats.SkippedUnmapped++
+	}
+}
+
+// PlantAt flips bit(s) of the ECC group containing va, recording the plant
+// for outcome matching. Bit positions come from the injector's seeded
+// generator. Returns false when the page is not resident.
+func (in *Injector) PlantAt(va vm.VAddr, double bool) bool {
+	b1 := uint(in.rng.Intn(64))
+	b2 := uint(in.rng.Intn(63))
+	if b2 >= b1 {
+		b2++
+	}
+	return in.plant(va, double, b1, b2)
+}
+
+// plant flips bit(s) of the ECC group containing va.
+func (in *Injector) plant(va vm.VAddr, double bool, b1, b2 uint) bool {
 	frame, resident := in.m.AS.FrameOf(va)
 	if !resident {
-		in.stats.SkippedUnmapped++
-		return
+		return false
 	}
 	ga := (frame + physmem.Addr(va.PageOffset())).GroupAddr()
 	// Evict any cached copy first: a fault under a cache-resident line is
@@ -159,25 +282,49 @@ func (in *Injector) plant() {
 	// overwrite it). Flushing models the common case — a fault in data
 	// that is not currently cached.
 	in.m.Cache.FlushLine(ga.LineAddr())
-	double := in.cfg.Mode == DoubleBit || (in.cfg.Mode == Mixed && in.rng.Intn(8) == 0)
-	b1 := uint(in.rng.Intn(64))
 	in.m.Phys.FlipDataBit(ga, b1)
+	if double {
+		// A double-bit fault must decode as uncorrectable. On a pristine
+		// codeword any second flip does, but on a line that is already
+		// corrupt — e.g. a SafeMem-scrambled watch line — an unlucky pair
+		// can alias to a *correctable* syndrome and be silently absorbed
+		// (real SECDED miscorrects too, but a plant that cannot fault is
+		// useless to a campaign). Advance b2 to the first position whose
+		// combined pattern stays uncorrectable.
+		data, check := in.m.Phys.ReadGroupRaw(ga)
+		for try := uint(0); try < 64; try++ {
+			cand := (b2 + try) % 64
+			if cand == b1 {
+				continue
+			}
+			if _, _, res := ecc.Decode(data^(1<<cand), ecc.Check(check)); res == ecc.Uncorrectable {
+				b2 = cand
+				break
+			}
+		}
+	}
+	p := Plant{
+		Seq:    in.seq,
+		VAddr:  va,
+		Group:  ga,
+		Time:   in.m.Clock.Now(),
+		Double: double,
+		Bits:   [2]uint{b1, b2},
+	}
+	in.seq++
 	in.stats.Planted++
-	in.plantTime[ga] = in.m.Clock.Now()
 	in.tr.Instant("inject", "plant", telemetry.KV("group", uint64(ga)))
 	if double {
-		b2 := uint(in.rng.Intn(63))
-		if b2 >= b1 {
-			b2++
-		}
 		in.m.Phys.FlipDataBit(ga, b2)
 		in.stats.PlantedDouble++
 	} else {
 		in.stats.PlantedSingle++
 	}
+	in.pending[ga] = append(in.pending[ga], p)
 	// A fault in DRAM under a dirty cached line will be overwritten by the
 	// write-back before anyone reads it — exactly as on real hardware; no
 	// special handling needed.
+	return true
 }
 
 // site picks a random virtual fault address.

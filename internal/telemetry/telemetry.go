@@ -52,6 +52,13 @@ var LatencyBuckets = []float64{
 	2.4e3, 2.4e4, 2.4e5, 2.4e6, 2.4e7, 2.4e8, 2.4e9, 2.4e10, 2.4e11,
 }
 
+// OverheadBuckets is the default bucket layout for runtime-overhead
+// histograms (fractional slowdown over the uninstrumented baseline): from
+// well under the paper's sub-3% claims up to order-of-magnitude slowdowns.
+var OverheadBuckets = []float64{
+	0.005, 0.01, 0.02, 0.03, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+}
+
 // Kind classifies a metric for exporters.
 type Kind int
 
