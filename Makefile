@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench campaign fuzz-short
+.PHONY: all build vet test race check bench campaign storm fuzz-short
 
 all: check
 
@@ -25,6 +25,13 @@ race:
 campaign:
 	$(GO) run ./cmd/safemem-fuzz -seeds 48 -shards 8 -budget 30s
 
+# storm reruns a seeded campaign on flaky DIMMs: a background DRAM fault
+# process with error-storm episodes, the kernel scrub daemon, and page
+# retirement instead of panics. It must complete with zero crashes and zero
+# oracle violations — detection quality survives failing hardware.
+storm:
+	$(GO) run ./cmd/safemem-fuzz -seeds 24 -shards 8 -budget 30s -fault-rate 40 -storm -retire
+
 # fuzz-short gives each native fuzz target a few seconds of coverage-guided
 # exploration on top of its checked-in seed corpus.
 fuzz-short:
@@ -33,8 +40,8 @@ fuzz-short:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
 
 # check is the full verification gate: compile, vet, tests, race tests,
-# short fuzzing, and the randomized campaign.
-check: build vet test race fuzz-short campaign
+# short fuzzing, and the randomized campaigns (clean and storm hardware).
+check: build vet test race fuzz-short campaign storm
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

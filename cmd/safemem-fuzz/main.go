@@ -7,6 +7,7 @@
 //
 //	safemem-fuzz [-seeds N] [-base-seed N] [-shards N] [-budget 30s]
 //	             [-tool ml,mc,both] [-json] [-shrink] [-sabotage]
+//	             [-fault-rate R] [-storm] [-retire]
 //	safemem-fuzz -seed N [-tool both] [-scenario 'cv1|...']
 //
 // The first form runs a campaign: N scenarios sharded over goroutines, a
@@ -14,6 +15,13 @@
 // a one-line repro command). The second form replays one scenario — either
 // regenerated from -seed or parsed from -scenario, exactly what a printed
 // repro command contains.
+//
+// -fault-rate runs every scenario on flaky DIMMs: a seed-deterministic
+// background DRAM fault process at R fault events per million cycles, plus
+// the kernel scrub daemon. -storm adds clustered error-storm episodes;
+// -retire switches the kernel from panic-on-uncorrectable to page
+// retirement (without it the fault process stays single-bit-only, since a
+// random double-bit on an unwatched line would panic the stock kernel).
 package main
 
 import (
@@ -36,6 +44,9 @@ func main() {
 	shrink := flag.Bool("shrink", true, "shrink violating scenarios to minimal repros")
 	sabotage := flag.Bool("sabotage", false, "self-test: silently break corruption detection; the campaign must fail")
 	scenario := flag.String("scenario", "", "single-scenario mode: replay this encoded scenario instead of generating one")
+	faultRate := flag.Float64("fault-rate", 0, "background DRAM fault events per million cycles (0 = perfect DIMMs)")
+	storm := flag.Bool("storm", false, "cluster background faults into error-storm episodes")
+	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
 	flag.Parse()
 
 	tools, err := parseTools(*tool)
@@ -43,20 +54,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
 		os.Exit(2)
 	}
+	env := campaign.Env{Sabotage: *sabotage, FaultRate: *faultRate, Storm: *storm, Retire: *retire}
 
 	single := *scenario != "" || isFlagSet("seed")
 	if single {
-		os.Exit(runSingle(*seed, *scenario, tools, *sabotage))
+		os.Exit(runSingle(*seed, *scenario, tools, env))
 	}
 
 	sum, err := campaign.Run(campaign.Config{
-		Seeds:    *seeds,
-		BaseSeed: *baseSeed,
-		Shards:   *shards,
-		Tools:    tools,
-		Budget:   *budget,
-		Shrink:   *shrink,
-		Sabotage: *sabotage,
+		Seeds:     *seeds,
+		BaseSeed:  *baseSeed,
+		Shards:    *shards,
+		Tools:     tools,
+		Budget:    *budget,
+		Shrink:    *shrink,
+		Sabotage:  *sabotage,
+		FaultRate: *faultRate,
+		Storm:     *storm,
+		Retire:    *retire,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
@@ -81,7 +96,7 @@ func main() {
 
 // runSingle replays one scenario under one configuration and reports the
 // oracle's verdict. This is the mode a printed repro command invokes.
-func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, sabotage bool) int {
+func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, env campaign.Env) int {
 	var s *campaign.Scenario
 	if encoded != "" {
 		var err error
@@ -97,7 +112,7 @@ func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, sabotag
 	}
 	cfg := tools[0]
 
-	res, err := campaign.Execute(s, cfg, sabotage)
+	res, err := campaign.ExecuteEnv(s, cfg, env)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
 		return 1
@@ -107,6 +122,12 @@ func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, sabotag
 		seed, cfg, len(s.Ops), len(s.Plan), len(s.Misses))
 	fmt.Printf("verdict: %d true positives, %d false positives, %d missed, %d expected misses\n",
 		v.TruePositives, v.FalsePositives, v.Missed, v.ExpectedMisses)
+	if res.FaultModel {
+		r := res.Resilience
+		fmt.Printf("hardware: %d fault events, %d corrected, %d repaired, %d pages retired, %d watches migrated, %d data-loss\n",
+			res.FaultEvents, res.Corrected, res.Stats.HardwareErrors,
+			r.PagesRetired, r.WatchesMigrated, r.DataLossEvents)
+	}
 	for _, r := range res.Reports {
 		fmt.Printf("  report: %s at site %#x: %s\n", r.Kind, r.Site, r.Details)
 	}
@@ -126,10 +147,24 @@ func printText(sum *campaign.Summary) {
 	if sum.Sabotage {
 		fmt.Print(" [SABOTAGE]")
 	}
+	if sum.FaultRate > 0 {
+		fmt.Printf(" [fault-rate=%g", sum.FaultRate)
+		if sum.Storm {
+			fmt.Print(" storm")
+		}
+		if sum.Retire {
+			fmt.Print(" retire")
+		}
+		fmt.Print("]")
+	}
 	fmt.Println()
 	for _, cs := range sum.Configs {
 		fmt.Printf("  %-4s  TP=%-3d FP=%-3d missed=%-3d expected-miss=%-3d hw=%d\n",
 			cs.Config, cs.TruePositives, cs.FalsePositives, cs.Missed, cs.ExpectedMisses, cs.HardwareErrors)
+		if cs.FaultEvents > 0 || cs.PagesRetired > 0 {
+			fmt.Printf("        hardware: %d fault events, %d corrected, %d pages retired, %d watches migrated, %d data-loss\n",
+				cs.FaultEvents, cs.CorrectedErrors, cs.PagesRetired, cs.WatchesMigrated, cs.DataLossEvents)
+		}
 		if cs.Latency != nil {
 			fmt.Printf("        detection latency (cycles): p50=%.0f p95=%.0f max=%.0f (n=%d)\n",
 				cs.Latency.P50, cs.Latency.P95, cs.Latency.Max, cs.Latency.Count)

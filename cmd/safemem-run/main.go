@@ -6,6 +6,7 @@
 //
 //	safemem-run -app ypserv1 [-tool safemem|safemem-ml|safemem-mc|purify|pageprot|none]
 //	            [-buggy] [-seed N] [-scale N] [-stop]
+//	            [-fault-rate R] [-storm] [-retire]
 //	            [-stats] [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	            [-sample-interval MS]
 //
@@ -41,6 +42,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the JSONL event log to this file")
 	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
+	faultRate := flag.Float64("fault-rate", 0, "background DRAM fault events per million cycles (0 = perfect DIMMs)")
+	storm := flag.Bool("storm", false, "cluster background faults into error-storm episodes")
+	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
 	flag.Parse()
 
 	if *appName == "" {
@@ -88,6 +92,10 @@ func main() {
 		bench.Telemetry = session
 	}
 
+	if *faultRate > 0 {
+		bench.Faults = &bench.FaultKnobs{Rate: *faultRate, Storm: *storm, Retire: *retire}
+	}
+
 	cfg := apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}
 	res, err := bench.Run(app.Name, tool, cfg)
 	if err != nil {
@@ -100,6 +108,11 @@ func main() {
 		res.Cycles, res.Machine.Loads, res.Machine.Stores, res.Heap.Mallocs, res.Heap.Frees)
 	if res.Err != nil {
 		fmt.Printf("  program terminated: %v\n", res.Err)
+	}
+	if *faultRate > 0 {
+		r := res.Resilience
+		fmt.Printf("  dram faults: %d events injected, %d pages retired, %d watches migrated, %d data-loss, %d scrub-daemon steps\n",
+			res.FaultEvents, r.PagesRetired, r.WatchesMigrated, r.DataLossEvents, r.ScrubDaemonSteps)
 	}
 
 	switch tool {

@@ -10,7 +10,9 @@ import (
 	"safemem/internal/apps"
 	"safemem/internal/cache"
 	safemem "safemem/internal/core"
+	"safemem/internal/faultmodel"
 	"safemem/internal/heap"
+	"safemem/internal/inject"
 	"safemem/internal/kernel"
 	"safemem/internal/machine"
 	"safemem/internal/memctrl"
@@ -26,6 +28,25 @@ import (
 // labelled "app/tool". Nil (the default) leaves runs on a quiet private
 // registry. The CLIs set it from their -metrics-out / -trace-out flags.
 var Telemetry *telemetry.Session
+
+// FaultKnobs configures the background DRAM fault process for runs started
+// through this package (the -fault-rate / -storm / -retire flags).
+type FaultKnobs struct {
+	// Rate is fault events per million simulated cycles over the heap arena.
+	Rate float64
+	// Storm clusters faults into error-storm episodes.
+	Storm bool
+	// Retire switches the kernel to page retirement on uncorrectable errors.
+	// Without it the process plants only correctable single-bit faults — a
+	// random double-bit on an unwatched line would panic the stock kernel.
+	Retire bool
+}
+
+// Faults, when set with a positive Rate, runs every benchmark "on flaky
+// DIMMs": a fault process seeded from the workload seed, the kernel scrub
+// daemon, and (with Retire) page retirement. Nil (the default) leaves the
+// hardware perfect, preserving the stock evaluation numbers.
+var Faults *FaultKnobs
 
 // Tool selects the monitoring configuration of a run (the columns of
 // Table 3).
@@ -120,6 +141,12 @@ type Result struct {
 	Ctrl  memctrl.Stats
 	Kern  kernel.Stats
 
+	// Resilience holds the kernel's hardware-fault survival counters;
+	// FaultEvents counts background fault-process events (both zero unless
+	// Faults is set).
+	Resilience  kernel.ResilienceStats
+	FaultEvents uint64
+
 	// Registry is the run's telemetry registry (always non-nil; shared with
 	// the package-level Session when one is installed).
 	Registry *telemetry.Registry
@@ -198,9 +225,35 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		return nil, err
 	}
 
+	var fp *faultmodel.Process
+	if Faults != nil && Faults.Rate > 0 {
+		if Faults.Retire {
+			m.Kern.SetResilience(kernel.ResilienceOptions{Policy: kernel.RetireAndContinue})
+		}
+		base, _ := alloc.ArenaRange()
+		fc := faultmodel.Config{
+			Seed:         uint64(cfg.Seed) ^ 0x5afe,
+			MeanInterval: simtime.Cycles(1_000_000 / Faults.Rate),
+			Targets:      []inject.Region{{Base: base, Size: ho.Limit}},
+		}
+		if Faults.Storm {
+			fc.StormInterval = 8 * fc.MeanInterval
+		}
+		if !Faults.Retire {
+			fc.DoubleBitFrac = -1
+		}
+		fp = faultmodel.Start(m, inject.New(m, inject.Config{Seed: cfg.Seed}), fc)
+		m.Kern.StartScrubDaemon(kernel.ScrubDaemonOptions{})
+	}
+
 	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/"+tool.String())
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
 	runSpan.End()
+	if fp != nil {
+		fp.Stop()
+		res.FaultEvents = fp.Stats().Events + fp.Stats().Refires
+	}
+	res.Resilience = m.Kern.ResilienceStats()
 	res.Cycles = m.Clock.Now()
 	res.Heap = alloc.Stats()
 	res.Machine = m.Stats()

@@ -40,6 +40,14 @@ type Config struct {
 	// violations (and working repro commands) on any scenario with a
 	// corruption-class plant.
 	Sabotage bool
+	// FaultRate, Storm and Retire run every scenario "on flaky DIMMs": a
+	// seed-deterministic background DRAM fault process at FaultRate events
+	// per million cycles (with storm episodes when Storm is set), the kernel
+	// scrub daemon, and — with Retire — page retirement instead of panics on
+	// uncorrectable errors. See Env.
+	FaultRate float64
+	Storm     bool
+	Retire    bool
 	// Registry, when non-nil, receives the campaign's aggregate telemetry
 	// (true/false positive counters, detection-latency and overhead
 	// histograms). Nil creates a private registry.
@@ -91,6 +99,12 @@ type ConfigSummary struct {
 	Latency        *Dist  `json:"latency_cycles,omitempty"`
 	Overhead       *Dist  `json:"overhead,omitempty"`
 	HardwareErrors uint64 `json:"hardware_errors"`
+	// Hardware-resilience evidence, summed across the configuration's runs.
+	CorrectedErrors uint64 `json:"corrected_errors,omitempty"`
+	FaultEvents     uint64 `json:"fault_events,omitempty"`
+	PagesRetired    uint64 `json:"pages_retired,omitempty"`
+	WatchesMigrated uint64 `json:"watches_migrated,omitempty"`
+	DataLossEvents  uint64 `json:"data_loss_events,omitempty"`
 }
 
 // Summary is the campaign's result. It deliberately contains nothing about
@@ -102,6 +116,9 @@ type Summary struct {
 	Seeds        int             `json:"seeds"`
 	ScenariosRun int             `json:"scenarios_run"`
 	Sabotage     bool            `json:"sabotage,omitempty"`
+	FaultRate    float64         `json:"fault_rate,omitempty"`
+	Storm        bool            `json:"storm,omitempty"`
+	Retire       bool            `json:"retire,omitempty"`
 	Configs      []ConfigSummary `json:"configs"`
 	Violations   []Violation     `json:"violations"`
 }
@@ -110,11 +127,20 @@ type Summary struct {
 func (s *Summary) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
 // ReproCommand builds the one-line command that replays a single violating
-// scenario.
-func ReproCommand(v Violation, scenario *Scenario, sabotage bool) string {
+// scenario under the same environment.
+func ReproCommand(v Violation, scenario *Scenario, env Env) string {
 	cmd := fmt.Sprintf("safemem-fuzz -seed=%d -tool=%s", v.Seed, v.Config)
-	if sabotage {
+	if env.Sabotage {
 		cmd += " -sabotage"
+	}
+	if env.FaultRate > 0 {
+		cmd += fmt.Sprintf(" -fault-rate=%g", env.FaultRate)
+	}
+	if env.Storm {
+		cmd += " -storm"
+	}
+	if env.Retire {
+		cmd += " -retire"
 	}
 	return fmt.Sprintf("%s -scenario='%s'", cmd, scenario.Encode())
 }
@@ -145,6 +171,8 @@ func Run(cfg Config) (*Summary, error) {
 		tools = []ToolConfig{CfgML, CfgMC, CfgBoth}
 	}
 
+	env := Env{Sabotage: cfg.Sabotage, FaultRate: cfg.FaultRate, Storm: cfg.Storm, Retire: cfg.Retire}
+
 	var deadline time.Time
 	if cfg.Budget > 0 {
 		deadline = time.Now().Add(cfg.Budget)
@@ -165,20 +193,20 @@ func Run(cfg Config) (*Summary, error) {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				results[i] = runScenario(subSeed(cfg.BaseSeed, i), tools, cfg.Sabotage)
+				results[i] = runScenario(subSeed(cfg.BaseSeed, i), tools, env)
 			}
 		}()
 	}
 	wg.Wait()
 
-	return aggregate(cfg, tools, results)
+	return aggregate(cfg, env, tools, results)
 }
 
 // runScenario generates and executes one scenario under the baseline and
 // every judged configuration.
-func runScenario(seed uint64, tools []ToolConfig, sabotage bool) *outcome {
+func runScenario(seed uint64, tools []ToolConfig, env Env) *outcome {
 	o := &outcome{scenario: Generate(seed)}
-	base, err := Execute(o.scenario, CfgNone, sabotage)
+	base, err := ExecuteEnv(o.scenario, CfgNone, env)
 	if err != nil {
 		o.err = err
 		return o
@@ -187,7 +215,7 @@ func runScenario(seed uint64, tools []ToolConfig, sabotage bool) *outcome {
 	for _, tc := range tools {
 		res := base
 		if tc != CfgNone {
-			if res, err = Execute(o.scenario, tc, sabotage); err != nil {
+			if res, err = ExecuteEnv(o.scenario, tc, env); err != nil {
 				o.err = err
 				return o
 			}
@@ -200,7 +228,7 @@ func runScenario(seed uint64, tools []ToolConfig, sabotage bool) *outcome {
 
 // aggregate folds the index-ordered outcomes into the summary and the
 // telemetry registry.
-func aggregate(cfg Config, tools []ToolConfig, results []*outcome) (*Summary, error) {
+func aggregate(cfg Config, env Env, tools []ToolConfig, results []*outcome) (*Summary, error) {
 	reg := cfg.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry("campaign", telemetry.Config{})
@@ -217,6 +245,9 @@ func aggregate(cfg Config, tools []ToolConfig, results []*outcome) (*Summary, er
 		BaseSeed:   cfg.BaseSeed,
 		Seeds:      cfg.Seeds,
 		Sabotage:   cfg.Sabotage,
+		FaultRate:  cfg.FaultRate,
+		Storm:      cfg.Storm,
+		Retire:     cfg.Retire,
 		Violations: []Violation{},
 	}
 	per := make([]ConfigSummary, len(tools))
@@ -245,6 +276,11 @@ func aggregate(cfg Config, tools []ToolConfig, results []*outcome) (*Summary, er
 			cs.ExpectedMisses += verdict.ExpectedMisses
 			cs.TotalCycles += uint64(res.Cycles)
 			cs.HardwareErrors += res.Stats.HardwareErrors
+			cs.CorrectedErrors += res.Corrected
+			cs.FaultEvents += res.FaultEvents
+			cs.PagesRetired += res.Resilience.PagesRetired
+			cs.WatchesMigrated += res.Resilience.WatchesMigrated
+			cs.DataLossEvents += res.Resilience.DataLossEvents
 			for _, l := range verdict.Latencies {
 				latencies[ti] = append(latencies[ti], float64(l))
 				latencyHist.ObserveCycles(l)
@@ -259,11 +295,11 @@ func aggregate(cfg Config, tools []ToolConfig, results []*outcome) (*Summary, er
 			missCtr.Add(uint64(verdict.Missed))
 			for _, v := range verdict.Violations {
 				vioCtr.Inc()
-				v.Repro = ReproCommand(v, o.scenario, cfg.Sabotage)
+				v.Repro = ReproCommand(v, o.scenario, env)
 				if cfg.Shrink && shrinks < maxShrinks {
 					shrinks++
-					small := Shrink(o.scenario, tc, cfg.Sabotage, v)
-					v.Shrunk = ReproCommand(v, small, cfg.Sabotage)
+					small := Shrink(o.scenario, tc, env, v)
+					v.Shrunk = ReproCommand(v, small, env)
 				}
 				sum.Violations = append(sum.Violations, v)
 			}

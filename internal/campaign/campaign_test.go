@@ -157,13 +157,13 @@ func TestSabotageShrinksToRepro(t *testing.T) {
 	}
 
 	target := verdict.Violations[0]
-	small := Shrink(orig, CfgBoth, true, target)
+	small := Shrink(orig, CfgBoth, Env{Sabotage: true}, target)
 	if len(small.Ops) > len(orig.Ops) {
 		t.Fatalf("shrink grew the scenario: %d -> %d ops", len(orig.Ops), len(small.Ops))
 	}
 
 	// The printed repro must replay to the same failure.
-	cmd := ReproCommand(target, small, true)
+	cmd := ReproCommand(target, small, Env{Sabotage: true})
 	if !strings.Contains(cmd, "safemem-fuzz -seed=") || !strings.Contains(cmd, "-sabotage") {
 		t.Fatalf("malformed repro command: %q", cmd)
 	}
@@ -203,6 +203,63 @@ func TestSabotageCampaignEndToEnd(t *testing.T) {
 		if v.Shrunk == "" {
 			t.Error("violation missing shrunk repro command")
 		}
+	}
+}
+
+// TestStormCampaign is the hardware-resilience acceptance check: a seeded
+// campaign run on flaky DIMMs — background fault process with storm episodes,
+// scrub daemon, page retirement — must complete with zero panics and zero
+// oracle violations, leave resilience evidence in the aggregated counters,
+// and stay byte-deterministic across shard counts.
+func TestStormCampaign(t *testing.T) {
+	run := func(shards int) *Summary {
+		t.Helper()
+		sum, err := Run(Config{
+			Seeds: 6, BaseSeed: 411, Shards: shards,
+			FaultRate: 40, Storm: true, Retire: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	sum := run(3)
+	if sum.ScenariosRun != 6 {
+		t.Fatalf("ScenariosRun = %d, want 6", sum.ScenariosRun)
+	}
+	if len(sum.Violations) != 0 {
+		for _, v := range sum.Violations {
+			t.Errorf("violation: %s %s site=%#x cfg=%s: %s", v.Kind, v.BugKind, v.Site, v.Config, v.Detail)
+		}
+		t.Fatalf("storm campaign produced %d oracle violations", len(sum.Violations))
+	}
+	var faults, corrected uint64
+	for _, cs := range sum.Configs {
+		if cs.FalsePositives != 0 || cs.Missed != 0 {
+			t.Errorf("config %s: FP=%d missed=%d under the storm, want 0/0",
+				cs.Config, cs.FalsePositives, cs.Missed)
+		}
+		faults += cs.FaultEvents
+		corrected += cs.CorrectedErrors
+	}
+	if faults == 0 {
+		t.Fatal("fault process planted nothing — the storm never happened")
+	}
+	if corrected == 0 {
+		t.Fatal("controller corrected nothing — scrub daemon/demand correction dead")
+	}
+
+	// Same seeds, different shard count: byte-identical summary.
+	j3, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := run(1).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatalf("storm summaries differ between 1 and 3 shards:\n--- shards=1\n%s\n--- shards=3\n%s", j1, j3)
 	}
 }
 

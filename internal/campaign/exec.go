@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	safemem "safemem/internal/core"
+	"safemem/internal/faultmodel"
 	"safemem/internal/heap"
 	"safemem/internal/inject"
+	"safemem/internal/kernel"
 	"safemem/internal/machine"
 	"safemem/internal/simtime"
 	"safemem/internal/vm"
@@ -77,8 +79,38 @@ func Tuning() safemem.Options {
 	o.LifetimeTolerance = 0.25
 	o.LeakConfirmTime = 300_000
 	o.MaxSuspectsPerGroup = 3
+	// Campaign verdicts are strict — every planted bug must be caught — so
+	// the machine-wide corruption-arming pause must never engage at campaign
+	// fault densities (a paused detector would turn plants into "missed"
+	// noise). The pause itself is pinned by the core degradation tests;
+	// per-line quarantine keeps its stock threshold and IS exercised here
+	// (the flaky-line template).
+	o.DegradeErrorThreshold = 256
 	return o
 }
+
+// Env is the execution environment a whole campaign shares: the sabotage
+// self-test switch and the hardware-fault knobs (the -fault-rate, -storm and
+// -retire flags).
+type Env struct {
+	// Sabotage silently disables corruption detection while the declared
+	// configuration still claims it (see Execute).
+	Sabotage bool
+	// FaultRate, when positive, runs a background DRAM fault process over
+	// the heap arena at this many fault events per million cycles, seeded
+	// from the scenario seed.
+	FaultRate float64
+	// Storm enables error-storm episodes in the fault process.
+	Storm bool
+	// Retire switches the kernel to RetireAndContinue. Without it the fault
+	// process is restricted to single-bit (correctable) plants: a random
+	// double-bit fault on an unwatched line would panic the stock kernel,
+	// and a crash the generator did not plan is oracle noise, not signal.
+	Retire bool
+}
+
+// faultModel reports whether the environment runs the background process.
+func (e Env) faultModel() bool { return e.FaultRate > 0 }
 
 // ExecResult is everything one scenario run produced.
 type ExecResult struct {
@@ -96,6 +128,21 @@ type ExecResult struct {
 	// HWPlanted counts hardware faults actually planted (OpHWFault executes
 	// only under configurations that declare corruption detection).
 	HWPlanted int
+	// CEPlanted counts scripted correctable single-bit plants (OpCEFault,
+	// planted under every configuration).
+	CEPlanted int
+	// Corrected is the controller's total of corrected single-bit errors
+	// (demand corrections plus scrub corrections).
+	Corrected uint64
+	// Resilience is the kernel's hardware-fault survival counters.
+	Resilience kernel.ResilienceStats
+	// FaultEvents counts background fault-process events (zero unless the
+	// environment enables the fault model).
+	FaultEvents uint64
+	// FaultModel and Retire echo the environment, so the oracle knows which
+	// hardware invariants apply to this run.
+	FaultModel bool
+	Retire     bool
 }
 
 type slotState struct {
@@ -115,6 +162,17 @@ type slotState struct {
 // with guard padding) so out-of-bounds offsets land in mapped guard space
 // under every configuration and heap addresses are comparable across them.
 func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
+	return ExecuteEnv(s, cfg, Env{Sabotage: sabotage})
+}
+
+// ExecuteEnv is Execute under an explicit environment. With a fault rate
+// set, the run happens "on flaky DIMMs": a seed-deterministic background
+// fault process plants transient/intermittent/stuck-at faults over the heap
+// arena while the scenario executes, the kernel runs its background scrub
+// daemon, and (with Retire) survives uncorrectable errors by page
+// retirement instead of panicking. The fault process derives its stream
+// from the scenario seed, so runs stay deterministic at any shard count.
+func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	m, err := machine.New(machine.Config{MemBytes: 32 << 20})
 	if err != nil {
 		return nil, err
@@ -130,22 +188,54 @@ func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
 	if cfg != CfgNone {
 		opts := Tuning()
 		opts.DetectLeaks = cfg.Leaks()
-		opts.DetectCorruption = cfg.Corruption() && !sabotage
+		opts.DetectCorruption = cfg.Corruption() && !env.Sabotage
 		tool, err = safemem.Attach(m, alloc, opts)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	var in *inject.Injector
+	needInject := env.faultModel()
 	for _, op := range s.Ops {
-		if op.Kind == OpHWFault {
-			in = inject.New(m, inject.Config{Seed: int64(s.Seed)})
+		if op.Kind == OpHWFault || op.Kind == OpCEFault {
+			needInject = true
 			break
 		}
 	}
+	var in *inject.Injector
+	if needInject {
+		in = inject.New(m, inject.Config{Seed: int64(s.Seed)})
+	}
 
-	res := &ExecResult{}
+	if env.Retire {
+		m.Kern.SetResilience(kernel.ResilienceOptions{Policy: kernel.RetireAndContinue})
+	}
+	var fp *faultmodel.Process
+	if env.faultModel() {
+		base, _ := alloc.ArenaRange()
+		fc := faultmodel.Config{
+			// Decorrelate from the injector's bit stream but stay pinned to
+			// the scenario seed.
+			Seed:         s.Seed ^ 0x5afe,
+			MeanInterval: simtime.Cycles(1_000_000 / env.FaultRate),
+			// Target the whole arena the heap may ever grow into; plants on
+			// not-yet-resident pages are skipped, as on real hardware where
+			// faults in unused rows go unobserved.
+			Targets: []inject.Region{{Base: base, Size: ho.Limit}},
+		}
+		if env.Storm {
+			fc.StormInterval = 8 * fc.MeanInterval
+		}
+		if !env.Retire {
+			fc.DoubleBitFrac = -1 // stock policy: an unwatched double-bit panics
+		}
+		fp = faultmodel.Start(m, in, fc)
+		// Background scrubbing keeps latent singles from pairing up into
+		// uncorrectable errors — the kernel half of living with flaky DRAM.
+		m.Kern.StartScrubDaemon(kernel.ScrubDaemonOptions{})
+	}
+
+	res := &ExecResult{FaultModel: env.faultModel(), Retire: env.Retire}
 	nslots := 0
 	for _, op := range s.Ops {
 		if op.Slot >= nslots {
@@ -206,16 +296,33 @@ func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
 				if in.PlantAt(pad, true) {
 					res.HWPlanted++
 				}
+			case OpCEFault:
+				sl := &slots[op.Slot]
+				if !sl.ever {
+					continue
+				}
+				if in.PlantAt(vaddrOff(sl.addr, op.Off), false) {
+					res.CEPlanted++
+				}
 			}
 		}
 		return nil
 	})
 
+	if fp != nil {
+		// Quiesce the physics before the exit pass so shutdown's unwatching
+		// runs against a fixed fault population.
+		fp.Stop()
+		res.FaultEvents = fp.Stats().Events + fp.Stats().Refires
+	}
 	if tool != nil && res.Err == nil {
 		// The exit pass: confirm aged suspects, disarm every watch.
 		tool.Shutdown()
 	}
 	res.Cycles = m.Clock.Now()
+	cs := m.Ctrl.Stats()
+	res.Corrected = cs.CorrectedSingle + cs.ScrubCorrected
+	res.Resilience = m.Kern.ResilienceStats()
 	if tool != nil {
 		res.Reports = tool.Reports()
 		res.Stats = tool.Stats()

@@ -82,7 +82,7 @@ func Generate(seed uint64) *Scenario {
 	g := &genState{r: r, s: &Scenario{Seed: seed}, site: 0x4000}
 
 	bugTemplates := []func(*genState) []block{genALeak, genSLeak, genOverflow, genUnderflow, genUAF}
-	missTemplates := []func(*genState) []block{genEdgeWrite, genReallocReuse, genPruneTouch, genHWMask}
+	missTemplates := []func(*genState) []block{genEdgeWrite, genReallocReuse, genPruneTouch, genHWMask, genErrorStorm, genFlakyLine}
 
 	var strands [][]block
 	strands = append(strands, genChurn(g))
@@ -405,6 +405,74 @@ func genHWMask(g *genState) []block {
 			{Kind: OpFree, Slot: h, Strand: st},
 		},
 	}
+}
+
+// genErrorStorm is a burst of correctable single-bit faults in a buffer's
+// interior — never-watched words — each resolved by a read. The controller
+// corrects every one on the fly; SafeMem must stay silent (no report, no
+// hardware-repair count) while the oracle checks the corrected-error
+// counter. This is background radiation, not a bug.
+func genErrorStorm(g *genState) []block {
+	st := g.strand
+	g.strand++
+	site := g.newSite()
+	size := uint64(g.r.between(16, 56)) * 8
+	e := g.newSlot()
+	g.s.Misses = append(g.s.Misses, NearMiss{Name: "error-storm", Site: site, Strand: st})
+	out := []block{{
+		{Kind: OpAlloc, Slot: e, Size: size, Site: site, Strand: st},
+		{Kind: OpWrite, Slot: e, Off: 0, Size: size, Strand: st},
+		{Kind: OpAdvance, Size: uint64(g.r.between(2_000, 10_000)), Strand: st},
+	}}
+	for i, n := 0, g.r.between(4, 8); i < n; i++ {
+		off := int64(g.r.intn(int(size/8))) * 8
+		out = append(out, block{
+			{Kind: OpCEFault, Slot: e, Off: off, Strand: st},
+			{Kind: OpRead, Slot: e, Off: off, Size: 8, Strand: st},
+			{Kind: OpAdvance, Size: uint64(g.r.between(1_000, 4_000)), Strand: st},
+		})
+	}
+	out = append(out, block{
+		{Kind: OpAdvance, Size: uint64(g.r.between(1_000, 5_000)), Strand: st},
+		{Kind: OpFree, Slot: e, Strand: st},
+	})
+	return out
+}
+
+// genFlakyLine is an intermittent fault on a watched guard line: the same
+// pad takes an uncorrectable double-bit hit three times, each discovered by
+// a pad write. SafeMem must classify every hit as hardware (repair, no bug
+// report), re-arm the guard after the first two, and quarantine the line at
+// the third — the stock QuarantineThreshold — all without a single
+// corruption report. The oracle's hardware accounting (plants == repairs)
+// pins that the re-armed watches kept attributing faults correctly.
+func genFlakyLine(g *genState) []block {
+	st := g.strand
+	g.strand++
+	site := g.newSite()
+	size := uint64(g.r.between(2, 60)) * 8
+	fl := g.newSlot()
+	g.s.Misses = append(g.s.Misses, NearMiss{Name: "flaky-line", Site: site, Strand: st})
+	out := []block{{
+		{Kind: OpAlloc, Slot: fl, Size: size, Site: site, Strand: st},
+		{Kind: OpWrite, Slot: fl, Off: 0, Size: 8, Strand: st},
+		{Kind: OpAdvance, Size: uint64(g.r.between(2_000, 10_000)), Strand: st},
+	}}
+	for i := 0; i < 3; i++ {
+		g.s.HWFaults++
+		out = append(out, block{
+			{Kind: OpHWFault, Slot: fl, Strand: st},
+			// One aligned 8-byte store: a single access discovers the fault,
+			// and the deferred re-arm lands only after it completes.
+			{Kind: OpWrite, Slot: fl, Off: int64(roundLine(size)), Size: 8, Strand: st},
+			{Kind: OpAdvance, Size: uint64(g.r.between(2_000, 8_000)), Strand: st},
+		})
+	}
+	out = append(out, block{
+		{Kind: OpAdvance, Size: uint64(g.r.between(1_000, 5_000)), Strand: st},
+		{Kind: OpFree, Slot: fl, Strand: st},
+	})
+	return out
 }
 
 // roundLine rounds n up to the cache-line size (the allocator's rounding,

@@ -168,12 +168,56 @@ func Judge(s *Scenario, cfg ToolConfig, res *ExecResult) *Verdict {
 		})
 	}
 
-	if cfg.Corruption() && res.HWPlanted != int(res.Stats.HardwareErrors) {
+	judgeHardware(s, cfg, res, v)
+	return v
+}
+
+// judgeHardware applies the hardware-fault invariants of a run.
+//
+// Without the random fault model, scripted plants are the only hardware in
+// the scenario, so accounting is exact: every planted pad fault must show up
+// as exactly one SafeMem repair, every planted correctable must be corrected
+// by the controller, and the kernel's retirement counters must be untouched
+// (page retirement with nothing planted would mean the detector's own
+// scrambles are being mistaken for failing DRAM).
+//
+// With the fault model on, random faults add repairs beyond the scripted
+// plants, so the repair count becomes a floor — a scripted pad fault is
+// still either repaired by SafeMem (watched) or absorbed as a kernel
+// data-loss event (the pad's line was quarantined by earlier random faults).
+// Retirement activity is legitimate there, but only under RetireAndContinue:
+// any retirement or data-loss counter moving under the stock panic policy is
+// a violation in every environment.
+func judgeHardware(s *Scenario, cfg ToolConfig, res *ExecResult, v *Verdict) {
+	cfgName := cfg.String()
+	hw := func(detail string) {
 		v.Violations = append(v.Violations, Violation{
 			Seed: s.Seed, Config: cfgName, Kind: ViolationHardware, Strand: -1,
-			Detail: fmt.Sprintf("planted %d hardware faults but SafeMem repaired %d",
-				res.HWPlanted, res.Stats.HardwareErrors),
+			Detail: detail,
 		})
 	}
-	return v
+
+	if cfg.Corruption() {
+		repaired := res.Stats.HardwareErrors
+		absorbed := res.Resilience.DataLossEvents
+		if !res.FaultModel && repaired != uint64(res.HWPlanted) {
+			hw(fmt.Sprintf("planted %d hardware faults but SafeMem repaired %d",
+				res.HWPlanted, repaired))
+		}
+		if res.FaultModel && repaired+absorbed < uint64(res.HWPlanted) {
+			hw(fmt.Sprintf("planted %d hardware faults but only %d repaired + %d absorbed",
+				res.HWPlanted, repaired, absorbed))
+		}
+	}
+
+	if res.Corrected < uint64(res.CEPlanted) {
+		hw(fmt.Sprintf("planted %d correctable faults but controller corrected only %d",
+			res.CEPlanted, res.Corrected))
+	}
+
+	r := res.Resilience
+	if !res.Retire && (r.PagesRetired|r.WatchesMigrated|r.DataLossEvents|r.RetireFailures) != 0 {
+		hw(fmt.Sprintf("retirement counters moved under the stock panic policy: retired=%d migrated=%d loss=%d failed=%d",
+			r.PagesRetired, r.WatchesMigrated, r.DataLossEvents, r.RetireFailures))
+	}
 }

@@ -36,6 +36,11 @@ const (
 	// corruption detection; without the guard watch the fault would panic
 	// the machine, which models nothing the oracle wants to test).
 	OpHWFault
+	// OpCEFault plants a correctable single-bit fault at Slot's address +
+	// Off (an interior, never-watched word). The controller corrects it on
+	// the next access, so it runs under every configuration — the oracle
+	// checks the corrected-error counter, not the bug reports.
+	OpCEFault
 )
 
 // Op is one scenario script operation. Ops carry the strand that emitted
@@ -99,7 +104,7 @@ const scenarioVersion = "cv1"
 //
 // with op tokens A<slot>:<size>:<site>:<strand>, F<slot>:<strand>,
 // W<slot>:<off>:<len>:<strand>, R<slot>:<off>:<len>:<strand>,
-// C<cycles>:<strand> and H<slot>:<strand>.
+// C<cycles>:<strand>, H<slot>:<strand> and E<slot>:<off>:<strand>.
 func (s *Scenario) Encode() string {
 	var b strings.Builder
 	b.WriteString(scenarioVersion)
@@ -121,6 +126,8 @@ func (s *Scenario) Encode() string {
 			fmt.Fprintf(&b, "C%d:%d", op.Size, op.Strand)
 		case OpHWFault:
 			fmt.Fprintf(&b, "H%d:%d", op.Slot, op.Strand)
+		case OpCEFault:
+			fmt.Fprintf(&b, "E%d:%d:%d", op.Slot, op.Off, op.Strand)
 		}
 	}
 	b.WriteByte('|')
@@ -206,6 +213,8 @@ func decodeOp(tok string) (Op, error) {
 		return Op{Kind: OpAdvance, Size: uint64(nums[0]), Strand: int(nums[1])}, nil
 	case tok[0] == 'H' && len(nums) == 2:
 		return Op{Kind: OpHWFault, Slot: int(nums[0]), Strand: int(nums[1])}, nil
+	case tok[0] == 'E' && len(nums) == 3:
+		return Op{Kind: OpCEFault, Slot: int(nums[0]), Off: nums[1], Strand: int(nums[2])}, nil
 	default:
 		return Op{}, fmt.Errorf("campaign: unknown op token %q", tok)
 	}

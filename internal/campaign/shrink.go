@@ -14,9 +14,9 @@ package campaign
 // behaviour the repro needs to show. The interpreter's skip semantics
 // guarantee every candidate subsequence is executable, so each trial is
 // just one re-run plus a re-judge.
-func Shrink(s *Scenario, cfg ToolConfig, sabotage bool, target Violation) *Scenario {
+func Shrink(s *Scenario, cfg ToolConfig, env Env, target Violation) *Scenario {
 	check := func(c *Scenario) bool {
-		res, err := Execute(c, cfg, sabotage)
+		res, err := ExecuteEnv(c, cfg, env)
 		if err != nil {
 			return false
 		}

@@ -23,6 +23,11 @@ import (
 //     an initialisation event (uninit watches).
 func (t *Tool) handleECCFault(f *kernel.ECCFault) bool {
 	if !f.Watched {
+		// A multi-bit error on a line nobody watches: genuine hardware.
+		// Count it toward the degradation window before declining — however
+		// the kernel resolves it (panic or retire-and-continue), the machine
+		// is visibly degrading.
+		t.noteMachineError(true)
 		return false
 	}
 	r, ok := t.byLine[f.VLine]
@@ -43,13 +48,25 @@ func (t *Tool) handleECCFault(f *kernel.ECCFault) bool {
 	}
 	if !signatureOK {
 		// Signature mismatch: a genuine hardware error corrupted a watched
-		// line. Restore the whole region from the private copy.
+		// line. Restore the whole region from the private copy. The Hardware
+		// flag tells the kernel to charge the line's health ledger — this was
+		// failing DRAM, not a tripped watch.
 		t.stats.HardwareErrors++
+		f.Hardware = true
+		t.noteMachineError(true)
+		rearm := t.noteLineFault(f.VLine)
 		if err := t.unwatch(r, true); err != nil {
-			panic(fmt.Sprintf("safemem: hardware-error repair: %v", err))
+			t.degrade("hardware-repair", r.base, err.Error())
+			t.dropRegion(r)
+			return true
 		}
-		// Leak suspects lose their probe but keep their status; the next
-		// detection pass may re-watch them.
+		if rearm {
+			// Re-arm at the kernel's next safe point so monitoring continues;
+			// quarantined lines stay unwatched (their DRAM keeps faulting).
+			t.rearmAfterRepair(r)
+		} else {
+			t.stats.RearmsSkipped++
+		}
 		return true
 	}
 
@@ -65,7 +82,10 @@ func (t *Tool) handleECCFault(f *kernel.ECCFault) bool {
 	case watchUninit:
 		t.handleUninitFault(r, faultVA)
 	default:
-		panic(fmt.Sprintf("safemem: fault on unknown watch kind %v", r.kind))
+		// Unknown kind: drop the watch and keep running rather than killing
+		// the monitored program over SafeMem's own bookkeeping.
+		t.degrade("unknown-watch-kind", r.base, fmt.Sprintf("fault on watch kind %v", r.kind))
+		t.unwatchOrDegrade(r, false, "unwatch-unknown-kind")
 	}
 	return true
 }
@@ -100,9 +120,7 @@ func (t *Tool) reportCorruption(r *watchRegion, faultVA vm.VAddr) {
 	}
 	b := r.block
 	latency := t.m.Clock.Now() - r.watchedAt
-	if err := t.unwatch(r, false); err != nil {
-		panic(fmt.Sprintf("safemem: unwatch tripped pad: %v", err))
-	}
+	t.unwatchOrDegrade(r, false, "unwatch-tripped-pad")
 	t.report(BugReport{
 		Kind:        kind,
 		Latency:     latency,
@@ -121,9 +139,7 @@ func (t *Tool) reportCorruption(r *watchRegion, faultVA vm.VAddr) {
 func (t *Tool) reportFreedAccess(r *watchRegion, faultVA vm.VAddr) {
 	b := r.block
 	latency := t.m.Clock.Now() - r.watchedAt
-	if err := t.unwatch(r, false); err != nil {
-		panic(fmt.Sprintf("safemem: unwatch tripped freed region: %v", err))
-	}
+	t.unwatchOrDegrade(r, false, "unwatch-tripped-freed")
 	t.report(BugReport{
 		Kind:        BugFreedAccess,
 		Latency:     latency,
@@ -144,9 +160,7 @@ func (t *Tool) handleUninitFault(r *watchRegion, faultVA vm.VAddr) {
 	b := r.block
 	write := t.accessIsWrite()
 	latency := t.m.Clock.Now() - r.watchedAt
-	if err := t.unwatch(r, false); err != nil {
-		panic(fmt.Sprintf("safemem: unwatch uninit region: %v", err))
-	}
+	t.unwatchOrDegrade(r, false, "unwatch-uninit")
 	if write {
 		t.stats.UninitWrites++
 		return

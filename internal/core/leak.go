@@ -102,9 +102,16 @@ func (t *Tool) flagSuspects(g *group, now simtime.Cycles, cond func(*object) boo
 			// prunes on any access.
 			continue
 		}
+		if t.lineQuarantined(obj.block.Addr, obj.block.RoundedSize) {
+			// The suspect's DRAM cannot hold a watch; try again next pass
+			// once the quarantine backoff expires.
+			t.stats.WatchesSuppressed++
+			continue
+		}
 		r, err := t.watch(obj.block.Addr, obj.block.RoundedSize, watchLeakSuspect, obj.block, obj)
 		if err != nil {
-			panic(fmt.Sprintf("safemem: suspect watch: %v", err))
+			t.degrade("arm-suspect", obj.block.Addr, err.Error())
+			continue
 		}
 		obj.suspect = r
 	}
@@ -154,9 +161,7 @@ func (t *Tool) confirmSuspects() {
 	for _, r := range confirmed {
 		obj := r.obj
 		t.reportLeak(obj.group, obj)
-		if err := t.unwatch(r, false); err != nil {
-			panic(fmt.Sprintf("safemem: unwatch confirmed leak: %v", err))
-		}
+		t.unwatchOrDegrade(r, false, "unwatch-confirmed-leak")
 	}
 }
 
@@ -201,9 +206,7 @@ func (t *Tool) pruneSuspect(r *watchRegion) {
 	now := t.m.Clock.Now()
 	obj := r.obj
 	t.stats.SuspectsPruned++
-	if err := t.unwatch(r, false); err != nil {
-		panic(fmt.Sprintf("safemem: prune unwatch: %v", err))
-	}
+	t.unwatchOrDegrade(r, false, "unwatch-pruned-suspect")
 	if obj == nil {
 		return
 	}

@@ -73,6 +73,21 @@ type Options struct {
 	// examined per group per pass ("SafeMem only needs to check the top few
 	// oldest memory objects").
 	MaxSuspectsPerGroup int
+
+	// QuarantineThreshold is how many hardware faults a watched line may
+	// suffer before SafeMem stops re-arming watches on it (per-line
+	// quarantine; see degrade.go).
+	QuarantineThreshold int
+	// QuarantineBackoff is the initial re-arm backoff of a quarantined line;
+	// it doubles with every further fault on the line.
+	QuarantineBackoff simtime.Cycles
+	// DegradeErrorThreshold is the weighted machine-wide ECC event count
+	// (uncorrectable errors count 4×) within DegradeWindow beyond which new
+	// corruption watches are suppressed. Leak detection is unaffected.
+	DegradeErrorThreshold int
+	// DegradeWindow is the sliding window for DegradeErrorThreshold and the
+	// duration of each corruption-arming pause.
+	DegradeWindow simtime.Cycles
 }
 
 // DefaultOptions returns the paper-evaluation configuration: both detectors
@@ -91,6 +106,11 @@ func DefaultOptions() Options {
 		LifetimeTolerance:   0.2,
 		LeakConfirmTime:     simtime.FromMicroseconds(10000), // 10 ms
 		MaxSuspectsPerGroup: 3,
+
+		QuarantineThreshold:   3,
+		QuarantineBackoff:     simtime.FromMicroseconds(500), // 0.5 ms
+		DegradeErrorThreshold: 16,
+		DegradeWindow:         simtime.FromMicroseconds(300), // 0.3 ms
 	}
 }
 

@@ -114,4 +114,20 @@ type Stats struct {
 	// UninitWrites counts first-writes that silently disarmed an
 	// uninitialized-read watch.
 	UninitWrites uint64
+	// DegradedEvents counts monitoring capabilities SafeMem gave up to keep
+	// the program running (see DegradedEvent).
+	DegradedEvents uint64
+	// LinesQuarantined counts lines whose hardware kept faulting and are no
+	// longer re-armed.
+	LinesQuarantined uint64
+	// WatchesRearmed counts watches re-armed after a hardware-error repair.
+	WatchesRearmed uint64
+	// RearmsSkipped counts hardware-repaired watches NOT re-armed because
+	// of quarantine or degraded mode.
+	RearmsSkipped uint64
+	// WatchesSuppressed counts watch arms the degradation policy suppressed
+	// (quarantined lines and machine-wide arming pauses).
+	WatchesSuppressed uint64
+	// DegradePeriods counts machine-wide corruption-arming pauses.
+	DegradePeriods uint64
 }

@@ -40,6 +40,13 @@ type Tool struct {
 	startTime     simtime.Cycles
 	savedForScrub []*watchRegion
 
+	// Hardware-fault degradation state (degrade.go): per-line quarantine
+	// history, the machine-wide error window, and the arming-pause deadline.
+	quarantine     map[vm.VAddr]*quarantineEntry
+	hwWindow       []windowEvent
+	degradedUntil  simtime.Cycles
+	degradedEvents []DegradedEvent
+
 	reports  []BugReport
 	onReport func(BugReport)
 	stats    Stats
@@ -66,20 +73,43 @@ func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, err
 	if opts.MaxSuspectsPerGroup == 0 {
 		opts.MaxSuspectsPerGroup = 3
 	}
+	if opts.QuarantineThreshold == 0 {
+		opts.QuarantineThreshold = 3
+	}
+	if opts.QuarantineBackoff == 0 {
+		opts.QuarantineBackoff = simtime.FromMicroseconds(500)
+	}
+	if opts.DegradeErrorThreshold == 0 {
+		opts.DegradeErrorThreshold = 16
+	}
+	if opts.DegradeWindow == 0 {
+		opts.DegradeWindow = simtime.FromMicroseconds(300)
+	}
 	t := &Tool{
-		m:         m,
-		alloc:     alloc,
-		opts:      opts,
-		groups:    make(map[GroupKey]*group),
-		objects:   make(map[vm.VAddr]*object),
-		regions:   make(map[*watchRegion]struct{}),
-		byLine:    make(map[vm.VAddr]*watchRegion),
-		startTime: m.Clock.Now(),
-		lastCheck: m.Clock.Now(),
+		m:          m,
+		alloc:      alloc,
+		opts:       opts,
+		groups:     make(map[GroupKey]*group),
+		objects:    make(map[vm.VAddr]*object),
+		regions:    make(map[*watchRegion]struct{}),
+		byLine:     make(map[vm.VAddr]*watchRegion),
+		quarantine: make(map[vm.VAddr]*quarantineEntry),
+		startTime:  m.Clock.Now(),
+		lastCheck:  m.Clock.Now(),
 	}
 	alloc.AddHook(t)
 	m.Kern.RegisterECCFaultHandler(t.handleECCFault)
 	m.Kern.SetScrubHooks(t.scrubBefore, t.scrubAfter)
+	// Machine-wide error pressure: corrected single-bit events feed the
+	// degradation window here. Uncorrectable events do NOT — at the
+	// controller they are indistinguishable from tripped watches, so the
+	// fault handler classifies them (signature check) and reports only the
+	// genuine hardware ones via noteMachineError.
+	m.Ctrl.AddFaultObserver(func(_ physmem.Addr, uncorrectable bool) {
+		if !uncorrectable {
+			t.noteMachineError(false)
+		}
+	})
 	t.tr = m.Telemetry.Tracer()
 	t.latency = m.Telemetry.Histogram("safemem", "detection_latency_cycles", telemetry.LatencyBuckets)
 	m.Telemetry.RegisterSource("safemem", func(emit func(string, float64)) {
@@ -95,6 +125,12 @@ func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, err
 		emit("watched_lines", float64(s.WatchedLines))
 		emit("max_watched_lines", float64(s.MaxWatchedLines))
 		emit("uninit_writes", float64(s.UninitWrites))
+		emit("degraded_events", float64(s.DegradedEvents))
+		emit("lines_quarantined", float64(s.LinesQuarantined))
+		emit("watches_rearmed", float64(s.WatchesRearmed))
+		emit("rearms_skipped", float64(s.RearmsSkipped))
+		emit("watches_suppressed", float64(s.WatchesSuppressed))
+		emit("degrade_periods", float64(s.DegradePeriods))
 	})
 	return t, nil
 }
@@ -198,9 +234,7 @@ func (t *Tool) OnAlloc(b *heap.Block) {
 
 	// The allocator may have carved this block out of watched freed space;
 	// reallocation disables those watches (Section 4).
-	if err := t.unwatchOverlapping(b.FullAddr, b.FullSize); err != nil {
-		panic(fmt.Sprintf("safemem: unwatch on realloc: %v", err))
-	}
+	t.unwatchOverlapping(b.FullAddr, b.FullSize)
 
 	if t.opts.DetectLeaks {
 		t.m.Clock.Advance(costLeakAlloc)
@@ -219,22 +253,31 @@ func (t *Tool) OnAlloc(b *heap.Block) {
 	}
 
 	if t.opts.DetectCorruption {
-		t.mustWatchPad(b.PadBefore(), watchPadBefore, b)
-		t.mustWatchPad(b.PadAfter(), watchPadAfter, b)
+		t.armPad(b.PadBefore(), watchPadBefore, b)
+		t.armPad(b.PadAfter(), watchPadAfter, b)
 	}
 
 	if t.opts.DetectUninitRead && !t.lineWatched(b.Addr, b.RoundedSize) {
-		if _, err := t.watch(b.Addr, b.RoundedSize, watchUninit, b, nil); err != nil {
-			panic(fmt.Sprintf("safemem: uninit watch: %v", err))
+		if t.corruptionDegraded() || t.lineQuarantined(b.Addr, b.RoundedSize) {
+			t.stats.WatchesSuppressed++
+		} else if _, err := t.watch(b.Addr, b.RoundedSize, watchUninit, b, nil); err != nil {
+			t.degrade("arm-uninit", b.Addr, err.Error())
 		}
 	}
 
 	t.maybeCheckLeaks()
 }
 
-func (t *Tool) mustWatchPad(base vm.VAddr, kind watchKind, b *heap.Block) {
+// armPad arms one guard-line watch unless degradation policy suppresses it:
+// a quarantined pad line (its DRAM keeps faulting) or a machine-wide
+// corruption-arming pause. Arming failures degrade instead of panicking.
+func (t *Tool) armPad(base vm.VAddr, kind watchKind, b *heap.Block) {
+	if t.corruptionDegraded() || t.lineQuarantined(base, PadLineBytes) {
+		t.stats.WatchesSuppressed++
+		return
+	}
 	if _, err := t.watch(base, PadLineBytes, kind, b, nil); err != nil {
-		panic(fmt.Sprintf("safemem: %v watch at %#x: %v", kind, uint64(base), err))
+		t.degrade("arm-"+kind.String(), base, err.Error())
 	}
 }
 
@@ -249,9 +292,7 @@ func (t *Tool) OnFree(b *heap.Block) {
 			if obj.suspect != nil {
 				// Freeing a watched suspect exonerates it.
 				t.stats.SuspectsPruned++
-				if err := t.unwatch(obj.suspect, false); err != nil {
-					panic(fmt.Sprintf("safemem: unwatch on free: %v", err))
-				}
+				t.unwatchOrDegrade(obj.suspect, false, "unwatch-on-free")
 			}
 			g := obj.group
 			g.remove(obj)
@@ -263,12 +304,12 @@ func (t *Tool) OnFree(b *heap.Block) {
 
 	// Disable any remaining watches inside the block's extent (guard pads,
 	// uninit watch), then watch the whole freed extent (Section 4).
-	if err := t.unwatchOverlapping(b.FullAddr, b.FullSize); err != nil {
-		panic(fmt.Sprintf("safemem: unwatch pads on free: %v", err))
-	}
+	t.unwatchOverlapping(b.FullAddr, b.FullSize)
 	if t.opts.DetectCorruption {
-		if _, err := t.watch(b.FullAddr, b.FullSize, watchFreed, b, nil); err != nil {
-			panic(fmt.Sprintf("safemem: freed watch at %#x: %v", uint64(b.FullAddr), err))
+		if t.corruptionDegraded() || t.lineQuarantined(b.FullAddr, b.FullSize) {
+			t.stats.WatchesSuppressed++
+		} else if _, err := t.watch(b.FullAddr, b.FullSize, watchFreed, b, nil); err != nil {
+			t.degrade("arm-freed", b.FullAddr, err.Error())
 		}
 	}
 

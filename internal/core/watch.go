@@ -136,17 +136,16 @@ func (t *Tool) lineWatched(base vm.VAddr, size uint64) bool {
 // unwatchOverlapping removes every watch region that intersects
 // [base, base+size) — the reallocation path: when the allocator reuses a
 // freed extent, its freed-buffer watch must be disabled (Section 4).
-func (t *Tool) unwatchOverlapping(base vm.VAddr, size uint64) error {
+// Failures degrade (with the bookkeeping dropped) rather than stopping the
+// sweep: the remaining regions must still be disabled.
+func (t *Tool) unwatchOverlapping(base vm.VAddr, size uint64) {
 	seen := map[*watchRegion]bool{}
 	for line := base.LineAddr(); line < base+vm.VAddr(size); line += physmem.LineBytes {
 		if r, ok := t.byLine[line]; ok && !seen[r] {
 			seen[r] = true
-			if err := t.unwatch(r, false); err != nil {
-				return err
-			}
+			t.unwatchOrDegrade(r, false, "unwatch-overlapping")
 		}
 	}
-	return nil
 }
 
 // unwatchAll removes every active watch (scrub coordination). It returns
@@ -157,22 +156,29 @@ func (t *Tool) unwatchAll() []*watchRegion {
 		out = append(out, r)
 	}
 	for _, r := range out {
-		if err := t.unwatch(r, false); err != nil {
-			// Scrub coordination failures leave the kernel inconsistent;
-			// this cannot happen unless the simulator itself is broken.
-			panic(fmt.Sprintf("safemem: unwatchAll: %v", err))
-		}
+		t.unwatchOrDegrade(r, false, "unwatch-for-scrub")
 	}
 	return out
 }
 
 // rewatchAll re-arms the given regions after a scrub pass, preserving their
-// kinds and associations.
+// kinds and associations. Quarantined lines stay unwatched, and corruption
+// watches are not re-armed while arming is degraded — the same policy that
+// governs fresh arms.
 func (t *Tool) rewatchAll(saved []*watchRegion) {
 	for _, old := range saved {
+		if t.lineQuarantined(old.base, old.size) {
+			t.stats.RearmsSkipped++
+			continue
+		}
+		if old.kind != watchLeakSuspect && t.corruptionDegraded() {
+			t.stats.WatchesSuppressed++
+			continue
+		}
 		r, err := t.watch(old.base, old.size, old.kind, old.block, old.obj)
 		if err != nil {
-			panic(fmt.Sprintf("safemem: rewatchAll: %v", err))
+			t.degrade("rewatch-after-scrub", old.base, err.Error())
+			continue
 		}
 		r.watchedAt = old.watchedAt // preserve leak-confirmation clocks
 		if old.obj != nil {

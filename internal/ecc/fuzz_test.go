@@ -60,6 +60,12 @@ func FuzzScramble(f *testing.F) {
 	f.Add(^uint64(0))
 	f.Add(uint64(0xdeadbeefcafebabe))
 	f.Add(ScrambleMask())
+	// Stuck-at-cell seeds: words whose scramble disagrees with a stuck cell
+	// in both polarities (bit 0 of Scramble(0x5afe) and bit 63 of
+	// Scramble(^0), so the stuck-at property below starts from covered
+	// ground instead of waiting for the mutator to find it.
+	f.Add(uint64(0x5afe))
+	f.Add(^uint64(0) >> 1)
 	f.Fuzz(func(t *testing.T, data uint64) {
 		if Scramble(Scramble(data)) != data {
 			t.Fatal("data scramble is not an involution")
@@ -93,6 +99,28 @@ func FuzzScramble(f *testing.F) {
 		for _, b := range ScrambleBits() {
 			if IsScrambleOf(Scramble(data)^(1<<uint(b)), data) {
 				t.Fatal("signature survived a bit flip")
+			}
+		}
+		// Stuck-at cell under scramble: a failed DRAM cell forces one bit
+		// of the stored word to a constant, so an armed watchpoint's
+		// scramble may land with that bit wrong. Whenever the stuck value
+		// disagrees with the scramble, the fault must stay visible: the
+		// signature must not match, and the word must not decode clean
+		// against the stale check bits. (A correctable verdict is allowed —
+		// that is the hardware-error repair path — but a silent OK would
+		// make the stuck cell invisible to both detectors.)
+		sc := Scramble(data)
+		for b := uint(0); b < GroupBits; b++ {
+			for _, stuck := range []uint64{sc &^ (1 << b), sc | (1 << b)} {
+				if stuck == sc {
+					continue // this polarity agrees with the scramble
+				}
+				if IsScrambleOf(stuck, data) {
+					t.Fatalf("signature accepted scramble with bit %d stuck", b)
+				}
+				if _, _, res := Decode(stuck, c); res == OK {
+					t.Fatalf("scramble with bit %d stuck decoded clean", b)
+				}
 			}
 		}
 	})

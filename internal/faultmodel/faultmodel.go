@@ -1,0 +1,390 @@
+// Package faultmodel is a seed-deterministic DRAM fault process: a
+// background "physics" source that plants bit faults while a workload runs,
+// driven by the simulated clock rather than the program's access stream.
+// Where package inject answers "what happens if a fault lands HERE", this
+// package answers "what does a production run on flaky DIMMs look like" —
+// faults arrive on their own schedule, in realistic classes:
+//
+//   - transient upsets: one-shot single-bit flips at random addresses (the
+//     cosmic-ray/alpha-particle events ECC exists for);
+//   - intermittent faults: a weak cell that keeps re-flipping the same bit
+//     a few times before going quiet (marginal hardware);
+//   - stuck-at cells: a bit that permanently holds one value — every
+//     write-back that disagrees is silently re-corrupted until the frame
+//     is retired;
+//   - error storms: bounded episodes during which the arrival rate
+//     multiplies (a failing DIMM, a thermal event).
+//
+// Inter-arrival times are exponential, drawn from a splitmix64 stream, so a
+// seed pins the entire fault history. Every plant goes through the
+// campaign's inject.Injector, so ECC events stay attributable to ground
+// truth — the oracle can tell a planted fault's detection from a detector
+// false positive.
+//
+// The clock-timer hook never touches memory itself: it only decides what
+// fault happens and defers the plant to the kernel's deferred-work queue,
+// which drains between machine accesses. Planting mid-access would let a
+// cache flush race the access in flight.
+package faultmodel
+
+import (
+	"math"
+
+	"safemem/internal/inject"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// Config parameterises the fault process. Zero-valued fields take defaults.
+type Config struct {
+	// Seed pins the fault history (sites, bits, classes, timing).
+	Seed uint64
+	// MeanInterval is the mean inter-arrival time between fault events
+	// outside storms. Default 200_000 cycles.
+	MeanInterval simtime.Cycles
+	// TransientWeight / IntermittentWeight / StuckAtWeight set the fault
+	// class mix. Defaults 6 / 3 / 1.
+	TransientWeight    int
+	IntermittentWeight int
+	StuckAtWeight      int
+	// DoubleBitFrac makes 1-in-N transient events double-bit
+	// (uncorrectable). 0 means the default of 8; negative disables
+	// double-bit plants entirely (single-bit-only campaigns).
+	DoubleBitFrac int
+	// IntermittentRepeats is how many times a weak cell re-fires after its
+	// first flip (default 3); IntermittentGap is the spacing (default
+	// MeanInterval/4).
+	IntermittentRepeats int
+	IntermittentGap     simtime.Cycles
+	// MaxStuckCells bounds live stuck-at cells (default 2). Further
+	// stuck-at draws become transients.
+	MaxStuckCells int
+	// StuckCheckInterval is how often stuck cells re-assert themselves
+	// (default MeanInterval/2).
+	StuckCheckInterval simtime.Cycles
+	// StormInterval, when non-zero, enables storm episodes with the given
+	// mean spacing; StormLength is the episode duration (default
+	// 4×MeanInterval) and StormFactor the rate multiplier inside one
+	// (default 8).
+	StormInterval simtime.Cycles
+	StormLength   simtime.Cycles
+	StormFactor   int
+	// Targets restricts fault sites to the given virtual regions. Required:
+	// with no targets the process plants nothing.
+	Targets []inject.Region
+}
+
+// Stats counts fault-process activity.
+type Stats struct {
+	Events       uint64 // fresh faults planted (all classes)
+	Transient    uint64
+	Intermittent uint64
+	StuckAt      uint64 // stuck cells created
+	DoubleBit    uint64
+	Refires      uint64 // weak-cell and stuck-at re-assertions planted
+	Storms       uint64 // storm episodes entered
+	Skipped      uint64 // plants dropped (page not resident)
+}
+
+// splitmix64 — the same stable stream the campaign generator uses; the
+// fault history must mean the same thing for a seed forever.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// exp draws an exponential inter-arrival with the given mean, never zero.
+func (r *rng) exp(mean simtime.Cycles) simtime.Cycles {
+	// 53-bit mantissa draw in (0,1]; -ln(u)·mean is the inverse CDF.
+	u := (float64(r.next()>>11) + 1) / (1 << 53)
+	d := simtime.Cycles(-math.Log(u) * float64(mean))
+	return d + 1
+}
+
+// weakCell is a scheduled repeating fault: an intermittent cell counting
+// down its re-fires, or a stuck-at cell (remaining < 0, never expires).
+type weakCell struct {
+	at        simtime.Cycles
+	va        vm.VAddr
+	bit       uint
+	stuck     bool // stuck-at: re-assert the held value forever
+	stuckVal  bool
+	remaining int // intermittent re-fires left
+}
+
+// Process is a running fault process. Create with Start.
+type Process struct {
+	m   *machine.Machine
+	in  *inject.Injector
+	cfg Config
+	r   rng
+
+	timer     *simtime.Timer
+	nextEvent simtime.Cycles
+	cells     []weakCell
+
+	stormUntil  simtime.Cycles
+	nextStormAt simtime.Cycles
+
+	stopped bool
+	stats   Stats
+}
+
+// Start launches the fault process on m, planting through in. The process
+// registers a clock timer and a "faultmodel" telemetry source.
+func Start(m *machine.Machine, in *inject.Injector, cfg Config) *Process {
+	if cfg.MeanInterval <= 0 {
+		cfg.MeanInterval = 200_000
+	}
+	if cfg.TransientWeight <= 0 && cfg.IntermittentWeight <= 0 && cfg.StuckAtWeight <= 0 {
+		cfg.TransientWeight, cfg.IntermittentWeight, cfg.StuckAtWeight = 6, 3, 1
+	}
+	if cfg.TransientWeight < 0 {
+		cfg.TransientWeight = 0
+	}
+	if cfg.IntermittentWeight < 0 {
+		cfg.IntermittentWeight = 0
+	}
+	if cfg.StuckAtWeight < 0 {
+		cfg.StuckAtWeight = 0
+	}
+	if cfg.DoubleBitFrac == 0 {
+		cfg.DoubleBitFrac = 8
+	}
+	if cfg.IntermittentRepeats <= 0 {
+		cfg.IntermittentRepeats = 3
+	}
+	if cfg.IntermittentGap <= 0 {
+		cfg.IntermittentGap = cfg.MeanInterval / 4
+	}
+	if cfg.MaxStuckCells <= 0 {
+		cfg.MaxStuckCells = 2
+	}
+	if cfg.StuckCheckInterval <= 0 {
+		cfg.StuckCheckInterval = cfg.MeanInterval / 2
+	}
+	if cfg.StormInterval > 0 {
+		if cfg.StormLength <= 0 {
+			cfg.StormLength = 4 * cfg.MeanInterval
+		}
+		if cfg.StormFactor <= 1 {
+			cfg.StormFactor = 8
+		}
+	}
+	p := &Process{m: m, in: in, cfg: cfg, r: rng{state: cfg.Seed ^ 0xd1a6f0}}
+	now := m.Clock.Now()
+	p.nextEvent = now + p.r.exp(p.interval(now))
+	if cfg.StormInterval > 0 {
+		p.nextStormAt = now + p.r.exp(cfg.StormInterval)
+	}
+	m.Telemetry.RegisterSource("faultmodel", func(emit func(string, float64)) {
+		s := p.stats
+		emit("events", float64(s.Events))
+		emit("transient", float64(s.Transient))
+		emit("intermittent", float64(s.Intermittent))
+		emit("stuck_at", float64(s.StuckAt))
+		emit("double_bit", float64(s.DoubleBit))
+		emit("refires", float64(s.Refires))
+		emit("storms", float64(s.Storms))
+		emit("skipped", float64(s.Skipped))
+	})
+	p.timer = m.Clock.NewTimer(p.deadline(), p.fire)
+	return p
+}
+
+// Stop halts the process. Pending deferred plants still drain; no new
+// faults are scheduled.
+func (p *Process) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.timer.Stop()
+}
+
+// Stats returns a copy of the counters.
+func (p *Process) Stats() Stats { return p.stats }
+
+// InStorm reports whether a storm episode is in progress.
+func (p *Process) InStorm() bool { return p.m.Clock.Now() < p.stormUntil }
+
+// interval is the current mean inter-arrival, storm-adjusted.
+func (p *Process) interval(now simtime.Cycles) simtime.Cycles {
+	if now < p.stormUntil {
+		return p.cfg.MeanInterval / simtime.Cycles(p.cfg.StormFactor)
+	}
+	return p.cfg.MeanInterval
+}
+
+// deadline is the earliest pending event time.
+func (p *Process) deadline() simtime.Cycles {
+	d := p.nextEvent
+	if p.nextStormAt != 0 && p.nextStormAt < d {
+		d = p.nextStormAt
+	}
+	for _, c := range p.cells {
+		if c.at < d {
+			d = c.at
+		}
+	}
+	return d
+}
+
+// fire is the clock-timer hook. It only makes decisions and defers the
+// actual plants; memory is never touched from timer context.
+func (p *Process) fire(now simtime.Cycles) simtime.Cycles {
+	if p.stopped {
+		return 0 // deactivate
+	}
+	if p.nextStormAt != 0 && now >= p.nextStormAt {
+		p.stormUntil = now + p.cfg.StormLength
+		p.nextStormAt = now + p.cfg.StormLength + p.r.exp(p.cfg.StormInterval)
+		p.stats.Storms++
+	}
+	for i := range p.cells {
+		c := &p.cells[i]
+		if now < c.at {
+			continue
+		}
+		p.deferRefire(*c)
+		if c.stuck {
+			c.at = now + p.cfg.StuckCheckInterval
+		} else {
+			c.remaining--
+			if c.remaining <= 0 {
+				c.at = 0 // retire below
+			} else {
+				c.at = now + p.cfg.IntermittentGap
+			}
+		}
+	}
+	// Compact expired intermittent cells.
+	live := p.cells[:0]
+	for _, c := range p.cells {
+		if c.at != 0 {
+			live = append(live, c)
+		}
+	}
+	p.cells = live
+	if now >= p.nextEvent {
+		p.spawn(now)
+		p.nextEvent = now + p.r.exp(p.interval(now))
+	}
+	return p.deadline()
+}
+
+// spawn decides one fresh fault event and defers its plant.
+func (p *Process) spawn(now simtime.Cycles) {
+	va, ok := p.site()
+	if !ok {
+		p.stats.Skipped++
+		return
+	}
+	total := p.cfg.TransientWeight + p.cfg.IntermittentWeight + p.cfg.StuckAtWeight
+	draw := p.r.intn(total)
+	bit := uint(p.r.intn(64))
+	switch {
+	case draw < p.cfg.TransientWeight:
+		double := p.cfg.DoubleBitFrac > 0 && p.r.intn(p.cfg.DoubleBitFrac) == 0
+		b2 := uint(p.r.intn(63))
+		if b2 >= bit {
+			b2++
+		}
+		p.stats.Events++
+		p.stats.Transient++
+		if double {
+			p.stats.DoubleBit++
+		}
+		p.deferPlant(va, double, bit, b2)
+	case draw < p.cfg.TransientWeight+p.cfg.IntermittentWeight:
+		p.stats.Events++
+		p.stats.Intermittent++
+		p.cells = append(p.cells, weakCell{
+			at: now + p.cfg.IntermittentGap, va: va, bit: bit,
+			remaining: p.cfg.IntermittentRepeats,
+		})
+		p.deferPlant(va, false, bit, 0)
+	default:
+		nStuck := 0
+		for _, c := range p.cells {
+			if c.stuck {
+				nStuck++
+			}
+		}
+		if nStuck >= p.cfg.MaxStuckCells {
+			// Enough permanent damage already; degrade to a transient.
+			p.stats.Events++
+			p.stats.Transient++
+			p.deferPlant(va, false, bit, 0)
+			return
+		}
+		p.stats.Events++
+		p.stats.StuckAt++
+		// The cell sticks at the COMPLEMENT of its current value, so the
+		// first assertion is an immediate flip.
+		cur, resident := p.in.DataBit(va, bit)
+		if !resident {
+			p.stats.Skipped++
+			return
+		}
+		p.cells = append(p.cells, weakCell{
+			at: now + p.cfg.StuckCheckInterval, va: va, bit: bit,
+			stuck: true, stuckVal: !cur,
+		})
+		p.deferPlant(va, false, bit, 0)
+	}
+}
+
+// deferPlant queues one plant for the next deferred-work point.
+func (p *Process) deferPlant(va vm.VAddr, double bool, b1, b2 uint) {
+	p.m.Kern.Defer(func() {
+		if p.stopped {
+			return
+		}
+		if !p.in.PlantSpecific(va, double, b1, b2) {
+			p.stats.Skipped++
+		}
+	})
+}
+
+// deferRefire queues a weak/stuck cell re-assertion. A stuck cell only
+// plants when the stored bit disagrees with the held value — a write-back
+// may have "repaired" it, which is exactly when the cell strikes again.
+func (p *Process) deferRefire(c weakCell) {
+	p.m.Kern.Defer(func() {
+		if p.stopped {
+			return
+		}
+		if c.stuck {
+			cur, resident := p.in.DataBit(c.va, c.bit)
+			if !resident || cur == c.stuckVal {
+				return
+			}
+		}
+		if p.in.PlantSpecific(c.va, false, c.bit, 0) {
+			p.stats.Refires++
+		} else {
+			p.stats.Skipped++
+		}
+	})
+}
+
+// site picks a fault address from the configured targets.
+func (p *Process) site() (vm.VAddr, bool) {
+	if len(p.cfg.Targets) == 0 {
+		return 0, false
+	}
+	t := p.cfg.Targets[p.r.intn(len(p.cfg.Targets))]
+	if t.Size == 0 {
+		return 0, false
+	}
+	return t.Base + vm.VAddr(p.r.next()%t.Size), true
+}

@@ -270,6 +270,32 @@ func (in *Injector) PlantAt(va vm.VAddr, double bool) bool {
 	return in.plant(va, double, b1, b2)
 }
 
+// PlantSpecific flips caller-chosen bit(s) of the ECC group containing va,
+// recording the plant for outcome matching. The DRAM fault model (package
+// faultmodel) uses it so its own seeded stream — not the injector's —
+// decides bit positions, keeping repeating faults (weak and stuck-at cells)
+// pinned to one bit. Double-bit plants still run the alias-avoidance search.
+// Returns false when the page is not resident.
+func (in *Injector) PlantSpecific(va vm.VAddr, double bool, b1, b2 uint) bool {
+	return in.plant(va, double, b1, b2)
+}
+
+// DataBit reports the current value of data bit b of the ECC group
+// containing va, bypassing cache and ECC (false when not resident). The
+// fault model uses it to decide whether a stuck-at cell needs re-asserting.
+func (in *Injector) DataBit(va vm.VAddr, b uint) (bool, bool) {
+	frame, resident := in.m.AS.FrameOf(va)
+	if !resident {
+		return false, false
+	}
+	ga := (frame + physmem.Addr(va.PageOffset())).GroupAddr()
+	// The DRAM cell holds whatever the last write-back left; a dirty cached
+	// copy is newer but has not reached the cell yet, so the raw DRAM view
+	// is the right one for a cell-level fault model.
+	data, _ := in.m.Phys.ReadGroupRaw(ga)
+	return data&(1<<b) != 0, true
+}
+
 // plant flips bit(s) of the ECC group containing va.
 func (in *Injector) plant(va vm.VAddr, double bool, b1, b2 uint) bool {
 	frame, resident := in.m.AS.FrameOf(va)

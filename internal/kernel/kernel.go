@@ -47,6 +47,12 @@ type ECCFault struct {
 	// commodity data-scramble trick. The fault handler's signature check
 	// differs accordingly.
 	Direct bool
+	// Hardware is set BY the fault handler before it returns when it
+	// diagnosed a genuine hardware error on a watched line (signature
+	// mismatch) rather than a watchpoint trip. The kernel folds such
+	// events into its per-line health tracking; watch trips are the
+	// detector working as designed and carry no health penalty.
+	Hardware bool
 }
 
 // ECCFaultHandler is a user-level ECC fault handler. It returns true when
@@ -109,6 +115,21 @@ type Kernel struct {
 	scrubBefore func()
 	scrubAfter  func()
 
+	// Hardware-fault resilience state (see resilience.go). Deferred work —
+	// page retirements, one-shot callbacks, scrub-daemon steps — is queued
+	// from interrupt context and drained at machine access boundaries,
+	// where no memory access is in flight.
+	res            ResilienceOptions
+	resStats       ResilienceStats
+	health         map[physmem.Addr]*lineHealth
+	healthObserver bool
+	pendingRetire  []physmem.Addr
+	retireQueued   map[physmem.Addr]bool
+	deferred       []func()
+	inDeferred     bool
+	onRetire       RetireNotifier
+	scrubd         *scrubDaemon
+
 	tr       *telemetry.Tracer
 	panicked bool
 	stats    Stats
@@ -118,12 +139,15 @@ type Kernel struct {
 // controller's machine-check handler.
 func New(clock *simtime.Clock, ctrl *memctrl.Controller, c *cache.Cache, as *vm.AddressSpace) *Kernel {
 	k := &Kernel{
-		clock:   clock,
-		ctrl:    ctrl,
-		cache:   c,
-		as:      as,
-		watches: make(map[vm.VAddr]watchEntry),
-		byPhys:  make(map[physmem.Addr]vm.VAddr),
+		clock:        clock,
+		ctrl:         ctrl,
+		cache:        c,
+		as:           as,
+		watches:      make(map[vm.VAddr]watchEntry),
+		byPhys:       make(map[physmem.Addr]vm.VAddr),
+		res:          DefaultResilienceOptions(),
+		health:       make(map[physmem.Addr]*lineHealth),
+		retireQueued: make(map[physmem.Addr]bool),
 	}
 	ctrl.SetInterruptHandler(k.handleECCInterrupt)
 	// Keep paging coherent with the CPU cache: frames are flushed before
@@ -152,6 +176,11 @@ func (k *Kernel) RegisterTelemetry(reg *telemetry.Registry) {
 		emit("scrub_passes", float64(s.ScrubPasses))
 		emit("lines_watched", float64(s.LinesWatched))
 		emit("max_lines_watched", float64(s.MaxLinesWatched))
+		rs := k.resStats
+		emit("pages_retired", float64(rs.PagesRetired))
+		emit("data_loss_events", float64(rs.DataLossEvents))
+		emit("retire_failures", float64(rs.RetireFailures))
+		emit("scrub_daemon_steps", float64(rs.ScrubDaemonSteps))
 	})
 }
 
@@ -217,10 +246,19 @@ func (k *Kernel) handleECCInterrupt(r memctrl.FaultReport) {
 	if k.eccHandler != nil {
 		if k.eccHandler(fault) {
 			k.stats.ECCFaultsHandled++
+			if fault.Hardware {
+				// The handler repaired a genuine hardware error on a
+				// watched line; fold it into the line's health history.
+				k.noteHealth(fault.PLine, k.res.UncorrectableWeight)
+			}
 			return
 		}
 	}
 	k.stats.ECCFaultsHardware++
+	if k.res.Policy == RetireAndContinue {
+		k.surviveUncorrectable(r, fault)
+		return
+	}
 	k.Panic("uncorrectable ECC error at physical line %#x group %d (data %#x check %#x)",
 		uint64(r.Line), fault.GroupIndex, r.Data, r.Check)
 }

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"testing"
+
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// tick advances the clock past the daemon's next deadline and drains the
+// resulting deferred work, the way a machine access boundary would.
+func (r *rig) tick(n simtime.Cycles) {
+	r.clock.Advance(n)
+	r.k.RunDeferredWork()
+}
+
+func TestScrubDaemonStepsAndSkipsWatchedLines(t *testing.T) {
+	r := newRig(t, 1<<16) // 1024 lines: one chunk can cover all of DRAM
+	mapHeap(t, r, 1)
+	r.store(t, base, 0x5a5a)
+	if _, err := r.k.WatchMemory(base, 64); err != nil {
+		t.Fatal(err)
+	}
+	r.k.StartScrubDaemon(ScrubDaemonOptions{Interval: 1_000, Chunk: 1024})
+	r.tick(1_100)
+	cs := r.ctrl.Stats()
+	if cs.ScrubbedLines == 0 {
+		t.Fatal("daemon scrubbed nothing")
+	}
+	if cs.ScrubSkipped == 0 {
+		t.Fatal("watched line was not skipped by the scrub filter")
+	}
+	if cs.ScrubbedLines+cs.ScrubSkipped != 1024 {
+		t.Fatalf("scrubbed %d + skipped %d != 1024", cs.ScrubbedLines, cs.ScrubSkipped)
+	}
+	// The watched line's scramble must be intact: the scrubber never read
+	// it, so no fault fired and no stats moved.
+	if r.ctrl.Stats().Uncorrectable != 0 {
+		t.Fatal("scrub daemon tripped the watched line")
+	}
+	if r.k.ResilienceStats().ScrubDaemonSteps != 1 {
+		t.Fatalf("ScrubDaemonSteps = %d, want 1", r.k.ResilienceStats().ScrubDaemonSteps)
+	}
+}
+
+func TestScrubDaemonAdaptsToErrorPressure(t *testing.T) {
+	r := newRig(t, 1<<16)
+	mapHeap(t, r, 1)
+	opts := ScrubDaemonOptions{Interval: 10_000, MinInterval: 2_500, MaxInterval: 40_000, Chunk: 8, StormEvents: 4}
+	r.k.StartScrubDaemon(opts)
+	if got := r.k.ScrubDaemonInterval(); got != 10_000 {
+		t.Fatalf("initial interval %d", got)
+	}
+
+	// Quiet period: each step without new error events doubles the interval
+	// up to the cap.
+	r.tick(10_100)
+	if got := r.k.ScrubDaemonInterval(); got != 20_000 {
+		t.Fatalf("interval after quiet step = %d, want 20000", got)
+	}
+	r.tick(20_100)
+	r.tick(40_100)
+	if got := r.k.ScrubDaemonInterval(); got != 40_000 {
+		t.Fatalf("interval not capped at MaxInterval: %d", got)
+	}
+
+	// Storm: a burst of correctable errors halves the interval down to the
+	// floor. Flip one data bit per line — the scrubber (or these demand
+	// reads) reports them as corrected singles.
+	for i := 0; i < 6; i++ {
+		va := base + vm.VAddr(i*8)
+		pa, _ := r.as.Translate(va, false)
+		r.cache.FlushLine(pa.LineAddr())
+		data, check := r.ctrl.Memory().ReadGroupRaw(pa)
+		r.ctrl.Memory().WriteGroupRaw(pa, data^1, check)
+		r.load(t, va)
+	}
+	r.tick(40_100)
+	if got := r.k.ScrubDaemonInterval(); got != 20_000 {
+		t.Fatalf("interval after storm step = %d, want 20000", got)
+	}
+	r.tick(20_100) // still sees zero new events → doubles again
+	if got := r.k.ScrubDaemonInterval(); got != 40_000 {
+		t.Fatalf("interval after recovery = %d, want 40000", got)
+	}
+}
+
+func TestScrubDaemonRetriesBusLockedChunk(t *testing.T) {
+	r := newRig(t, 1<<16)
+	mapHeap(t, r, 1)
+	r.k.StartScrubDaemon(ScrubDaemonOptions{Interval: 1_000, Chunk: 16})
+	r.ctrl.LockBus()
+	r.tick(1_100)
+	if got := r.ctrl.Stats().ScrubbedLines; got != 0 {
+		t.Fatalf("scrubbed %d lines with the bus locked", got)
+	}
+	if got := r.ctrl.Stats().ScrubSkipped; got != 16 {
+		t.Fatalf("ScrubSkipped = %d, want 16", got)
+	}
+	r.ctrl.UnlockBus()
+	// The next step covers the debt: 16 retried + 16 fresh. (The locked
+	// step saw zero error events, so the interval doubled to 2000.)
+	r.tick(3_000)
+	if got := r.ctrl.Stats().ScrubbedLines; got != 32 {
+		t.Fatalf("ScrubbedLines = %d after retry step, want 32", got)
+	}
+}
+
+func TestStopScrubDaemonSilencesTimer(t *testing.T) {
+	r := newRig(t, 1<<16)
+	r.k.StartScrubDaemon(ScrubDaemonOptions{Interval: 1_000, Chunk: 4})
+	r.tick(1_100)
+	steps := r.k.ResilienceStats().ScrubDaemonSteps
+	if steps == 0 {
+		t.Fatal("daemon never stepped")
+	}
+	r.k.StopScrubDaemon()
+	r.tick(10_000)
+	if got := r.k.ResilienceStats().ScrubDaemonSteps; got != steps {
+		t.Fatalf("daemon stepped after Stop: %d -> %d", steps, got)
+	}
+	if r.k.ScrubDaemonInterval() != 0 {
+		t.Fatal("interval reported for stopped daemon")
+	}
+}
+
+// scrub-daemon + fault-survival integration: a latent multi-bit fault on an
+// unwatched line found BY the scrubber is absorbed under RetireAndContinue.
+func TestScrubDaemonFindsLatentFaultAndSurvives(t *testing.T) {
+	r := newRig(t, 1<<16)
+	r.k.SetResilience(ResilienceOptions{Policy: RetireAndContinue})
+	mapHeap(t, r, 1)
+	r.store(t, base, 0xbeef)
+	pa, _ := r.as.Translate(base, false)
+	plantBad(r, pa)
+	r.k.StartScrubDaemon(ScrubDaemonOptions{Interval: 1_000, Chunk: 1024})
+	r.tick(1_100)
+	if r.k.Panicked() {
+		t.Fatal("kernel panicked on a scrub-found fault under RetireAndContinue")
+	}
+	if r.k.ResilienceStats().DataLossEvents != 1 {
+		t.Fatalf("DataLossEvents = %d, want 1", r.k.ResilienceStats().DataLossEvents)
+	}
+}

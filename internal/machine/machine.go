@@ -201,9 +201,15 @@ func (m *Machine) Load(va vm.VAddr, size int) uint64 {
 	m.stats.Loads++
 	m.Clock.Advance(simtime.CostInstr)
 	m.cur = access{active: true, write: false, va: va, size: size}
-	defer func() { m.cur = access{} }()
-	pa := m.translate(va, false)
-	return m.Cache.LoadBytes(pa, size)
+	v := func() uint64 {
+		defer func() { m.cur = access{} }()
+		pa := m.translate(va, false)
+		return m.Cache.LoadBytes(pa, size)
+	}()
+	// Deferred kernel work (page retirements, watch re-arms, scrub-daemon
+	// steps) runs only here, between accesses, never inside one.
+	m.Kern.RunDeferredWork()
+	return v
 }
 
 // Store writes the low size bytes of v at va.
@@ -214,9 +220,12 @@ func (m *Machine) Store(va vm.VAddr, size int, v uint64) {
 	m.stats.Stores++
 	m.Clock.Advance(simtime.CostInstr)
 	m.cur = access{active: true, write: true, va: va, size: size}
-	defer func() { m.cur = access{} }()
-	pa := m.translate(va, true)
-	m.Cache.StoreBytes(pa, size, v)
+	func() {
+		defer func() { m.cur = access{} }()
+		pa := m.translate(va, true)
+		m.Cache.StoreBytes(pa, size, v)
+	}()
+	m.Kern.RunDeferredWork()
 }
 
 // AccessInFlight describes the program access currently executing, for use
@@ -300,6 +309,7 @@ func (m *Machine) Compute(n uint64) {
 		m.tracer.OnCompute(n)
 	}
 	m.Clock.Advance(simtime.Cycles(n))
+	m.Kern.RunDeferredWork()
 }
 
 // Call records entry into a simulated function whose call site is ret.

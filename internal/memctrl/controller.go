@@ -91,6 +91,7 @@ type Stats struct {
 	Uncorrectable   uint64 // multi-bit errors reported
 	ScrubbedLines   uint64
 	ScrubCorrected  uint64
+	ScrubSkipped    uint64 // scrub lines deferred because the bus was locked
 }
 
 // Capabilities describes optional controller features beyond the narrow
@@ -104,20 +105,25 @@ type Capabilities struct {
 
 // Controller is the simulated ECC memory controller.
 type Controller struct {
-	mem      *physmem.Memory
-	clock    *simtime.Clock
-	mode     Mode
-	handler  InterruptHandler
-	observer FaultObserver
-	locked   bool
-	caps     Capabilities
-	stats    Stats
+	mem       *physmem.Memory
+	clock     *simtime.Clock
+	mode      Mode
+	handler   InterruptHandler
+	observer  FaultObserver
+	observers []FaultObserver
+	locked    bool
+	caps      Capabilities
+	stats     Stats
 
 	tr      *telemetry.Tracer
 	busSpan telemetry.Span
 
 	// scrubCursor is the next line the incremental scrubber will visit.
 	scrubCursor physmem.Addr
+	// scrubFilter, when set, is consulted per line during scrub steps; lines
+	// it rejects are skipped (and counted) instead of read through ECC. The
+	// kernel uses it to keep the background scrub daemon off watched lines.
+	scrubFilter func(line physmem.Addr) bool
 }
 
 // New creates a controller over mem, charging costs to clock. The initial
@@ -176,8 +182,35 @@ func (c *Controller) SetMode(m Mode) {
 func (c *Controller) SetInterruptHandler(h InterruptHandler) { c.handler = h }
 
 // SetFaultObserver installs a measurement probe notified on every ECC error
-// event (see FaultObserver).
+// event (see FaultObserver). There is one such slot; setting it again
+// replaces the previous probe. Components that must coexist with it (the
+// kernel's per-line health tracker) use AddFaultObserver instead.
 func (c *Controller) SetFaultObserver(fn FaultObserver) { c.observer = fn }
+
+// AddFaultObserver appends an additional fault observer. Observers run in
+// registration order, after the SetFaultObserver slot.
+func (c *Controller) AddFaultObserver(fn FaultObserver) {
+	c.observers = append(c.observers, fn)
+}
+
+// SetScrubFilter installs a per-line predicate for background scrub steps:
+// lines for which fn returns false are skipped rather than read through the
+// ECC path. Pass nil to clear. The kernel's scrub daemon uses this to avoid
+// tripping watched (deliberately scrambled) lines — those self-verify via
+// signature checks, so skipping them loses no coverage.
+func (c *Controller) SetScrubFilter(fn func(line physmem.Addr) bool) {
+	c.scrubFilter = fn
+}
+
+// notifyObservers fans an ECC event out to every registered probe.
+func (c *Controller) notifyObservers(group physmem.Addr, uncorrectable bool) {
+	if c.observer != nil {
+		c.observer(group, uncorrectable)
+	}
+	for _, fn := range c.observers {
+		fn(group, uncorrectable)
+	}
+}
 
 // RegisterTelemetry registers the controller's counters with the registry
 // and adopts its tracer for bus-lock, scrub and fault-delivery spans.
@@ -191,6 +224,7 @@ func (c *Controller) RegisterTelemetry(reg *telemetry.Registry) {
 		emit("uncorrectable", float64(s.Uncorrectable))
 		emit("scrubbed_lines", float64(s.ScrubbedLines))
 		emit("scrub_corrected", float64(s.ScrubCorrected))
+		emit("scrub_skipped", float64(s.ScrubSkipped))
 	})
 }
 
@@ -243,9 +277,7 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 		if duringScrub {
 			c.stats.ScrubCorrected++
 		}
-		if c.observer != nil {
-			c.observer(a, false)
-		}
+		c.notifyObservers(a, false)
 		if c.mode == CheckOnly {
 			// Detected and reported, but not corrected in memory.
 			return data
@@ -254,9 +286,7 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 		return corrected
 	case ecc.Uncorrectable:
 		c.stats.Uncorrectable++
-		if c.observer != nil {
-			c.observer(a, true)
-		}
+		c.notifyObservers(a, true)
 		report := FaultReport{
 			Group:       a,
 			Line:        a.LineAddr(),

@@ -198,17 +198,36 @@ func TestScrubRepairsLatentErrors(t *testing.T) {
 
 func TestScrubRespectsBusLockAndMode(t *testing.T) {
 	c, _ := newTestController(4096)
-	if n := c.ScrubStep(4); n != 0 {
-		t.Fatalf("scrub ran in CorrectError mode: %d", n)
+	if n, skipped := c.ScrubStep(4); n != 0 || skipped != 0 {
+		t.Fatalf("scrub ran in CorrectError mode: n=%d skipped=%d", n, skipped)
 	}
 	c.SetMode(CorrectAndScrub)
 	c.LockBus()
-	if n := c.ScrubStep(4); n != 0 {
-		t.Fatalf("scrub ran while bus locked: %d", n)
+	if n, skipped := c.ScrubStep(4); n != 0 || skipped != 4 {
+		t.Fatalf("scrub under bus lock: n=%d skipped=%d, want 0, 4", n, skipped)
+	}
+	if st := c.Stats(); st.ScrubSkipped != 4 {
+		t.Fatalf("ScrubSkipped = %d, want 4", st.ScrubSkipped)
 	}
 	c.UnlockBus()
-	if n := c.ScrubStep(4); n != 4 {
-		t.Fatalf("scrub step = %d, want 4", n)
+	if n, skipped := c.ScrubStep(4); n != 4 || skipped != 0 {
+		t.Fatalf("scrub step: n=%d skipped=%d, want 4, 0", n, skipped)
+	}
+}
+
+func TestAddFaultObserverCoexistsWithSetSlot(t *testing.T) {
+	c, _ := newTestController(4096)
+	var slot, extra1, extra2 int
+	c.SetFaultObserver(func(physmem.Addr, bool) { slot++ })
+	c.AddFaultObserver(func(physmem.Addr, bool) { extra1++ })
+	c.AddFaultObserver(func(physmem.Addr, bool) { extra2++ })
+	var line [physmem.GroupsPerLine]uint64
+	line[0] = 0xdead
+	c.WriteLine(0, line)
+	c.Memory().FlipDataBit(0, 3)
+	c.ReadLine(0)
+	if slot != 1 || extra1 != 1 || extra2 != 1 {
+		t.Fatalf("observer counts slot=%d extra1=%d extra2=%d, want 1 each", slot, extra1, extra2)
 	}
 }
 

@@ -19,34 +19,46 @@ import (
 // experiments enabling scrubbing see its (small) cost.
 const costScrubLine simtime.Cycles = 60
 
-// ScrubStep scrubs the next n lines in physical-address order, wrapping at
-// the end of memory. It is a no-op unless the mode is CorrectAndScrub or the
-// bus is locked (scrubbing is background traffic and must respect the lock).
-// It returns the number of lines actually scrubbed.
-func (c *Controller) ScrubStep(n int) int {
-	if c.mode != CorrectAndScrub || c.locked {
-		return 0
+// ScrubStep visits the next n lines in physical-address order, wrapping at
+// the end of memory, and scrubs each through the ECC read path. It is a
+// no-op unless the mode is CorrectAndScrub. Scrubbing is background traffic
+// and must respect the bus lock: with the bus locked, nothing is scrubbed
+// and the full n is reported as skipped so the caller (the kernel's scrub
+// daemon) can retry those lines later. Lines rejected by the scrub filter
+// are also skipped — their cursor slot is consumed but no ECC read happens.
+func (c *Controller) ScrubStep(n int) (scrubbed, skipped int) {
+	if c.mode != CorrectAndScrub {
+		return 0, 0
+	}
+	if c.locked {
+		c.stats.ScrubSkipped += uint64(n)
+		return 0, n
 	}
 	lines := c.mem.Lines()
 	if lines == 0 {
-		return 0
+		return 0, 0
 	}
 	sp := c.tr.Begin("memctrl", "scrub", telemetry.KV("lines", uint64(n)))
 	defer sp.End()
-	done := 0
-	for ; done < n; done++ {
+	for v := 0; v < n; v++ {
 		a := c.scrubCursor
-		for i := 0; i < 8; i++ {
+		c.scrubCursor += physmem.LineBytes
+		if uint64(c.scrubCursor) >= c.mem.Size() {
+			c.scrubCursor = 0
+		}
+		if c.scrubFilter != nil && !c.scrubFilter(a) {
+			c.stats.ScrubSkipped++
+			skipped++
+			continue
+		}
+		for i := 0; i < physmem.GroupsPerLine; i++ {
 			c.readGroup(a+physmem.Addr(i*physmem.GroupBytes), true)
 		}
 		c.stats.ScrubbedLines++
 		c.clock.Advance(costScrubLine)
-		c.scrubCursor += 64
-		if uint64(c.scrubCursor) >= c.mem.Size() {
-			c.scrubCursor = 0
-		}
+		scrubbed++
 	}
-	return done
+	return scrubbed, skipped
 }
 
 // ScrubAll performs one full scrub pass over all of DRAM.

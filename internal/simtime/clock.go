@@ -111,10 +111,29 @@ const (
 // Clock is the virtual CPU clock. The zero value is a clock at time zero,
 // ready to use. Clock is not safe for concurrent use; the simulated machine
 // is single-threaded, like the paper's monitored programs.
+//
+// Periodic background work (the telemetry sampler, the kernel's scrub
+// daemon, the DRAM fault process) registers Timers. The Advance hot path
+// stays a single compare-and-branch: wakeAt caches the earliest deadline
+// over all active timers.
 type Clock struct {
 	now    Cycles
 	wakeAt Cycles
-	onWake func(now Cycles) Cycles
+	armed  bool
+	timers []*Timer
+	legacy *Timer
+	firing bool
+}
+
+// Timer is one wake hook registered on the clock. Timers fire in
+// registration order when several share a deadline, which keeps multi-hook
+// runs deterministic. A stopped Timer stays registered and can be re-armed
+// with Reprogram.
+type Timer struct {
+	c      *Clock
+	at     Cycles
+	fn     func(now Cycles) Cycles
+	active bool
 }
 
 // Now returns the current simulated time.
@@ -123,7 +142,7 @@ func (c *Clock) Now() Cycles { return c.now }
 // Advance moves the clock forward by n cycles.
 func (c *Clock) Advance(n Cycles) {
 	c.now += n
-	if c.onWake != nil && c.now >= c.wakeAt {
+	if c.armed && c.now >= c.wakeAt && !c.firing {
 		c.fireWake()
 	}
 }
@@ -132,32 +151,101 @@ func (c *Clock) Advance(n Cycles) {
 func (c *Clock) AdvanceInstr(n uint64) { c.Advance(Cycles(n) * CostInstr) }
 
 // Reset rewinds the clock to zero. Used between benchmark repetitions.
-// Any wake hook stays installed with its deadline unchanged, so periodic
-// work resumes once the clock catches back up.
+// Timers stay installed with their deadlines unchanged, so periodic work
+// resumes once the clock catches back up.
 func (c *Clock) Reset() { c.now = 0 }
 
-// SetWake installs fn to run the first time the clock reaches or passes at.
-// A deadline crossed mid-Advance fires once, late, at the post-Advance time
-// (missed periods do not replay). fn returns the next wake time; returning
-// a time not after the current time uninstalls the hook. The hook must not
-// advance the clock. The telemetry sampler uses this to snapshot gauges
-// every N simulated ms with a single compare-and-branch on the Advance hot
-// path.
-func (c *Clock) SetWake(at Cycles, fn func(now Cycles) Cycles) {
-	c.wakeAt = at
-	c.onWake = fn
+// NewTimer registers fn to run the first time the clock reaches or passes
+// at. A deadline crossed mid-Advance fires once, late, at the post-Advance
+// time (missed periods do not replay). fn returns the next wake time;
+// returning a time not after the current time stops the timer. Unlike the
+// legacy single-slot hook, a timer's fn may itself advance the clock (e.g.
+// a scrub daemon charging scrub cycles): re-entry is suppressed while hooks
+// run, and any deadlines crossed inside a hook fire before control returns
+// to the program.
+func (c *Clock) NewTimer(at Cycles, fn func(now Cycles) Cycles) *Timer {
+	t := &Timer{c: c, at: at, fn: fn, active: true}
+	c.timers = append(c.timers, t)
+	c.rearm()
+	return t
 }
 
-// ClearWake uninstalls the wake hook.
-func (c *Clock) ClearWake() { c.onWake = nil }
+// Stop deactivates the timer. It stays registered; Reprogram re-arms it.
+func (t *Timer) Stop() {
+	t.active = false
+	t.c.rearm()
+}
 
-func (c *Clock) fireWake() {
-	for c.onWake != nil && c.now >= c.wakeAt {
-		next := c.onWake(c.now)
-		if next <= c.now {
-			c.onWake = nil
-			return
-		}
-		c.wakeAt = next
+// Reprogram re-arms the timer (stopped or not) with a new deadline.
+func (t *Timer) Reprogram(at Cycles) {
+	t.at = at
+	t.active = true
+	t.c.rearm()
+}
+
+// Active reports whether the timer is armed.
+func (t *Timer) Active() bool { return t.active }
+
+// Deadline returns the timer's next fire time (meaningful while Active).
+func (t *Timer) Deadline() Cycles { return t.at }
+
+// SetWake installs fn on the clock's dedicated legacy slot: the
+// single-hook API that predates Timers. ClearWake clears only this slot,
+// so a component using SetWake/ClearWake (the telemetry sampler) cannot
+// disturb timers owned by others. Semantics per NewTimer.
+func (c *Clock) SetWake(at Cycles, fn func(now Cycles) Cycles) {
+	if c.legacy == nil {
+		c.legacy = c.NewTimer(at, fn)
+		return
 	}
+	c.legacy.fn = fn
+	c.legacy.Reprogram(at)
+}
+
+// ClearWake uninstalls the legacy wake hook. Timers are unaffected.
+func (c *Clock) ClearWake() {
+	if c.legacy != nil {
+		c.legacy.Stop()
+	}
+}
+
+// rearm recomputes the cached earliest deadline.
+func (c *Clock) rearm() {
+	c.armed = false
+	for _, t := range c.timers {
+		if t.active && (!c.armed || t.at < c.wakeAt) {
+			c.wakeAt = t.at
+			c.armed = true
+		}
+	}
+}
+
+// fireWake runs every due timer until none remain due. A hook that
+// advances the clock may make further timers due; they fire on the next
+// sweep, still inside this call, so the program never observes a missed
+// deadline.
+func (c *Clock) fireWake() {
+	c.firing = true
+	for {
+		fired := false
+		// Index loop: a hook may register new timers, growing the slice.
+		for i := 0; i < len(c.timers); i++ {
+			t := c.timers[i]
+			if !t.active || c.now < t.at {
+				continue
+			}
+			fired = true
+			next := t.fn(c.now)
+			if next <= c.now {
+				t.active = false
+			} else {
+				t.at = next
+			}
+		}
+		if !fired {
+			break
+		}
+	}
+	c.firing = false
+	c.rearm()
 }

@@ -108,3 +108,103 @@ func TestWakeHookOneShot(t *testing.T) {
 		t.Fatalf("one-shot wake fired %d times", n)
 	}
 }
+
+func TestMultipleTimers(t *testing.T) {
+	var c Clock
+	var order []string
+	c.NewTimer(100, func(now Cycles) Cycles {
+		order = append(order, "a")
+		return now + 100
+	})
+	c.NewTimer(150, func(now Cycles) Cycles {
+		order = append(order, "b")
+		return now + 150
+	})
+	// 100:a 150:b 200:a 300:a+b (a first: registration order).
+	for i := 0; i < 6; i++ {
+		c.Advance(50)
+	}
+	want := "a b a a b"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("fire order %q, want %q", got, want)
+	}
+}
+
+func TestTimerStopReprogram(t *testing.T) {
+	var c Clock
+	n := 0
+	tm := c.NewTimer(10, func(now Cycles) Cycles { n++; return now + 10 })
+	c.Advance(10)
+	tm.Stop()
+	if tm.Active() {
+		t.Fatal("stopped timer still active")
+	}
+	c.Advance(100)
+	if n != 1 {
+		t.Fatalf("stopped timer fired: n=%d", n)
+	}
+	tm.Reprogram(c.Now() + 5)
+	c.Advance(5)
+	if n != 2 || !tm.Active() {
+		t.Fatalf("reprogrammed timer did not fire: n=%d active=%v", n, tm.Active())
+	}
+}
+
+func TestClearWakeSparesTimers(t *testing.T) {
+	var c Clock
+	legacy, timer := 0, 0
+	c.SetWake(10, func(now Cycles) Cycles { legacy++; return now + 10 })
+	c.NewTimer(10, func(now Cycles) Cycles { timer++; return now + 10 })
+	c.Advance(10)
+	c.ClearWake() // must clear only the legacy slot
+	c.Advance(10)
+	if legacy != 1 || timer != 2 {
+		t.Fatalf("legacy=%d timer=%d, want 1, 2", legacy, timer)
+	}
+	// SetWake reuses the legacy slot rather than stacking a new timer.
+	c.SetWake(c.Now()+10, func(now Cycles) Cycles { legacy++; return now + 10 })
+	c.Advance(10)
+	if legacy != 2 || timer != 3 {
+		t.Fatalf("after re-set: legacy=%d timer=%d, want 2, 3", legacy, timer)
+	}
+}
+
+func TestTimerHookMayAdvanceClock(t *testing.T) {
+	// A hook that charges cycles (like the scrub daemon) must not recurse,
+	// and deadlines it crosses must still fire before control returns.
+	var c Clock
+	var fired []string
+	c.NewTimer(100, func(now Cycles) Cycles {
+		fired = append(fired, "scrub")
+		c.Advance(60) // crosses the 150 deadline below
+		return c.Now() + 100
+	})
+	c.NewTimer(150, func(now Cycles) Cycles {
+		fired = append(fired, "sample")
+		return now + 1000
+	})
+	c.Advance(100)
+	if want := "scrub sample"; strings.Join(fired, " ") != want {
+		t.Fatalf("fired %v, want %q", fired, want)
+	}
+	if c.Now() != 160 {
+		t.Fatalf("Now = %d, want 160", c.Now())
+	}
+}
+
+func TestTimerRegisteredInsideHook(t *testing.T) {
+	var c Clock
+	n := 0
+	c.NewTimer(10, func(now Cycles) Cycles {
+		c.NewTimer(now+5, func(now Cycles) Cycles { n++; return now })
+		return now // one-shot
+	})
+	c.Advance(10)
+	if n != 0 {
+		t.Fatal("inner timer fired before its deadline")
+	}
+	c.Advance(5)
+	if n != 1 {
+		t.Fatalf("inner timer fired %d times, want 1", n)
+	}
+}

@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"testing"
+
+	"safemem/internal/ecc"
+	"safemem/internal/physmem"
+)
+
+func TestMigratePreservesRawBits(t *testing.T) {
+	as, mem := newAS(4)
+	if err := as.Map(0x10000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := as.FrameOf(0x10000)
+	// A normal group and a scrambled one (stale check bits), like a watch.
+	mem.WriteGroupRaw(old, 0x1234, uint8(ecc.Encode(0x1234)))
+	mem.WriteGroupDataOnly(old+physmem.GroupBytes, ecc.Scramble(0xbeef))
+
+	from, fresh, err := as.MigratePage(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != old {
+		t.Fatalf("migrated from %#x, want %#x", from, old)
+	}
+	if got, _ := as.FrameOf(0x10000); got != fresh {
+		t.Fatalf("page maps to %#x, want fresh frame %#x", got, fresh)
+	}
+	d0, c0 := mem.ReadGroupRaw(fresh)
+	if d0 != 0x1234 || c0 != uint8(ecc.Encode(0x1234)) {
+		t.Fatalf("group 0 not copied: data=%#x check=%#x", d0, c0)
+	}
+	// The scrambled group must still decode as uncorrectable on the fresh
+	// frame — i.e. check bits were copied verbatim, not re-encoded.
+	d1, c1 := mem.ReadGroupRaw(fresh + physmem.GroupBytes)
+	if d1 != ecc.Scramble(0xbeef) {
+		t.Fatalf("group 1 data = %#x", d1)
+	}
+	if _, _, res := ecc.Decode(d1, ecc.Check(c1)); res != ecc.Uncorrectable {
+		t.Fatalf("scramble did not survive migration: decode = %v", res)
+	}
+	// Old frame returned to the free list.
+	if as.FreeFrames() != 3 {
+		t.Fatalf("FreeFrames = %d, want 3", as.FreeFrames())
+	}
+	if as.Stats().Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", as.Stats().Migrations)
+	}
+}
+
+func TestMigrateKeepsPins(t *testing.T) {
+	as, _ := newAS(4)
+	if err := as.Map(0x10000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Pin(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := as.MigratePage(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if as.Pinned(0x10000) != 1 {
+		t.Fatalf("pin count = %d after migration, want 1", as.Pinned(0x10000))
+	}
+}
+
+func TestRetirePageQuarantinesFrame(t *testing.T) {
+	as, _ := newAS(3)
+	if err := as.Map(0x10000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := as.FrameOf(0x10000)
+	retired, fresh, err := as.RetirePage(0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retired != old || fresh == old {
+		t.Fatalf("retired=%#x fresh=%#x old=%#x", retired, fresh, old)
+	}
+	if !as.Retired(old) || as.RetiredFrames() != 1 {
+		t.Fatal("old frame not quarantined")
+	}
+	if as.Stats().FramesRetired != 1 {
+		t.Fatalf("FramesRetired = %d, want 1", as.Stats().FramesRetired)
+	}
+	// The retired frame must never come back: mapping every remaining frame
+	// succeeds (1 free left of 3 total), then the next Map fails rather than
+	// reusing the quarantined frame.
+	if err := as.Map(0x20000, 1, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x30000, 1, ProtRW); err == nil {
+		f, _ := as.FrameOf(0x30000)
+		t.Fatalf("Map handed out a frame (%#x) with none free; retired frame reused?", f)
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	as, _ := newAS(2)
+	if _, _, err := as.MigratePage(0x10000); err == nil {
+		t.Fatal("migrate of unmapped page succeeded")
+	}
+	// With every frame in use and no swap candidate but the page itself,
+	// migration of a pinned page must fail cleanly, not deadlock.
+	if err := as.Map(0x10000, 2, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Pin(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Pin(0x10000 + PageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := as.MigratePage(0x10000); err == nil {
+		t.Fatal("migrate with no free or evictable frames succeeded")
+	}
+}

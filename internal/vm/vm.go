@@ -132,8 +132,9 @@ type pte struct {
 type AddressSpace struct {
 	clock   *simtime.Clock
 	mem     *physmem.Memory
-	pages   map[uint64]*pte // vpn -> pte
-	frames  []physmem.Addr  // free frame list
+	pages   map[uint64]*pte       // vpn -> pte
+	frames  []physmem.Addr        // free frame list
+	retired map[physmem.Addr]bool // quarantined frames, never reallocated
 	tick    uint64
 	flusher Flusher
 	tr      *telemetry.Tracer
@@ -152,6 +153,10 @@ type Stats struct {
 	Translates  uint64
 	ProtFaults  uint64
 	FramesInUse uint64
+	// Migrations counts page moves to a fresh frame (retirements included);
+	// FramesRetired counts frames quarantined for good.
+	Migrations    uint64
+	FramesRetired uint64
 }
 
 // New creates an address space backed by mem's frames.
@@ -164,10 +169,11 @@ func New(mem *physmem.Memory, clock *simtime.Clock) *AddressSpace {
 		frames = append(frames, physmem.Addr(uint64(i)*PageBytes))
 	}
 	return &AddressSpace{
-		clock:  clock,
-		mem:    mem,
-		pages:  make(map[uint64]*pte),
-		frames: frames,
+		clock:   clock,
+		mem:     mem,
+		pages:   make(map[uint64]*pte),
+		frames:  frames,
+		retired: make(map[physmem.Addr]bool),
 	}
 }
 
@@ -189,6 +195,8 @@ func (as *AddressSpace) RegisterTelemetry(reg *telemetry.Registry) {
 		emit("translates", float64(s.Translates))
 		emit("prot_faults", float64(s.ProtFaults))
 		emit("frames_in_use", float64(s.FramesInUse))
+		emit("migrations", float64(s.Migrations))
+		emit("frames_retired", float64(s.FramesRetired))
 	})
 }
 
