@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench campaign storm fuzz-short
+.PHONY: all build vet test race check bench bench-quick campaign storm fuzz-short
 
 all: check
 
@@ -40,8 +40,17 @@ fuzz-short:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
 
 # check is the full verification gate: compile, vet, tests, race tests,
-# short fuzzing, and the randomized campaigns (clean and storm hardware).
-check: build vet test race fuzz-short campaign storm
+# short fuzzing, the randomized campaigns (clean and storm hardware), and a
+# refresh of the tracked throughput baseline.
+check: build vet test race fuzz-short campaign storm bench-quick
 
+# bench runs every Go benchmark in the tree (ECC encode/decode, cache hit
+# path, controller read path, ablations, ...).
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# bench-quick refreshes the tracked simulator-throughput baseline
+# (BENCH_throughput.json): each app runs uninstrumented and wall-clocked.
+# Simulated columns are deterministic; host columns describe this machine.
+bench-quick:
+	$(GO) run ./cmd/safemem-bench -experiment throughput

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	safemem-bench [-experiment table2|table3|table4|table5|figure3|all]
-//	              [-seed N] [-scale N] [-iterations N]
+//	safemem-bench [-experiment table2|table3|table4|table5|figure3|throughput|all]
+//	              [-seed N] [-scale N] [-iterations N] [-parallel N]
+//	              [-throughput-out FILE]
 //	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	              [-sample-interval MS]
 //
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
@@ -35,13 +37,16 @@ type jsonOutput struct {
 	Table5  []bench.Table5Row     `json:"table5,omitempty"`
 	Figure3 []bench.Figure3Series `json:"figure3,omitempty"`
 	Summary []bench.SummaryRow    `json:"summary,omitempty"`
+	Through *bench.Throughput     `json:"throughput,omitempty"`
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, figure3, summary or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, figure3, summary, throughput or all")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	scale := flag.Int("scale", 0, "workload scale multiplier (0 = per-experiment default)")
 	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent experiment cells (results are identical at any value)")
+	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where the throughput experiment writes its JSON baseline (empty disables)")
 	format := flag.String("format", "text", "output format: text or json")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump covering every run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (one process per run) to this file")
@@ -61,7 +66,12 @@ func main() {
 			SampleInterval: simtime.FromMicroseconds(*sampleMS * 1000),
 		})
 		bench.Telemetry = session
+		// Telemetry export orders registries by creation time, which
+		// parallel cells would race; keep runs sequential so exported
+		// files stay deterministic.
+		*parallel = 1
 	}
+	bench.Parallel = *parallel
 	asJSON := *format == "json"
 	out := jsonOutput{Seed: *seed, Scale: *scale}
 
@@ -124,6 +134,26 @@ func main() {
 		}
 		return nil
 	})
+	// throughput wall-clocks the host, so like summary it only runs when
+	// requested explicitly (not under -experiment all).
+	if *experiment == "throughput" {
+		t, err := bench.RunThroughput(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		if *throughputOut != "" {
+			if err := t.WriteJSON(*throughputOut); err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if asJSON {
+			out.Through = t
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
 	// summary re-runs every experiment internally, so it only runs when
 	// requested explicitly (not under -experiment all).
 	if *experiment == "summary" {
@@ -152,7 +182,7 @@ func main() {
 	})
 
 	switch *experiment {
-	case "table2", "table3", "table4", "table5", "figure3", "summary", "all":
+	case "table2", "table3", "table4", "table5", "figure3", "summary", "throughput", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

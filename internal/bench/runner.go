@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"safemem/internal/apps"
 	"safemem/internal/cache"
@@ -47,6 +48,54 @@ type FaultKnobs struct {
 // daemon, and (with Retire) page retirement. Nil (the default) leaves the
 // hardware perfect, preserving the stock evaluation numbers.
 var Faults *FaultKnobs
+
+// Parallel is the worker count runCells uses to execute independent
+// experiment cells concurrently (the -parallel flag of safemem-bench).
+// Values below 2 keep the legacy fully-sequential order. Every cell builds
+// its own machine, so results are identical at any worker count; only host
+// wall-clock changes.
+var Parallel = 1
+
+// runCells executes n independent cell functions, each writing only its own
+// result slot, on up to Parallel workers. Cells must not share simulator
+// state (each bench.Run constructs a fresh machine). The returned error is
+// the lowest-indexed cell error, matching what a sequential sweep would have
+// reported first; later cells still run to completion either way.
+func runCells(n int, cell func(i int) error) error {
+	workers := Parallel
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			errs[i] = cell(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = cell(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Tool selects the monitoring configuration of a run (the columns of
 // Table 3).
@@ -117,6 +166,9 @@ type Result struct {
 
 	// Cycles is the simulated CPU time of the run.
 	Cycles simtime.Cycles
+	// Instrs is the simulated-instruction count (loads + stores + compute
+	// cycles) — the denominator of the throughput experiment.
+	Instrs uint64
 
 	// Tool-specific outputs (only the attached tool's fields are set).
 	SafeMem []safemem.BugReport
@@ -255,6 +307,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	}
 	res.Resilience = m.Kern.ResilienceStats()
 	res.Cycles = m.Clock.Now()
+	res.Instrs = m.Instructions()
 	res.Heap = alloc.Stats()
 	res.Machine = m.Stats()
 	res.Cache = m.Cache.Stats()
@@ -319,6 +372,7 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
 	runSpan.End()
 	res.Cycles = m.Clock.Now()
+	res.Instrs = m.Instructions()
 	res.Heap = alloc.Stats()
 	res.Machine = m.Stats()
 	res.Cache = m.Cache.Stats()

@@ -103,40 +103,43 @@ type Table3Row struct {
 // RunTable3 reproduces the detection + time-overhead comparison (Table 3):
 // every app runs under no tool, SafeMem (ML only / MC only / ML+MC) and
 // Purify on identical normal inputs; detection is verified on buggy inputs
-// with the full configuration.
+// with the full configuration. The app×tool cells are independent — each
+// owns a fresh machine — and run on runCells workers; rows are assembled in
+// app order afterwards, so the output is byte-identical at any Parallel
+// value.
 func RunTable3(cfg apps.Config) ([]Table3Row, error) {
+	all := apps.All()
+	normal := cfg
+	normal.Buggy = false
+	buggy := cfg
+	buggy.Buggy = true
+	cells := []struct {
+		tool Tool
+		cfg  apps.Config
+	}{
+		{ToolNone, normal},
+		{ToolSafeMemML, normal},
+		{ToolSafeMemMC, normal},
+		{ToolSafeMemBoth, normal},
+		{ToolPurify, normal},
+		{ToolSafeMemBoth, buggy},
+	}
+	results := make([]*Result, len(all)*len(cells))
+	if err := runCells(len(results), func(i int) error {
+		sp := cells[i%len(cells)]
+		res, err := Run(all[i/len(cells)].Name, sp.tool, sp.cfg)
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	var rows []Table3Row
-	for _, app := range apps.All() {
-		normal := cfg
-		normal.Buggy = false
-		base, err := Run(app.Name, ToolNone, normal)
-		if err != nil {
-			return nil, err
-		}
+	for ai, app := range all {
+		row6 := results[ai*len(cells) : (ai+1)*len(cells)]
+		base, ml, mc, both, pf, det := row6[0], row6[1], row6[2], row6[3], row6[4], row6[5]
 		if base.Err != nil {
 			return nil, fmt.Errorf("table3: %s base run: %w", app.Name, base.Err)
-		}
-		ml, err := Run(app.Name, ToolSafeMemML, normal)
-		if err != nil {
-			return nil, err
-		}
-		mc, err := Run(app.Name, ToolSafeMemMC, normal)
-		if err != nil {
-			return nil, err
-		}
-		both, err := Run(app.Name, ToolSafeMemBoth, normal)
-		if err != nil {
-			return nil, err
-		}
-		pf, err := Run(app.Name, ToolPurify, normal)
-		if err != nil {
-			return nil, err
-		}
-		buggy := cfg
-		buggy.Buggy = true
-		det, err := Run(app.Name, ToolSafeMemBoth, buggy)
-		if err != nil {
-			return nil, err
 		}
 
 		mlmc := Overhead(base.Cycles, both.Cycles)
@@ -188,20 +191,25 @@ type Table4Row struct {
 }
 
 // RunTable4 measures padding+alignment waste under the two protection
-// granularities on identical allocation traces.
+// granularities on identical allocation traces. Cells run on runCells
+// workers; output is identical at any Parallel value.
 func RunTable4(cfg apps.Config) ([]Table4Row, error) {
+	all := apps.All()
+	tools := []Tool{ToolSafeMemBoth, ToolPageProt}
+	results := make([]*Result, len(all)*len(tools))
+	if err := runCells(len(results), func(i int) error {
+		res, err := Run(all[i/len(tools)].Name, tools[i%len(tools)], cfg)
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	var rows []Table4Row
-	for _, app := range apps.All() {
-		ecc, err := Run(app.Name, ToolSafeMemBoth, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for ai, app := range all {
+		ecc, page := results[ai*len(tools)], results[ai*len(tools)+1]
 		if ecc.Err != nil {
 			return nil, fmt.Errorf("table4: %s ECC run: %w", app.Name, ecc.Err)
-		}
-		page, err := Run(app.Name, ToolPageProt, cfg)
-		if err != nil {
-			return nil, err
 		}
 		if page.Err != nil {
 			return nil, fmt.Errorf("table4: %s page run: %w", app.Name, page.Err)
@@ -241,24 +249,34 @@ type Table5Row struct {
 }
 
 // RunTable5 counts false leak reports with pruning disabled (suspects are
-// reported immediately) and enabled, on buggy inputs.
+// reported immediately) and enabled, on buggy inputs. Cells run on runCells
+// workers; output is identical at any Parallel value.
 func RunTable5(cfg apps.Config) ([]Table5Row, error) {
 	buggy := cfg
 	buggy.Buggy = true
+	leakApps := apps.LeakApps()
+	results := make([]*Result, 2*len(leakApps))
+	if err := runCells(len(results), func(i int) error {
+		app := leakApps[i/2]
+		var res *Result
+		var err error
+		if i%2 == 0 {
+			noPrune := SafeMemOptions(true, true)
+			noPrune.PruneWithECC = false
+			res, err = RunWithOptions(app.Name, noPrune, buggy)
+		} else {
+			res, err = Run(app.Name, ToolSafeMemBoth, buggy)
+		}
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	var rows []Table5Row
-	for _, app := range apps.LeakApps() {
-		noPrune := SafeMemOptions(true, true)
-		noPrune.PruneWithECC = false
-		before, err := RunWithOptions(app.Name, noPrune, buggy)
-		if err != nil {
-			return nil, err
-		}
-		after, err := Run(app.Name, ToolSafeMemBoth, buggy)
-		if err != nil {
-			return nil, err
-		}
-		_, fpBefore := ClassifyLeaks(app, before.SafeMem)
-		_, fpAfter := ClassifyLeaks(app, after.SafeMem)
+	for ai, app := range leakApps {
+		_, fpBefore := ClassifyLeaks(app, results[2*ai].SafeMem)
+		_, fpAfter := ClassifyLeaks(app, results[2*ai+1].SafeMem)
 		rows = append(rows, Table5Row{App: app.Name, BeforePruning: fpBefore, AfterPruning: fpAfter})
 	}
 	return rows, nil

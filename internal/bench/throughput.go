@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"safemem/internal/apps"
+	"safemem/internal/stats"
+)
+
+// ThroughputRow is one application's row of the simulator-throughput
+// experiment: how fast the host executes the simulated machine.
+type ThroughputRow struct {
+	App string `json:"app"`
+	// SimInstrs is the simulated-instruction count of the run (loads +
+	// stores + compute cycles).
+	SimInstrs uint64 `json:"sim_instrs"`
+	// SimCycles is the simulated CPU time of the run in 2.4 GHz cycles.
+	SimCycles uint64 `json:"sim_cycles"`
+	// HostNS is the host wall-clock spent executing the run, in nanoseconds.
+	HostNS int64 `json:"host_ns"`
+	// SimMIPS is millions of simulated instructions per host second.
+	SimMIPS float64 `json:"sim_mips"`
+	// HostNSPerInstr is host nanoseconds per simulated instruction.
+	HostNSPerInstr float64 `json:"host_ns_per_instr"`
+}
+
+// Throughput is the result of the throughput experiment, serialised to
+// BENCH_throughput.json so speedups and regressions are tracked in-repo.
+// The simulated columns (instructions, cycles) are deterministic for a
+// given seed/scale; the host columns vary with the machine running the
+// benchmark and are indicative, not golden.
+type Throughput struct {
+	Seed  int64           `json:"seed"`
+	Scale int             `json:"scale,omitempty"`
+	Rows  []ThroughputRow `json:"rows"`
+	// Total aggregates all rows (SimMIPS and HostNSPerInstr recomputed
+	// from the summed columns, not averaged).
+	Total ThroughputRow `json:"total"`
+}
+
+// RunThroughput runs every app uninstrumented (ToolNone) and wall-clocks
+// each run on the host. Rows run sequentially even when Parallel > 1:
+// concurrent cells would contend for host cores and corrupt the per-row
+// timings.
+func RunThroughput(cfg apps.Config) (*Throughput, error) {
+	t := &Throughput{Seed: cfg.Seed, Scale: cfg.Scale}
+	for _, app := range apps.All() {
+		start := time.Now()
+		res, err := Run(app.Name, ToolNone, cfg)
+		hostNS := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("throughput: %s: %w", app.Name, err)
+		}
+		if res.Err != nil {
+			return nil, fmt.Errorf("throughput: %s run: %w", app.Name, res.Err)
+		}
+		row := ThroughputRow{
+			App:       app.Name,
+			SimInstrs: res.Instrs,
+			SimCycles: uint64(res.Cycles),
+			HostNS:    hostNS,
+		}
+		row.fillRates()
+		t.Rows = append(t.Rows, row)
+		t.Total.SimInstrs += row.SimInstrs
+		t.Total.SimCycles += row.SimCycles
+		t.Total.HostNS += row.HostNS
+	}
+	t.Total.App = "TOTAL"
+	t.Total.fillRates()
+	return t, nil
+}
+
+func (r *ThroughputRow) fillRates() {
+	if r.HostNS > 0 {
+		// instrs / (ns * 1e-9 s) / 1e6 = instrs * 1e3 / ns.
+		r.SimMIPS = float64(r.SimInstrs) * 1e3 / float64(r.HostNS)
+	}
+	if r.SimInstrs > 0 {
+		r.HostNSPerInstr = float64(r.HostNS) / float64(r.SimInstrs)
+	}
+}
+
+// Render formats the throughput report as a table.
+func (t *Throughput) Render() string {
+	tab := stats.NewTable(
+		"Simulator throughput (uninstrumented apps, host wall-clock)",
+		"Application", "Sim instrs", "Sim cycles", "Host ms", "Sim MIPS", "Host ns/instr")
+	rows := append(append([]ThroughputRow{}, t.Rows...), t.Total)
+	for _, r := range rows {
+		tab.AddRow(r.App,
+			fmt.Sprintf("%d", r.SimInstrs),
+			fmt.Sprintf("%d", r.SimCycles),
+			fmt.Sprintf("%.1f", float64(r.HostNS)/1e6),
+			fmt.Sprintf("%.1f", r.SimMIPS),
+			fmt.Sprintf("%.1f", r.HostNSPerInstr))
+	}
+	return tab.Render()
+}
+
+// WriteJSON writes the report to path (the tracked BENCH_throughput.json
+// baseline at the repo root, by default).
+func (t *Throughput) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

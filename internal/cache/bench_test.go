@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+
+	"safemem/internal/memctrl"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/telemetry"
+)
+
+func newBenchCache() (*Cache, *simtime.Clock) {
+	clock := &simtime.Clock{}
+	ctrl := memctrl.New(physmem.MustNew(1<<20), clock)
+	return MustNew(ctrl, clock, DefaultConfig), clock
+}
+
+// BenchmarkCacheHitLoad measures the hottest operation of the whole
+// simulator: a load that hits the MRU way.
+func BenchmarkCacheHitLoad(b *testing.B) {
+	c, _ := newBenchCache()
+	c.StoreWord(128, 0xabcdef)
+	c.LoadWord(128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.LoadWord(128)
+	}
+}
+
+// BenchmarkCacheHitLoadAssocScan is the hit path when the MRU hint misses:
+// alternating lines in the same set force the associative scan.
+func BenchmarkCacheHitLoadAssocScan(b *testing.B) {
+	c, _ := newBenchCache()
+	// Two lines mapping to set 0 (addresses differ by Sets×LineBytes).
+	stride := physmem.Addr(DefaultConfig.Sets * physmem.LineBytes)
+	c.StoreWord(0, 1)
+	c.StoreWord(stride, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.LoadWord(physmem.Addr(i&1) * stride)
+	}
+}
+
+// BenchmarkCacheMissFill exercises the miss path: each iteration touches a
+// line streak that thrashes one set.
+func BenchmarkCacheMissFill(b *testing.B) {
+	c, _ := newBenchCache()
+	stride := physmem.Addr(DefaultConfig.Sets * physmem.LineBytes)
+	n := physmem.Addr(DefaultConfig.Ways + 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.LoadWord((physmem.Addr(i) % n) * stride)
+	}
+}
+
+// TestCacheHitPathNoAllocs pins the zero-allocation property of the hit
+// path: a single allocation per load would dominate simulator wall-clock.
+func TestCacheHitPathNoAllocs(t *testing.T) {
+	c, _ := newBenchCache()
+	c.StoreWord(64, 7)
+	c.LoadWord(64)
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.LoadWord(64)
+		c.StoreWord(64, 9)
+		c.LoadBytes(66, 2)
+	}); avg != 0 {
+		t.Fatalf("hit path allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+// TestResetStatsResamplesGauges pins the ResetStats fix: with a sampling
+// registry attached, resetting the counters must emit fresh gauge samples
+// immediately, not leave the exported series at the stale pre-reset values
+// until the next periodic tick.
+func TestResetStatsResamplesGauges(t *testing.T) {
+	clock := &simtime.Clock{}
+	reg := telemetry.NewRegistry("test", telemetry.Config{
+		SampleInterval: simtime.FromMicroseconds(1000),
+	})
+	reg.AttachClock(clock)
+	ctrl := memctrl.New(physmem.MustNew(1<<20), clock)
+	c := MustNew(ctrl, clock, DefaultConfig)
+	c.RegisterTelemetry(reg)
+
+	c.LoadWord(0) // miss
+	c.LoadWord(0) // hit
+	if c.Stats().Hits != 1 || c.Stats().Misses != 1 {
+		t.Fatalf("unexpected warm-up stats: %+v", c.Stats())
+	}
+	before := len(reg.Samples())
+	c.ResetStats()
+	samples := reg.Samples()[before:]
+	if len(samples) == 0 {
+		t.Fatal("ResetStats emitted no samples on a sampling registry")
+	}
+	seen := map[string]float64{}
+	for _, s := range samples {
+		if s.Component == "cache" {
+			seen[s.Name] = s.Value
+		}
+	}
+	for _, name := range []string{"hits", "misses", "write_backs", "flushes"} {
+		v, ok := seen[name]
+		if !ok {
+			t.Errorf("no post-reset sample for cache/%s", name)
+		} else if v != 0 {
+			t.Errorf("post-reset sample cache/%s = %v, want 0", name, v)
+		}
+	}
+
+	// A non-sampling registry must stay a no-op (no panic, no samples).
+	reg2 := telemetry.NewRegistry("quiet", telemetry.Config{})
+	reg2.AttachClock(clock)
+	c2 := MustNew(memctrl.New(physmem.MustNew(1<<20), clock), clock, DefaultConfig)
+	c2.RegisterTelemetry(reg2)
+	c2.LoadWord(0)
+	c2.ResetStats()
+	if len(reg2.Samples()) != 0 {
+		t.Fatal("non-sampling registry recorded samples on reset")
+	}
+}

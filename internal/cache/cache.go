@@ -11,6 +11,17 @@
 //     uncached lines must first fetch the line — goes to DRAM.
 //   - After the first (and only interesting) access is detected, the line may
 //     legitimately stay cached; SafeMem needs just the first access.
+//
+// The lookup path is the single hottest function of the simulator (every
+// simulated load and store lands here), so its layout is tuned: ways live in
+// one flat slice (no per-set slice header chase), validity is a generation
+// stamp compared against the cache's current generation (so FlushAll is one
+// counter bump instead of a full sweep of invalidations), the set index is a
+// shift-and-mask with precomputed constants, and a per-set MRU hint
+// short-circuits the associative scan for the dominant repeated-touch
+// pattern. None of this changes simulated semantics: hit/miss decisions,
+// LRU victim choice, write-back order and cycle charges are identical to
+// the straightforward implementation.
 package cache
 
 import (
@@ -42,8 +53,17 @@ type Stats struct {
 	Flushes    uint64
 }
 
+// lineShift is log2(physmem.LineBytes). The zero-width assertion below
+// breaks the build if the line size ever changes without this constant.
+const lineShift = 6
+
+var _ = [1]struct{}{}[physmem.LineBytes-1<<lineShift]
+
+// way is one cache way. It is valid iff gen equals the cache's current
+// generation; single-way invalidation writes gen 0 (the cache generation
+// starts at 1 and only grows).
 type way struct {
-	valid bool
+	gen   uint64
 	dirty bool
 	line  physmem.Addr // line-aligned physical address
 	words [physmem.GroupsPerLine]uint64
@@ -55,9 +75,15 @@ type Cache struct {
 	ctrl  *memctrl.Controller
 	clock *simtime.Clock
 	cfg   Config
-	sets  [][]way
+
+	ways    []way   // cfg.Sets×cfg.Ways, set-major
+	mru     []int32 // per-set way index of the last hit/fill (a hint, never authoritative)
+	setMask uint64  // cfg.Sets-1
+	gen     uint64  // current valid generation, ≥1
+
 	tick  uint64
 	stats Stats
+	reg   *telemetry.Registry
 	tr    *telemetry.Tracer
 }
 
@@ -69,11 +95,15 @@ func New(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) (*Cache, er
 	if cfg.Ways <= 0 {
 		return nil, fmt.Errorf("cache: ways %d must be positive", cfg.Ways)
 	}
-	sets := make([][]way, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]way, cfg.Ways)
-	}
-	return &Cache{ctrl: ctrl, clock: clock, cfg: cfg, sets: sets}, nil
+	return &Cache{
+		ctrl:    ctrl,
+		clock:   clock,
+		cfg:     cfg,
+		ways:    make([]way, cfg.Sets*cfg.Ways),
+		mru:     make([]int32, cfg.Sets),
+		setMask: uint64(cfg.Sets - 1),
+		gen:     1,
+	}, nil
 }
 
 // MustNew is New, panicking on error.
@@ -88,13 +118,21 @@ func MustNew(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) *Cache 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// ResetStats zeroes the counters.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the counters and, when a sampling registry is attached,
+// immediately re-samples the gauges — otherwise exported time-series would
+// keep reporting the stale pre-reset values until the next periodic tick.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	if c.reg != nil {
+		c.reg.SampleNow()
+	}
+}
 
 // RegisterTelemetry registers the cache's counters with the registry and
 // adopts its tracer for flush spans. The load/store lookup path itself is
 // deliberately uninstrumented — it stays plain struct-field increments.
 func (c *Cache) RegisterTelemetry(reg *telemetry.Registry) {
+	c.reg = reg
 	c.tr = reg.Tracer()
 	reg.RegisterSource("cache", func(emit func(string, float64)) {
 		s := c.stats
@@ -109,39 +147,55 @@ func (c *Cache) RegisterTelemetry(reg *telemetry.Registry) {
 }
 
 func (c *Cache) setIndex(line physmem.Addr) int {
-	return int(uint64(line) / physmem.LineBytes % uint64(c.cfg.Sets))
+	return int(uint64(line) >> lineShift & c.setMask)
 }
 
 // find returns the way holding line, or nil.
 func (c *Cache) find(line physmem.Addr) *way {
-	set := c.sets[c.setIndex(line)]
+	si := c.setIndex(line)
+	base := si * c.cfg.Ways
+	// MRU short-circuit: repeated touches to the same line dominate real
+	// access streams, and they need no associative scan.
+	if m := int(c.mru[si]); m < c.cfg.Ways {
+		if w := &c.ways[base+m]; w.gen == c.gen && w.line == line {
+			return w
+		}
+	}
+	set := c.ways[base : base+c.cfg.Ways]
 	for i := range set {
-		if set[i].valid && set[i].line == line {
+		if set[i].gen == c.gen && set[i].line == line {
+			c.mru[si] = int32(i)
 			return &set[i]
 		}
 	}
 	return nil
 }
 
-// victim picks the LRU way of line's set, writing it back if dirty.
-func (c *Cache) victim(line physmem.Addr) *way {
-	set := c.sets[c.setIndex(line)]
+// victim picks the LRU way of set si, writing it back if dirty, and returns
+// its way index within the set. The scan replicates the original selection
+// exactly (starting from way 0 whatever its validity, breaking at the first
+// invalid way from index 1, else the strictly-lowest LRU stamp), so
+// eviction order — and with it every downstream memory-traffic number — is
+// unchanged.
+func (c *Cache) victim(si int) (int, *way) {
+	set := c.ways[si*c.cfg.Ways : (si+1)*c.cfg.Ways]
+	vi := 0
 	v := &set[0]
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
-			v = &set[i]
+		if set[i].gen != c.gen {
+			vi, v = i, &set[i]
 			break
 		}
 		if set[i].lru < v.lru {
-			v = &set[i]
+			vi, v = i, &set[i]
 		}
 	}
-	if v.valid && v.dirty {
+	if v.gen == c.gen && v.dirty {
 		c.stats.WriteBacks++
 		c.clock.Advance(simtime.CostWriteBack)
 		c.ctrl.WriteLine(v.line, v.words)
 	}
-	return v
+	return vi, v
 }
 
 // lookup returns the cache way for line, fetching from DRAM on a miss and
@@ -156,15 +210,17 @@ func (c *Cache) lookup(line physmem.Addr) *way {
 	}
 	c.stats.Misses++
 	c.clock.Advance(simtime.CostCacheMiss)
-	w := c.victim(line)
+	si := c.setIndex(line)
+	wi, w := c.victim(si)
 	// ReadLine runs the ECC path; a watched line raises its fault here, and
 	// by the time ReadLine returns the kernel/SafeMem has repaired it, so
 	// the fill gets the restored data.
 	w.words = c.ctrl.ReadLine(line)
-	w.valid = true
+	w.gen = c.gen
 	w.dirty = false
 	w.line = line
 	w.lru = c.tick
+	c.mru[si] = int32(wi)
 	return w
 }
 
@@ -238,7 +294,7 @@ func (c *Cache) FlushLine(line physmem.Addr) {
 		c.clock.Advance(simtime.CostWriteBack)
 		c.ctrl.WriteLine(w.line, w.words)
 	}
-	w.valid = false
+	w.gen = 0
 	w.dirty = false
 }
 
@@ -274,7 +330,7 @@ func (c *Cache) FlushFrame(base physmem.Addr) {
 				c.clock.Advance(simtime.CostWriteBack)
 				c.ctrl.WriteLine(w.line, w.words)
 			}
-			w.valid = false
+			w.gen = 0
 			w.dirty = false
 		}
 	}
@@ -282,20 +338,18 @@ func (c *Cache) FlushFrame(base physmem.Addr) {
 }
 
 // FlushAll writes back and invalidates every line (used when the kernel
-// swaps a page out).
+// swaps a page out). Write-backs keep the classic set-major order;
+// invalidation is a single generation bump instead of a sweep.
 func (c *Cache) FlushAll() {
 	sp := c.tr.Begin("cache", "flush-all")
 	defer sp.End()
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			w := &c.sets[si][wi]
-			if w.valid && w.dirty {
-				c.stats.WriteBacks++
-				c.clock.Advance(simtime.CostWriteBack)
-				c.ctrl.WriteLine(w.line, w.words)
-			}
-			w.valid = false
-			w.dirty = false
+	for i := range c.ways {
+		w := &c.ways[i]
+		if w.gen == c.gen && w.dirty {
+			c.stats.WriteBacks++
+			c.clock.Advance(simtime.CostWriteBack)
+			c.ctrl.WriteLine(w.line, w.words)
 		}
 	}
+	c.gen++
 }

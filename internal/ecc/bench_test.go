@@ -1,0 +1,93 @@
+package ecc
+
+import "testing"
+
+// The micro-benchmarks below pin the simulator's hottest arithmetic: every
+// simulated line transfer decodes (or encodes) 8 ECC groups, so campaign and
+// bench wall-clock is dominated by these two functions. The *Ref variants
+// measure the mask-loop/linear-search reference so the speedup is visible in
+// the same `go test -bench 'Encode|Decode'` run; the acceptance floor is a
+// ≥3× speedup on the clean decode path (see EXPERIMENTS.md "Simulator
+// throughput").
+
+var (
+	benchCheck Check
+	benchData  uint64
+	benchRes   Result
+)
+
+func BenchmarkEncode(b *testing.B) {
+	b.ReportAllocs()
+	var c Check
+	for i := 0; i < b.N; i++ {
+		c ^= Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	benchCheck = c
+}
+
+func BenchmarkEncodeRef(b *testing.B) {
+	b.ReportAllocs()
+	var c Check
+	for i := 0; i < b.N; i++ {
+		c ^= encodeRef(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	benchCheck = c
+}
+
+// decodeInputs builds a deterministic workload of (data, check) pairs in the
+// requested corruption state.
+func decodeInputs(kind string) [256]struct {
+	data  uint64
+	check Check
+} {
+	var in [256]struct {
+		data  uint64
+		check Check
+	}
+	for i := range in {
+		data := uint64(i) * 0x9e3779b97f4a7c15
+		check := Encode(data)
+		switch kind {
+		case "clean":
+		case "corrected":
+			data = FlipDataBit(data, uint(i)%GroupBits)
+		case "uncorrectable":
+			data = Scramble(data)
+		}
+		in[i].data = data
+		in[i].check = check
+	}
+	return in
+}
+
+func benchDecode(b *testing.B, kind string, decode func(uint64, Check) (uint64, Check, Result)) {
+	in := decodeInputs(kind)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := in[i&255]
+		d, _, r := decode(p.data, p.check)
+		benchData ^= d
+		benchRes = r
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B)         { benchDecode(b, "clean", Decode) }
+func BenchmarkDecodeCleanRef(b *testing.B)      { benchDecode(b, "clean", decodeRef) }
+func BenchmarkDecodeCorrected(b *testing.B)     { benchDecode(b, "corrected", Decode) }
+func BenchmarkDecodeCorrectedRef(b *testing.B)  { benchDecode(b, "corrected", decodeRef) }
+func BenchmarkDecodeUncorrectable(b *testing.B) { benchDecode(b, "uncorrectable", Decode) }
+func BenchmarkDecodeUncorrectableRef(b *testing.B) {
+	benchDecode(b, "uncorrectable", decodeRef)
+}
+
+// TestEncodeDecodeNoAllocs pins the zero-allocation property of the hot
+// path: one heap allocation per group decode would dwarf the arithmetic.
+func TestEncodeDecodeNoAllocs(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() {
+		c := Encode(0xdeadbeefcafebabe)
+		benchData, benchCheck, benchRes = Decode(0xdeadbeefcafebabe, c)
+	}); n != 0 {
+		t.Fatalf("Encode+Decode allocates %v times per op, want 0", n)
+	}
+}

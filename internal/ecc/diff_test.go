@@ -1,0 +1,70 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// assertDecodeEqual fails unless the optimized and reference decoders agree
+// on every output for the given input.
+func assertDecodeEqual(t *testing.T, data uint64, check Check) {
+	t.Helper()
+	d1, c1, r1 := Decode(data, check)
+	d2, c2, r2 := decodeRef(data, check)
+	if d1 != d2 || c1 != c2 || r1 != r2 {
+		t.Fatalf("Decode(%#x, %#x) = (%#x, %#x, %v), decodeRef = (%#x, %#x, %v)",
+			data, uint8(check), d1, uint8(c1), r1, d2, uint8(c2), r2)
+	}
+}
+
+// TestEncodeMatchesReference: the table-driven encoder must agree with the
+// mask-loop reference on structured and random words.
+func TestEncodeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := []uint64{0, ^uint64(0), 0x5555555555555555, 0xaaaaaaaaaaaaaaaa, 0xdeadbeefcafebabe}
+	for i := 0; i < GroupBits; i++ {
+		words = append(words, 1<<uint(i))
+	}
+	for i := 0; i < 4096; i++ {
+		words = append(words, rng.Uint64())
+	}
+	for _, w := range words {
+		if got, want := Encode(w), encodeRef(w); got != want {
+			t.Fatalf("Encode(%#x) = %#x, encodeRef = %#x", w, uint8(got), uint8(want))
+		}
+	}
+}
+
+// TestDecodeMatchesReferenceAllFlips sweeps every one of the 72 codeword
+// single-bit flips (64 data + 8 check) over random words, plus double flips
+// and raw random check bytes, checking the optimized decoder against the
+// reference on each.
+func TestDecodeMatchesReferenceAllFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 256; trial++ {
+		data := rng.Uint64()
+		check := Encode(data)
+		// Clean word.
+		assertDecodeEqual(t, data, check)
+		// All 64 data-bit flips and all 8 check-bit flips.
+		for b := uint(0); b < GroupBits; b++ {
+			assertDecodeEqual(t, FlipDataBit(data, b), check)
+		}
+		for b := uint(0); b < CheckBits; b++ {
+			assertDecodeEqual(t, data, FlipCheckBit(check, b))
+		}
+		// Double flips (data+data, data+check) — the Uncorrectable paths.
+		b1, b2 := uint(rng.Intn(GroupBits)), uint(rng.Intn(GroupBits))
+		if b1 != b2 {
+			assertDecodeEqual(t, FlipDataBit(FlipDataBit(data, b1), b2), check)
+		}
+		assertDecodeEqual(t, FlipDataBit(data, b1), FlipCheckBit(check, uint(rng.Intn(CheckBits))))
+		// Arbitrary garbage check bits: exercises every syndrome value.
+		assertDecodeEqual(t, data, Check(rng.Intn(256)))
+	}
+	// Exhaustive syndrome coverage: one word against all 256 check bytes.
+	data := uint64(0x0123456789abcdef)
+	for c := 0; c < 256; c++ {
+		assertDecodeEqual(t, data, Check(c))
+	}
+}

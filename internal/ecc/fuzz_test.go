@@ -12,6 +12,12 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Scramble(42), uint8(Encode(42)))
 	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
 		d, c, res := Decode(data, Check(check))
+		// The optimized decoder must agree with the reference implementation
+		// on every input the mutator finds.
+		if d2, c2, res2 := decodeRef(data, Check(check)); d != d2 || c != c2 || res != res2 {
+			t.Fatalf("Decode = (%#x, %#x, %v), decodeRef = (%#x, %#x, %v)",
+				d, uint8(c), res, d2, uint8(c2), res2)
+		}
 		switch res {
 		case OK:
 			if d != data || c != Check(check) {
@@ -39,6 +45,9 @@ func FuzzEncodeRoundTrip(f *testing.F) {
 	f.Add(uint64(1), uint8(3))
 	f.Fuzz(func(t *testing.T, data uint64, bit uint8) {
 		c := Encode(data)
+		if ref := encodeRef(data); c != ref {
+			t.Fatalf("Encode(%#x) = %#x, encodeRef = %#x", data, uint8(c), uint8(ref))
+		}
 		if _, _, res := Decode(data, c); res != OK {
 			t.Fatalf("clean decode = %v", res)
 		}

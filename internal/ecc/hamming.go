@@ -12,6 +12,8 @@
 // search at package initialisation (see scramble.go).
 package ecc
 
+import "math/bits"
+
 // GroupBits is the number of data bits in one ECC group.
 const GroupBits = 64
 
@@ -75,6 +77,53 @@ var (
 	parityMask [7]uint64
 )
 
+// Encode is linear over GF(2) — Encode(0) == 0 and every check bit is an XOR
+// of data bits — so the whole 64→8 map factors into eight per-byte tables
+// XOR-folded together. encTable[i][b] is the check-bit contribution of byte
+// value b at byte position i. Built in init from encodeRef, which stays the
+// single source of truth for the code's algebra.
+var encTable [GroupBytes][256]Check
+
+// synAction is the 128-entry syndrome→action LUT replacing Decode's
+// power-of-two search and posToData probe: for each 7-bit syndrome (under
+// odd overall parity) it records whether the error is a Hamming check bit, a
+// data bit, or uncorrectable, and which bit to flip. Encoding: 0xFF =
+// uncorrectable; bit 7 set = flip check bit (low bits = index); otherwise
+// flip data bit (value = index). Syndrome 0 never consults the table.
+const (
+	synUncorrectable = 0xFF
+	synCheckFlag     = 0x80
+)
+
+var synAction [128]uint8
+
+func initTables() {
+	for i := 0; i < GroupBytes; i++ {
+		for b := 0; b < 256; b++ {
+			encTable[i][b] = encodeRef(uint64(b) << (8 * uint(i)))
+		}
+	}
+	for s := 1; s < 128; s++ {
+		switch {
+		case s > maxPosition:
+			synAction[s] = synUncorrectable
+		case s&(s-1) == 0:
+			bit := uint8(0)
+			for 1<<bit != s {
+				bit++
+			}
+			synAction[s] = synCheckFlag | bit
+		default:
+			if d := posToData[s]; d >= 0 {
+				synAction[s] = uint8(d)
+			} else {
+				synAction[s] = synUncorrectable
+			}
+		}
+	}
+	synAction[0] = synUncorrectable // unreachable; Decode handles syndrome 0 first
+}
+
 func init() {
 	for p := range posToData {
 		posToData[p] = -1
@@ -100,78 +149,61 @@ func init() {
 		}
 		parityMask[j] = mask
 	}
+	initTables()
 	initScramble()
 }
 
-// parity64 returns the XOR of all bits of x.
-func parity64(x uint64) uint {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return uint(x & 1)
-}
-
 // Encode computes the 8 check bits for a 64-bit data word, exactly as the
-// memory controller's ECC generator does on every write (Figure 1a).
+// memory controller's ECC generator does on every write (Figure 1a). It is
+// the XOR-fold of eight precomputed per-byte tables — combinational logic in
+// the real chipset, eight loads and seven XORs here. Equivalent to encodeRef
+// for every input (pinned by diff_test.go and the fuzz harnesses).
 func Encode(data uint64) Check {
-	var c Check
-	for j := 0; j < 7; j++ {
-		if parity64(data&parityMask[j]) != 0 {
-			c |= 1 << uint(j)
-		}
-	}
-	// Overall parity covers data plus the seven Hamming bits, and is chosen
-	// so the full 72-bit codeword has even weight.
-	overall := parity64(data) ^ parity64(uint64(c&0x7f))
-	if overall != 0 {
-		c |= 1 << 7
-	}
-	return c
+	return encTable[0][data&0xff] ^
+		encTable[1][data>>8&0xff] ^
+		encTable[2][data>>16&0xff] ^
+		encTable[3][data>>24&0xff] ^
+		encTable[4][data>>32&0xff] ^
+		encTable[5][data>>40&0xff] ^
+		encTable[6][data>>48&0xff] ^
+		encTable[7][data>>56&0xff]
 }
 
 // Decode checks a 64-bit data word against its stored check bits, returning
 // possibly-corrected data and check bits plus a Result. It mirrors the
 // controller's read path (Figure 1b): single-bit errors are corrected
-// transparently; multi-bit errors are reported as Uncorrectable.
+// transparently; multi-bit errors are reported as Uncorrectable. Syndrome
+// classification is one lookup in the 128-entry synAction LUT; equivalent to
+// decodeRef for every input.
 func Decode(data uint64, stored Check) (uint64, Check, Result) {
 	expected := Encode(data)
 	// Syndrome over the seven Hamming checks.
 	syndrome := uint((expected ^ stored) & 0x7f)
 	// Overall parity of the received 72-bit codeword. Encode produced a
 	// codeword of even weight, so any odd number of bit flips makes this 1.
-	parity := parity64(data) ^ parity64(uint64(stored))
+	parityOdd := (bits.OnesCount64(data) + bits.OnesCount8(uint8(stored))) & 1
 
-	switch {
-	case syndrome == 0 && parity == 0:
-		return data, stored, OK
-	case syndrome == 0 && parity == 1:
+	if syndrome == 0 {
+		if parityOdd == 0 {
+			return data, stored, OK
+		}
 		// Only the overall parity bit flipped.
 		return data, stored ^ (1 << 7), CorrectedCheck
-	case parity == 0:
+	}
+	if parityOdd == 0 {
 		// Non-zero syndrome with even overall parity: double-bit error.
 		return data, stored, Uncorrectable
 	}
 	// Odd parity, non-zero syndrome: decoder assumes a single-bit error at
-	// codeword position = syndrome.
-	if syndrome > maxPosition {
+	// codeword position = syndrome; the LUT says which bit that is.
+	switch act := synAction[syndrome]; {
+	case act == synUncorrectable:
 		return data, stored, Uncorrectable
+	case act&synCheckFlag != 0:
+		return data, stored ^ Check(1)<<(act&^synCheckFlag), CorrectedCheck
+	default:
+		return data ^ uint64(1)<<act, stored, CorrectedData
 	}
-	if syndrome&(syndrome-1) == 0 {
-		// A Hamming parity position: fix the corresponding check bit.
-		bit := uint(0)
-		for 1<<bit != syndrome {
-			bit++
-		}
-		return data, stored ^ Check(1<<bit), CorrectedCheck
-	}
-	d := posToData[syndrome]
-	if d < 0 {
-		return data, stored, Uncorrectable
-	}
-	return data ^ (1 << uint(d)), stored, CorrectedData
 }
 
 // FlipDataBit returns data with the i-th data bit inverted. It is used by

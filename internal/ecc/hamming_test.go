@@ -219,19 +219,3 @@ func TestScrambleCheckInvolution(t *testing.T) {
 		t.Fatal("ScrambleCheck is identity")
 	}
 }
-
-func BenchmarkEncode(b *testing.B) {
-	var sink Check
-	for i := 0; i < b.N; i++ {
-		sink = Encode(uint64(i) * 0x9e3779b97f4a7c15)
-	}
-	_ = sink
-}
-
-func BenchmarkDecodeClean(b *testing.B) {
-	d := uint64(0x0123456789abcdef)
-	c := Encode(d)
-	for i := 0; i < b.N; i++ {
-		Decode(d, c)
-	}
-}

@@ -1,0 +1,76 @@
+package ecc
+
+// Reference SECDED implementation: the original mask-loop encoder and
+// linear-search decoder, kept verbatim as the specification the optimized
+// table-driven Encode/Decode are differentially tested against (see
+// diff_test.go and the fuzz harnesses). Production code must call
+// Encode/Decode; these exist only so the fast path always has an oracle.
+
+// parity64 returns the XOR of all bits of x.
+func parity64(x uint64) uint {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint(x & 1)
+}
+
+// encodeRef computes the 8 check bits with one parity fold per Hamming mask
+// — the pre-optimization Encode, bit-for-bit.
+func encodeRef(data uint64) Check {
+	var c Check
+	for j := 0; j < 7; j++ {
+		if parity64(data&parityMask[j]) != 0 {
+			c |= 1 << uint(j)
+		}
+	}
+	// Overall parity covers data plus the seven Hamming bits, and is chosen
+	// so the full 72-bit codeword has even weight.
+	overall := parity64(data) ^ parity64(uint64(c&0x7f))
+	if overall != 0 {
+		c |= 1 << 7
+	}
+	return c
+}
+
+// decodeRef is the pre-optimization Decode: syndrome classification via a
+// power-of-two linear search and the posToData table, bit-for-bit.
+func decodeRef(data uint64, stored Check) (uint64, Check, Result) {
+	expected := encodeRef(data)
+	// Syndrome over the seven Hamming checks.
+	syndrome := uint((expected ^ stored) & 0x7f)
+	// Overall parity of the received 72-bit codeword. Encode produced a
+	// codeword of even weight, so any odd number of bit flips makes this 1.
+	parity := parity64(data) ^ parity64(uint64(stored))
+
+	switch {
+	case syndrome == 0 && parity == 0:
+		return data, stored, OK
+	case syndrome == 0 && parity == 1:
+		// Only the overall parity bit flipped.
+		return data, stored ^ (1 << 7), CorrectedCheck
+	case parity == 0:
+		// Non-zero syndrome with even overall parity: double-bit error.
+		return data, stored, Uncorrectable
+	}
+	// Odd parity, non-zero syndrome: decoder assumes a single-bit error at
+	// codeword position = syndrome.
+	if syndrome > maxPosition {
+		return data, stored, Uncorrectable
+	}
+	if syndrome&(syndrome-1) == 0 {
+		// A Hamming parity position: fix the corresponding check bit.
+		bit := uint(0)
+		for 1<<bit != syndrome {
+			bit++
+		}
+		return data, stored ^ Check(1<<bit), CorrectedCheck
+	}
+	d := posToData[syndrome]
+	if d < 0 {
+		return data, stored, Uncorrectable
+	}
+	return data ^ (1 << uint(d)), stored, CorrectedData
+}

@@ -95,7 +95,12 @@ type Machine struct {
 	monitors []Monitor
 	tracer   Tracer
 	stats    Stats
-	cur      access
+	// instrs counts executed simulated instructions: one per load/store plus
+	// one per Compute cycle (CostInstr is 1). Kept outside Stats so existing
+	// result records and JSON summaries are unchanged; the throughput
+	// experiment reads it to convert host wall-clock into ns-per-instruction.
+	instrs uint64
+	cur    access
 }
 
 // access describes the load/store currently executing, if any.
@@ -174,6 +179,10 @@ func (m *Machine) DetachMonitors() { m.monitors = nil }
 // Stats returns a copy of the access counters.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// Instructions returns the simulated-instruction count executed so far (see
+// the instrs field for the accounting rule).
+func (m *Machine) Instructions() uint64 { return m.instrs }
+
 // translate resolves va for a size-byte access, delivering protection
 // faults to the registered user handler (the page-protection baseline) and
 // retrying once if the handler claims to have resolved the fault.
@@ -199,6 +208,7 @@ func (m *Machine) Load(va vm.VAddr, size int) uint64 {
 		mon.OnLoad(va, size)
 	}
 	m.stats.Loads++
+	m.instrs++
 	m.Clock.Advance(simtime.CostInstr)
 	m.cur = access{active: true, write: false, va: va, size: size}
 	v := func() uint64 {
@@ -218,6 +228,7 @@ func (m *Machine) Store(va vm.VAddr, size int, v uint64) {
 		mon.OnStore(va, size)
 	}
 	m.stats.Stores++
+	m.instrs++
 	m.Clock.Advance(simtime.CostInstr)
 	m.cur = access{active: true, write: true, va: va, size: size}
 	func() {
@@ -308,6 +319,7 @@ func (m *Machine) Compute(n uint64) {
 	if m.tracer != nil {
 		m.tracer.OnCompute(n)
 	}
+	m.instrs += n
 	m.Clock.Advance(simtime.Cycles(n))
 	m.Kern.RunDeferredWork()
 }

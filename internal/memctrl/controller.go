@@ -118,6 +118,23 @@ type Controller struct {
 	tr      *telemetry.Tracer
 	busSpan telemetry.Span
 
+	// clean is the known-clean line bitmap, one bit per 64-byte line: a set
+	// bit asserts that every ECC group of the line decodes ecc.OK against
+	// its stored check bits, so ReadLine may return the raw words without
+	// running 8 decodes. Bits are set only after the controller itself
+	// verified or freshly encoded the whole line, and cleared by the physmem
+	// mutation hook on *any* stored-bit write — including the fault
+	// injector, the DRAM fault model, VM swap traffic and direct-ECC pokes —
+	// so a planted fault can never hide behind the fast path.
+	clean []uint64
+	// fastPath gates the bitmap; SetFastPath(false) restores the literal
+	// decode-everything read path (for differential tests).
+	fastPath bool
+	// fastLineReads counts ReadLine calls served by the bitmap. Diagnostic
+	// only: deliberately outside Stats so run results and JSON summaries
+	// stay byte-identical to the pre-fast-path simulator.
+	fastLineReads uint64
+
 	// scrubCursor is the next line the incremental scrubber will visit.
 	scrubCursor physmem.Addr
 	// scrubFilter, when set, is consulted per line during scrub steps; lines
@@ -129,8 +146,50 @@ type Controller struct {
 // New creates a controller over mem, charging costs to clock. The initial
 // mode is CorrectError, the common server default.
 func New(mem *physmem.Memory, clock *simtime.Clock) *Controller {
-	return &Controller{mem: mem, clock: clock, mode: CorrectError}
+	c := &Controller{
+		mem:      mem,
+		clock:    clock,
+		mode:     CorrectError,
+		clean:    make([]uint64, (mem.Lines()+63)/64),
+		fastPath: true,
+	}
+	mem.SetMutateHook(c.invalidateClean)
+	return c
 }
+
+// lineIndex converts a line address to its bitmap index.
+func lineIndex(line physmem.Addr) uint64 { return uint64(line) / physmem.LineBytes }
+
+// invalidateClean drops the known-clean bit of a line; it is the physmem
+// mutation hook, fired on every stored-bit write from any component.
+func (c *Controller) invalidateClean(line physmem.Addr) {
+	idx := lineIndex(line)
+	c.clean[idx/64] &^= 1 << (idx % 64)
+}
+
+// markClean records that every group of line currently decodes ecc.OK.
+func (c *Controller) markClean(line physmem.Addr) {
+	idx := lineIndex(line)
+	c.clean[idx/64] |= 1 << (idx % 64)
+}
+
+// lineClean reports whether the line holds the known-clean bit. Addresses
+// outside DRAM report false, so the slow path raises physmem's usual
+// out-of-range panic.
+func (c *Controller) lineClean(line physmem.Addr) bool {
+	idx := lineIndex(line)
+	return idx/64 < uint64(len(c.clean)) && c.clean[idx/64]&(1<<(idx%64)) != 0
+}
+
+// SetFastPath enables or disables the known-clean ReadLine fast path. It is
+// on by default; turning it off forces every read through the full decode
+// loop. Stats, cycle charges and returned data are identical either way —
+// pinned by TestFastPathEquivalence.
+func (c *Controller) SetFastPath(enabled bool) { c.fastPath = enabled }
+
+// FastLineReads returns the number of ReadLine calls that skipped decoding
+// via the known-clean bitmap (diagnostic; not part of Stats).
+func (c *Controller) FastLineReads() uint64 { return c.fastLineReads }
 
 // Memory returns the underlying DRAM (used by the fault injector in tests).
 func (c *Controller) Memory() *physmem.Memory { return c.mem }
@@ -317,15 +376,34 @@ func (c *Controller) readGroup(a physmem.Addr, duringScrub bool) uint64 {
 }
 
 // ReadLine fetches the 64-byte line at a (which must be line-aligned) from
-// DRAM, running every ECC group through the check/correct path.
+// DRAM, running every ECC group through the check/correct path. Lines the
+// controller knows to be clean — written by itself with ECC enabled, or
+// fully verified on an earlier pass, with no stored-bit mutation since —
+// skip the 8 decodes entirely: for such a line every decode returns ecc.OK
+// with the data unchanged and no stats or cycle charges, so the fast path
+// is observationally identical to the full loop (TestFastPathEquivalence).
 func (c *Controller) ReadLine(a physmem.Addr) [physmem.GroupsPerLine]uint64 {
 	if !a.IsLineAligned() {
 		panic(fmt.Sprintf("memctrl: ReadLine at unaligned address %#x", uint64(a)))
 	}
 	c.stats.LineReads++
 	var out [physmem.GroupsPerLine]uint64
+	if c.fastPath && c.mode != Disabled && c.lineClean(a) {
+		c.fastLineReads++
+		for i := 0; i < physmem.GroupsPerLine; i++ {
+			out[i], _ = c.mem.ReadGroupRaw(a + physmem.Addr(i*physmem.GroupBytes))
+		}
+		return out
+	}
+	errsBefore := c.stats.CorrectedSingle + c.stats.Uncorrectable
 	for i := 0; i < physmem.GroupsPerLine; i++ {
 		out[i] = c.readGroup(a+physmem.Addr(i*physmem.GroupBytes), false)
+	}
+	// A full pass with no ECC events proves every group decodes OK: remember
+	// it. (Any event leaves the line unmarked — in CheckOnly mode errors stay
+	// in memory, and a handler repair already cleared the bit via the hook.)
+	if c.mode != Disabled && c.stats.CorrectedSingle+c.stats.Uncorrectable == errsBefore {
+		c.markClean(a)
 	}
 	return out
 }
@@ -346,6 +424,13 @@ func (c *Controller) WriteLine(a physmem.Addr, words [physmem.GroupsPerLine]uint
 		} else {
 			c.mem.WriteGroupRaw(ga, words[i], uint8(ecc.Encode(words[i])))
 		}
+	}
+	// With ECC on, every group now carries freshly generated check bits; the
+	// line is clean by construction. (The mutation hook cleared the bit
+	// during the writes above; with ECC disabled — the scramble path — it
+	// stays cleared.)
+	if c.mode != Disabled {
+		c.markClean(a)
 	}
 }
 

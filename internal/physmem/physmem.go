@@ -52,6 +52,26 @@ type group struct {
 type Memory struct {
 	groups []group
 	size   uint64
+
+	// onMutate, when set, observes every mutation of stored bits — raw
+	// writes, data-only writes, and bit flips — with the line address of the
+	// touched group. The memory controller hooks it to invalidate its
+	// known-clean line bitmap, so no writer (fault injector, fault model,
+	// VM swap, direct-ECC pokes) can corrupt a line behind the controller's
+	// decode-skipping fast path.
+	onMutate func(line Addr)
+}
+
+// SetMutateHook installs fn as the mutation observer (nil clears it). There
+// is a single slot: the owning memory controller. The hook must not itself
+// write to the memory.
+func (m *Memory) SetMutateHook(fn func(line Addr)) { m.onMutate = fn }
+
+// noteMutate reports a mutation of the group at index idx to the hook.
+func (m *Memory) noteMutate(idx uint64) {
+	if m.onMutate != nil {
+		m.onMutate(Addr(idx * GroupBytes).LineAddr())
+	}
 }
 
 // New allocates a simulated DRAM of the given size in bytes. The size must
@@ -112,7 +132,9 @@ func (m *Memory) ReadGroupRaw(a Addr) (data uint64, check uint8) {
 // a. This is the full-control path used by the controller and by the fault
 // injector.
 func (m *Memory) WriteGroupRaw(a Addr, data uint64, check uint8) {
-	m.groups[m.groupIndex(a)] = group{data: data, check: check}
+	idx := m.groupIndex(a)
+	m.groups[idx] = group{data: data, check: check}
+	m.noteMutate(idx)
 }
 
 // WriteGroupDataOnly stores the data word at a while leaving the stored
@@ -120,7 +142,9 @@ func (m *Memory) WriteGroupRaw(a Addr, data uint64, check uint8) {
 // is disabled — the heart of SafeMem's WatchMemory trick (Figure 2): the old
 // check bits now mismatch the new data.
 func (m *Memory) WriteGroupDataOnly(a Addr, data uint64) {
-	m.groups[m.groupIndex(a)].data = data
+	idx := m.groupIndex(a)
+	m.groups[idx].data = data
+	m.noteMutate(idx)
 }
 
 // FlipDataBit inverts one data bit of the group at a, leaving the check bits
@@ -129,7 +153,9 @@ func (m *Memory) FlipDataBit(a Addr, bit uint) {
 	if bit >= 64 {
 		panic("physmem: data bit out of range")
 	}
-	m.groups[m.groupIndex(a)].data ^= 1 << bit
+	idx := m.groupIndex(a)
+	m.groups[idx].data ^= 1 << bit
+	m.noteMutate(idx)
 }
 
 // FlipCheckBit inverts one stored check bit of the group at a.
@@ -137,5 +163,7 @@ func (m *Memory) FlipCheckBit(a Addr, bit uint) {
 	if bit >= 8 {
 		panic("physmem: check bit out of range")
 	}
-	m.groups[m.groupIndex(a)].check ^= 1 << bit
+	idx := m.groupIndex(a)
+	m.groups[idx].check ^= 1 << bit
+	m.noteMutate(idx)
 }

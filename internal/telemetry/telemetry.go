@@ -373,6 +373,23 @@ func (r *Registry) sample(now simtime.Cycles) {
 	}
 }
 
+// SampleNow records an immediate sampler snapshot at the current simulated
+// time, outside the periodic schedule. Components call it when they change
+// the values their Source reports discontinuously — e.g. a stats reset — so
+// exported time-series don't keep showing stale pre-reset values until the
+// next periodic tick. No-op while sampling is disabled or no clock is
+// attached. Must be called from the simulation thread (it reads sources).
+func (r *Registry) SampleNow() {
+	r.mu.Lock()
+	clock := r.clock
+	sampling := r.cfg.SampleInterval > 0
+	r.mu.Unlock()
+	if clock == nil || !sampling {
+		return
+	}
+	r.sample(clock.Now())
+}
+
 // Samples returns all sampler rows recorded so far.
 func (r *Registry) Samples() []Sample {
 	r.mu.Lock()
