@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick campaign storm fuzz-short
+.PHONY: all build vet test race check bench bench-quick bench-check campaign storm fuzz-short
 
 all: check
 
@@ -40,9 +40,9 @@ fuzz-short:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
 
 # check is the full verification gate: compile, vet, tests, race tests,
-# short fuzzing, the randomized campaigns (clean and storm hardware), and a
-# refresh of the tracked throughput baseline.
-check: build vet test race fuzz-short campaign storm bench-quick
+# short fuzzing, the randomized campaigns (clean and storm hardware), and
+# the throughput-regression gate against the tracked baseline.
+check: build vet test race fuzz-short campaign storm bench-check
 
 # bench runs every Go benchmark in the tree (ECC encode/decode, cache hit
 # path, controller read path, ablations, ...).
@@ -54,3 +54,11 @@ bench:
 # Simulated columns are deterministic; host columns describe this machine.
 bench-quick:
 	$(GO) run ./cmd/safemem-bench -experiment throughput
+
+# bench-check guards the access-path fast lane: it reruns the throughput
+# experiment and fails (exit 1) if aggregate host-ns/instr regressed more
+# than 25% against the tracked BENCH_throughput.json baseline. After a
+# deliberate perf trade-off, accept the new numbers with
+# `make bench-check BENCHFLAGS=-update`.
+bench-check:
+	$(GO) run ./cmd/safemem-bench -experiment throughput -throughput-check BENCH_throughput.json $(BENCHFLAGS)

@@ -5,9 +5,10 @@
 //
 //	safemem-bench [-experiment table2|table3|table4|table5|figure3|throughput|all]
 //	              [-seed N] [-scale N] [-iterations N] [-parallel N]
-//	              [-throughput-out FILE]
+//	              [-throughput-out FILE] [-throughput-check FILE] [-update]
 //	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	              [-sample-interval MS]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 //
 // Absolute numbers are simulated-cycle measurements; the shapes — who wins,
 // by roughly what factor, where the crossovers fall — are the reproduction
@@ -23,6 +24,7 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/profiling"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
 )
@@ -47,6 +49,8 @@ func main() {
 	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent experiment cells (results are identical at any value)")
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where the throughput experiment writes its JSON baseline (empty disables)")
+	throughputCheck := flag.String("throughput-check", "", "compare the throughput run against this JSON baseline instead of writing one; exit 1 on >25% host-ns/instr regression")
+	update := flag.Bool("update", false, "with -throughput-check: rewrite the baseline from this run instead of comparing")
 	format := flag.String("format", "text", "output format: text or json")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump covering every run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (one process per run) to this file")
@@ -54,9 +58,13 @@ func main() {
 	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
 	flag.Parse()
 
+	if err := profiling.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-bench: %v\n", err)
+		os.Exit(2)
+	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown format %q\n", *format)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 
 	var session *telemetry.Session
@@ -81,7 +89,7 @@ func main() {
 		case name, "all":
 			if err := f(); err != nil {
 				fmt.Fprintf(os.Stderr, "safemem-bench: %s: %v\n", name, err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 		}
 	}
@@ -140,12 +148,33 @@ func main() {
 		t, err := bench.RunThroughput(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
-		if *throughputOut != "" {
+		switch {
+		case *throughputCheck != "" && *update:
+			if err := t.WriteJSON(*throughputCheck); err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
+				profiling.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "safemem-bench: updated baseline %s\n", *throughputCheck)
+		case *throughputCheck != "":
+			base, err := bench.ReadThroughput(*throughputCheck)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
+				profiling.Exit(1)
+			}
+			if err := t.CheckAgainst(base, 0.25); err != nil {
+				fmt.Println(t.Render())
+				fmt.Fprintf(os.Stderr, "safemem-bench: throughput check vs %s: %v\n", *throughputCheck, err)
+				fmt.Fprintf(os.Stderr, "safemem-bench: (rerun with -update to accept the new baseline)\n")
+				profiling.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "safemem-bench: throughput ok: %.4f host ns/instr vs baseline %.4f\n",
+				t.Total.HostNSPerInstr, base.Total.HostNSPerInstr)
+		case *throughputOut != "":
 			if err := t.WriteJSON(*throughputOut); err != nil {
 				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
-				os.Exit(1)
+				profiling.Exit(1)
 			}
 		}
 		if asJSON {
@@ -160,7 +189,7 @@ func main() {
 		rows, err := bench.RunSummary(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-bench: summary: %v\n", err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		if asJSON {
 			out.Summary = rows
@@ -185,7 +214,7 @@ func main() {
 	case "table2", "table3", "table4", "table5", "figure3", "summary", "throughput", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 
 	if asJSON {
@@ -193,14 +222,15 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-bench: encode: %v\n", err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 	}
 
 	if session != nil {
 		if err := session.ExportFiles(*metricsOut, *jsonlOut, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-bench: telemetry export: %v\n", err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 	}
+	profiling.Exit(0)
 }

@@ -8,6 +8,7 @@
 //	safemem-fuzz [-seeds N] [-base-seed N] [-shards N] [-budget 30s]
 //	             [-tool ml,mc,both] [-json] [-shrink] [-sabotage]
 //	             [-fault-rate R] [-storm] [-retire]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //	safemem-fuzz -seed N [-tool both] [-scenario 'cv1|...']
 //
 // The first form runs a campaign: N scenarios sharded over goroutines, a
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"safemem/internal/campaign"
+	"safemem/internal/profiling"
 )
 
 func main() {
@@ -49,16 +51,20 @@ func main() {
 	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
 	flag.Parse()
 
+	if err := profiling.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		os.Exit(2)
+	}
 	tools, err := parseTools(*tool)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
-		os.Exit(2)
+		profiling.Exit(2)
 	}
 	env := campaign.Env{Sabotage: *sabotage, FaultRate: *faultRate, Storm: *storm, Retire: *retire}
 
 	single := *scenario != "" || isFlagSet("seed")
 	if single {
-		os.Exit(runSingle(*seed, *scenario, tools, env))
+		profiling.Exit(runSingle(*seed, *scenario, tools, env))
 	}
 
 	sum, err := campaign.Run(campaign.Config{
@@ -75,14 +81,14 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
-		os.Exit(1)
+		profiling.Exit(1)
 	}
 
 	if *asJSON {
 		b, err := sum.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
-			os.Exit(1)
+			profiling.Exit(1)
 		}
 		fmt.Println(string(b))
 	} else {
@@ -90,8 +96,9 @@ func main() {
 	}
 	if len(sum.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "safemem-fuzz: %d oracle violation(s)\n", len(sum.Violations))
-		os.Exit(1)
+		profiling.Exit(1)
 	}
+	profiling.Exit(0)
 }
 
 // runSingle replays one scenario under one configuration and reports the

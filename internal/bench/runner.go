@@ -225,6 +225,42 @@ func Run(appName string, tool Tool, cfg apps.Config) (*Result, error) {
 	return RunWithMachine(appName, tool, cfg, machine.DefaultConfig())
 }
 
+// machinePools recycles bench machines, one pool per machine configuration.
+// Building a 64 MiB machine costs tens of host milliseconds of arena
+// zeroing, which dominates the short apps; a recycled machine is
+// observationally identical to a fresh one (Machine.Recycle's contract,
+// pinned by TestMachineRecycleEquivalence and the golden tables), so reuse
+// changes host wall-clock only. Machines carrying a per-run telemetry
+// registry or the direct-ECC capability are never pooled: the registry is
+// part of the run's output, and Recycle deliberately revokes controller
+// capabilities.
+var machinePools sync.Map // machine.Config → *sync.Pool
+
+func poolable(mcfg machine.Config) bool {
+	return mcfg.Telemetry == nil && !mcfg.DirectECCAccess
+}
+
+func acquireMachine(mcfg machine.Config) (*machine.Machine, error) {
+	if poolable(mcfg) {
+		p, _ := machinePools.LoadOrStore(mcfg, new(sync.Pool))
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.(*machine.Machine), nil
+		}
+	}
+	return machine.New(mcfg)
+}
+
+// releaseMachine recycles a machine whose run terminated normally back into
+// its pool; machines that panicked mid-run are dropped instead.
+func releaseMachine(mcfg machine.Config, m *machine.Machine) {
+	if !poolable(mcfg) {
+		return
+	}
+	m.Recycle()
+	p, _ := machinePools.LoadOrStore(mcfg, new(sync.Pool))
+	p.(*sync.Pool).Put(m)
+}
+
 // RunWithMachine is Run with an explicit machine configuration — used to
 // evaluate hardware variants such as the Section 2.2.3 direct-ECC
 // interface.
@@ -236,7 +272,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	if mcfg.Telemetry == nil && Telemetry != nil {
 		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/" + tool.String())
 	}
-	m, err := machine.New(mcfg)
+	m, err := acquireMachine(mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -338,6 +374,9 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		res.MMPStats = mmpTool.Stats()
 	}
 	m.Telemetry.Finish()
+	if res.Err == nil {
+		releaseMachine(mcfg, m)
+	}
 	return res, nil
 }
 
@@ -352,7 +391,7 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	if Telemetry != nil {
 		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/custom")
 	}
-	m, err := machine.New(mcfg)
+	m, err := acquireMachine(mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +422,9 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	res.SafeMemStats = smTool.Stats()
 	res.Groups = smTool.Groups()
 	m.Telemetry.Finish()
+	if res.Err == nil {
+		releaseMachine(mcfg, m)
+	}
 	return res, nil
 }
 

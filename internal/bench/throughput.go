@@ -110,3 +110,33 @@ func (t *Throughput) WriteJSON(path string) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// ReadThroughput loads a previously written baseline.
+func ReadThroughput(path string) (*Throughput, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Throughput{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, fmt.Errorf("throughput baseline %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// CheckAgainst compares this run's aggregate host-ns-per-instruction
+// against a baseline and returns an error if it regressed by more than
+// tolerance (0.25 = 25% slower). Only the total is judged: per-app rows are
+// short enough that scheduler noise trips a per-row gate, while a real
+// regression in the access path moves every row and therefore the total.
+func (t *Throughput) CheckAgainst(base *Throughput, tolerance float64) error {
+	cur, ref := t.Total.HostNSPerInstr, base.Total.HostNSPerInstr
+	if ref <= 0 {
+		return fmt.Errorf("throughput baseline has no total rate")
+	}
+	if cur > ref*(1+tolerance) {
+		return fmt.Errorf("host ns/instr regressed: %.4f vs baseline %.4f (+%.0f%%, tolerance %.0f%%)",
+			cur, ref, (cur/ref-1)*100, tolerance*100)
+	}
+	return nil
+}

@@ -118,6 +118,23 @@ func MustNew(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) *Cache 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Recycle resets the cache to its freshly-created state without
+// reallocating the way arrays. The ways are fully zeroed rather than
+// generation-invalidated: victim selection consults way 0's LRU stamp even
+// when invalid, so a stale stamp could change eviction order relative to a
+// fresh cache. Part of the pooled machine reset path.
+func (c *Cache) Recycle() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
+	}
+	c.gen = 1
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // ResetStats zeroes the counters and, when a sampling registry is attached,
 // immediately re-samples the gauges — otherwise exported time-series would
 // keep reporting the stale pre-reset values until the next periodic tick.

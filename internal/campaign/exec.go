@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"sync"
 
 	safemem "safemem/internal/core"
 	"safemem/internal/faultmodel"
@@ -145,6 +146,44 @@ type ExecResult struct {
 	Retire     bool
 }
 
+// execMemBytes is the simulated DRAM size of every executor machine.
+const execMemBytes = 32 << 20
+
+// machinePool recycles executor machines across scenario runs. A campaign
+// builds several machines per scenario (the baseline plus every judged
+// configuration), and at 32 MiB of simulated DRAM each, constructing them
+// dominates short scenarios. Recycled machines are observationally
+// identical to fresh ones — Machine.Recycle resets every component to its
+// just-constructed state, pinned by TestMachineRecycleEquivalence in
+// internal/machine and TestRecycleEquivalence here — so pooling changes
+// host time only, never simulated results.
+var machinePool sync.Pool
+
+// poolMachines lets tests force every run onto a fresh machine.
+var poolMachines = true
+
+// execMachine draws a machine from the pool or builds a fresh one. Pooled
+// machines were recycled on release, so they arrive clean.
+func execMachine() (*machine.Machine, error) {
+	if poolMachines {
+		if v := machinePool.Get(); v != nil {
+			return v.(*machine.Machine), nil
+		}
+	}
+	return machine.New(machine.Config{MemBytes: execMemBytes})
+}
+
+// releaseMachine recycles a machine back into the pool. Only machines whose
+// run terminated normally are released; a machine that panicked mid-access
+// or failed setup is dropped, trading a reallocation for certainty.
+func releaseMachine(m *machine.Machine) {
+	if !poolMachines {
+		return
+	}
+	m.Recycle()
+	machinePool.Put(m)
+}
+
 type slotState struct {
 	addr      vm.VAddr
 	size      uint64
@@ -173,7 +212,7 @@ func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
 // retirement instead of panicking. The fault process derives its stream
 // from the scenario seed, so runs stay deterministic at any shard count.
 func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
-	m, err := machine.New(machine.Config{MemBytes: 32 << 20})
+	m, err := execMachine()
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +365,9 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	if tool != nil {
 		res.Reports = tool.Reports()
 		res.Stats = tool.Stats()
+	}
+	if res.Err == nil {
+		releaseMachine(m)
 	}
 	return res, nil
 }

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"safemem/internal/apps"
+	"safemem/internal/bench"
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// withTLB runs f with the software TLB globally forced on or off, restoring
+// the default afterwards. Campaign and bench tests never run in parallel
+// within this package, so flipping the package variable is race-free.
+func withTLB(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := vm.TLBDefault
+	vm.TLBDefault = on
+	defer func() { vm.TLBDefault = prev }()
+	f()
+}
+
+// benchDigest is every simulated observable of a bench run; the host-side
+// Registry pointer and explain strings are deliberately excluded.
+type benchDigest struct {
+	cycles  simtime.Cycles
+	instrs  uint64
+	mstats  machine.Stats
+	heap    heap.Stats
+	reports []safemem.BugReport
+	sm      safemem.Stats
+}
+
+func digestBench(t *testing.T, app string, tool bench.Tool) benchDigest {
+	t.Helper()
+	res, err := bench.Run(app, tool, apps.Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("%s/%v: %v", app, tool, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("%s/%v run failed: %v", app, tool, res.Err)
+	}
+	return benchDigest{
+		cycles: res.Cycles, instrs: res.Instrs, mstats: res.Machine,
+		heap: res.Heap, reports: res.SafeMem, sm: res.SafeMemStats,
+	}
+}
+
+// TestTLBEquivalence pins that the software TLB is a pure host-side
+// optimisation: every paper app and a whole campaign (including the flaky-
+// DIMM environment, whose swap, retirement and migration paths exercise all
+// the invalidation sites) produce bit-identical simulated results with the
+// TLB on and off. The unit-level version is TestTLBTransparent in
+// internal/vm.
+func TestTLBEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TLB equivalence sweep is slow")
+	}
+
+	for _, app := range apps.All() {
+		for _, tool := range []bench.Tool{bench.ToolNone, bench.ToolSafeMemBoth} {
+			var on, off benchDigest
+			withTLB(t, true, func() { on = digestBench(t, app.Name, tool) })
+			withTLB(t, false, func() { off = digestBench(t, app.Name, tool) })
+			if !reflect.DeepEqual(on, off) {
+				t.Errorf("%s/%v diverges with TLB:\non:  %+v\noff: %+v", app.Name, tool, on, off)
+			}
+		}
+	}
+
+	for _, cfg := range []Config{
+		{Seeds: 8, BaseSeed: 42, Shards: 2},
+		{Seeds: 4, BaseSeed: 411, Shards: 2, FaultRate: 40, Storm: true, Retire: true},
+	} {
+		var on, off []byte
+		withTLB(t, true, func() { on = campaignJSON(t, cfg) })
+		withTLB(t, false, func() { off = campaignJSON(t, cfg) })
+		if !bytes.Equal(on, off) {
+			t.Errorf("campaign %+v diverges with TLB:\n--- on\n%s\n--- off\n%s", cfg, on, off)
+		}
+	}
+}
+
+func campaignJSON(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// withPool runs f with machine pooling forced on or off.
+func withPool(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := poolMachines
+	poolMachines = on
+	defer func() { poolMachines = prev }()
+	f()
+}
+
+// TestRecycleEquivalence pins the pooling determinism contract: a campaign
+// summary is byte-identical whether every scenario runs on a fresh machine
+// or on recycled ones, at any shard count. The flaky-DIMM configuration
+// matters most — it leaves the dirtiest machines behind (retired pages,
+// migrated watches, scrub daemon timers, controller capabilities).
+func TestRecycleEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recycle equivalence sweep is slow")
+	}
+
+	for _, cfg := range []Config{
+		{Seeds: 8, BaseSeed: 42, Shards: 1},
+		{Seeds: 6, BaseSeed: 411, Shards: 1, FaultRate: 40, Storm: true, Retire: true},
+	} {
+		var fresh, pooled1, pooled3 []byte
+		withPool(t, false, func() { fresh = campaignJSON(t, cfg) })
+		withPool(t, true, func() { pooled1 = campaignJSON(t, cfg) })
+		cfg3 := cfg
+		cfg3.Shards = 3
+		withPool(t, true, func() { pooled3 = campaignJSON(t, cfg3) })
+
+		if !bytes.Equal(fresh, pooled1) {
+			t.Errorf("pooled summary diverges from fresh (cfg %+v):\n--- fresh\n%s\n--- pooled\n%s", cfg, fresh, pooled1)
+		}
+		if !bytes.Equal(fresh, pooled3) {
+			t.Errorf("pooled 3-shard summary diverges from fresh (cfg %+v):\n--- fresh\n%s\n--- pooled shards=3\n%s", cfg, fresh, pooled3)
+		}
+	}
+}

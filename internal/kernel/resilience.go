@@ -231,6 +231,14 @@ func (k *Kernel) surviveUncorrectable(r memctrl.FaultReport, fault *ECCFault) {
 // controller's post-handler re-read fault recursively.
 func (k *Kernel) Defer(fn func()) { k.deferred = append(k.deferred, fn) }
 
+// WorkPending cheaply reports whether RunDeferredWork has anything to do.
+// The machine's access loop checks it so the no-work common case is a
+// couple of loads and branches instead of a call into the queue drain.
+func (k *Kernel) WorkPending() bool {
+	return len(k.pendingRetire) > 0 || len(k.deferred) > 0 ||
+		(k.scrubd != nil && k.scrubd.due)
+}
+
 // RunDeferredWork drains queued retirements, deferred callbacks and due
 // scrub-daemon steps. The machine calls it after every completed memory
 // access; it is reentrancy-guarded and O(1) when nothing is pending.

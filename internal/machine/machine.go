@@ -138,27 +138,64 @@ func New(cfg Config) (*Machine, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry("", telemetry.Config{})
 	}
-	reg.AttachClock(clock)
 	m := &Machine{
-		Clock:     clock,
-		Phys:      phys,
-		Ctrl:      ctrl,
-		Cache:     ch,
-		AS:        as,
-		Kern:      kern,
-		Stack:     &callstack.Stack{},
-		Telemetry: reg,
+		Clock: clock,
+		Phys:  phys,
+		Ctrl:  ctrl,
+		Cache: ch,
+		AS:    as,
+		Kern:  kern,
+		Stack: &callstack.Stack{},
 	}
-	phys.RegisterTelemetry(reg)
-	ctrl.RegisterTelemetry(reg)
-	ch.RegisterTelemetry(reg)
-	as.RegisterTelemetry(reg)
-	kern.RegisterTelemetry(reg)
+	m.registerTelemetry(reg)
+	return m, nil
+}
+
+// registerTelemetry adopts reg as the machine's registry and registers every
+// component source in the standard order. Shared by New and Recycle.
+func (m *Machine) registerTelemetry(reg *telemetry.Registry) {
+	reg.AttachClock(m.Clock)
+	m.Telemetry = reg
+	m.Phys.RegisterTelemetry(reg)
+	m.Ctrl.RegisterTelemetry(reg)
+	m.Cache.RegisterTelemetry(reg)
+	m.AS.RegisterTelemetry(reg)
+	m.Kern.RegisterTelemetry(reg)
 	reg.RegisterSource("machine", func(emit func(string, float64)) {
 		emit("loads", float64(m.stats.Loads))
 		emit("stores", float64(m.stats.Stores))
 	})
-	return m, nil
+}
+
+// Recycle resets the machine to the state New would have produced with the
+// same Config, without reallocating the DRAM, cache or TLB arrays. Only
+// lines the previous tenant actually touched are re-zeroed (tracked by
+// physmem's mutate hook), so recycling costs proportional to the scenario's
+// footprint instead of the full arena — the point of pooling machines
+// across campaign scenarios.
+//
+// The telemetry registry is replaced with a fresh quiet one: per-scenario
+// tools (safemem, heap, inject, faultmodel) register sources when they
+// attach, and carrying those registrations across tenants would leave the
+// registry reading freed state. Machines built with a custom cfg.Telemetry
+// registry should therefore not be pooled.
+//
+// Note Config.DirectECCAccess does not survive: Recycle returns the
+// controller to the commodity feature set; re-enable it per tenant.
+func (m *Machine) Recycle() {
+	m.Clock.Recycle()
+	m.Phys.ZeroTouched()
+	m.Ctrl.Recycle()
+	m.Cache.Recycle()
+	m.AS.Recycle()
+	m.Kern.Recycle()
+	m.Stack = &callstack.Stack{}
+	m.monitors = nil
+	m.tracer = nil
+	m.stats = Stats{}
+	m.instrs = 0
+	m.cur = access{}
+	m.registerTelemetry(telemetry.NewRegistry("", telemetry.Config{}))
 }
 
 // MustNew is New, panicking on error.
@@ -210,15 +247,20 @@ func (m *Machine) Load(va vm.VAddr, size int) uint64 {
 	m.stats.Loads++
 	m.instrs++
 	m.Clock.Advance(simtime.CostInstr)
+	// Explicit in-flight save/restore: the normal path clears cur inline,
+	// and a panicking access (segfault, kernel panic, tool abort) has it
+	// cleared by Run's recover. No closure, no defer — this is the hottest
+	// loop in the simulator and must not allocate.
 	m.cur = access{active: true, write: false, va: va, size: size}
-	v := func() uint64 {
-		defer func() { m.cur = access{} }()
-		pa := m.translate(va, false)
-		return m.Cache.LoadBytes(pa, size)
-	}()
+	pa := m.translate(va, false)
+	v := m.Cache.LoadBytes(pa, size)
+	m.cur = access{}
 	// Deferred kernel work (page retirements, watch re-arms, scrub-daemon
-	// steps) runs only here, between accesses, never inside one.
-	m.Kern.RunDeferredWork()
+	// steps) runs only here, between accesses, never inside one. The common
+	// case is one branch on an empty queue.
+	if m.Kern.WorkPending() {
+		m.Kern.RunDeferredWork()
+	}
 	return v
 }
 
@@ -231,12 +273,12 @@ func (m *Machine) Store(va vm.VAddr, size int, v uint64) {
 	m.instrs++
 	m.Clock.Advance(simtime.CostInstr)
 	m.cur = access{active: true, write: true, va: va, size: size}
-	func() {
-		defer func() { m.cur = access{} }()
-		pa := m.translate(va, true)
-		m.Cache.StoreBytes(pa, size, v)
-	}()
-	m.Kern.RunDeferredWork()
+	pa := m.translate(va, true)
+	m.Cache.StoreBytes(pa, size, v)
+	m.cur = access{}
+	if m.Kern.WorkPending() {
+		m.Kern.RunDeferredWork()
+	}
 }
 
 // AccessInFlight describes the program access currently executing, for use
@@ -321,7 +363,9 @@ func (m *Machine) Compute(n uint64) {
 	}
 	m.instrs += n
 	m.Clock.Advance(simtime.Cycles(n))
-	m.Kern.RunDeferredWork()
+	if m.Kern.WorkPending() {
+		m.Kern.RunDeferredWork()
+	}
 }
 
 // Call records entry into a simulated function whose call site is ret.
@@ -345,8 +389,14 @@ func (m *Machine) Return() {
 // ordinary errors. Any other panic is a simulator bug and is re-raised.
 func (m *Machine) Run(f func() error) (err error) {
 	defer func() {
-		switch v := recover().(type) {
-		case nil:
+		v := recover()
+		if v == nil {
+			return
+		}
+		// A termination panic can unwind out of a half-finished access;
+		// clear the in-flight record the access would have cleared itself.
+		m.cur = access{}
+		switch v := v.(type) {
 		case *kernel.PanicError:
 			err = v
 		case *AccessError:

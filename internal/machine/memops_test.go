@@ -1,0 +1,150 @@
+package machine
+
+import (
+	"testing"
+
+	"safemem/internal/vm"
+)
+
+// memImage reads back n bytes at va through the access path.
+func memImage(m *Machine, va vm.VAddr, n uint64) []byte {
+	out := make([]byte, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = m.Load8(va + vm.VAddr(i))
+	}
+	return out
+}
+
+func TestMemsetUnalignedHeadTail(t *testing.T) {
+	m := newM(t)
+	base := vm.VAddr(0x10000)
+	// Sentinel fill so neighbouring-byte corruption is visible.
+	m.Memset(base, 0xee, 64)
+
+	// Region with an unaligned head (3 mod 8), two full words, and an
+	// unaligned tail: byte stores up to base+8, word stores at base+8 and
+	// base+16, byte stores for the base+24..base+28 tail.
+	start, n := base+3, uint64(25)
+	before := m.Stats()
+	m.Memset(start, 0xab, n)
+	stores := m.Stats().Stores - before.Stores
+	if want := uint64(5 + 2 + 4); stores != want {
+		t.Errorf("Memset(%#x, %d) issued %d stores, want %d (5 head + 2 words + 4 tail)",
+			uint64(start), n, stores, want)
+	}
+	img := memImage(m, base, 64)
+	for i, b := range img {
+		want := byte(0xee)
+		if uint64(i) >= 3 && uint64(i) < 3+n {
+			want = 0xab
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestMemsetWithinOneWord(t *testing.T) {
+	m := newM(t)
+	base := vm.VAddr(0x10000)
+	m.Memset(base, 0x11, 16)
+	before := m.Stats()
+	m.Memset(base+1, 0x22, 3) // never reaches alignment: all byte stores
+	if got := m.Stats().Stores - before.Stores; got != 3 {
+		t.Errorf("3-byte unaligned Memset issued %d stores, want 3", got)
+	}
+	want := []byte{0x11, 0x22, 0x22, 0x22, 0x11, 0x11, 0x11, 0x11}
+	for i, w := range want {
+		if b := m.Load8(base + vm.VAddr(i)); b != w {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, w)
+		}
+	}
+}
+
+func TestMemsetZeroLength(t *testing.T) {
+	m := newM(t)
+	before := m.Stats()
+	m.Memset(0x10000, 0xff, 0)
+	if m.Stats() != before {
+		t.Fatal("zero-length Memset touched memory")
+	}
+}
+
+func TestMemcpyUnalignedHeadTail(t *testing.T) {
+	m := newM(t)
+	src, dst := vm.VAddr(0x10000), vm.VAddr(0x11000)
+	for i := uint64(0); i < 64; i++ {
+		m.Store8(src+vm.VAddr(i), byte(i)^0x5a)
+	}
+	m.Memset(dst, 0xee, 64)
+
+	// Both pointers 5 mod 8: the copy can never reach mutual word
+	// alignment... except it can — after 3 byte copies both are 8-aligned.
+	before := m.Stats()
+	m.Memcpy(dst+5, src+5, 22)
+	loads := m.Stats().Loads - before.Loads
+	// 3 head bytes, 2 words, 3 tail bytes.
+	if want := uint64(3 + 2 + 3); loads != want {
+		t.Errorf("Memcpy issued %d loads, want %d", loads, want)
+	}
+	img := memImage(m, dst, 64)
+	for i := uint64(0); i < 64; i++ {
+		want := byte(0xee)
+		if i >= 5 && i < 27 {
+			want = byte(i) ^ 0x5a
+		}
+		if img[i] != want {
+			t.Fatalf("dst byte %d = %#x, want %#x", i, img[i], want)
+		}
+	}
+}
+
+func TestMemcpyMixedAlignment(t *testing.T) {
+	m := newM(t)
+	src, dst := vm.VAddr(0x10000), vm.VAddr(0x11000)
+	for i := uint64(0); i < 32; i++ {
+		m.Store8(src+vm.VAddr(i), byte(100+i))
+	}
+	// dst aligned, src 1 mod 8: word alignment is never mutual, so the whole
+	// copy degrades to byte traffic.
+	before := m.Stats()
+	m.Memcpy(dst, src+1, 16)
+	if loads := m.Stats().Loads - before.Loads; loads != 16 {
+		t.Errorf("mixed-alignment Memcpy issued %d loads, want 16", loads)
+	}
+	for i := uint64(0); i < 16; i++ {
+		if b := m.Load8(dst + vm.VAddr(i)); b != byte(101+i) {
+			t.Fatalf("dst byte %d = %#x, want %#x", i, b, byte(101+i))
+		}
+	}
+}
+
+func TestMemcpyAdjacentRegions(t *testing.T) {
+	m := newM(t)
+	base := vm.VAddr(0x10000)
+	for i := uint64(0); i < 96; i++ {
+		m.Store8(base+vm.VAddr(i), byte(i))
+	}
+	// Destination starts exactly where the source ends (touching, not
+	// overlapping) — the closest legal call to an overlap.
+	m.Memcpy(base+32, base, 32)
+	img := memImage(m, base, 96)
+	for i := uint64(0); i < 32; i++ {
+		if img[i] != byte(i) {
+			t.Fatalf("source byte %d corrupted: %#x", i, img[i])
+		}
+		if img[32+i] != byte(i) {
+			t.Fatalf("dest byte %d = %#x, want %#x", 32+i, img[32+i], byte(i))
+		}
+		if img[64+i] != byte(64+i) {
+			t.Fatalf("byte %d past the copy corrupted: %#x", 64+i, img[64+i])
+		}
+	}
+	// And the mirror case: destination ends exactly where the source starts.
+	m.Memcpy(base, base+32, 32)
+	for i := uint64(0); i < 32; i++ {
+		if b := m.Load8(base + vm.VAddr(i)); b != byte(i) {
+			t.Fatalf("back-copy byte %d = %#x, want %#x", i, b, byte(i))
+		}
+	}
+}

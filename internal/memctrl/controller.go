@@ -157,6 +157,28 @@ func New(mem *physmem.Memory, clock *simtime.Clock) *Controller {
 	return c
 }
 
+// Recycle resets the controller to its freshly-created state: default mode,
+// no handler or observers, no capabilities, empty stats, known-clean bitmap
+// dropped. The physmem mutation hook stays installed (it is re-pointed at
+// the same controller). Part of the pooled machine reset path.
+func (c *Controller) Recycle() {
+	c.mode = CorrectError
+	c.handler = nil
+	c.observer = nil
+	c.observers = nil
+	c.locked = false
+	c.caps = Capabilities{}
+	c.stats = Stats{}
+	c.busSpan = telemetry.Span{}
+	for i := range c.clean {
+		c.clean[i] = 0
+	}
+	c.fastPath = true
+	c.fastLineReads = 0
+	c.scrubCursor = 0
+	c.scrubFilter = nil
+}
+
 // lineIndex converts a line address to its bitmap index.
 func lineIndex(line physmem.Addr) uint64 { return uint64(line) / physmem.LineBytes }
 

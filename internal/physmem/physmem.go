@@ -11,6 +11,7 @@ package physmem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"safemem/internal/telemetry"
 )
@@ -60,6 +61,13 @@ type Memory struct {
 	// VM swap, direct-ECC pokes) can corrupt a line behind the controller's
 	// decode-skipping fast path.
 	onMutate func(line Addr)
+
+	// touched is a one-bit-per-line bitmap of lines whose stored bits have
+	// ever been mutated. It lets ZeroTouched restore a used memory to its
+	// pristine all-zero state by re-zeroing only the dirtied lines instead
+	// of the whole DRAM — the trick that makes machine pooling cheaper than
+	// allocating a fresh 32 MiB arena per campaign scenario.
+	touched []uint64
 }
 
 // SetMutateHook installs fn as the mutation observer (nil clears it). There
@@ -67,10 +75,37 @@ type Memory struct {
 // write to the memory.
 func (m *Memory) SetMutateHook(fn func(line Addr)) { m.onMutate = fn }
 
-// noteMutate reports a mutation of the group at index idx to the hook.
+// noteMutate reports a mutation of the group at index idx to the hook and
+// records the line in the touched bitmap.
 func (m *Memory) noteMutate(idx uint64) {
+	line := idx / GroupsPerLine
+	m.touched[line>>6] |= 1 << (line & 63)
 	if m.onMutate != nil {
 		m.onMutate(Addr(idx * GroupBytes).LineAddr())
+	}
+}
+
+// ZeroTouched re-zeroes every line that has ever been mutated (data and
+// check bits) and clears the touched bitmap, restoring the memory to its
+// freshly-allocated state. The mutate hook fires once per re-zeroed line,
+// exactly as it would for explicit writes, so a controller's known-clean
+// bitmap cannot go stale. Cost is proportional to the touched footprint,
+// not the DRAM size.
+func (m *Memory) ZeroTouched() {
+	for wi, w := range m.touched {
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			w &^= 1 << b
+			line := uint64(wi)<<6 + b
+			gi := line * GroupsPerLine
+			for g := gi; g < gi+GroupsPerLine; g++ {
+				m.groups[g] = group{}
+			}
+			if m.onMutate != nil {
+				m.onMutate(Addr(line * LineBytes))
+			}
+		}
+		m.touched[wi] = 0
 	}
 }
 
@@ -80,9 +115,11 @@ func New(size uint64) (*Memory, error) {
 	if size == 0 || size%LineBytes != 0 {
 		return nil, fmt.Errorf("physmem: size %d is not a positive multiple of %d", size, LineBytes)
 	}
+	lines := size / LineBytes
 	return &Memory{
-		groups: make([]group, size/GroupBytes),
-		size:   size,
+		groups:  make([]group, size/GroupBytes),
+		size:    size,
+		touched: make([]uint64, (lines+63)/64),
 	}, nil
 }
 

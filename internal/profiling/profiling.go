@@ -1,0 +1,74 @@
+// Package profiling gives every CLI in this repo the standard pair of pprof
+// flags. Importing it registers -cpuprofile and -memprofile on the default
+// flag set; after flag.Parse the CLI calls Start once, and routes every
+// exit through Exit so profiles are flushed — os.Exit would silently
+// truncate a CPU profile mid-write.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+
+	cpuOut *os.File
+)
+
+// Start begins CPU profiling when -cpuprofile was given. Call it once,
+// after flag.Parse.
+func Start() error {
+	if *cpuProfile == "" {
+		return nil
+	}
+	f, err := os.Create(*cpuProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	cpuOut = f
+	return nil
+}
+
+// stop flushes the CPU profile and writes the heap profile, if requested.
+func stop() error {
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		err := cpuOut.Close()
+		cpuOut = nil
+		if err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // flush garbage so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exit flushes any active profiles and terminates the process with code.
+func Exit(code int) {
+	if err := stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

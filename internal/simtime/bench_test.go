@@ -1,0 +1,33 @@
+package simtime
+
+import "testing"
+
+// BenchmarkTimerStopReprogram measures the Stop/Reprogram cycle a periodic
+// component (the scrub daemon, the fault process) performs on every step,
+// with a realistic population of other timers registered on the same clock.
+// Before the lazy wake bound, each call recomputed the minimum over all
+// timers; now both are O(1).
+func BenchmarkTimerStopReprogram(b *testing.B) {
+	var c Clock
+	for i := 0; i < 64; i++ {
+		at := Cycles(1 << 40) // far future: never fires during the benchmark
+		c.NewTimer(at, func(now Cycles) Cycles { return now + 1000 })
+	}
+	t := c.NewTimer(1<<40, func(now Cycles) Cycles { return 0 })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Stop()
+		t.Reprogram(Cycles(1<<40) + Cycles(i))
+	}
+}
+
+// BenchmarkAdvanceNoTimers pins the cost of the Advance hot path itself.
+func BenchmarkAdvanceNoTimers(b *testing.B) {
+	var c Clock
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(CostInstr)
+	}
+}

@@ -114,8 +114,8 @@ const (
 //
 // Periodic background work (the telemetry sampler, the kernel's scrub
 // daemon, the DRAM fault process) registers Timers. The Advance hot path
-// stays a single compare-and-branch: wakeAt caches the earliest deadline
-// over all active timers.
+// stays a single compare-and-branch: wakeAt caches a lower bound on the
+// earliest deadline over all active timers (see noteDeadline).
 type Clock struct {
 	now    Cycles
 	wakeAt Cycles
@@ -155,6 +155,11 @@ func (c *Clock) AdvanceInstr(n uint64) { c.Advance(Cycles(n) * CostInstr) }
 // resumes once the clock catches back up.
 func (c *Clock) Reset() { c.now = 0 }
 
+// Recycle returns the clock to its zero value: time zero, no timers, no
+// legacy hook. Used when a pooled machine is reset between scenarios;
+// components that need periodic work re-register their timers afterwards.
+func (c *Clock) Recycle() { *c = Clock{} }
+
 // NewTimer registers fn to run the first time the clock reaches or passes
 // at. A deadline crossed mid-Advance fires once, late, at the post-Advance
 // time (missed periods do not replay). fn returns the next wake time;
@@ -166,21 +171,27 @@ func (c *Clock) Reset() { c.now = 0 }
 func (c *Clock) NewTimer(at Cycles, fn func(now Cycles) Cycles) *Timer {
 	t := &Timer{c: c, at: at, fn: fn, active: true}
 	c.timers = append(c.timers, t)
-	c.rearm()
+	c.noteDeadline(at)
 	return t
 }
 
 // Stop deactivates the timer. It stays registered; Reprogram re-arms it.
+//
+// Stop is O(1): wakeAt is left alone and becomes a stale lower bound on
+// the earliest active deadline. The worst case is one spurious fireWake
+// sweep that fires nothing and then rearms precisely; observable firing
+// times are unchanged.
 func (t *Timer) Stop() {
 	t.active = false
-	t.c.rearm()
 }
 
 // Reprogram re-arms the timer (stopped or not) with a new deadline.
+// O(1): moving a deadline later leaves wakeAt as a stale lower bound
+// (corrected by the next sweep's rearm), moving it earlier lowers wakeAt.
 func (t *Timer) Reprogram(at Cycles) {
 	t.at = at
 	t.active = true
-	t.c.rearm()
+	t.c.noteDeadline(at)
 }
 
 // Active reports whether the timer is armed.
@@ -209,7 +220,18 @@ func (c *Clock) ClearWake() {
 	}
 }
 
-// rearm recomputes the cached earliest deadline.
+// noteDeadline lowers the cached wake bound to cover a new deadline.
+// wakeAt is maintained as a lower bound on the earliest active deadline
+// (never an exact minimum): Stop and later Reprograms leave it stale, and
+// the exact recompute happens only in rearm at the end of a sweep.
+func (c *Clock) noteDeadline(at Cycles) {
+	if !c.armed || at < c.wakeAt {
+		c.wakeAt = at
+		c.armed = true
+	}
+}
+
+// rearm recomputes the cached earliest deadline exactly.
 func (c *Clock) rearm() {
 	c.armed = false
 	for _, t := range c.timers {

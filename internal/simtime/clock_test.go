@@ -192,6 +192,63 @@ func TestTimerHookMayAdvanceClock(t *testing.T) {
 	}
 }
 
+func TestStaleWakeBound(t *testing.T) {
+	// Stop is O(1) and leaves wakeAt as a stale lower bound. Crossing the
+	// stale deadline must fire nothing, and a later timer must still fire
+	// exactly on time afterwards.
+	var c Clock
+	early := 0
+	late := 0
+	tm := c.NewTimer(10, func(now Cycles) Cycles { early++; return now })
+	c.NewTimer(100, func(now Cycles) Cycles { late++; return now })
+	tm.Stop()
+	c.Advance(10) // stale bound crossed: spurious sweep, nothing fires
+	if early != 0 || late != 0 {
+		t.Fatalf("fired early=%d late=%d at stale bound", early, late)
+	}
+	c.Advance(89)
+	if late != 0 {
+		t.Fatal("late timer fired before its deadline")
+	}
+	c.Advance(1)
+	if early != 0 || late != 1 {
+		t.Fatalf("early=%d late=%d, want 0, 1", early, late)
+	}
+	// Reprogram to a later deadline likewise leaves a stale earlier bound.
+	tm.Reprogram(c.Now() + 10)
+	tm.Reprogram(c.Now() + 50)
+	c.Advance(10)
+	if early != 0 {
+		t.Fatal("fired at the abandoned earlier deadline")
+	}
+	c.Advance(40)
+	if early != 1 {
+		t.Fatalf("early=%d, want 1", early)
+	}
+}
+
+func TestClockRecycle(t *testing.T) {
+	var c Clock
+	n := 0
+	c.NewTimer(10, func(now Cycles) Cycles { n++; return now + 10 })
+	c.SetWake(20, func(now Cycles) Cycles { n++; return now + 10 })
+	c.Advance(5)
+	c.Recycle()
+	if c.Now() != 0 {
+		t.Fatalf("Now = %d after Recycle", c.Now())
+	}
+	c.Advance(1000)
+	if n != 0 {
+		t.Fatalf("recycled clock fired %d stale timers", n)
+	}
+	// The legacy slot must be reusable after Recycle.
+	c.SetWake(c.Now()+10, func(now Cycles) Cycles { n++; return now })
+	c.Advance(10)
+	if n != 1 {
+		t.Fatalf("post-Recycle SetWake fired %d times, want 1", n)
+	}
+}
+
 func TestTimerRegisteredInsideHook(t *testing.T) {
 	var c Clock
 	n := 0

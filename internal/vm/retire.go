@@ -82,6 +82,7 @@ func (as *AddressSpace) migrate(va VAddr) (old, fresh physmem.Addr, err error) {
 		as.mem.WriteGroupRaw(fresh+off, data, check)
 	}
 	p.frame = fresh
+	as.tlbInvalidate(vpn)
 	as.stats.Migrations++
 	as.clock.Advance(costMigratePage)
 	return old, fresh, nil

@@ -128,6 +128,24 @@ type pte struct {
 	touch   uint64 // LRU stamp
 }
 
+// tlbEntries is the size of the software TLB. Direct-mapped: vpn & tlbMask
+// picks the slot. Power of two.
+const (
+	tlbEntries = 4096
+	tlbMask    = tlbEntries - 1
+)
+
+// tlbEntry caches one successful translation: vpn → {frame, prot, page}.
+// An entry is live iff gen matches the address space's current tlbGen and
+// vpn matches the lookup; bumping tlbGen flushes the whole TLB in O(1).
+type tlbEntry struct {
+	gen   uint64
+	vpn   uint64
+	frame physmem.Addr
+	prot  Prot
+	p     *pte
+}
+
 // AddressSpace is one simulated process's virtual memory.
 type AddressSpace struct {
 	clock   *simtime.Clock
@@ -139,7 +157,53 @@ type AddressSpace struct {
 	flusher Flusher
 	tr      *telemetry.Tracer
 
+	// Software TLB: consulted by Translate before the pages map. Purely a
+	// host-speed optimisation — it charges no simulated cycles and changes
+	// no simulated state, so every counter in Stats is identical with the
+	// TLB on or off (pinned by TestTLBEquivalence). Entries are invalidated
+	// strictly on every event that can change a translation; see the
+	// invalidation matrix in DESIGN.md §4.8.
+	tlb       []tlbEntry
+	tlbGen    uint64 // current generation; entries with gen != tlbGen are dead
+	tlbOn     bool
+	tlbHits   uint64 // host-side counters, deliberately outside Stats
+	tlbMisses uint64
+	tlbFlush  uint64
+
 	stats Stats
+}
+
+// TLBDefault controls whether new address spaces start with the software
+// TLB enabled. Equivalence tests flip it off to pin that the TLB is
+// invisible to simulated semantics.
+var TLBDefault = true
+
+// SetTLB enables or disables the software TLB, flushing it on any change.
+func (as *AddressSpace) SetTLB(on bool) {
+	as.tlbOn = on
+	as.tlbGen++
+	as.tlbFlush++
+}
+
+// TLBStats returns the host-side TLB counters (hits, misses, flushes).
+// These live outside Stats: they describe the simulator, not the simulated
+// machine, and must not perturb goldens.
+func (as *AddressSpace) TLBStats() (hits, misses, flushes uint64) {
+	return as.tlbHits, as.tlbMisses, as.tlbFlush
+}
+
+// tlbInvalidate kills any cached translation for vpn.
+func (as *AddressSpace) tlbInvalidate(vpn uint64) {
+	e := &as.tlb[vpn&tlbMask]
+	if e.vpn == vpn {
+		e.gen = 0 // tlbGen starts at 1 and only grows, so 0 is never live
+	}
+}
+
+// tlbFlushAll invalidates every entry in O(1) by bumping the generation.
+func (as *AddressSpace) tlbFlushAll() {
+	as.tlbGen++
+	as.tlbFlush++
 }
 
 // Stats counts VM activity.
@@ -174,7 +238,30 @@ func New(mem *physmem.Memory, clock *simtime.Clock) *AddressSpace {
 		pages:   make(map[uint64]*pte),
 		frames:  frames,
 		retired: make(map[physmem.Addr]bool),
+		tlb:     make([]tlbEntry, tlbEntries),
+		tlbGen:  1,
+		tlbOn:   TLBDefault,
 	}
+}
+
+// Recycle resets the address space to its freshly-created state without
+// reallocating the TLB or the free-frame list backing array. Part of the
+// pooled-machine reset path; physical memory is re-zeroed separately by
+// the machine (physmem.ZeroTouched).
+func (as *AddressSpace) Recycle() {
+	nframes := as.mem.Size() / PageBytes
+	as.frames = as.frames[:0]
+	// Same high-first hand-out order as New, so a recycled machine
+	// allocates byte-identical frame sequences to a fresh one.
+	for i := int64(nframes) - 1; i >= 0; i-- {
+		as.frames = append(as.frames, physmem.Addr(uint64(i)*PageBytes))
+	}
+	as.pages = make(map[uint64]*pte)
+	as.retired = make(map[physmem.Addr]bool)
+	as.tick = 0
+	as.stats = Stats{}
+	as.tlbFlushAll()
+	as.tlbHits, as.tlbMisses, as.tlbFlush = 0, 0, 0
 }
 
 // SetFlusher wires the CPU cache (or any Flusher) into the paging paths.
@@ -197,6 +284,10 @@ func (as *AddressSpace) RegisterTelemetry(reg *telemetry.Registry) {
 		emit("frames_in_use", float64(s.FramesInUse))
 		emit("migrations", float64(s.Migrations))
 		emit("frames_retired", float64(s.FramesRetired))
+		// Host-side software-TLB behaviour (not part of simulated Stats).
+		emit("tlb_hits", float64(as.tlbHits))
+		emit("tlb_misses", float64(as.tlbMisses))
+		emit("tlb_flushes", float64(as.tlbFlush))
 	})
 }
 
@@ -234,6 +325,7 @@ func (as *AddressSpace) Map(va VAddr, n int, prot Prot) error {
 		frame := as.frames[len(as.frames)-1]
 		as.frames = as.frames[:len(as.frames)-1]
 		as.pages[vpn+uint64(i)] = &pte{frame: frame, prot: prot, present: true}
+		as.tlbInvalidate(vpn + uint64(i))
 		as.clock.Advance(simtime.CostPageTableOp)
 		as.stats.Maps++
 	}
@@ -264,6 +356,7 @@ func (as *AddressSpace) Unmap(va VAddr, n int) error {
 			as.frames = append(as.frames, p.frame)
 		}
 		delete(as.pages, vpn+uint64(i))
+		as.tlbInvalidate(vpn + uint64(i))
 		as.clock.Advance(simtime.CostPageTableOp)
 	}
 	return nil
@@ -281,6 +374,7 @@ func (as *AddressSpace) Protect(va VAddr, n int, prot Prot) error {
 			return fmt.Errorf("vm: page %#x not mapped", (vpn+uint64(i))*PageBytes)
 		}
 		p.prot = prot
+		as.tlbInvalidate(vpn + uint64(i))
 		as.clock.Advance(simtime.CostPageTableOp)
 		as.stats.Protects++
 	}
@@ -309,6 +403,7 @@ func (as *AddressSpace) Pin(va VAddr) error {
 		}
 	}
 	p.pins++
+	as.tlbInvalidate(uint64(va) / PageBytes)
 	as.stats.Pins++
 	as.clock.Advance(simtime.CostPageTableOp)
 	return nil
@@ -324,6 +419,7 @@ func (as *AddressSpace) Unpin(va VAddr) error {
 		return fmt.Errorf("vm: Unpin of unpinned page %#x", uint64(va.PageAddr()))
 	}
 	p.pins--
+	as.tlbInvalidate(uint64(va) / PageBytes)
 	as.stats.Unpins++
 	as.clock.Advance(simtime.CostPageTableOp)
 	return nil
@@ -342,12 +438,35 @@ func (as *AddressSpace) Pinned(va VAddr) int {
 // paging) and retries.
 func (as *AddressSpace) Translate(va VAddr, write bool) (physmem.Addr, *Fault) {
 	as.stats.Translates++
-	p, ok := as.pages[uint64(va)/PageBytes]
+	vpn := uint64(va) / PageBytes
+	if as.tlbOn {
+		e := &as.tlb[vpn&tlbMask]
+		if e.gen == as.tlbGen && e.vpn == vpn {
+			// TLB hit: the entry is only ever live for a present page with
+			// current prot/frame (strict invalidation), so the fast path is
+			// exactly the slow path minus the map lookup and presence check.
+			as.tlbHits++
+			need := ProtRead
+			if write {
+				need = ProtWrite
+			}
+			if e.prot&need == 0 {
+				as.stats.ProtFaults++
+				as.clock.Advance(simtime.CostPageFault)
+				return 0, &Fault{Addr: va, Write: write, Kind: FaultProtection, Prot: e.prot}
+			}
+			as.tick++
+			e.p.touch = as.tick
+			return e.frame + physmem.Addr(va.PageOffset()), nil
+		}
+		as.tlbMisses++
+	}
+	p, ok := as.pages[vpn]
 	if !ok {
 		return 0, &Fault{Addr: va, Write: write, Kind: FaultUnmapped}
 	}
 	if !p.present {
-		if err := as.swapIn(uint64(va)/PageBytes, p); err != nil {
+		if err := as.swapIn(vpn, p); err != nil {
 			return 0, &Fault{Addr: va, Write: write, Kind: FaultSwappedOut}
 		}
 	}
@@ -359,6 +478,9 @@ func (as *AddressSpace) Translate(va VAddr, write bool) (physmem.Addr, *Fault) {
 		as.stats.ProtFaults++
 		as.clock.Advance(simtime.CostPageFault)
 		return 0, &Fault{Addr: va, Write: write, Kind: FaultProtection, Prot: p.prot}
+	}
+	if as.tlbOn {
+		as.tlb[vpn&tlbMask] = tlbEntry{gen: as.tlbGen, vpn: vpn, frame: p.frame, prot: p.prot, p: p}
 	}
 	as.tick++
 	p.touch = as.tick
@@ -414,6 +536,7 @@ func (as *AddressSpace) swapOut(vpn uint64, p *pte) {
 	}
 	p.swapped = words
 	p.present = false
+	as.tlbInvalidate(vpn)
 	as.frames = append(as.frames, p.frame)
 	as.stats.SwapsOut++
 	as.clock.Advance(costSwapPage)
@@ -442,6 +565,7 @@ func (as *AddressSpace) swapIn(vpn uint64, p *pte) error {
 	p.swapped = nil
 	p.frame = frame
 	p.present = true
+	as.tlbInvalidate(vpn)
 	as.stats.SwapsIn++
 	as.clock.Advance(costSwapPage)
 	return nil
