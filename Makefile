@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-quick bench-check campaign storm fuzz-short
+.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short
 
 all: check
 
@@ -43,6 +43,14 @@ fuzz-short:
 # short fuzzing, the randomized campaigns (clean and storm hardware), and
 # the throughput-regression gate against the tracked baseline.
 check: build vet test race fuzz-short campaign storm bench-check
+
+# ci is the continuous-integration gate (.github/workflows/ci.yml): the
+# full build + vet + test sweep, a race-detector pass over the concurrent
+# observability and telemetry layers (cheap enough for every push, unlike
+# `make race`), and the throughput-regression gate.
+ci: build vet test
+	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/...
+	$(MAKE) bench-check
 
 # bench runs every Go benchmark in the tree (ECC encode/decode, cache hit
 # path, controller read path, ablations, ...).

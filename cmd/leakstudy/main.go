@@ -18,6 +18,7 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/obsrv/buildinfo"
 )
 
 func main() {
@@ -26,6 +27,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV samples instead of ASCII plots")
 	groups := flag.Bool("groups", false, "also dump per-group lifetime statistics")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
 
 	cfg := apps.Config{Seed: *seed, Scale: *scale}
 	series, err := bench.RunFigure3(cfg)

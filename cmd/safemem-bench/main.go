@@ -7,8 +7,9 @@
 //	              [-seed N] [-scale N] [-iterations N] [-parallel N]
 //	              [-throughput-out FILE] [-throughput-check FILE] [-update]
 //	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
-//	              [-sample-interval MS]
-//	              [-cpuprofile FILE] [-memprofile FILE]
+//	              [-sample-interval MS] [-serve :9090]
+//	              [-log-level info] [-log-format console|json]
+//	              [-cpuprofile FILE] [-memprofile FILE] [-version]
 //
 // Absolute numbers are simulated-cycle measurements; the shapes — who wins,
 // by roughly what factor, where the crossovers fall — are the reproduction
@@ -16,14 +17,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/obsrv"
+	"safemem/internal/obsrv/buildinfo"
+	"safemem/internal/obsrv/logging"
 	"safemem/internal/profiling"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
@@ -56,19 +62,28 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (one process per run) to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the JSONL event log to this file")
 	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
+	serve := flag.String("serve", "", "serve live observability endpoints (/metrics, /events, /healthz, …) on this address, e.g. :9090")
 	flag.Parse()
-
-	if err := profiling.Start(); err != nil {
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
+	log := logging.L("safemem-bench")
+	if err := logging.Setup(); err != nil {
 		fmt.Fprintf(os.Stderr, "safemem-bench: %v\n", err)
 		os.Exit(2)
 	}
+
+	if err := profiling.Start(); err != nil {
+		log.Error("profiling", "err", err)
+		os.Exit(2)
+	}
 	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "safemem-bench: unknown format %q\n", *format)
+		log.Error("unknown format", "format", *format)
 		profiling.Exit(2)
 	}
 
 	var session *telemetry.Session
-	if *metricsOut != "" || *traceOut != "" || *jsonlOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *jsonlOut != "" || *serve != "" {
 		session = telemetry.NewSession(telemetry.Config{
 			TraceEnabled:   *traceOut != "" || *jsonlOut != "",
 			SampleInterval: simtime.FromMicroseconds(*sampleMS * 1000),
@@ -79,8 +94,27 @@ func main() {
 		// files stay deterministic.
 		*parallel = 1
 	}
+	if *serve != "" {
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session})
+		if err != nil {
+			log.Error("observability server", "err", err)
+			profiling.Exit(2)
+		}
+		defer srv.Close()
+		log.Info("observability server listening", "addr", srv.Addr())
+	}
 	bench.Parallel = *parallel
 	asJSON := *format == "json"
+	// Long matrix runs show per-cell movement on stderr through the logging
+	// facade. Quiet by default under -format json (machine consumers want
+	// silence); debug-level lines remain available there via -log-level.
+	level := slog.LevelInfo
+	if asJSON {
+		level = slog.LevelDebug
+	}
+	bench.Progress = func(label string, done, total int) {
+		log.Log(context.Background(), level, "progress", "experiment", label, "done", done, "total", total)
+	}
 	out := jsonOutput{Seed: *seed, Scale: *scale}
 
 	cfg := apps.Config{Seed: *seed, Scale: *scale}
@@ -88,7 +122,7 @@ func main() {
 		switch *experiment {
 		case name, "all":
 			if err := f(); err != nil {
-				fmt.Fprintf(os.Stderr, "safemem-bench: %s: %v\n", name, err)
+				log.Error(name+" failed", "err", err)
 				profiling.Exit(1)
 			}
 		}
@@ -147,7 +181,7 @@ func main() {
 	if *experiment == "throughput" {
 		t, err := bench.RunThroughput(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
+			log.Error("throughput failed", "err", err)
 			profiling.Exit(1)
 		}
 		switch {
@@ -156,7 +190,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
 				profiling.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "safemem-bench: updated baseline %s\n", *throughputCheck)
+			log.Info("updated throughput baseline", "path", *throughputCheck)
 		case *throughputCheck != "":
 			base, err := bench.ReadThroughput(*throughputCheck)
 			if err != nil {
@@ -169,8 +203,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "safemem-bench: (rerun with -update to accept the new baseline)\n")
 				profiling.Exit(1)
 			}
-			fmt.Fprintf(os.Stderr, "safemem-bench: throughput ok: %.4f host ns/instr vs baseline %.4f\n",
-				t.Total.HostNSPerInstr, base.Total.HostNSPerInstr)
+			log.Info("throughput ok", "host_ns_per_instr", t.Total.HostNSPerInstr, "baseline", base.Total.HostNSPerInstr)
 		case *throughputOut != "":
 			if err := t.WriteJSON(*throughputOut); err != nil {
 				fmt.Fprintf(os.Stderr, "safemem-bench: throughput: %v\n", err)
@@ -188,7 +221,7 @@ func main() {
 	if *experiment == "summary" {
 		rows, err := bench.RunSummary(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "safemem-bench: summary: %v\n", err)
+			log.Error("summary failed", "err", err)
 			profiling.Exit(1)
 		}
 		if asJSON {
@@ -228,7 +261,7 @@ func main() {
 
 	if session != nil {
 		if err := session.ExportFiles(*metricsOut, *jsonlOut, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "safemem-bench: telemetry export: %v\n", err)
+			log.Error("telemetry export", "err", err)
 			profiling.Exit(1)
 		}
 	}

@@ -8,7 +8,9 @@
 //	safemem-fuzz [-seeds N] [-base-seed N] [-shards N] [-budget 30s]
 //	             [-tool ml,mc,both] [-json] [-shrink] [-sabotage]
 //	             [-fault-rate R] [-storm] [-retire]
-//	             [-cpuprofile FILE] [-memprofile FILE]
+//	             [-serve :9090] [-flight-dump FILE]
+//	             [-log-level info] [-log-format console|json]
+//	             [-cpuprofile FILE] [-memprofile FILE] [-version]
 //	safemem-fuzz -seed N [-tool both] [-scenario 'cv1|...']
 //
 // The first form runs a campaign: N scenarios sharded over goroutines, a
@@ -32,7 +34,11 @@ import (
 	"strings"
 
 	"safemem/internal/campaign"
+	"safemem/internal/obsrv"
+	"safemem/internal/obsrv/buildinfo"
+	"safemem/internal/obsrv/logging"
 	"safemem/internal/profiling"
+	"safemem/internal/telemetry"
 )
 
 func main() {
@@ -49,45 +55,73 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "background DRAM fault events per million cycles (0 = perfect DIMMs)")
 	storm := flag.Bool("storm", false, "cluster background faults into error-storm episodes")
 	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
+	serve := flag.String("serve", "", "serve live observability endpoints (/metrics, /events, /healthz, …) on this address, e.g. :9090")
+	flightDump := flag.String("flight-dump", "safemem-fuzz-flight.jsonl", "write the flight-recorder event history here when the campaign ends in violations (empty disables)")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
+	log := logging.L("safemem-fuzz")
+	if err := logging.Setup(); err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		os.Exit(2)
+	}
 
 	if err := profiling.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		log.Error("profiling", "err", err)
 		os.Exit(2)
 	}
 	tools, err := parseTools(*tool)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		log.Error("bad -tool list", "err", err)
 		profiling.Exit(2)
 	}
 	env := campaign.Env{Sabotage: *sabotage, FaultRate: *faultRate, Storm: *storm, Retire: *retire}
+
+	// The live plane: a registry the campaign publishes progress into, and
+	// the observability server scraping it. Observation-only — the summary
+	// is byte-identical with or without it.
+	var reg *telemetry.Registry
+	if *serve != "" {
+		reg = telemetry.NewRegistry("campaign", telemetry.Config{})
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Registry: reg})
+		if err != nil {
+			log.Error("observability server", "err", err)
+			profiling.Exit(2)
+		}
+		defer srv.Close()
+		log.Info("observability server listening", "addr", srv.Addr())
+	}
 
 	single := *scenario != "" || isFlagSet("seed")
 	if single {
 		profiling.Exit(runSingle(*seed, *scenario, tools, env))
 	}
 
+	log.Info("campaign starting", "seeds", *seeds, "base_seed", *baseSeed, "shards", *shards)
 	sum, err := campaign.Run(campaign.Config{
-		Seeds:     *seeds,
-		BaseSeed:  *baseSeed,
-		Shards:    *shards,
-		Tools:     tools,
-		Budget:    *budget,
-		Shrink:    *shrink,
-		Sabotage:  *sabotage,
-		FaultRate: *faultRate,
-		Storm:     *storm,
-		Retire:    *retire,
+		Seeds:      *seeds,
+		BaseSeed:   *baseSeed,
+		Shards:     *shards,
+		Tools:      tools,
+		Budget:     *budget,
+		Shrink:     *shrink,
+		Sabotage:   *sabotage,
+		FaultRate:  *faultRate,
+		Storm:      *storm,
+		Retire:     *retire,
+		Registry:   reg,
+		FlightDump: *flightDump,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+		log.Error("campaign failed", "err", err)
 		profiling.Exit(1)
 	}
 
 	if *asJSON {
 		b, err := sum.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "safemem-fuzz: %v\n", err)
+			log.Error("rendering summary", "err", err)
 			profiling.Exit(1)
 		}
 		fmt.Println(string(b))
@@ -95,7 +129,7 @@ func main() {
 		printText(sum)
 	}
 	if len(sum.Violations) > 0 {
-		fmt.Fprintf(os.Stderr, "safemem-fuzz: %d oracle violation(s)\n", len(sum.Violations))
+		log.Error("oracle violations", "count", len(sum.Violations), "flight_dump", *flightDump)
 		profiling.Exit(1)
 	}
 	profiling.Exit(0)

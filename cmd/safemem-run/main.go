@@ -8,7 +8,7 @@
 //	            [-buggy] [-seed N] [-scale N] [-stop]
 //	            [-fault-rate R] [-storm] [-retire]
 //	            [-stats] [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
-//	            [-sample-interval MS]
+//	            [-sample-interval MS] [-serve :9090] [-version]
 //
 // Examples:
 //
@@ -26,6 +26,9 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/obsrv"
+	"safemem/internal/obsrv/buildinfo"
+	"safemem/internal/obsrv/logging"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
 )
@@ -45,7 +48,16 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "background DRAM fault events per million cycles (0 = perfect DIMMs)")
 	storm := flag.Bool("storm", false, "cluster background faults into error-storm episodes")
 	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
+	serve := flag.String("serve", "", "serve live observability endpoints (/metrics, /events, /healthz, …) on this address, e.g. :9090")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
+	log := logging.L("safemem-run")
+	if err := logging.Setup(); err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-run: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *appName == "" {
 		var names []string
@@ -82,7 +94,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	telemetryWanted := *metricsOut != "" || *traceOut != "" || *jsonlOut != ""
+	// A live server needs a session even when no export file was asked for:
+	// the sampler's simulation-thread reads are what keep the /metrics
+	// source cache fresh.
+	telemetryWanted := *metricsOut != "" || *traceOut != "" || *jsonlOut != "" || *serve != ""
 	var session *telemetry.Session
 	if telemetryWanted {
 		session = telemetry.NewSession(telemetry.Config{
@@ -90,6 +105,15 @@ func main() {
 			SampleInterval: simtime.FromMicroseconds(*sampleMS * 1000),
 		})
 		bench.Telemetry = session
+	}
+	if *serve != "" {
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session})
+		if err != nil {
+			log.Error("observability server", "err", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		log.Info("observability server listening", "addr", srv.Addr())
 	}
 
 	if *faultRate > 0 {
@@ -99,7 +123,7 @@ func main() {
 	cfg := apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}
 	res, err := bench.Run(app.Name, tool, cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "safemem-run: %v\n", err)
+		log.Error("run failed", "app", app.Name, "err", err)
 		os.Exit(1)
 	}
 
@@ -173,7 +197,7 @@ func main() {
 
 	if session != nil {
 		if err := session.ExportFiles(*metricsOut, *jsonlOut, *traceOut); err != nil {
-			fmt.Fprintf(os.Stderr, "safemem-run: telemetry export: %v\n", err)
+			log.Error("telemetry export", "err", err)
 			os.Exit(1)
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	safemem "safemem/internal/core"
 	"safemem/internal/heap"
 	"safemem/internal/machine"
+	"safemem/internal/obsrv/buildinfo"
 	"safemem/internal/pageprot"
 	"safemem/internal/purify"
 	"safemem/internal/trace"
@@ -39,6 +40,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	scale := flag.Int("scale", 1, "workload scale")
 	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
 
 	switch {
 	case *analyzeFile != "":

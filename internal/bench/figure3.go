@@ -43,8 +43,9 @@ func RunFigure3(cfg apps.Config) ([]Figure3Series, error) {
 		cfg.Scale = 3
 	}
 	var out []Figure3Series
-	for _, name := range figure3Apps {
+	for fi, name := range figure3Apps {
 		res, err := Run(name, ToolSafeMemML, cfg)
+		noteProgress("figure3", fi+1, len(figure3Apps))
 		if err != nil {
 			return nil, err
 		}

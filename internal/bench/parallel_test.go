@@ -16,7 +16,7 @@ func TestRunCells(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		Parallel = workers
 		var ran [40]atomic.Uint32
-		if err := runCells(len(ran), func(i int) error {
+		if err := runCells("test", len(ran), func(i int) error {
 			ran[i].Add(1)
 			return nil
 		}); err != nil {
@@ -31,7 +31,7 @@ func TestRunCells(t *testing.T) {
 
 	errA, errB := errors.New("cell 3"), errors.New("cell 17")
 	Parallel = 8
-	err := runCells(40, func(i int) error {
+	err := runCells("test", 40, func(i int) error {
 		switch i {
 		case 3:
 			return errA

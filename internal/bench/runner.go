@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"safemem/internal/apps"
 	"safemem/internal/cache"
@@ -56,20 +57,41 @@ var Faults *FaultKnobs
 // wall-clock changes.
 var Parallel = 1
 
+// Progress, when set, is called after each experiment cell completes:
+// label names the experiment ("table3", "figure3", …), done/total count
+// cells so far. The CLI installs a logging printer here so long matrix
+// runs show movement; nil (the default) stays silent. Cells run on worker
+// goroutines, so implementations must be safe for concurrent use. Progress
+// observes the sweep — it never influences results.
+var Progress func(label string, done, total int)
+
+// noteProgress reports one finished cell to the Progress hook.
+func noteProgress(label string, done, total int) {
+	if Progress != nil {
+		Progress(label, done, total)
+	}
+}
+
 // runCells executes n independent cell functions, each writing only its own
-// result slot, on up to Parallel workers. Cells must not share simulator
-// state (each bench.Run constructs a fresh machine). The returned error is
-// the lowest-indexed cell error, matching what a sequential sweep would have
+// result slot, on up to Parallel workers, reporting each finished cell to
+// the Progress hook under label. Cells must not share simulator state (each
+// bench.Run constructs a fresh machine). The returned error is the
+// lowest-indexed cell error, matching what a sequential sweep would have
 // reported first; later cells still run to completion either way.
-func runCells(n int, cell func(i int) error) error {
+func runCells(label string, n int, cell func(i int) error) error {
+	var done atomic.Int64
 	workers := Parallel
 	if workers > n {
 		workers = n
 	}
 	errs := make([]error, n)
+	finish := func(i int, err error) {
+		errs[i] = err
+		noteProgress(label, int(done.Add(1)), n)
+	}
 	if workers < 2 {
 		for i := 0; i < n; i++ {
-			errs[i] = cell(i)
+			finish(i, cell(i))
 		}
 	} else {
 		idx := make(chan int)
@@ -79,7 +101,7 @@ func runCells(n int, cell func(i int) error) error {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					errs[i] = cell(i)
+					finish(i, cell(i))
 				}
 			}()
 		}

@@ -47,10 +47,12 @@ type Throughput struct {
 // timings.
 func RunThroughput(cfg apps.Config) (*Throughput, error) {
 	t := &Throughput{Seed: cfg.Seed, Scale: cfg.Scale}
-	for _, app := range apps.All() {
+	all := apps.All()
+	for ai, app := range all {
 		start := time.Now()
 		res, err := Run(app.Name, ToolNone, cfg)
 		hostNS := time.Since(start).Nanoseconds()
+		noteProgress("throughput", ai+1, len(all))
 		if err != nil {
 			return nil, fmt.Errorf("throughput: %s: %w", app.Name, err)
 		}

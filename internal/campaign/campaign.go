@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"safemem/internal/obsrv/flight"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
 )
@@ -50,9 +51,26 @@ type Config struct {
 	Retire    bool
 	// Registry, when non-nil, receives the campaign's aggregate telemetry
 	// (true/false positive counters, detection-latency and overhead
-	// histograms). Nil creates a private registry.
+	// histograms) plus live progress while the campaign runs: per-shard
+	// shard<i>_scenarios_done gauges, live_* verdict counters and a
+	// scenarios_per_sec gauge, all updated as workers finish scenarios so a
+	// /metrics scrape shows progress mid-run. Live metrics never feed the
+	// summary. Nil creates a private registry.
 	Registry *telemetry.Registry
+	// Recorder receives flight-recorder events (campaign/shard start and
+	// finish, per-scenario verdicts, violations). Nil uses flight.Default.
+	Recorder *flight.Recorder
+	// FlightDump, when non-empty, is a JSONL path the flight recorder's
+	// recent history is dumped to whenever the campaign ends in violations
+	// or an execution error — the black box recovered next to the shrunk
+	// repro.
+	FlightDump string
+	// FlightDumpN caps how many trailing events a dump writes (default 256).
+	FlightDumpN int
 }
+
+// defaultFlightDumpN is the dump size when Config.FlightDumpN is zero.
+const defaultFlightDumpN = 256
 
 // maxShrinks bounds shrinking work per campaign: violations are rare (a
 // green campaign has none), but a systemic breakage would otherwise shrink
@@ -170,6 +188,10 @@ func Run(cfg Config) (*Summary, error) {
 	if len(tools) == 0 {
 		tools = []ToolConfig{CfgML, CfgMC, CfgBoth}
 	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = flight.Default
+	}
 
 	env := Env{Sabotage: cfg.Sabotage, FaultRate: cfg.FaultRate, Storm: cfg.Storm, Retire: cfg.Retire}
 
@@ -178,13 +200,25 @@ func Run(cfg Config) (*Summary, error) {
 		deadline = time.Now().Add(cfg.Budget)
 	}
 
+	prog := newProgress(cfg.Registry, cfg.Shards)
+	rec.Emit(flight.KindCampaignStart, "campaign", 0, "",
+		flight.F("seeds", uint64(cfg.Seeds)),
+		flight.F("base_seed", cfg.BaseSeed),
+		flight.F("shards", uint64(cfg.Shards)))
+
 	results := make([]*outcome, cfg.Seeds)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Shards; w++ {
 		wg.Add(1)
-		go func() {
+		go func(shard int) {
 			defer wg.Done()
+			rec.Emit(flight.KindShardStart, "campaign", 0, "", flight.F("shard", uint64(shard)))
+			done := uint64(0)
+			defer func() {
+				rec.Emit(flight.KindShardFinish, "campaign", 0, "",
+					flight.F("shard", uint64(shard)), flight.F("scenarios", done))
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= cfg.Seeds {
@@ -193,13 +227,109 @@ func Run(cfg Config) (*Summary, error) {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				results[i] = runScenario(subSeed(cfg.BaseSeed, i), tools, env)
+				seed := subSeed(cfg.BaseSeed, i)
+				o := runScenario(seed, tools, env)
+				results[i] = o
+				done++
+				prog.scenarioDone(shard, done)
+				for ti, v := range o.verdicts {
+					prog.verdict(v)
+					rec.Emit(flight.KindVerdict, "campaign", 0, tools[ti].String(),
+						flight.F("seed", seed),
+						flight.F("true_positives", uint64(v.TruePositives)),
+						flight.F("false_positives", uint64(v.FalsePositives)),
+						flight.F("missed", uint64(v.Missed)))
+					for _, vio := range v.Violations {
+						rec.Emit(flight.KindViolation, "campaign", 0,
+							fmt.Sprintf("%s under %s: %s", vio.Kind, vio.Config, vio.Detail),
+							flight.F("seed", seed))
+					}
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
-	return aggregate(cfg, env, tools, results)
+	sum, err := aggregate(cfg, env, tools, results)
+	switch {
+	case err != nil:
+		rec.Emit(flight.KindCampaignFinish, "campaign", 0, "error: "+err.Error())
+	default:
+		rec.Emit(flight.KindCampaignFinish, "campaign", 0, "",
+			flight.F("scenarios_run", uint64(sum.ScenariosRun)),
+			flight.F("violations", uint64(len(sum.Violations))))
+	}
+	// The black box: a campaign that ended badly dumps its recent flight
+	// history next to the shrunk repro, so the post-mortem has the event
+	// stream that led up to the failure.
+	if cfg.FlightDump != "" && (err != nil || len(sum.Violations) > 0) {
+		n := cfg.FlightDumpN
+		if n <= 0 {
+			n = defaultFlightDumpN
+		}
+		if derr := rec.DumpFile(cfg.FlightDump, n); derr != nil {
+			rec.Emit(flight.KindCampaignFinish, "campaign", 0, "flight dump failed: "+derr.Error())
+		}
+	}
+	return sum, err
+}
+
+// progress publishes live campaign progress into a telemetry registry:
+// owned (atomic) metrics only, so a concurrent /metrics scrape is always
+// fresh and race-free. A nil registry disables it. Live metrics carry a
+// live_ prefix (or shard<i>_) so they never collide with the aggregate
+// counters written once at the end of the run.
+type progress struct {
+	start     time.Time
+	shardDone []*telemetry.Gauge
+	perSec    *telemetry.Gauge
+	total     atomic.Uint64
+	scenarios *telemetry.Counter
+	tp        *telemetry.Counter
+	fp        *telemetry.Counter
+	missed    *telemetry.Counter
+	vio       *telemetry.Counter
+}
+
+func newProgress(reg *telemetry.Registry, shards int) *progress {
+	if reg == nil {
+		return nil
+	}
+	p := &progress{
+		start:     time.Now(),
+		perSec:    reg.Gauge("campaign", "scenarios_per_sec"),
+		scenarios: reg.Counter("campaign", "live_scenarios_done"),
+		tp:        reg.Counter("campaign", "live_true_positives"),
+		fp:        reg.Counter("campaign", "live_false_positives"),
+		missed:    reg.Counter("campaign", "live_missed"),
+		vio:       reg.Counter("campaign", "live_violations"),
+	}
+	for i := 0; i < shards; i++ {
+		p.shardDone = append(p.shardDone, reg.Gauge("campaign", fmt.Sprintf("shard%d_scenarios_done", i)))
+	}
+	return p
+}
+
+func (p *progress) scenarioDone(shard int, done uint64) {
+	if p == nil {
+		return
+	}
+	p.shardDone[shard].Set(float64(done))
+	p.scenarios.Inc()
+	total := p.total.Add(1)
+	if elapsed := time.Since(p.start).Seconds(); elapsed > 0 {
+		p.perSec.Set(float64(total) / elapsed)
+	}
+}
+
+func (p *progress) verdict(v *Verdict) {
+	if p == nil {
+		return
+	}
+	p.tp.Add(uint64(v.TruePositives))
+	p.fp.Add(uint64(v.FalsePositives))
+	p.missed.Add(uint64(v.Missed))
+	p.vio.Add(uint64(len(v.Violations)))
 }
 
 // runScenario generates and executes one scenario under the baseline and

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safemem/internal/obsrv/flight"
+)
+
+// TestSabotageCampaignWritesFlightDump is the black-box acceptance check:
+// a campaign that ends in violations must leave a JSONL flight dump (the
+// last-N event history) next to the shrunk repro.
+func TestSabotageCampaignWritesFlightDump(t *testing.T) {
+	rec := flight.New(512)
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	sum, err := Run(Config{
+		Seeds: 4, BaseSeed: 42, Shards: 2, Sabotage: true,
+		Tools:    []ToolConfig{CfgBoth},
+		Recorder: rec, FlightDump: dump, FlightDumpN: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) == 0 {
+		t.Fatal("sabotaged campaign reported no violations")
+	}
+
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatalf("opening flight dump: %v", err)
+	}
+	defer f.Close()
+	events, err := flight.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("reading flight dump: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("flight dump is empty")
+	}
+	kinds := map[flight.Kind]int{}
+	for _, ev := range events {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []flight.Kind{
+		flight.KindCampaignStart, flight.KindShardStart, flight.KindVerdict,
+		flight.KindViolation, flight.KindShardFinish, flight.KindCampaignFinish,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("dump has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	if kinds[flight.KindViolation] < len(sum.Violations) {
+		t.Errorf("dump has %d violation events, summary has %d violations",
+			kinds[flight.KindViolation], len(sum.Violations))
+	}
+}
+
+// TestGreenCampaignWritesNoDump pins the converse: a clean campaign leaves
+// no black box behind.
+func TestGreenCampaignWritesNoDump(t *testing.T) {
+	dump := filepath.Join(t.TempDir(), "flight.jsonl")
+	sum, err := Run(Config{
+		Seeds: 2, BaseSeed: 7, Tools: []ToolConfig{CfgBoth},
+		Recorder: flight.New(64), FlightDump: dump,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("clean campaign produced violations: %+v", sum.Violations)
+	}
+	if _, err := os.Stat(dump); !os.IsNotExist(err) {
+		t.Errorf("dump file exists after a green campaign (stat err: %v)", err)
+	}
+}

@@ -27,6 +27,7 @@ package safemem
 import (
 	"fmt"
 
+	"safemem/internal/obsrv/flight"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
@@ -92,6 +93,8 @@ func (t *Tool) degrade(op string, addr vm.VAddr, detail string) {
 		Detail: detail,
 	})
 	t.tr.Instant("safemem", "degraded:"+op, telemetry.KV("addr", uint64(addr)))
+	flight.Emit(flight.KindDegraded, "safemem", t.m.Clock.Now(), op+": "+detail,
+		flight.F("addr", uint64(addr)))
 }
 
 // dropRegion force-removes r's bookkeeping after a failed kernel unwatch.

@@ -6,6 +6,7 @@ import (
 
 	"safemem/internal/heap"
 	"safemem/internal/machine"
+	"safemem/internal/obsrv/flight"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
@@ -197,6 +198,10 @@ func (t *Tool) report(r BugReport) {
 	t.tr.Instant("safemem", "report:"+r.Kind.String(),
 		telemetry.KV("addr", uint64(r.Addr)),
 		telemetry.KV("latency_cycles", uint64(r.Latency)))
+	flight.Emit(flight.KindBugReport, "safemem", r.Time, r.Kind.String(),
+		flight.F("addr", uint64(r.Addr)),
+		flight.F("site", r.Site),
+		flight.F("latency_cycles", uint64(r.Latency)))
 	if t.onReport != nil {
 		t.onReport(r)
 	}

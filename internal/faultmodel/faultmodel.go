@@ -32,6 +32,7 @@ import (
 
 	"safemem/internal/inject"
 	"safemem/internal/machine"
+	"safemem/internal/obsrv/flight"
 	"safemem/internal/simtime"
 	"safemem/internal/vm"
 )
@@ -351,7 +352,14 @@ func (p *Process) deferPlant(va vm.VAddr, double bool, b1, b2 uint) {
 		}
 		if !p.in.PlantSpecific(va, double, b1, b2) {
 			p.stats.Skipped++
+			return
 		}
+		dbl := uint64(0)
+		if double {
+			dbl = 1
+		}
+		flight.Emit(flight.KindFaultPlant, "faultmodel", p.m.Clock.Now(), "fault planted",
+			flight.F("addr", uint64(va)), flight.F("bit", uint64(b1)), flight.F("double", dbl))
 	})
 }
 

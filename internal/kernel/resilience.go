@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"safemem/internal/memctrl"
+	"safemem/internal/obsrv/flight"
 	"safemem/internal/physmem"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
@@ -210,6 +211,8 @@ func (k *Kernel) surviveUncorrectable(r memctrl.FaultReport, fault *ECCFault) {
 	sp := k.tr.Begin("kernel", "survive-uncorrectable", telemetry.KV("line", uint64(r.Line)))
 	defer sp.End()
 	k.resStats.DataLossEvents++
+	flight.Emit(flight.KindDataLoss, "kernel", k.clock.Now(), "uncorrectable fault accepted as data loss",
+		flight.F("line", uint64(r.Line)))
 	pl := r.Line
 	if fault.Watched {
 		delete(k.watches, fault.VLine)
@@ -306,6 +309,8 @@ func (k *Kernel) retireFrame(frame physmem.Addr) {
 		// retrying on every subsequent error.
 		k.resStats.RetireFailures++
 		k.clearHealth(frame)
+		flight.Emit(flight.KindRetireFailed, "kernel", k.clock.Now(), "no spare frame; staying on flaky frame",
+			flight.F("frame", uint64(frame)))
 		return
 	}
 	movedWatches := make([]vm.VAddr, 0, len(onFrame))
@@ -319,6 +324,10 @@ func (k *Kernel) retireFrame(frame physmem.Addr) {
 	}
 	k.clearHealth(old)
 	k.resStats.PagesRetired++
+	flight.Emit(flight.KindPageRetired, "kernel", k.clock.Now(), "flaky frame retired",
+		flight.F("old_frame", uint64(old)),
+		flight.F("new_frame", uint64(fresh)),
+		flight.F("moved_watches", uint64(len(movedWatches))))
 	if k.onRetire != nil {
 		k.onRetire(old, fresh, movedWatches)
 	}

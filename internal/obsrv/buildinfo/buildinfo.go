@@ -1,0 +1,99 @@
+// Package buildinfo gives every CLI in this repo a uniform -version flag
+// and the /buildinfo endpoint's payload: module path and version, VCS
+// revision and dirty bit, and the Go toolchain, all read from the binary's
+// embedded debug.BuildInfo. Importing it registers -version on the default
+// flag set (the same idiom as internal/profiling's pprof flags); after
+// flag.Parse the CLI calls HandleFlag and exits when it returns true.
+package buildinfo
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+)
+
+var showVersion = flag.Bool("version", false, "print build information and exit")
+
+// Info is the build identity of the running binary.
+type Info struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the binary's build information. Fields missing from the
+// embedded BuildInfo (e.g. a plain `go run` without VCS stamping) come back
+// as "unknown" rather than empty, so output stays greppable.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Module: "safemem", Version: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Path != "" {
+			cached.Module = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			cached.Version = bi.Main.Version
+		}
+		cached.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Revision = s.Value
+			case "vcs.time":
+				cached.Time = s.Value
+			case "vcs.modified":
+				cached.Modified = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}
+
+// String renders the one-line -version output.
+func (i Info) String() string {
+	s := fmt.Sprintf("%s %s (%s", i.Module, i.Version, i.GoVersion)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", rev " + rev
+		if i.Modified {
+			s += "+dirty"
+		}
+	}
+	return s + ")"
+}
+
+// JSON renders the /buildinfo endpoint payload.
+func (i Info) JSON() []byte {
+	b, err := json.MarshalIndent(i, "", "  ")
+	if err != nil {
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// HandleFlag prints build information to w and reports true when -version
+// was given. Call after flag.Parse; on true the CLI should exit 0.
+func HandleFlag(w io.Writer) bool {
+	if !*showVersion {
+		return false
+	}
+	fmt.Fprintln(w, Get())
+	return true
+}

@@ -1,0 +1,66 @@
+package buildinfo
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	i := Get()
+	if i.Module == "" || i.Version == "" || i.GoVersion == "" {
+		t.Fatalf("Get() left fields empty: %+v", i)
+	}
+	// Under `go test` the module path is the real one.
+	if i.Module != "safemem" {
+		t.Errorf("module = %q, want safemem", i.Module)
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("go version = %q", i.GoVersion)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Info{Module: "safemem", Version: "v1.2.3", GoVersion: "go1.24.0",
+		Revision: "0123456789abcdef", Modified: true}.String()
+	for _, want := range []string{"safemem", "v1.2.3", "go1.24.0", "0123456789ab+dirty"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q: revision not truncated to 12 chars", s)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	var back Info
+	if err := json.Unmarshal(Get().JSON(), &back); err != nil {
+		t.Fatalf("JSON() not valid JSON: %v", err)
+	}
+	if back != Get() {
+		t.Errorf("round trip: %+v != %+v", back, Get())
+	}
+}
+
+func TestHandleFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if HandleFlag(&buf) {
+		t.Fatal("HandleFlag true without -version")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("printed %q without -version", buf.String())
+	}
+	if err := flag.Set("version", "true"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("version", "false")
+	if !HandleFlag(&buf) {
+		t.Fatal("HandleFlag false with -version set")
+	}
+	if !strings.Contains(buf.String(), "safemem") {
+		t.Errorf("output %q", buf.String())
+	}
+}

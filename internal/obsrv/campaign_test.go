@@ -1,0 +1,104 @@
+package obsrv
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"safemem/internal/campaign"
+	"safemem/internal/obsrv/flight"
+	"safemem/internal/telemetry"
+)
+
+// TestCampaignDeterminismWithServer is the plane's determinism pin: a
+// campaign's JSON summary must be byte-identical whether or not an obsrv
+// server is scraping it mid-run, at any shard count. This is also the
+// -race audit for scraping a live campaign: the sim threads update
+// registry metrics while HTTP goroutines scrape continuously.
+func TestCampaignDeterminismWithServer(t *testing.T) {
+	runQuiet := func(shards int) []byte {
+		sum, err := campaign.Run(campaign.Config{
+			Seeds: 4, BaseSeed: 99, Shards: shards,
+			Tools:    []campaign.ToolConfig{campaign.CfgBoth},
+			Recorder: flight.New(256),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	runServed := func(shards int) []byte {
+		rec := flight.New(256)
+		reg := telemetry.NewRegistry("campaign", telemetry.Config{})
+		s := testServer(t, Config{Registry: reg, Recorder: rec})
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(s.URL() + "/metrics")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}()
+		}
+		sum, err := campaign.Run(campaign.Config{
+			Seeds: 4, BaseSeed: 99, Shards: shards,
+			Tools:    []campaign.ToolConfig{campaign.CfgBoth},
+			Registry: reg, Recorder: rec,
+		})
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The finished run's live gauges are visible in a final scrape.
+		status, body, _ := get(t, s.URL()+"/metrics")
+		if status != http.StatusOK {
+			t.Fatalf("final scrape status %d", status)
+		}
+		for _, want := range []string{
+			"safemem_campaign_live_scenarios_done",
+			"safemem_campaign_shard0_scenarios_done",
+			"safemem_campaign_scenarios_per_sec",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("final scrape missing %q", want)
+			}
+		}
+
+		js, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	for _, shards := range []int{1, 3} {
+		quiet := runQuiet(shards)
+		served := runServed(shards)
+		if !bytes.Equal(quiet, served) {
+			t.Errorf("shards=%d: summary differs with server on vs off:\n--- off ---\n%s\n--- on ---\n%s",
+				shards, quiet, served)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"safemem/internal/obsrv/flight"
+)
+
+// sseHeartbeat is the keep-alive comment interval on idle /events streams.
+const sseHeartbeat = 15 * time.Second
+
+// handleEvents streams the flight recorder as Server-Sent Events: each
+// event is `id: <seq>` / `event: <kind>` / `data: <json>`. On connect the
+// stream replays the last ReplayLastN ring events, then follows live
+// emission until the client disconnects or the server closes. A slow
+// client's missed events are dropped (and counted) rather than ever
+// back-pressuring emitters.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before snapshotting the replay so nothing emitted in
+	// between is lost; events the replay already covered are skipped by
+	// sequence number when they arrive on the channel.
+	ch, cancel := s.rec.Subscribe(256)
+	defer cancel()
+
+	var lastSent uint64
+	sentAny := false
+	send := func(ev flight.Event) bool {
+		if sentAny && ev.Seq <= lastSent {
+			return true // replayed already
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+			return false
+		}
+		lastSent, sentAny = ev.Seq, true
+		return true
+	}
+
+	if s.cfg.ReplayLastN > 0 {
+		for _, ev := range s.rec.LastN(s.cfg.ReplayLastN) {
+			if !send(ev) {
+				return
+			}
+		}
+	}
+	fl.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(ev) {
+				return
+			}
+			// Drain whatever else is queued before flushing once.
+			for len(ch) > 0 {
+				if ev, ok = <-ch; !ok || !send(ev) {
+					return
+				}
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package flight is the simulator's flight recorder: a fixed-size ring
+// buffer of structured host-side events — bug reports, degradation events,
+// page retirements, fault-model plants, campaign verdicts and shard
+// lifecycle — that a live /events endpoint can stream and a failing
+// campaign can dump as last-seconds context next to its repro.
+//
+// Determinism contract: the recorder is observation-only. Emit never reads
+// or advances the simulated clock (emitters pass the cycle count they
+// already hold), never allocates simulated memory, and nothing in the
+// simulation ever reads the recorder back. Simulated results are therefore
+// bit-identical with the recorder hot, cold, or absent; only host-side
+// observability changes. Emission is safe from any goroutine, so sharded
+// campaign workers and an HTTP streamer can share one recorder.
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"safemem/internal/simtime"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind string
+
+// The event vocabulary. Emitters across the tree use these constants so
+// the /events stream and health endpoints can filter without string
+// matching on free-form detail text.
+const (
+	// KindBugReport is one SafeMem bug report (fields: addr, site,
+	// latency_cycles).
+	KindBugReport Kind = "bug-report"
+	// KindDegraded is one monitoring capability SafeMem gave up to keep
+	// the program running (core's DegradedEvent).
+	KindDegraded Kind = "degraded"
+	// KindPageRetired is a kernel page retirement (fields: old_frame,
+	// new_frame, moved_watches).
+	KindPageRetired Kind = "page-retired"
+	// KindRetireFailed is an abandoned retirement (no spare frame).
+	KindRetireFailed Kind = "retire-failed"
+	// KindDataLoss is an unrepairable uncorrectable error absorbed under
+	// RetireAndContinue.
+	KindDataLoss Kind = "data-loss"
+	// KindFaultPlant is one background fault-model event (fields: va, bit).
+	KindFaultPlant Kind = "fault-plant"
+	// KindVerdict is one campaign ⟨scenario, config⟩ oracle verdict
+	// (fields: seed, tp, fp, missed).
+	KindVerdict Kind = "verdict"
+	// KindViolation is one campaign oracle violation.
+	KindViolation Kind = "violation"
+	// KindShardStart / KindShardFinish bracket one campaign worker.
+	KindShardStart  Kind = "shard-start"
+	KindShardFinish Kind = "shard-finish"
+	// KindCampaignStart / KindCampaignFinish bracket a whole campaign.
+	KindCampaignStart  Kind = "campaign-start"
+	KindCampaignFinish Kind = "campaign-finish"
+)
+
+// Event is one recorded flight event. WallNS is host wall-clock time
+// (observability metadata, deliberately outside the simulation); Cycles is
+// the emitter's simulated time, when it has one.
+type Event struct {
+	Seq       uint64            `json:"seq"`
+	WallNS    int64             `json:"wall_ns"`
+	Cycles    uint64            `json:"cycles,omitempty"`
+	Kind      Kind              `json:"kind"`
+	Component string            `json:"component,omitempty"`
+	Detail    string            `json:"detail,omitempty"`
+	Fields    map[string]uint64 `json:"fields,omitempty"`
+}
+
+// Field is one numeric annotation on an event.
+type Field struct {
+	Key string
+	Val uint64
+}
+
+// F builds a Field.
+func F(key string, val uint64) Field { return Field{Key: key, Val: val} }
+
+// DefaultCapacity is the Default recorder's ring size. At the simulator's
+// event rates (reports, retirements, campaign verdicts — not per-access
+// noise) this holds minutes of context.
+const DefaultCapacity = 4096
+
+// Recorder is a fixed-capacity ring of events with a subscriber fan-out.
+// All methods are safe for concurrent use; a nil *Recorder is a valid
+// no-op emitter, so call sites never need to guard.
+type Recorder struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   uint64 // total events ever emitted; ring index is next % cap
+	counts map[Kind]uint64
+	subs   map[int]chan Event
+	subID  int
+	// subDropped counts events a slow subscriber missed (its channel was
+	// full); the ring itself never blocks or drops below capacity.
+	subDropped uint64
+}
+
+// Default is the process-wide recorder every component emits into unless a
+// caller injects its own (tests do, for isolation).
+var Default = New(DefaultCapacity)
+
+// New creates a recorder holding the last capacity events.
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		ring:   make([]Event, 0, capacity),
+		counts: make(map[Kind]uint64),
+		subs:   make(map[int]chan Event),
+	}
+}
+
+// Emit records one event on the Default recorder.
+func Emit(kind Kind, component string, cycles simtime.Cycles, detail string, fields ...Field) {
+	Default.Emit(kind, component, cycles, detail, fields...)
+}
+
+// Emit records one event: it stamps the sequence number and host wall
+// clock, overwrites the oldest slot once the ring is full, and fans the
+// event out to subscribers without blocking (a full subscriber channel
+// drops the event for that subscriber only).
+func (r *Recorder) Emit(kind Kind, component string, cycles simtime.Cycles, detail string, fields ...Field) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		WallNS:    time.Now().UnixNano(),
+		Cycles:    uint64(cycles),
+		Kind:      kind,
+		Component: component,
+		Detail:    detail,
+	}
+	if len(fields) > 0 {
+		ev.Fields = make(map[string]uint64, len(fields))
+		for _, f := range fields {
+			ev.Fields[f.Key] = f.Val
+		}
+	}
+
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.next++
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[int(ev.Seq%uint64(cap(r.ring)))] = ev
+	}
+	r.counts[kind]++
+	for _, ch := range r.subs {
+		select {
+		case ch <- ev:
+		default:
+			r.subDropped++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many events have ever been emitted (including ones the
+// ring has since overwritten).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Count returns how many events of kind have ever been emitted.
+func (r *Recorder) Count(kind Kind) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[kind]
+}
+
+// Counts returns a copy of the per-kind emission totals.
+func (r *Recorder) Counts() map[Kind]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[Kind]uint64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// SubscriberDrops returns how many events slow subscribers missed.
+func (r *Recorder) SubscriberDrops() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.subDropped
+}
+
+// LastN returns up to n most-recent events in emission order (oldest
+// first). n <= 0 returns everything still in the ring.
+func (r *Recorder) LastN(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := len(r.ring)
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, 0, n)
+	for i := held - n; i < held; i++ {
+		// Oldest surviving event is at next % cap once the ring wrapped,
+		// at 0 before.
+		idx := i
+		if held == cap(r.ring) {
+			idx = int((r.next + uint64(i)) % uint64(cap(r.ring)))
+		}
+		out = append(out, r.ring[idx])
+	}
+	return out
+}
+
+// Subscribe registers a live event channel with the given buffer and
+// returns it with its cancel function. Events emitted while the channel is
+// full are dropped for this subscriber (counted in SubscriberDrops);
+// cancel closes the channel.
+func (r *Recorder) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	r.mu.Lock()
+	id := r.subID
+	r.subID++
+	r.subs[id] = ch
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		if _, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(ch)
+		}
+		r.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// WriteJSONL writes the last n events (n <= 0: all held) as one JSON
+// object per line — the flight-dump format.
+func (r *Recorder) WriteJSONL(w io.Writer, n int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.LastN(n) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpFile writes the last n events to path as JSONL. This is the
+// crash/violation snapshot the campaign runner drops next to its repro.
+func (r *Recorder) DumpFile(path string, n int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL parses a dump written by WriteJSONL/DumpFile.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(rd)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,198 @@
+package flight
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestRingHoldsLastN(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 20; i++ {
+		r.Emit(KindVerdict, "test", 0, fmt.Sprintf("event %d", i), F("i", uint64(i)))
+	}
+	if got := r.Total(); got != 20 {
+		t.Fatalf("Total = %d, want 20", got)
+	}
+	evs := r.LastN(0)
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for j, ev := range evs {
+		want := uint64(12 + j)
+		if ev.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", j, ev.Seq, want)
+		}
+		if ev.Fields["i"] != want {
+			t.Errorf("event %d: field i = %d, want %d", j, ev.Fields["i"], want)
+		}
+	}
+	if got := r.LastN(3); len(got) != 3 || got[0].Seq != 17 {
+		t.Fatalf("LastN(3) = %+v, want seqs 17..19", got)
+	}
+}
+
+func TestLastNBeforeWrap(t *testing.T) {
+	r := New(16)
+	for i := 0; i < 5; i++ {
+		r.Emit(KindBugReport, "safemem", 100, "r")
+	}
+	evs := r.LastN(0)
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for j, ev := range evs {
+		if ev.Seq != uint64(j) {
+			t.Errorf("event %d: seq %d", j, ev.Seq)
+		}
+		if ev.Cycles != 100 {
+			t.Errorf("event %d: cycles %d, want 100", j, ev.Cycles)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := New(4)
+	r.Emit(KindDegraded, "safemem", 0, "")
+	r.Emit(KindDegraded, "safemem", 0, "")
+	r.Emit(KindPageRetired, "kernel", 0, "")
+	if got := r.Count(KindDegraded); got != 2 {
+		t.Errorf("Count(degraded) = %d, want 2", got)
+	}
+	if got := r.Count(KindPageRetired); got != 1 {
+		t.Errorf("Count(page-retired) = %d, want 1", got)
+	}
+	if got := r.Count(KindDataLoss); got != 0 {
+		t.Errorf("Count(data-loss) = %d, want 0", got)
+	}
+	c := r.Counts()
+	if c[KindDegraded] != 2 || c[KindPageRetired] != 1 {
+		t.Errorf("Counts() = %v", c)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	r := New(8)
+	ch, cancel := r.Subscribe(4)
+	r.Emit(KindVerdict, "campaign", 0, "a", F("seed", 7))
+	ev := <-ch
+	if ev.Kind != KindVerdict || ev.Fields["seed"] != 7 {
+		t.Fatalf("subscriber got %+v", ev)
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after cancel")
+	}
+	// Emitting after cancel must not panic or deliver.
+	r.Emit(KindVerdict, "campaign", 0, "b")
+	// Double cancel is a no-op.
+	cancel()
+}
+
+func TestSubscriberDropsWhenFull(t *testing.T) {
+	r := New(64)
+	_, cancel := r.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		r.Emit(KindFaultPlant, "faultmodel", 0, "")
+	}
+	if got := r.SubscriberDrops(); got != 8 {
+		t.Errorf("SubscriberDrops = %d, want 8", got)
+	}
+	// The ring itself kept everything.
+	if got := len(r.LastN(0)); got != 10 {
+		t.Errorf("ring holds %d, want 10", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New(8)
+	r.Emit(KindViolation, "campaign", 1234, "missed plant", F("seed", 42), F("site", 0x9000))
+	r.Emit(KindDataLoss, "kernel", 5678, "line 0x40")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("round-tripped %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != KindViolation || evs[0].Fields["seed"] != 42 || evs[0].Cycles != 1234 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != KindDataLoss || evs[1].Detail != "line 0x40" {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestDumpFile(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 12; i++ {
+		r.Emit(KindVerdict, "campaign", 0, "", F("i", uint64(i)))
+	}
+	path := t.TempDir() + "/flight.jsonl"
+	if err := r.DumpFile(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJSONL(bytes.NewReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 || evs[0].Fields["i"] != 8 {
+		t.Fatalf("dump = %+v, want events 8..11", evs)
+	}
+}
+
+func TestNilRecorderIsNoop(t *testing.T) {
+	var r *Recorder
+	r.Emit(KindVerdict, "x", 0, "")
+	if r.Total() != 0 || r.Count(KindVerdict) != 0 || r.LastN(5) != nil || r.Counts() != nil {
+		t.Fatal("nil recorder not a no-op")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := New(128)
+	ch, cancel := r.Subscribe(16)
+	done := make(chan struct{})
+	go func() {
+		for range ch {
+		}
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(KindVerdict, "campaign", 0, "", F("w", uint64(w)))
+				r.LastN(4)
+				r.Count(KindVerdict)
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	<-done
+	if got := r.Total(); got != 1600 {
+		t.Fatalf("Total = %d, want 1600", got)
+	}
+	// All sequence numbers in the ring are distinct and the latest 128.
+	seen := map[uint64]bool{}
+	for _, ev := range r.LastN(0) {
+		if ev.Seq < 1600-128 || seen[ev.Seq] {
+			t.Fatalf("bad seq %d in ring", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}

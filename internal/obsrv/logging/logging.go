@@ -1,0 +1,93 @@
+// Package logging is the CLIs' structured-logging facade: a thin wrapper
+// over log/slog with leveled, component-tagged loggers and a uniform pair
+// of flags. Importing it registers -log-level and -log-format on the
+// default flag set; after flag.Parse the CLI calls Setup once, then tags
+// loggers per component with L("campaign"), L("bench"), ….
+//
+// Two handlers are supported: "console" (slog's text handler on stderr,
+// the human default) and "json" (one JSON object per line, the
+// log-shipper format). Status chatter goes through this package; computed
+// results — tables, campaign summaries, -json payloads — stay on stdout
+// via fmt, because they are output, not logs.
+package logging
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+var (
+	levelFlag  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	formatFlag = flag.String("log-format", "console", "log format: console or json")
+)
+
+// level is the dynamic level every handler built by this package shares,
+// so tests (and a future SIGUSR-style toggle) can change verbosity live.
+var level slog.LevelVar
+
+// root is the configured base logger. Before Setup it defaults to a
+// console handler at info, so library code calling L never nil-checks.
+var root = slog.New(newHandler(os.Stderr, "console"))
+
+func newHandler(w io.Writer, format string) slog.Handler {
+	opts := &slog.HandlerOptions{Level: &level}
+	if format == "json" {
+		return slog.NewJSONHandler(w, opts)
+	}
+	return slog.NewTextHandler(w, opts)
+}
+
+// ParseLevel resolves a -log-level value.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q (want debug|info|warn|error)", s)
+	}
+}
+
+// Setup applies the -log-level / -log-format flags to the package logger.
+// Call once after flag.Parse.
+func Setup() error {
+	return SetupWriter(os.Stderr)
+}
+
+// SetupWriter is Setup with an explicit destination (tests capture logs
+// through it).
+func SetupWriter(w io.Writer) error {
+	lv, err := ParseLevel(*levelFlag)
+	if err != nil {
+		return err
+	}
+	switch *formatFlag {
+	case "console", "json":
+	default:
+		return fmt.Errorf("logging: unknown format %q (want console|json)", *formatFlag)
+	}
+	level.Set(lv)
+	root = slog.New(newHandler(w, *formatFlag))
+	return nil
+}
+
+// L returns a logger tagged with the component name — the structured
+// analogue of the old "safemem-fuzz: …" stderr prefixes.
+func L(component string) *slog.Logger {
+	return root.With("component", component)
+}
+
+// SetLevel changes the live minimum level (all loggers share it).
+func SetLevel(lv slog.Level) { level.Set(lv) }
+
+// Level returns the current minimum level.
+func Level() slog.Level { return level.Level() }

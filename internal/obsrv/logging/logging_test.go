@@ -1,0 +1,102 @@
+package logging
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) did not fail")
+	}
+}
+
+func setFlags(t *testing.T, level, format string) {
+	t.Helper()
+	for k, v := range map[string]string{"log-level": level, "log-format": format} {
+		if err := flag.Set(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		flag.Set("log-level", "info")
+		flag.Set("log-format", "console")
+		SetupWriter(&bytes.Buffer{})
+	})
+}
+
+func TestConsoleOutput(t *testing.T) {
+	setFlags(t, "info", "console")
+	var buf bytes.Buffer
+	if err := SetupWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	L("campaign").Info("progress", "done", 5, "total", 10)
+	L("campaign").Debug("suppressed at info")
+	out := buf.String()
+	for _, want := range []string{"component=campaign", "progress", "done=5", "total=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("console output %q missing %q", out, want)
+		}
+	}
+	if strings.Contains(out, "suppressed") {
+		t.Errorf("debug line leaked at info level: %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	setFlags(t, "debug", "json")
+	var buf bytes.Buffer
+	if err := SetupWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	L("bench").Debug("cell done", "experiment", "table3", "done", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["component"] != "bench" || rec["experiment"] != "table3" || rec["msg"] != "cell done" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	setFlags(t, "loud", "console")
+	if err := SetupWriter(&bytes.Buffer{}); err == nil {
+		t.Error("bad level accepted")
+	}
+	setFlags(t, "info", "xml")
+	if err := SetupWriter(&bytes.Buffer{}); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestSetLevel(t *testing.T) {
+	setFlags(t, "info", "console")
+	var buf bytes.Buffer
+	if err := SetupWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	SetLevel(slog.LevelError)
+	if Level() != slog.LevelError {
+		t.Fatalf("Level() = %v", Level())
+	}
+	L("x").Warn("hidden")
+	if buf.Len() != 0 {
+		t.Errorf("warn leaked at error level: %q", buf.String())
+	}
+}

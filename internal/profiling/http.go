@@ -1,0 +1,19 @@
+package profiling
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AttachHTTP wires the standard /debug/pprof/* handlers onto mux — the
+// live counterpart of the -cpuprofile/-memprofile flags, for the obsrv
+// server's embedded endpoint. Handlers are registered explicitly instead
+// of importing net/http/pprof for its DefaultServeMux side effect, so
+// binaries that never serve HTTP expose nothing.
+func AttachHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

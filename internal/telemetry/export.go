@@ -106,21 +106,44 @@ func promLabels(run string, extra ...string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format, for live /metrics endpoints.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // WritePrometheus dumps every registry of the session in the Prometheus
 // text exposition format. Metric names are safemem_<component>_<name>;
 // multi-run sessions distinguish runs with a run="…" label. Must be called
 // from the simulation thread (it reads component sources).
 func (s *Session) WritePrometheus(w io.Writer) error {
-	return writePrometheus(w, s.Registries())
+	return writePrometheus(w, s.Registries(), false)
 }
 
 // WritePrometheus dumps this registry alone; see Session.WritePrometheus.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	return writePrometheus(w, []*Registry{r})
+	return writePrometheus(w, []*Registry{r}, false)
 }
 
-func writePrometheus(w io.Writer, regs []*Registry) error {
+// WritePrometheusLive is the scrape-path variant of WritePrometheus, safe
+// to call from an HTTP goroutine while simulations run: scalar values come
+// from LiveSnapshot (atomic owned metrics + cached source values) and
+// histograms from their own mutexes. The /metrics endpoint serves this.
+func (s *Session) WritePrometheusLive(w io.Writer) error {
+	return writePrometheus(w, s.Registries(), true)
+}
+
+// WritePrometheusLive dumps this registry alone; see the Session variant.
+func (r *Registry) WritePrometheusLive(w io.Writer) error {
+	return writePrometheus(w, []*Registry{r}, true)
+}
+
+func writePrometheus(w io.Writer, regs []*Registry, live bool) error {
 	bw := bufio.NewWriter(w)
+	snapshot := func(reg *Registry) []MetricValue {
+		if live {
+			return reg.LiveSnapshot()
+		}
+		return reg.Snapshot()
+	}
 
 	// Scalars: gather (name → kind, rows) so a metric's TYPE header is
 	// emitted once even when several runs export it.
@@ -131,7 +154,7 @@ func writePrometheus(w io.Writer, regs []*Registry) error {
 	}{}
 	var names []string
 	for _, reg := range regs {
-		for _, mv := range reg.Snapshot() {
+		for _, mv := range snapshot(reg) {
 			name := "safemem_" + promName(mv.Component) + "_" + promName(mv.Name)
 			e, ok := scalar[name]
 			if !ok {

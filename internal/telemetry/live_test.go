@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"safemem/internal/simtime"
+)
+
+// TestLiveSnapshotServesCachedSources pins the scrape-path contract: owned
+// metrics are always fresh, source values are as-of the last
+// simulation-thread read, and LiveSnapshot never invokes a source.
+func TestLiveSnapshotServesCachedSources(t *testing.T) {
+	r := NewRegistry("run", Config{})
+	ctr := r.Counter("comp", "hits")
+	g := r.Gauge("comp", "level")
+	unsafeCounter := 0 // stands in for a component's unsynchronised stat
+	calls := 0
+	r.RegisterSource("src", func(emit func(string, float64)) {
+		calls++
+		emit("value", float64(unsafeCounter))
+	})
+
+	// Before any simulation-thread read the cache is empty: only owned
+	// metrics appear.
+	live := r.LiveSnapshot()
+	if len(live) != 2 {
+		t.Fatalf("pre-cache LiveSnapshot has %d values, want 2 (owned only): %+v", len(live), live)
+	}
+	if calls != 0 {
+		t.Fatalf("LiveSnapshot invoked a source %d times", calls)
+	}
+
+	unsafeCounter = 7
+	r.Snapshot() // simulation thread reads sources, refreshing the cache
+	unsafeCounter = 99
+	ctr.Inc()
+	g.Set(3.5)
+
+	live = r.LiveSnapshot()
+	if calls != 1 {
+		t.Fatalf("source called %d times, want 1 (Snapshot only)", calls)
+	}
+	byName := map[string]float64{}
+	for _, mv := range live {
+		byName[mv.Component+"/"+mv.Name] = mv.Value
+	}
+	if byName["comp/hits"] != 1 || byName["comp/level"] != 3.5 {
+		t.Errorf("owned metrics stale in live snapshot: %v", byName)
+	}
+	if byName["src/value"] != 7 {
+		t.Errorf("source value = %v, want cached 7 (not live 99)", byName["src/value"])
+	}
+}
+
+// TestLiveSnapshotConcurrent scrapes while a "simulation thread" updates
+// owned metrics and re-reads sources; run under -race this is the mutex
+// audit for the live scrape path.
+func TestLiveSnapshotConcurrent(t *testing.T) {
+	r := NewRegistry("run", Config{SampleInterval: 10})
+	clock := &simtime.Clock{}
+	r.AttachClock(clock)
+	ctr := r.Counter("comp", "hits")
+	h := r.Histogram("comp", "lat", []float64{1, 10, 100})
+	stat := uint64(0)
+	r.RegisterSource("src", func(emit func(string, float64)) {
+		emit("value", float64(stat))
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.LiveSnapshot()
+				var buf bytes.Buffer
+				if err := r.WritePrometheusLive(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// The simulation thread: owned-metric updates, source mutation, and
+	// periodic source reads via SampleNow.
+	for i := 0; i < 2000; i++ {
+		ctr.Inc()
+		h.Observe(float64(i % 150))
+		stat++
+		clock.Advance(1)
+		if i%100 == 0 {
+			r.SampleNow()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWritePrometheusLiveOutput(t *testing.T) {
+	r := NewRegistry("live", Config{})
+	r.Counter("campaign", "scenarios_done").Add(12)
+	r.Gauge("campaign", "scenarios_per_sec").Set(3.25)
+	var buf bytes.Buffer
+	if err := r.WritePrometheusLive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE safemem_campaign_scenarios_done counter",
+		`safemem_campaign_scenarios_done{run="live"} 12`,
+		`safemem_campaign_scenarios_per_sec{run="live"} 3.25`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -188,9 +188,14 @@ type Registry struct {
 	hists    map[string]*Histogram
 	order    []string // registration order of owned metrics, for stable export
 	sources  []sourceEntry
-	samples  []Sample
-	tracer   *Tracer
-	finished bool
+	// sourceCache holds the source values as of the last simulation-thread
+	// read (sampler tick, SampleNow, Snapshot). LiveSnapshot serves these to
+	// off-thread scrapers, which must never call the sources themselves —
+	// sources read components' unsynchronised counters.
+	sourceCache []MetricValue
+	samples     []Sample
+	tracer      *Tracer
+	finished    bool
 }
 
 // Sample is one sampler snapshot row.
@@ -303,10 +308,9 @@ func (r *Registry) RegisterSource(component string, fn Source) {
 	r.sources = append(r.sources, sourceEntry{component: component, fn: fn})
 }
 
-// Snapshot returns the current value of every scalar metric — owned
-// counters and gauges plus all source values — sorted by component then
-// name. Must be called from the simulation thread (it reads sources).
-func (r *Registry) Snapshot() []MetricValue {
+// owned returns the registry-owned scalar values (counters and gauges) in
+// registration order. Their reads are atomic, so this is safe off-thread.
+func (r *Registry) owned() []MetricValue {
 	r.mu.Lock()
 	counters := make([]*Counter, 0, len(r.counters))
 	for _, k := range r.order {
@@ -320,7 +324,6 @@ func (r *Registry) Snapshot() []MetricValue {
 			gauges = append(gauges, g)
 		}
 	}
-	sources := append([]sourceEntry(nil), r.sources...)
 	r.mu.Unlock()
 
 	var out []MetricValue
@@ -330,11 +333,32 @@ func (r *Registry) Snapshot() []MetricValue {
 	for _, g := range gauges {
 		out = append(out, MetricValue{g.component, g.name, KindGauge, g.Value()})
 	}
+	return out
+}
+
+// readSources evaluates every registered source and refreshes the cache
+// LiveSnapshot serves. Must be called from the simulation thread: sources
+// read components' unsynchronised counters.
+func (r *Registry) readSources() []MetricValue {
+	r.mu.Lock()
+	sources := append([]sourceEntry(nil), r.sources...)
+	r.mu.Unlock()
+	if len(sources) == 0 {
+		return nil
+	}
+	var out []MetricValue
 	for _, s := range sources {
 		s.fn(func(name string, value float64) {
 			out = append(out, MetricValue{s.component, name, KindGauge, value})
 		})
 	}
+	r.mu.Lock()
+	r.sourceCache = out
+	r.mu.Unlock()
+	return out
+}
+
+func sortValues(out []MetricValue) []MetricValue {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Component != out[j].Component {
 			return out[i].Component < out[j].Component
@@ -342,6 +366,26 @@ func (r *Registry) Snapshot() []MetricValue {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// Snapshot returns the current value of every scalar metric — owned
+// counters and gauges plus all source values — sorted by component then
+// name. Must be called from the simulation thread (it reads sources).
+func (r *Registry) Snapshot() []MetricValue {
+	return sortValues(append(r.owned(), r.readSources()...))
+}
+
+// LiveSnapshot is the off-thread variant of Snapshot, safe to call from an
+// HTTP scrape goroutine while the simulation runs: registry-owned counters
+// and gauges are read through their atomics (always fresh), and source
+// values come from the cache of the last simulation-thread read (sampler
+// tick, SampleNow or Snapshot) instead of re-invoking the sources.
+func (r *Registry) LiveSnapshot() []MetricValue {
+	out := r.owned()
+	r.mu.Lock()
+	out = append(out, r.sourceCache...)
+	r.mu.Unlock()
+	return sortValues(out)
 }
 
 // Histograms returns the registry's histograms sorted by component/name.
