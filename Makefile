@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short
+.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short frontier coverage-floor
 
 all: check
 
@@ -32,12 +32,26 @@ campaign:
 storm:
 	$(GO) run ./cmd/safemem-fuzz -seeds 24 -shards 8 -budget 30s -fault-rate 40 -storm -retire
 
+# frontier regenerates the tracked detection-probability frontier
+# (BENCH_frontier.json): sampling rate × fleet size over the campaign bug
+# templates, validated against the analytic 1-(1-1/N)^k before writing.
+frontier:
+	$(GO) run ./cmd/safemem-bench -experiment frontier
+
 # fuzz-short gives each native fuzz target a few seconds of coverage-guided
 # exploration on top of its checked-in seed corpus.
 fuzz-short:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzDecode -fuzztime 3s
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzEncodeRoundTrip -fuzztime 3s
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
+	$(GO) test ./internal/sampletool -run '^$$' -fuzz FuzzSampleDecisions -fuzztime 3s
+
+# coverage-floor holds the sampling tool to a statement-coverage threshold:
+# the package is small and safety-critical (a bookkeeping slip means phantom
+# reports or double-watched lines), so tests must keep covering nearly all
+# of it.
+coverage-floor:
+	./scripts/coverage_floor.sh ./internal/sampletool 85
 
 # check is the full verification gate: compile, vet, tests, race tests,
 # short fuzzing, the randomized campaigns (clean and storm hardware), and
@@ -45,11 +59,16 @@ fuzz-short:
 check: build vet test race fuzz-short campaign storm bench-check
 
 # ci is the continuous-integration gate (.github/workflows/ci.yml): the
-# full build + vet + test sweep, a race-detector pass over the concurrent
-# observability and telemetry layers (cheap enough for every push, unlike
-# `make race`), and the throughput-regression gate.
+# full build + vet + test sweep, a shuffled re-run of the order-sensitive
+# new packages, the sampling-tool coverage floor, a race-detector pass over
+# the concurrent observability/telemetry layers plus the sample-tool
+# campaign (cheap enough for every push, unlike `make race`), and the
+# throughput-regression gate.
 ci: build vet test
+	$(GO) test -shuffle=on -count=1 ./internal/sampletool ./internal/campaign ./internal/bench/frontier
+	$(MAKE) coverage-floor
 	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/...
+	$(GO) test -race -run 'TestSampleCampaign|TestSampleRateOne$$' ./internal/campaign
 	$(MAKE) bench-check
 
 # bench runs every Go benchmark in the tree (ECC encode/decode, cache hit

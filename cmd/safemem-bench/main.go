@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	safemem-bench [-experiment table2|table3|table4|table5|figure3|throughput|all]
+//	safemem-bench [-experiment table2|table3|table4|table5|sample|figure3|throughput|frontier|all]
 //	              [-seed N] [-scale N] [-iterations N] [-parallel N]
 //	              [-throughput-out FILE] [-throughput-check FILE] [-update]
+//	              [-frontier-out FILE] [-frontier-scenarios N]
 //	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	              [-sample-interval MS] [-serve :9090]
 //	              [-log-level info] [-log-format console|json]
@@ -27,6 +28,7 @@ import (
 
 	"safemem/internal/apps"
 	"safemem/internal/bench"
+	"safemem/internal/bench/frontier"
 	"safemem/internal/obsrv"
 	"safemem/internal/obsrv/buildinfo"
 	"safemem/internal/obsrv/logging"
@@ -43,13 +45,15 @@ type jsonOutput struct {
 	Table3  []bench.Table3Row     `json:"table3,omitempty"`
 	Table4  []bench.Table4Row     `json:"table4,omitempty"`
 	Table5  []bench.Table5Row     `json:"table5,omitempty"`
+	Sample  []bench.SampleRow     `json:"sample,omitempty"`
 	Figure3 []bench.Figure3Series `json:"figure3,omitempty"`
 	Summary []bench.SummaryRow    `json:"summary,omitempty"`
 	Through *bench.Throughput     `json:"throughput,omitempty"`
+	Front   *frontier.Frontier    `json:"frontier,omitempty"`
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, figure3, summary, throughput or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, sample, figure3, summary, throughput, frontier or all")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	scale := flag.Int("scale", 0, "workload scale multiplier (0 = per-experiment default)")
 	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
@@ -57,6 +61,8 @@ func main() {
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where the throughput experiment writes its JSON baseline (empty disables)")
 	throughputCheck := flag.String("throughput-check", "", "compare the throughput run against this JSON baseline instead of writing one; exit 1 on >25% host-ns/instr regression")
 	update := flag.Bool("update", false, "with -throughput-check: rewrite the baseline from this run instead of comparing")
+	frontierOut := flag.String("frontier-out", "BENCH_frontier.json", "where the frontier experiment writes its JSON baseline (empty disables)")
+	frontierScenarios := flag.Int("frontier-scenarios", 0, "scenario count for the frontier sweep (0 = tracked-baseline default)")
 	format := flag.String("format", "text", "output format: text or json")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-format metrics dump covering every run to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline (one process per run) to this file")
@@ -176,6 +182,49 @@ func main() {
 		}
 		return nil
 	})
+	run("sample", func() error {
+		rows, err := bench.RunSampleTable(cfg)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			out.Sample = rows
+		} else {
+			fmt.Println(bench.RenderSampleTable(rows))
+		}
+		return nil
+	})
+	// frontier sweeps rate × fleet over the campaign templates — hundreds
+	// of scenario runs — so it only runs when requested explicitly (not
+	// under -experiment all).
+	if *experiment == "frontier" {
+		opts := frontier.DefaultOptions()
+		opts.Parallel = *parallel
+		if *frontierScenarios > 0 {
+			opts.Scenarios = *frontierScenarios
+		}
+		f, err := frontier.Run(opts)
+		if err != nil {
+			log.Error("frontier failed", "err", err)
+			profiling.Exit(1)
+		}
+		if err := f.Validate(0.001); err != nil {
+			log.Error("frontier rejects the analytic model", "err", err)
+			profiling.Exit(1)
+		}
+		if *frontierOut != "" && *frontierScenarios == 0 {
+			if err := f.WriteJSON(*frontierOut); err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: frontier: %v\n", err)
+				profiling.Exit(1)
+			}
+			log.Info("wrote frontier baseline", "path", *frontierOut)
+		}
+		if asJSON {
+			out.Front = f
+		} else {
+			fmt.Println(f.Render())
+		}
+	}
 	// throughput wall-clocks the host, so like summary it only runs when
 	// requested explicitly (not under -experiment all).
 	if *experiment == "throughput" {
@@ -244,7 +293,7 @@ func main() {
 	})
 
 	switch *experiment {
-	case "table2", "table3", "table4", "table5", "figure3", "summary", "throughput", "all":
+	case "table2", "table3", "table4", "table5", "sample", "figure3", "summary", "throughput", "frontier", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown experiment %q\n", *experiment)
 		profiling.Exit(2)

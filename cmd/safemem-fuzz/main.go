@@ -6,7 +6,8 @@
 // Usage:
 //
 //	safemem-fuzz [-seeds N] [-base-seed N] [-shards N] [-budget 30s]
-//	             [-tool ml,mc,both] [-json] [-shrink] [-sabotage]
+//	             [-tool ml,mc,both,sample] [-sample-rate N]
+//	             [-json] [-shrink] [-sabotage]
 //	             [-fault-rate R] [-storm] [-retire]
 //	             [-serve :9090] [-flight-dump FILE]
 //	             [-log-level info] [-log-format console|json]
@@ -47,7 +48,8 @@ func main() {
 	seed := flag.Uint64("seed", 0, "single-scenario mode: run exactly this scenario seed")
 	shards := flag.Int("shards", 8, "worker goroutines (summary is identical at any shard count)")
 	budget := flag.Duration("budget", 0, "wall-clock budget; 0 = run all seeds")
-	tool := flag.String("tool", "ml,mc,both", "tool configurations to judge (comma-separated: none, ml, mc, both)")
+	tool := flag.String("tool", "ml,mc,both", "tool configurations to judge (comma-separated: none, ml, mc, both, sample)")
+	sampleRate := flag.Int("sample-rate", 0, "sampling rate N for the sample tool (0 = default 1/8)")
 	asJSON := flag.Bool("json", false, "print the canonical JSON summary instead of text")
 	shrink := flag.Bool("shrink", true, "shrink violating scenarios to minimal repros")
 	sabotage := flag.Bool("sabotage", false, "self-test: silently break corruption detection; the campaign must fail")
@@ -76,7 +78,8 @@ func main() {
 		log.Error("bad -tool list", "err", err)
 		profiling.Exit(2)
 	}
-	env := campaign.Env{Sabotage: *sabotage, FaultRate: *faultRate, Storm: *storm, Retire: *retire}
+	env := campaign.Env{Sabotage: *sabotage, FaultRate: *faultRate, Storm: *storm, Retire: *retire,
+		SampleRate: *sampleRate}
 
 	// The live plane: a registry the campaign publishes progress into, and
 	// the observability server scraping it. Observation-only — the summary
@@ -110,6 +113,7 @@ func main() {
 		FaultRate:  *faultRate,
 		Storm:      *storm,
 		Retire:     *retire,
+		SampleRate: *sampleRate,
 		Registry:   reg,
 		FlightDump: *flightDump,
 	})
@@ -161,8 +165,8 @@ func runSingle(seed uint64, encoded string, tools []campaign.ToolConfig, env cam
 	v := campaign.Judge(s, cfg, res)
 	fmt.Printf("scenario seed=%d tool=%s: %d ops, %d planted, %d near-misses\n",
 		seed, cfg, len(s.Ops), len(s.Plan), len(s.Misses))
-	fmt.Printf("verdict: %d true positives, %d false positives, %d missed, %d expected misses\n",
-		v.TruePositives, v.FalsePositives, v.Missed, v.ExpectedMisses)
+	fmt.Printf("verdict: %d true positives, %d false positives, %d missed, %d expected misses, %d sampled misses\n",
+		v.TruePositives, v.FalsePositives, v.Missed, v.ExpectedMisses, v.SampledMisses)
 	if res.FaultModel {
 		r := res.Resilience
 		fmt.Printf("hardware: %d fault events, %d corrected, %d repaired, %d pages retired, %d watches migrated, %d data-loss\n",
@@ -200,8 +204,12 @@ func printText(sum *campaign.Summary) {
 	}
 	fmt.Println()
 	for _, cs := range sum.Configs {
-		fmt.Printf("  %-4s  TP=%-3d FP=%-3d missed=%-3d expected-miss=%-3d hw=%d\n",
-			cs.Config, cs.TruePositives, cs.FalsePositives, cs.Missed, cs.ExpectedMisses, cs.HardwareErrors)
+		fmt.Printf("  %-6s  TP=%-3d FP=%-3d missed=%-3d expected-miss=%-3d",
+			cs.Config, cs.TruePositives, cs.FalsePositives, cs.Missed, cs.ExpectedMisses)
+		if cs.SampledMisses > 0 {
+			fmt.Printf(" sampled-miss=%-3d", cs.SampledMisses)
+		}
+		fmt.Printf(" hw=%d\n", cs.HardwareErrors)
 		if cs.FaultEvents > 0 || cs.PagesRetired > 0 {
 			fmt.Printf("        hardware: %d fault events, %d corrected, %d pages retired, %d watches migrated, %d data-loss\n",
 				cs.FaultEvents, cs.CorrectedErrors, cs.PagesRetired, cs.WatchesMigrated, cs.DataLossEvents)

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	safemem-run -app ypserv1 [-tool safemem|safemem-ml|safemem-mc|purify|pageprot|none]
-//	            [-buggy] [-seed N] [-scale N] [-stop]
+//	safemem-run -app ypserv1 [-tool safemem|safemem-ml|safemem-mc|sample|purify|pageprot|none]
+//	            [-buggy] [-seed N] [-scale N] [-stop] [-sample-rate N]
 //	            [-fault-rate R] [-storm] [-retire]
 //	            [-stats] [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	            [-sample-interval MS] [-serve :9090] [-version]
@@ -35,7 +35,8 @@ import (
 
 func main() {
 	appName := flag.String("app", "", "application to run (ypserv1, proftpd, squid1, ypserv2, gzip, tar, squid2)")
-	toolName := flag.String("tool", "safemem", "monitoring tool: safemem, safemem-ml, safemem-mc, purify, pageprot, mmp, none")
+	toolName := flag.String("tool", "safemem", "monitoring tool: safemem, safemem-ml, safemem-mc, sample, purify, pageprot, mmp, none")
+	sampleRate := flag.Int("sample-rate", 8, "with -tool sample: watch ~1/N of allocations")
 	buggy := flag.Bool("buggy", false, "use the bug-triggering inputs")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	scale := flag.Int("scale", 1, "workload scale multiplier")
@@ -81,6 +82,8 @@ func main() {
 		tool = bench.ToolSafeMemML
 	case "safemem-mc":
 		tool = bench.ToolSafeMemMC
+	case "sample":
+		tool = bench.ToolSample
 	case "purify":
 		tool = bench.ToolPurify
 	case "pageprot":
@@ -119,6 +122,9 @@ func main() {
 	if *faultRate > 0 {
 		bench.Faults = &bench.FaultKnobs{Rate: *faultRate, Storm: *storm, Retire: *retire}
 	}
+	if tool == bench.ToolSample {
+		bench.SampleRate = *sampleRate
+	}
 
 	cfg := apps.Config{Seed: *seed, Scale: *scale, Buggy: *buggy}
 	res, err := bench.Run(app.Name, tool, cfg)
@@ -154,6 +160,19 @@ func main() {
 					fmt.Printf("      %s\n", line)
 				}
 			}
+		}
+	case bench.ToolSample:
+		ss := res.SampleStats
+		fmt.Printf("  sample: 1/%d rate — %d sampled, %d unsampled allocs (pool peak %d live), %d detections\n",
+			*sampleRate, ss.Sampled, ss.Unsampled, ss.PoolPeak, ss.Detections)
+		st := res.SafeMemStats
+		fmt.Printf("  safemem (inner): %d allocs wrapped, %d suspects (%d pruned), max %d watched lines\n",
+			st.Allocs, st.SuspectsFlagged, st.SuspectsPruned, st.MaxWatchedLines)
+		if len(res.SafeMem) == 0 {
+			fmt.Println("  no bugs reported (unsampled allocations are never checked — rerun with a lower -sample-rate or another seed)")
+		}
+		for _, r := range res.SafeMem {
+			fmt.Printf("  BUG %s\n", r)
 		}
 	case bench.ToolPurify:
 		st := res.PurifyStats

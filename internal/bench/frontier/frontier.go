@@ -1,0 +1,339 @@
+// Package frontier measures the sampling tool's detection-probability
+// frontier: how the per-process sampling rate N and the fleet size k trade
+// overhead against aggregate detection probability. A single process
+// watching 1/N of its allocations detects a given corruption bug with
+// probability ~1/N, but k processes with independent sampling seeds detect
+// it with probability 1-(1-1/N)^k — the GWP-ASan fleet argument. The
+// experiment sweeps rate × fleet over the campaign's bug templates,
+// measures both axes, and checks the measured detection probability against
+// the analytic expectation with an exact binomial test.
+//
+// It lives beside internal/bench rather than inside it because the
+// campaign package's own tests import bench; importing campaign from bench
+// would close that cycle.
+package frontier
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"safemem/internal/campaign"
+	"safemem/internal/stats"
+)
+
+// Options configures a frontier sweep.
+type Options struct {
+	// BaseSeed seeds the scenario stream; scenario i runs at
+	// campaign.SubSeed(BaseSeed, i).
+	BaseSeed uint64
+	// Scenarios is the number of campaign scenarios swept.
+	Scenarios int
+	// Rates are the sampling rates N measured.
+	Rates []int
+	// Fleets are the fleet sizes k evaluated. The largest decides how many
+	// independently-seeded members run per scenario and rate; smaller
+	// fleets reuse prefixes of the same member list.
+	Fleets []int
+	// Parallel bounds concurrent scenario runs (≤ 0 means GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions is the tracked-baseline configuration behind
+// BENCH_frontier.json.
+func DefaultOptions() Options {
+	return Options{
+		BaseSeed:  1042,
+		Scenarios: 40,
+		Rates:     []int{1, 8, 64, 512},
+		Fleets:    []int{1, 4, 16, 64},
+	}
+}
+
+// Cell is one (rate, fleet) point of the frontier.
+type Cell struct {
+	Fleet int `json:"fleet"`
+	// Trials is the number of detection opportunities: every corruption
+	// plant across all scenarios is one trial.
+	Trials int `json:"trials"`
+	// Detected counts trials where at least one of the fleet's first
+	// `Fleet` members reported the plant.
+	Detected  int     `json:"detected"`
+	MeasuredP float64 `json:"measured_p"`
+	// AnalyticP is 1-(1-1/N)^k, the expectation under independent
+	// per-member sampling.
+	AnalyticP float64 `json:"analytic_p"`
+	// PValue is the exact two-sided binomial test of Detected/Trials
+	// against AnalyticP; small values mean the measurement contradicts the
+	// analytic model.
+	PValue float64 `json:"p_value"`
+}
+
+// Rate is one sampling rate's slice of the frontier.
+type Rate struct {
+	Rate int `json:"rate"`
+	// OverheadPct is the mean simulated-time overhead of a single sampling
+	// member versus the uninstrumented baseline, in percent.
+	OverheadPct float64 `json:"overhead_pct"`
+	Cells       []Cell  `json:"cells"`
+}
+
+// Frontier is the sweep result, serialised to BENCH_frontier.json so the
+// detection/overhead trade-off is tracked in-repo. Every field is a
+// deterministic function of the options: simulated cycles, sampling
+// decisions and detection outcomes are all seed-pinned.
+type Frontier struct {
+	BaseSeed  uint64 `json:"base_seed"`
+	Scenarios int    `json:"scenarios"`
+	// Plants is the corruption-plant count across all scenarios — the
+	// trial count of every cell.
+	Plants int    `json:"plants"`
+	Rates  []Rate `json:"rates"`
+}
+
+// memberSeed derives fleet member j's sampling-decision seed for one
+// scenario and rate. Distinct members must sample independently — that
+// independence is the entire fleet argument — so each gets its own stream.
+// The derivation is two chained SubSeed mixes: folding rate and member
+// into one call with XOR would make (rate a, member b) collide with
+// (rate b, member a), and TestMemberSeedsDistinct caught exactly that.
+func memberSeed(scenarioSeed uint64, rate, member int) uint64 {
+	s := campaign.SubSeed(campaign.SubSeed(scenarioSeed, rate), member+1)
+	if s == 0 {
+		s = 1 // zero means "derive from scenario seed" to the executor
+	}
+	return s
+}
+
+// scenarioRuns is one scenario's contribution to the sweep.
+type scenarioRuns struct {
+	plants   int
+	overhead map[int]float64  // rate → member-0 cycle overhead fraction
+	detected map[int][][]bool // rate → [member][plant]
+}
+
+// Run executes the sweep. Scenarios run in parallel; aggregation is
+// sequential in scenario order, so the result is identical at any
+// Parallel value.
+func Run(opts Options) (*Frontier, error) {
+	if opts.Scenarios <= 0 || len(opts.Rates) == 0 || len(opts.Fleets) == 0 {
+		return nil, fmt.Errorf("frontier: need scenarios, rates and fleets")
+	}
+	maxFleet := 0
+	for _, k := range opts.Fleets {
+		if k > maxFleet {
+			maxFleet = k
+		}
+	}
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	results := make([]*scenarioRuns, opts.Scenarios)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, par)
+	for i := 0; i < opts.Scenarios; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := runScenario(opts, maxFleet, i)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	f := &Frontier{BaseSeed: opts.BaseSeed, Scenarios: opts.Scenarios}
+	for _, r := range results {
+		f.Plants += r.plants
+	}
+	for _, rate := range opts.Rates {
+		var ohSum float64
+		for _, r := range results {
+			ohSum += r.overhead[rate]
+		}
+		fr := Rate{Rate: rate, OverheadPct: round6(ohSum / float64(len(results)) * 100)}
+		for _, k := range opts.Fleets {
+			trials, detected := 0, 0
+			for _, r := range results {
+				det := r.detected[rate]
+				for pi := 0; pi < r.plants; pi++ {
+					trials++
+					for j := 0; j < k && j < len(det); j++ {
+						if det[j][pi] {
+							detected++
+							break
+						}
+					}
+				}
+			}
+			p := AnalyticP(rate, k)
+			cell := Cell{Fleet: k, Trials: trials, Detected: detected, AnalyticP: round6(p)}
+			if trials > 0 {
+				cell.MeasuredP = round6(float64(detected) / float64(trials))
+				cell.PValue = round6(stats.BinomTwoSidedP(trials, detected, p))
+			} else {
+				cell.PValue = 1
+			}
+			fr.Cells = append(fr.Cells, cell)
+		}
+		f.Rates = append(f.Rates, fr)
+	}
+	return f, nil
+}
+
+func runScenario(opts Options, maxFleet, i int) (*scenarioRuns, error) {
+	seed := campaign.SubSeed(opts.BaseSeed, i)
+	s := campaign.Generate(seed)
+	var corr []campaign.Planted
+	for _, p := range s.Plan {
+		if p.Kind.Corruption() {
+			corr = append(corr, p)
+		}
+	}
+	base, err := campaign.ExecuteEnv(s, campaign.CfgNone, campaign.Env{})
+	if err != nil {
+		return nil, err
+	}
+	if base.Err != nil {
+		return nil, fmt.Errorf("frontier: scenario %d baseline: %w", i, base.Err)
+	}
+
+	runs := &scenarioRuns{
+		plants:   len(corr),
+		overhead: make(map[int]float64, len(opts.Rates)),
+		detected: make(map[int][][]bool, len(opts.Rates)),
+	}
+	for _, rate := range opts.Rates {
+		members := maxFleet
+		if rate <= 1 {
+			// Rate 1 samples every allocation: all members are identical,
+			// one run stands in for any fleet size.
+			members = 1
+		}
+		det := make([][]bool, members)
+		for j := 0; j < members; j++ {
+			env := campaign.Env{SampleRate: rate, SampleSeed: memberSeed(seed, rate, j)}
+			res, err := campaign.ExecuteEnv(s, campaign.CfgSample, env)
+			if err != nil {
+				return nil, err
+			}
+			if res.Err != nil {
+				return nil, fmt.Errorf("frontier: scenario %d rate %d member %d: %w", i, rate, j, res.Err)
+			}
+			row := make([]bool, len(corr))
+			for pi, p := range corr {
+				row[pi] = campaign.PlantDetected(p, res.Reports)
+			}
+			det[j] = row
+			if j == 0 {
+				runs.overhead[rate] = float64(int64(res.Cycles)-int64(base.Cycles)) / float64(base.Cycles)
+			}
+		}
+		runs.detected[rate] = det
+	}
+	return runs, nil
+}
+
+// AnalyticP is the fleet-aggregate detection probability 1-(1-1/N)^k.
+func AnalyticP(rate, fleet int) float64 {
+	if rate <= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-1/float64(rate), float64(fleet))
+}
+
+// round6 trims float noise so the tracked JSON stays readable and stable.
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+// Validate checks the report's internal consistency and its agreement with
+// the analytic model: every cell's trial count matches the plant count,
+// its analytic column matches 1-(1-1/N)^k, and its exact binomial test
+// clears alpha. Run both on freshly measured sweeps and on the tracked
+// baseline.
+func (f *Frontier) Validate(alpha float64) error {
+	if f.Plants <= 0 {
+		return fmt.Errorf("frontier: no corruption plants swept")
+	}
+	for _, r := range f.Rates {
+		for _, c := range r.Cells {
+			if c.Trials != f.Plants {
+				return fmt.Errorf("frontier: rate %d fleet %d: %d trials, want %d",
+					r.Rate, c.Fleet, c.Trials, f.Plants)
+			}
+			want := round6(AnalyticP(r.Rate, c.Fleet))
+			if math.Abs(c.AnalyticP-want) > 1e-6 {
+				return fmt.Errorf("frontier: rate %d fleet %d: analytic_p %v, want %v",
+					r.Rate, c.Fleet, c.AnalyticP, want)
+			}
+			pv := stats.BinomTwoSidedP(c.Trials, c.Detected, AnalyticP(r.Rate, c.Fleet))
+			if pv < alpha {
+				return fmt.Errorf("frontier: rate %d fleet %d: detected %d/%d (p=%.4f) rejects analytic %.4f at alpha %v",
+					r.Rate, c.Fleet, c.Detected, c.Trials, pv, AnalyticP(r.Rate, c.Fleet), alpha)
+			}
+		}
+	}
+	return nil
+}
+
+// Render formats the frontier for terminal output.
+func (f *Frontier) Render() string {
+	tab := stats.NewTable(
+		fmt.Sprintf("Detection-probability frontier (%d scenarios, %d corruption plants)",
+			f.Scenarios, f.Plants),
+		"rate N", "overhead", "fleet k", "detected", "measured p", "analytic p", "p-value")
+	for _, r := range f.Rates {
+		for _, c := range r.Cells {
+			tab.AddRow(
+				fmt.Sprintf("%d", r.Rate),
+				fmt.Sprintf("%.1f%%", r.OverheadPct),
+				fmt.Sprintf("%d", c.Fleet),
+				fmt.Sprintf("%d/%d", c.Detected, c.Trials),
+				fmt.Sprintf("%.3f", c.MeasuredP),
+				fmt.Sprintf("%.3f", c.AnalyticP),
+				fmt.Sprintf("%.3f", c.PValue),
+			)
+		}
+	}
+	return tab.Render()
+}
+
+// WriteJSON writes the report to path (the tracked BENCH_frontier.json at
+// the repo root).
+func (f *Frontier) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads a frontier report written by WriteJSON.
+func Read(path string) (*Frontier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frontier{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("frontier: parse %s: %w", path, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,140 @@
+package frontier
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// raceEnabled is set by race_test.go when the race detector is on. The
+// frontier sweep is hundreds of scenario runs whose concurrency pattern
+// (independent machines per goroutine) the campaign race tests already
+// cover; repeating the whole sweep under race blows the package timeout.
+var raceEnabled = false
+
+// TestFrontierStatistics is the statistical acceptance test: a live sweep
+// at fixed seeds over the issue's rate ladder {1, 8, 64, 512} must produce
+// detection probabilities the exact binomial test cannot distinguish from
+// the analytic 1-(1-1/N)^k, and overheads that fall as N grows.
+func TestFrontierStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps hundreds of campaign scenarios")
+	}
+	if raceEnabled {
+		t.Skip("bulk sweep; the campaign suite covers this machinery under race")
+	}
+	opts := Options{
+		BaseSeed:  1042,
+		Scenarios: 24,
+		Rates:     []int{1, 8, 64, 512},
+		Fleets:    []int{1, 4, 16},
+	}
+	f, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(0.001); err != nil {
+		t.Fatal(err)
+	}
+	if f.Plants < opts.Scenarios/2 {
+		t.Fatalf("only %d corruption plants across %d scenarios — sweep too thin to mean anything",
+			f.Plants, opts.Scenarios)
+	}
+
+	// Rate 1 is deterministic: every corruption plant detected, any fleet.
+	for _, c := range f.Rates[0].Cells {
+		if c.Detected != c.Trials {
+			t.Errorf("rate 1 fleet %d: %d/%d detected, want all", c.Fleet, c.Detected, c.Trials)
+		}
+	}
+	// The frontier's overhead axis must fall monotonically with N.
+	for i := 1; i < len(f.Rates); i++ {
+		if f.Rates[i].OverheadPct >= f.Rates[i-1].OverheadPct {
+			t.Errorf("overhead did not fall from rate %d (%.2f%%) to rate %d (%.2f%%)",
+				f.Rates[i-1].Rate, f.Rates[i-1].OverheadPct,
+				f.Rates[i].Rate, f.Rates[i].OverheadPct)
+		}
+	}
+	// And the detection axis must rise with fleet size at any rate > 1
+	// (weakly — these are measurements, so allow ties).
+	for _, r := range f.Rates[1:] {
+		for i := 1; i < len(r.Cells); i++ {
+			if r.Cells[i].Detected < r.Cells[i-1].Detected {
+				t.Errorf("rate %d: detections fell from fleet %d (%d) to fleet %d (%d)",
+					r.Rate, r.Cells[i-1].Fleet, r.Cells[i-1].Detected,
+					r.Cells[i].Fleet, r.Cells[i].Detected)
+			}
+		}
+	}
+}
+
+// TestFrontierBaselineTracked validates the tracked BENCH_frontier.json at
+// the repo root: produced by the default options, internally consistent,
+// and still passing the binomial acceptance test. If the detection stack
+// changes behaviour, regenerate with
+//
+//	safemem-bench -experiment frontier
+func TestFrontierBaselineTracked(t *testing.T) {
+	path := filepath.Join("..", "..", "..", "BENCH_frontier.json")
+	f, err := Read(path)
+	if err != nil {
+		t.Fatalf("missing tracked baseline (regenerate with `safemem-bench -experiment frontier`): %v", err)
+	}
+	def := DefaultOptions()
+	if f.BaseSeed != def.BaseSeed || f.Scenarios != def.Scenarios {
+		t.Errorf("baseline ran seed=%d scenarios=%d, want the default %d/%d",
+			f.BaseSeed, f.Scenarios, def.BaseSeed, def.Scenarios)
+	}
+	if len(f.Rates) != len(def.Rates) {
+		t.Fatalf("baseline has %d rates, want %d", len(f.Rates), len(def.Rates))
+	}
+	for i, r := range f.Rates {
+		if r.Rate != def.Rates[i] {
+			t.Errorf("baseline rate[%d] = %d, want %d", i, r.Rate, def.Rates[i])
+		}
+		if len(r.Cells) != len(def.Fleets) {
+			t.Fatalf("rate %d has %d fleet cells, want %d", r.Rate, len(r.Cells), len(def.Fleets))
+		}
+	}
+	if err := f.Validate(0.001); err != nil {
+		t.Fatal(err)
+	}
+	first, last := f.Rates[0], f.Rates[len(f.Rates)-1]
+	if first.OverheadPct <= last.OverheadPct {
+		t.Errorf("baseline overhead frontier is flat: rate %d at %.2f%% vs rate %d at %.2f%%",
+			first.Rate, first.OverheadPct, last.Rate, last.OverheadPct)
+	}
+}
+
+// TestAnalyticP pins the closed form against a direct product.
+func TestAnalyticP(t *testing.T) {
+	if got := AnalyticP(1, 7); got != 1 {
+		t.Errorf("AnalyticP(1, 7) = %v, want 1", got)
+	}
+	want := 1.0
+	for i := 0; i < 4; i++ {
+		want *= 1 - 1.0/8
+	}
+	if got := AnalyticP(8, 4); math.Abs(got-(1-want)) > 1e-12 {
+		t.Errorf("AnalyticP(8, 4) = %v, want %v", got, 1-want)
+	}
+}
+
+// TestMemberSeedsDistinct guards the independence assumption: the fleet
+// argument needs distinct decision streams per member, rate and scenario.
+func TestMemberSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, scen := range []uint64{1042, 9000} {
+		for _, rate := range []int{8, 64, 512} {
+			for j := 0; j < 64; j++ {
+				s := memberSeed(scen, rate, j)
+				id := fmt.Sprintf("scen=%d rate=%d member=%d", scen, rate, j)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("member seed collision: %s and %s both got %#x", prev, id, s)
+				}
+				seen[s] = id
+			}
+		}
+	}
+}

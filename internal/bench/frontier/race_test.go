@@ -1,0 +1,5 @@
+//go:build race
+
+package frontier
+
+func init() { raceEnabled = true }

@@ -57,6 +57,13 @@ func TestGoldenOutputs(t *testing.T) {
 			}
 			return RenderTable5(rows), nil
 		}},
+		{"sample", func() (string, error) {
+			rows, err := RunSampleTable(cfg)
+			if err != nil {
+				return "", err
+			}
+			return RenderSampleTable(rows), nil
+		}},
 		{"figure3", func() (string, error) {
 			series, err := RunFigure3(cfg)
 			if err != nil {

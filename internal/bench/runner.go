@@ -21,6 +21,7 @@ import (
 	"safemem/internal/mmp"
 	"safemem/internal/pageprot"
 	"safemem/internal/purify"
+	"safemem/internal/sampletool"
 	"safemem/internal/simtime"
 	"safemem/internal/telemetry"
 )
@@ -139,6 +140,10 @@ const (
 	// ToolMMP is the hypothetical word-granularity (Mondrian-style)
 	// corruption detector of Section 2.2.4's discussion.
 	ToolMMP
+	// ToolSample is the GWP-ASan-style sampling SafeMem: the full detector
+	// applied to a ~1/SampleRate sampled allocation pool, everything else
+	// unwatched (internal/sampletool).
+	ToolSample
 )
 
 // String names the tool configuration.
@@ -158,10 +163,25 @@ func (t Tool) String() string {
 		return "pageprot"
 	case ToolMMP:
 		return "mmp"
+	case ToolSample:
+		return "sample"
 	default:
 		return fmt.Sprintf("Tool(%d)", int(t))
 	}
 }
+
+// SampleRate is the sampling rate N for ToolSample runs started through
+// Run/RunWithMachine (the -sample-rate flag). Sweeps that need several
+// rates concurrently use RunSample with an explicit rate instead.
+var SampleRate = 8
+
+// SampleSeed, when non-zero, overrides the sampling-decision seed for
+// ToolSample runs; zero derives it from the workload seed.
+var SampleSeed uint64
+
+// sampleSeedSalt decorrelates the derived sampling-decision stream from
+// the workload's own seed ("SAMPLE" in ASCII).
+const sampleSeedSalt uint64 = 0x53414d504c45
 
 // SafeMemOptions returns the SafeMem configuration used throughout the
 // evaluation harness: DefaultOptions with the always-leak threshold scaled
@@ -205,6 +225,10 @@ type Result struct {
 	PageProtStats  pageprot.Stats
 	MMP            []mmp.Report
 	MMPStats       mmp.Stats
+	// SampleStats holds the sampling front-end's counters (ToolSample
+	// runs; the inner detector's output lands in SafeMem/SafeMemStats, so
+	// a rate-1 sample run is directly comparable to ToolSafeMemBoth).
+	SampleStats sampletool.Stats
 
 	// Heap and machine statistics (all runs).
 	Heap    heap.Stats
@@ -231,7 +255,7 @@ func heapOptionsFor(tool Tool) heap.Options {
 	switch tool {
 	case ToolSafeMemML:
 		return safemem.HeapOptions(false)
-	case ToolSafeMemMC, ToolSafeMemBoth:
+	case ToolSafeMemMC, ToolSafeMemBoth, ToolSample:
 		return safemem.HeapOptions(true)
 	case ToolPageProt:
 		return pageprot.HeapOptions()
@@ -312,6 +336,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	var pfTool *purify.Tool
 	var ppTool *pageprot.Tool
 	var mmpTool *mmp.Tool
+	var sampler *sampletool.Tool
 
 	switch tool {
 	case ToolNone:
@@ -321,6 +346,13 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(false, true))
 	case ToolSafeMemBoth:
 		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, true))
+	case ToolSample:
+		sseed := SampleSeed
+		if sseed == 0 {
+			sseed = uint64(cfg.Seed) ^ sampleSeedSalt
+		}
+		sampler, err = sampletool.Attach(m, alloc,
+			sampletool.Options{Rate: SampleRate, Seed: sseed, SafeMem: SafeMemOptions(true, true)})
 	case ToolPurify:
 		pfTool = purify.Attach(m, alloc, purify.DefaultOptions())
 		env.AddRoot = pfTool.AddRoot
@@ -373,6 +405,10 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	res.Kern = m.Kern.Stats()
 	res.Registry = m.Telemetry
 
+	if sampler != nil {
+		res.SampleStats = sampler.Stats()
+		smTool = sampler.Inner()
+	}
 	if smTool != nil {
 		res.SafeMem = smTool.Reports()
 		for _, rep := range res.SafeMem {
@@ -443,6 +479,61 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	res.SafeMem = smTool.Reports()
 	res.SafeMemStats = smTool.Stats()
 	res.Groups = smTool.Groups()
+	m.Telemetry.Finish()
+	if res.Err == nil {
+		releaseMachine(mcfg, m)
+	}
+	return res, nil
+}
+
+// RunSample is Run for the sampling tool at an explicit rate and decision
+// seed. The sample-overhead table and the frontier experiment run cells
+// with different rates concurrently, so they cannot share the package-
+// level SampleRate knob.
+func RunSample(appName string, rate int, seed uint64, cfg apps.Config) (*Result, error) {
+	app, ok := apps.Get(appName)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	mcfg := machine.DefaultConfig()
+	if Telemetry != nil {
+		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/sample")
+	}
+	m, err := acquireMachine(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	ho := safemem.HeapOptions(true)
+	ho.Limit = 48 << 20
+	alloc, err := heap.New(m, ho)
+	if err != nil {
+		return nil, err
+	}
+	if seed == 0 {
+		seed = uint64(cfg.Seed) ^ sampleSeedSalt
+	}
+	sampler, err := sampletool.Attach(m, alloc,
+		sampletool.Options{Rate: rate, Seed: seed, SafeMem: SafeMemOptions(true, true)})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{App: appName, Tool: ToolSample, Cfg: cfg}
+	env := &apps.Env{M: m, Alloc: alloc}
+	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/sample")
+	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	runSpan.End()
+	res.Cycles = m.Clock.Now()
+	res.Instrs = m.Instructions()
+	res.Heap = alloc.Stats()
+	res.Machine = m.Stats()
+	res.Cache = m.Cache.Stats()
+	res.Ctrl = m.Ctrl.Stats()
+	res.Kern = m.Kern.Stats()
+	res.Registry = m.Telemetry
+	res.SampleStats = sampler.Stats()
+	res.SafeMem = sampler.Reports()
+	res.SafeMemStats = sampler.SafeMemStats()
+	res.Groups = sampler.Inner().Groups()
 	m.Telemetry.Finish()
 	if res.Err == nil {
 		releaseMachine(mcfg, m)

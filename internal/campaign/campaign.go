@@ -49,6 +49,9 @@ type Config struct {
 	FaultRate float64
 	Storm     bool
 	Retire    bool
+	// SampleRate is the sampling rate for CfgSample runs (≤ 0 uses
+	// DefaultSampleRate). Other configurations ignore it.
+	SampleRate int
 	// Registry, when non-nil, receives the campaign's aggregate telemetry
 	// (true/false positive counters, detection-latency and overhead
 	// histograms) plus live progress while the campaign runs: per-shard
@@ -113,6 +116,7 @@ type ConfigSummary struct {
 	FalsePositives int    `json:"false_positives"`
 	Missed         int    `json:"missed"`
 	ExpectedMisses int    `json:"expected_misses"`
+	SampledMisses  int    `json:"sampled_misses,omitempty"`
 	TotalCycles    uint64 `json:"total_cycles"`
 	Latency        *Dist  `json:"latency_cycles,omitempty"`
 	Overhead       *Dist  `json:"overhead,omitempty"`
@@ -137,6 +141,7 @@ type Summary struct {
 	FaultRate    float64         `json:"fault_rate,omitempty"`
 	Storm        bool            `json:"storm,omitempty"`
 	Retire       bool            `json:"retire,omitempty"`
+	SampleRate   int             `json:"sample_rate,omitempty"`
 	Configs      []ConfigSummary `json:"configs"`
 	Violations   []Violation     `json:"violations"`
 }
@@ -148,6 +153,9 @@ func (s *Summary) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  "
 // scenario under the same environment.
 func ReproCommand(v Violation, scenario *Scenario, env Env) string {
 	cmd := fmt.Sprintf("safemem-fuzz -seed=%d -tool=%s", v.Seed, v.Config)
+	if v.Config == CfgSample.String() && env.SampleRate > 0 {
+		cmd += fmt.Sprintf(" -sample-rate=%d", env.SampleRate)
+	}
 	if env.Sabotage {
 		cmd += " -sabotage"
 	}
@@ -193,7 +201,7 @@ func Run(cfg Config) (*Summary, error) {
 		rec = flight.Default
 	}
 
-	env := Env{Sabotage: cfg.Sabotage, FaultRate: cfg.FaultRate, Storm: cfg.Storm, Retire: cfg.Retire}
+	env := Env{Sabotage: cfg.Sabotage, FaultRate: cfg.FaultRate, Storm: cfg.Storm, Retire: cfg.Retire, SampleRate: cfg.SampleRate}
 
 	var deadline time.Time
 	if cfg.Budget > 0 {
@@ -378,6 +386,7 @@ func aggregate(cfg Config, env Env, tools []ToolConfig, results []*outcome) (*Su
 		FaultRate:  cfg.FaultRate,
 		Storm:      cfg.Storm,
 		Retire:     cfg.Retire,
+		SampleRate: cfg.SampleRate,
 		Violations: []Violation{},
 	}
 	per := make([]ConfigSummary, len(tools))
@@ -404,6 +413,7 @@ func aggregate(cfg Config, env Env, tools []ToolConfig, results []*outcome) (*Su
 			cs.FalsePositives += verdict.FalsePositives
 			cs.Missed += verdict.Missed
 			cs.ExpectedMisses += verdict.ExpectedMisses
+			cs.SampledMisses += verdict.SampledMisses
 			cs.TotalCycles += uint64(res.Cycles)
 			cs.HardwareErrors += res.Stats.HardwareErrors
 			cs.CorrectedErrors += res.Corrected

@@ -10,6 +10,7 @@ import (
 	"safemem/internal/inject"
 	"safemem/internal/kernel"
 	"safemem/internal/machine"
+	"safemem/internal/sampletool"
 	"safemem/internal/simtime"
 	"safemem/internal/vm"
 )
@@ -27,10 +28,15 @@ const (
 	CfgMC
 	// CfgBoth enables the full tool.
 	CfgBoth
+	// CfgSample runs the GWP-ASan-style sampling tool: corruption detection
+	// over the ~1/N sampled allocation pool only (internal/sampletool). A
+	// plant whose allocation was not sampled is an expected sampled-miss,
+	// not a violation — the oracle checks ExecResult.SampledSites.
+	CfgSample
 )
 
 // AllConfigs lists every configuration, baseline first.
-var AllConfigs = []ToolConfig{CfgNone, CfgML, CfgMC, CfgBoth}
+var AllConfigs = []ToolConfig{CfgNone, CfgML, CfgMC, CfgBoth, CfgSample}
 
 // String names the configuration (also the -tool flag vocabulary).
 func (c ToolConfig) String() string {
@@ -43,16 +49,23 @@ func (c ToolConfig) String() string {
 		return "mc"
 	case CfgBoth:
 		return "both"
+	case CfgSample:
+		return "sample"
 	default:
 		return fmt.Sprintf("ToolConfig(%d)", int(c))
 	}
 }
 
-// Leaks reports whether the configuration detects memory leaks.
+// Leaks reports whether the configuration detects memory leaks. The
+// sampling tool deliberately does not: leak heuristics compare a group's
+// live population against full-population thresholds, which a sampled
+// sub-population cannot meet deterministically (GWP-ASan makes the same
+// scoping choice — sampling targets corruption).
 func (c ToolConfig) Leaks() bool { return c == CfgML || c == CfgBoth }
 
-// Corruption reports whether the configuration detects memory corruption.
-func (c ToolConfig) Corruption() bool { return c == CfgMC || c == CfgBoth }
+// Corruption reports whether the configuration detects memory corruption
+// (for CfgSample: on sampled allocations only).
+func (c ToolConfig) Corruption() bool { return c == CfgMC || c == CfgBoth || c == CfgSample }
 
 // ParseToolConfig resolves a -tool flag value.
 func ParseToolConfig(s string) (ToolConfig, error) {
@@ -61,7 +74,7 @@ func ParseToolConfig(s string) (ToolConfig, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("campaign: unknown tool config %q (want none|ml|mc|both)", s)
+	return 0, fmt.Errorf("campaign: unknown tool config %q (want none|ml|mc|both|sample)", s)
 }
 
 // Tuning returns the SafeMem options every campaign run uses: the stock
@@ -108,7 +121,23 @@ type Env struct {
 	// double-bit fault on an unwatched line would panic the stock kernel,
 	// and a crash the generator did not plan is oracle noise, not signal.
 	Retire bool
+	// SampleRate is the sampling rate N for CfgSample runs (≤ 0 means
+	// DefaultSampleRate). Other configurations ignore it.
+	SampleRate int
+	// SampleSeed, when non-zero, overrides the sampling-decision seed; zero
+	// derives it from the scenario seed, keeping campaigns shard-
+	// deterministic. The frontier experiment sets it per fleet member.
+	SampleSeed uint64
 }
+
+// DefaultSampleRate is the CfgSample rate when none is configured — the
+// GWP-ASan-ish "watch about one allocation in eight" regime, dense enough
+// that campaign scenarios still sample some plants.
+const DefaultSampleRate = 8
+
+// sampleSeedSalt decorrelates the default sampling-decision stream from
+// the scenario's own generator stream ("SAMPLE" in ASCII).
+const sampleSeedSalt uint64 = 0x53414d504c45
 
 // faultModel reports whether the environment runs the background process.
 func (e Env) faultModel() bool { return e.FaultRate > 0 }
@@ -144,6 +173,14 @@ type ExecResult struct {
 	// hardware invariants apply to this run.
 	FaultModel bool
 	Retire     bool
+	// SampleRate echoes the effective sampling rate of a CfgSample run
+	// (zero otherwise).
+	SampleRate int
+	// SampledSites records, for CfgSample runs, whether the most recent
+	// allocation at each call site was admitted to the sampled pool — the
+	// ground truth the oracle needs to tell a sampled-miss from a real
+	// miss. Plant sites allocate exactly once, so last-wins is exact.
+	SampledSites map[uint64]bool
 }
 
 // execMemBytes is the simulated DRAM size of every executor machine.
@@ -224,7 +261,25 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	}
 
 	var tool *safemem.Tool
-	if cfg != CfgNone {
+	var sampler *sampletool.Tool
+	switch {
+	case cfg == CfgSample:
+		rate := env.SampleRate
+		if rate <= 0 {
+			rate = DefaultSampleRate
+		}
+		sseed := env.SampleSeed
+		if sseed == 0 {
+			sseed = s.Seed ^ sampleSeedSalt
+		}
+		opts := Tuning()
+		opts.DetectLeaks = false
+		opts.DetectCorruption = !env.Sabotage
+		sampler, err = sampletool.Attach(m, alloc, sampletool.Options{Rate: rate, Seed: sseed, SafeMem: opts})
+		if err != nil {
+			return nil, err
+		}
+	case cfg != CfgNone:
 		opts := Tuning()
 		opts.DetectLeaks = cfg.Leaks()
 		opts.DetectCorruption = cfg.Corruption() && !env.Sabotage
@@ -275,6 +330,10 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	}
 
 	res := &ExecResult{FaultModel: env.faultModel(), Retire: env.Retire}
+	if sampler != nil {
+		res.SampleRate = sampler.Options().Rate
+		res.SampledSites = make(map[uint64]bool)
+	}
 	nslots := 0
 	for _, op := range s.Ops {
 		if op.Slot >= nslots {
@@ -300,6 +359,9 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 					continue
 				}
 				*sl = slotState{addr: addr, size: op.Size, allocated: true, ever: true}
+				if sampler != nil {
+					res.SampledSites[op.Site] = sampler.Sampled(addr)
+				}
 			case OpFree:
 				sl := &slots[op.Slot]
 				if !sl.allocated {
@@ -331,6 +393,13 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 				if !sl.ever || !cfg.Corruption() {
 					continue
 				}
+				// Under sampling, only sampled (watched) buffers take the
+				// scripted double-bit plant: on an unwatched pad line it
+				// would be an unplanned kernel panic, and the hardware
+				// invariant (plants == repairs) only holds for watched pads.
+				if sampler != nil && !sampler.Sampled(sl.addr) {
+					continue
+				}
 				pad := vaddrOff(sl.addr, int64(roundLine(sl.size)))
 				if in.PlantAt(pad, true) {
 					res.HWPlanted++
@@ -354,9 +423,14 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 		fp.Stop()
 		res.FaultEvents = fp.Stats().Events + fp.Stats().Refires
 	}
-	if tool != nil && res.Err == nil {
+	if res.Err == nil {
 		// The exit pass: confirm aged suspects, disarm every watch.
-		tool.Shutdown()
+		if tool != nil {
+			tool.Shutdown()
+		}
+		if sampler != nil {
+			sampler.Shutdown()
+		}
 	}
 	res.Cycles = m.Clock.Now()
 	cs := m.Ctrl.Stats()
@@ -365,6 +439,10 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	if tool != nil {
 		res.Reports = tool.Reports()
 		res.Stats = tool.Stats()
+	}
+	if sampler != nil {
+		res.Reports = sampler.Reports()
+		res.Stats = sampler.SafeMemStats()
 	}
 	if res.Err == nil {
 		releaseMachine(m)

@@ -121,6 +121,9 @@ func TestRecycleEquivalence(t *testing.T) {
 	for _, cfg := range []Config{
 		{Seeds: 8, BaseSeed: 42, Shards: 1},
 		{Seeds: 6, BaseSeed: 411, Shards: 1, FaultRate: 40, Storm: true, Retire: true},
+		// The sampling tool leaves its own kind of dirt behind — a sampled
+		// pool and its scrambled watch lines — so it gets its own row.
+		{Seeds: 6, BaseSeed: 77, Shards: 1, Tools: []ToolConfig{CfgSample, CfgBoth}, SampleRate: 8},
 	} {
 		var fresh, pooled1, pooled3 []byte
 		withPool(t, false, func() { fresh = campaignJSON(t, cfg) })

@@ -54,6 +54,11 @@ func subSeed(base uint64, i int) uint64 {
 	return r.next()
 }
 
+// SubSeed is the exported sub-seed derivation, so external sweeps (the
+// bench frontier experiment) enumerate exactly the scenarios a campaign
+// with the same base seed would run.
+func SubSeed(base uint64, i int) uint64 { return subSeed(base, i) }
+
 // block is an atomic run of ops; strand blocks interleave, block ops do not.
 type block []Op
 

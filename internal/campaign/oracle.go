@@ -60,6 +60,11 @@ type Verdict struct {
 	// ExpectedMisses counts plants the configuration does not claim to
 	// detect (e.g. a leak under CfgMC) — correct silence, not a violation.
 	ExpectedMisses int
+	// SampledMisses counts plants a CfgSample run did not detect because
+	// their allocation was never admitted to the sampled pool — the
+	// designed behaviour of a sampling tool, distinct from Missed (a
+	// sampled plant that went unreported, which IS a violation).
+	SampledMisses int
 	// Latencies holds each true positive's detection latency.
 	Latencies  []simtime.Cycles
 	Violations []Violation
@@ -94,6 +99,18 @@ func reportMatches(kind BugKind, r safemem.BugReport) bool {
 	default:
 		return false
 	}
+}
+
+// PlantDetected reports whether reports contains a detection of plant p —
+// the same kind/site matching the oracle uses. The frontier experiment
+// uses it to score per-plant detection across a fleet of sampled runs.
+func PlantDetected(p Planted, reports []safemem.BugReport) bool {
+	for _, r := range reports {
+		if r.Site == p.Site && reportMatches(p.Kind, r) {
+			return true
+		}
+	}
+	return false
 }
 
 // Judge classifies every report of a run against the scenario's ground
@@ -158,6 +175,12 @@ func Judge(s *Scenario, cfg ToolConfig, res *ExecResult) *Verdict {
 		}
 		if !expectedDetected(p.Kind, cfg) {
 			v.ExpectedMisses++
+			continue
+		}
+		if cfg == CfgSample && !res.SampledSites[p.Site] {
+			// The plant's allocation fell outside the sampled pool: a
+			// sampling tool is *supposed* to stay silent here.
+			v.SampledMisses++
 			continue
 		}
 		v.Missed++

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSampleCampaign is the sampling-tool acceptance check: a fixed-seed
+// campaign under CfgSample must finish with zero oracle violations — every
+// sampled corruption plant detected, every unsampled one classified as a
+// sampled-miss rather than a miss, near-misses silent, hardware accounting
+// exact. This is also the template `make ci` runs under -race.
+func TestSampleCampaign(t *testing.T) {
+	sum, err := Run(Config{Seeds: 12, BaseSeed: 42, Shards: 4,
+		Tools: []ToolConfig{CfgSample}, SampleRate: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ScenariosRun != 12 {
+		t.Fatalf("ScenariosRun = %d, want 12", sum.ScenariosRun)
+	}
+	if len(sum.Violations) != 0 {
+		for _, v := range sum.Violations {
+			t.Errorf("violation: %s %s site=%#x cfg=%s: %s", v.Kind, v.BugKind, v.Site, v.Config, v.Detail)
+		}
+		t.Fatalf("sample campaign produced %d oracle violations", len(sum.Violations))
+	}
+	cs := sum.Configs[0]
+	if cs.FalsePositives != 0 || cs.Missed != 0 {
+		t.Errorf("FP=%d missed=%d, want 0/0", cs.FalsePositives, cs.Missed)
+	}
+	// At rate 8 over 12 scenarios both populations must be represented:
+	// some plants sampled (detected), some not (sampled-miss). Their
+	// absence would mean the sampler is degenerate at one end.
+	if cs.TruePositives == 0 {
+		t.Error("no sampled plant was detected — pool never caught anything")
+	}
+	if cs.SampledMisses == 0 {
+		t.Error("no sampled-miss recorded — rate-8 sampling watched everything")
+	}
+	// Leak plants are outside the sampling tool's declared scope.
+	if cs.ExpectedMisses == 0 {
+		t.Error("no expected-miss recorded — leak plants should be out of scope")
+	}
+}
+
+// TestSampleShardDeterminism extends the shard-determinism acceptance to
+// the sampling tool at an awkward shard mix: 1, 3 and 7 workers must
+// produce byte-identical summaries, sampling decisions included.
+func TestSampleShardDeterminism(t *testing.T) {
+	run := func(shards int) []byte {
+		t.Helper()
+		return campaignJSON(t, Config{Seeds: 10, BaseSeed: 7, Shards: shards,
+			Tools: []ToolConfig{CfgSample, CfgMC}, SampleRate: 8})
+	}
+	j1 := run(1)
+	for _, shards := range []int{3, 7} {
+		if j := run(shards); !bytes.Equal(j1, j) {
+			t.Fatalf("sample summaries differ between 1 and %d shards:\n--- shards=1\n%s\n--- shards=%d\n%s",
+				shards, j1, shards, j)
+		}
+	}
+}
+
+// TestSampleRateOne pins the sampling oracle's degenerate end: at rate 1
+// every allocation is sampled, so a CfgSample run must detect every
+// corruption plant (no sampled-misses at all).
+func TestSampleRateOne(t *testing.T) {
+	sum, err := Run(Config{Seeds: 8, BaseSeed: 42, Shards: 2,
+		Tools: []ToolConfig{CfgSample}, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) != 0 {
+		t.Fatalf("rate-1 sample campaign produced %d violations: %+v", len(sum.Violations), sum.Violations[0])
+	}
+	cs := sum.Configs[0]
+	if cs.SampledMisses != 0 {
+		t.Errorf("rate-1 sampling recorded %d sampled-misses, want 0", cs.SampledMisses)
+	}
+	if cs.TruePositives == 0 {
+		t.Error("rate-1 sampling detected nothing")
+	}
+}
+
+// TestSampleReproCommand checks that a violating sample run's repro
+// command carries the -sample-rate flag and replays to the same failure —
+// the sabotage self-test through the sampling path.
+func TestSampleReproCommand(t *testing.T) {
+	sum, err := Run(Config{Seeds: 6, BaseSeed: 42, Shards: 2, Sabotage: true,
+		Tools: []ToolConfig{CfgSample}, SampleRate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Violations) == 0 {
+		t.Fatal("sabotaged sample campaign reported no violations")
+	}
+	v := sum.Violations[0]
+	if !strings.Contains(v.Repro, "-tool=sample") || !strings.Contains(v.Repro, "-sample-rate=2") {
+		t.Fatalf("repro command lacks sampling flags: %q", v.Repro)
+	}
+	replay := extractScenario(t, v.Repro)
+	// Decode carries no seed; replaying restores it from -seed, which also
+	// pins the derived sampling-decision stream.
+	replay.Seed = v.Seed
+	res, err := ExecuteEnv(replay, CfgSample, Env{Sabotage: true, SampleRate: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range Judge(replay, CfgSample, res).Violations {
+		if v.sameFailure(w) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("repro does not reproduce the %s/%s violation:\n%s", v.Kind, v.BugKind, v.Repro)
+	}
+}

@@ -66,6 +66,12 @@ const (
 	BugUAF       BugKind = "uaf"
 )
 
+// Corruption reports whether the kind is a corruption class — the plants a
+// sampling (CfgSample) run is judged on.
+func (k BugKind) Corruption() bool {
+	return k == BugOverflow || k == BugUnderflow || k == BugUAF
+}
+
 // Planted is one ground-truth bug in the scenario plan: the oracle expects
 // exactly one report of the matching kind at Site under configurations that
 // detect that kind, and none otherwise.

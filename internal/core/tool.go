@@ -61,6 +61,21 @@ type Tool struct {
 // detection enabled it must also carry one guard line of padding per side —
 // use HeapOptions to construct a compatible allocator.
 func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, error) {
+	t, err := AttachWithoutHook(m, alloc, opts)
+	if err != nil {
+		return nil, err
+	}
+	alloc.AddHook(t)
+	return t, nil
+}
+
+// AttachWithoutHook builds and wires the tool exactly like Attach — fault
+// handler, scrub hooks, fault observer, telemetry — but does NOT register
+// it as an allocation hook: the caller owns event delivery and forwards
+// OnAlloc/OnFree itself. This is the attachment point for front-ends that
+// filter the allocation stream, such as the GWP-ASan-style sampling tool
+// (internal/sampletool), which delivers only its sampled subset.
+func AttachWithoutHook(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, error) {
 	ho := alloc.Options()
 	if ho.Align != physmem.LineBytes {
 		return nil, fmt.Errorf("safemem: allocator alignment %d, need cache-line alignment (%d)", ho.Align, physmem.LineBytes)
@@ -98,7 +113,6 @@ func Attach(m *machine.Machine, alloc *heap.Allocator, opts Options) (*Tool, err
 		startTime:  m.Clock.Now(),
 		lastCheck:  m.Clock.Now(),
 	}
-	alloc.AddHook(t)
 	m.Kern.RegisterECCFaultHandler(t.handleECCFault)
 	m.Kern.SetScrubHooks(t.scrubBefore, t.scrubAfter)
 	// Machine-wide error pressure: corrected single-bit events feed the

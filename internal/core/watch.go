@@ -148,6 +148,49 @@ func (t *Tool) unwatchOverlapping(base vm.VAddr, size uint64) {
 	}
 }
 
+// UnwatchRange disables every watch region intersecting [base, base+size).
+// Exported for allocation front-ends that filter the event stream
+// (internal/sampletool): when the allocator hands out an extent the
+// front-end does not forward — one that may have been carved from a
+// watched freed buffer — the stale watch must still be disarmed or the new
+// tenant's ordinary accesses would trip it.
+func (t *Tool) UnwatchRange(base vm.VAddr, size uint64) int {
+	before := len(t.regions)
+	t.unwatchOverlapping(base, size)
+	return before - len(t.regions)
+}
+
+// Watched reports whether any line of [base, base+size) is currently
+// ECC-watched. Exported for front-end invariant checks and fuzz harnesses.
+func (t *Tool) Watched(base vm.VAddr, size uint64) bool {
+	return t.lineWatched(base, size)
+}
+
+// CheckWatchInvariants cross-checks the two watch indices — the region set
+// and the per-line map — and returns an error on any inconsistency: a
+// region line that maps to a different region (a double-watched line), or
+// an orphaned line entry. Fuzz harnesses call this after every operation.
+func (t *Tool) CheckWatchInvariants() error {
+	lines := 0
+	for r := range t.regions {
+		for line := r.base; line < r.base+vm.VAddr(r.size); line += physmem.LineBytes {
+			got, ok := t.byLine[line]
+			if !ok {
+				return fmt.Errorf("watch invariant: region [%#x,+%d) line %#x missing from line index", uint64(r.base), r.size, uint64(line))
+			}
+			if got != r {
+				return fmt.Errorf("watch invariant: line %#x double-watched (region [%#x,+%d) vs [%#x,+%d))",
+					uint64(line), uint64(r.base), r.size, uint64(got.base), got.size)
+			}
+			lines++
+		}
+	}
+	if lines != len(t.byLine) {
+		return fmt.Errorf("watch invariant: %d lines indexed, regions cover %d", len(t.byLine), lines)
+	}
+	return nil
+}
+
 // unwatchAll removes every active watch (scrub coordination). It returns
 // the removed regions so rewatchAll can restore them.
 func (t *Tool) unwatchAll() []*watchRegion {

@@ -1,0 +1,85 @@
+package sampletool
+
+import (
+	"testing"
+
+	safemem "safemem/internal/core"
+	"safemem/internal/heap"
+	"safemem/internal/machine"
+	"safemem/internal/vm"
+)
+
+// FuzzSampleDecisions drives random interleavings of allocation, free and
+// access through the sampling decision path and checks the bookkeeping
+// invariants after every operation: the pool tracks exactly the live
+// sampled blocks, no unsampled block carries a watch, and the inner watch
+// indices never double-count a line. The script is a byte pair per op:
+// opcode selector then argument.
+//
+//	op%3 == 0: alloc (size = arg%512 + 1)
+//	op%3 == 1: free the (arg % live)-th live block
+//	op%3 == 2: write inside the (arg % live)-th block, or one byte past
+//	           its rounded size when the offset lands there — the guard
+//	           line if sampled, inert padding if not
+//
+// Wired into `make fuzz-short` alongside the scenario-decoder target.
+func FuzzSampleDecisions(f *testing.F) {
+	f.Add([]byte{0, 64, 0, 100, 2, 64, 1, 0, 0, 64, 2, 65}, uint64(42), byte(8))
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 2, 0}, uint64(7), byte(2))
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 1, 1, 0, 255, 2, 255}, uint64(3), byte(1))
+	f.Fuzz(func(t *testing.T, script []byte, seed uint64, rate byte) {
+		if len(script) > 4096 {
+			t.Skip("script longer than the interesting range")
+		}
+		m, err := machine.New(machine.Config{MemBytes: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := heap.New(m, safemem.HeapOptions(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tool, err := Attach(m, alloc, DefaultOptions(int(rate), seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type blk struct {
+			addr vm.VAddr
+			size uint64
+		}
+		var live []blk
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i], script[i+1]
+			switch op % 3 {
+			case 0:
+				size := uint64(arg)%512 + 1
+				p, err := alloc.Malloc(size)
+				if err != nil {
+					continue // arena exhausted; keep fuzzing the rest
+				}
+				live = append(live, blk{p, size})
+			case 1:
+				if len(live) == 0 {
+					continue
+				}
+				idx := int(arg) % len(live)
+				if err := alloc.Free(live[idx].addr); err != nil {
+					t.Fatalf("op %d: free: %v", i/2, err)
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				b := live[int(arg)%len(live)]
+				rounded := (b.size + 63) &^ 63
+				off := uint64(arg) % (rounded + 1) // rounded itself = first pad byte
+				m.Store8(b.addr+vm.VAddr(off), 0xab)
+			}
+			if err := tool.CheckInvariants(); err != nil {
+				t.Fatalf("op %d (script %v): %v", i/2, script[:i+2], err)
+			}
+		}
+	})
+}

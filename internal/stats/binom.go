@@ -1,0 +1,48 @@
+package stats
+
+import "math"
+
+// BinomPMF returns P(X = k) for X ~ Binomial(n, p), computed in log space so
+// large n and tiny tail masses stay finite.
+func BinomPMF(n, k int, p float64) float64 {
+	if n < 0 || k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lf := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	logp := lf(n) - lf(k) - lf(n-k) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logp)
+}
+
+// BinomTwoSidedP is the exact two-sided binomial test: the probability, under
+// X ~ Binomial(n, p), of any outcome at most as likely as the observed k
+// (the method of small p-values). A small result means k is surprising if the
+// true success rate were p.
+func BinomTwoSidedP(n, k int, p float64) float64 {
+	obs := BinomPMF(n, k, p)
+	// Equal-mass outcomes (the mirror tail) must count; give the comparison
+	// a hair of float slack so they do.
+	cutoff := obs * (1 + 1e-9)
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		if pm := BinomPMF(n, i, p); pm <= cutoff {
+			sum += pm
+		}
+	}
+	return math.Min(sum, 1)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomPMF(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{4, 2, 0.5, 6.0 / 16},
+		{10, 0, 0.1, math.Pow(0.9, 10)},
+		{10, 10, 0.1, math.Pow(0.1, 10)},
+		{5, 3, 0, 0},
+		{5, 0, 0, 1},
+		{5, 5, 1, 1},
+		{5, 3, 1, 0},
+		{5, 6, 0.5, 0},
+		{5, -1, 0.5, 0},
+	}
+	for _, c := range cases {
+		if got := BinomPMF(c.n, c.k, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomPMF(%d, %d, %v) = %v, want %v", c.n, c.k, c.p, got, c.want)
+		}
+	}
+	sum := 0.0
+	for k := 0; k <= 30; k++ {
+		sum += BinomPMF(30, k, 0.3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF over support sums to %v", sum)
+	}
+}
+
+func TestBinomTwoSidedP(t *testing.T) {
+	// The expected outcome is never surprising.
+	if pv := BinomTwoSidedP(100, 50, 0.5); pv < 0.9 {
+		t.Errorf("central outcome p-value = %v, want ~1", pv)
+	}
+	// A symmetric test counts both tails: 0 or 10 heads in 10 fair flips.
+	want := 2 * math.Pow(0.5, 10)
+	if pv := BinomTwoSidedP(10, 0, 0.5); math.Abs(pv-want) > 1e-9 {
+		t.Errorf("BinomTwoSidedP(10, 0, 0.5) = %v, want %v", pv, want)
+	}
+	// Gross mismatches are decisively rejected.
+	if pv := BinomTwoSidedP(400, 200, 0.125); pv > 1e-10 {
+		t.Errorf("200/400 at p=1/8 not rejected: p-value %v", pv)
+	}
+	// Monotone sanity: drifting away from the mean only gets more surprising.
+	prev := 1.1
+	for k := 50; k >= 20; k -= 5 {
+		pv := BinomTwoSidedP(100, k, 0.5)
+		if pv > prev {
+			t.Errorf("p-value rose from %v to %v at k=%d", prev, pv, k)
+		}
+		prev = pv
+	}
+	// Degenerate rates: p=1 demands k=n.
+	if pv := BinomTwoSidedP(20, 20, 1); pv != 1 {
+		t.Errorf("BinomTwoSidedP(20, 20, 1) = %v, want 1", pv)
+	}
+	if pv := BinomTwoSidedP(20, 19, 1); pv != 0 {
+		t.Errorf("BinomTwoSidedP(20, 19, 1) = %v, want 0", pv)
+	}
+}

@@ -1,0 +1,27 @@
+#!/bin/sh
+# coverage_floor.sh PACKAGE THRESHOLD — fail if the package's total
+# statement coverage drops below THRESHOLD percent.
+#
+#   ./scripts/coverage_floor.sh ./internal/sampletool 85
+set -eu
+
+pkg=${1:?usage: coverage_floor.sh PACKAGE THRESHOLD}
+floor=${2:?usage: coverage_floor.sh PACKAGE THRESHOLD}
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "coverage_floor: no total in cover profile for $pkg" >&2
+    exit 2
+fi
+
+ok=$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t + 0 >= f + 0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "coverage_floor: $pkg at ${total}% statement coverage, floor is ${floor}%" >&2
+    exit 1
+fi
+echo "coverage_floor: $pkg at ${total}% (floor ${floor}%)"
