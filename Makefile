@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short frontier coverage-floor
+.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short frontier coverage-floor serve-smoke
 
 all: check
 
@@ -46,12 +46,23 @@ fuzz-short:
 	$(GO) test ./internal/ecc -run '^$$' -fuzz FuzzScramble -fuzztime 3s
 	$(GO) test ./internal/sampletool -run '^$$' -fuzz FuzzSampleDecisions -fuzztime 3s
 
-# coverage-floor holds the sampling tool to a statement-coverage threshold:
-# the package is small and safety-critical (a bookkeeping slip means phantom
-# reports or double-watched lines), so tests must keep covering nearly all
-# of it.
+# coverage-floor holds the safety-critical packages to statement-coverage
+# thresholds: the sampling tool (a bookkeeping slip means phantom reports
+# or double-watched lines) and the serving fleet (its error paths —
+# admission rejects, retries, panic isolation, drains — are exactly the
+# code that only runs when something is already wrong).
 coverage-floor:
-	./scripts/coverage_floor.sh ./internal/sampletool 85
+	./scripts/coverage_floor.sh ./internal/sampletool 85 ./internal/fleet 80
+
+# serve-smoke is the serving-stack end-to-end gate: a full safemem-serve
+# stack (fleet + observability plane on one listener) driven over real
+# HTTP with a mixed job batch (all scenario tools incl. sampling, fault
+# models, app jobs) plus its chaos variant (injected panics, stalls and
+# transient failures under bursty submission), under the race detector.
+# Every admitted job must reach a terminal state, the stack must drain
+# cleanly, and zero goroutines may leak.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./internal/fleet
 
 # check is the full verification gate: compile, vet, tests, race tests,
 # short fuzzing, the randomized campaigns (clean and storm hardware), and
@@ -60,15 +71,16 @@ check: build vet test race fuzz-short campaign storm bench-check
 
 # ci is the continuous-integration gate (.github/workflows/ci.yml): the
 # full build + vet + test sweep, a shuffled re-run of the order-sensitive
-# new packages, the sampling-tool coverage floor, a race-detector pass over
-# the concurrent observability/telemetry layers plus the sample-tool
-# campaign (cheap enough for every push, unlike `make race`), and the
-# throughput-regression gate.
+# new packages, the coverage floors, a race-detector pass over the
+# concurrent serving/observability/telemetry layers plus the sample-tool
+# campaign (cheap enough for every push, unlike `make race`), the
+# serving-stack chaos smoke, and the throughput-regression gate.
 ci: build vet test
 	$(GO) test -shuffle=on -count=1 ./internal/sampletool ./internal/campaign ./internal/bench/frontier
 	$(MAKE) coverage-floor
-	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/...
+	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/... ./internal/fleet
 	$(GO) test -race -run 'TestSampleCampaign|TestSampleRateOne$$' ./internal/campaign
+	$(MAKE) serve-smoke
 	$(MAKE) bench-check
 
 # bench runs every Go benchmark in the tree (ECC encode/decode, cache hit

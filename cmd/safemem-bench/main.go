@@ -69,6 +69,7 @@ func main() {
 	jsonlOut := flag.String("jsonl-out", "", "write the JSONL event log to this file")
 	sampleMS := flag.Float64("sample-interval", 1, "gauge sampler period in simulated milliseconds (0 disables)")
 	serve := flag.String("serve", "", "serve live observability endpoints (/metrics, /events, /healthz, …) on this address, e.g. :9090")
+	flightDump := flag.String("flight-dump", "", "with -serve: flush the flight-recorder event history to this JSONL file on SIGINT/SIGTERM drain (empty disables)")
 	flag.Parse()
 	if buildinfo.HandleFlag(os.Stdout) {
 		return
@@ -101,12 +102,15 @@ func main() {
 		*parallel = 1
 	}
 	if *serve != "" {
-		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session})
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session, DrainDump: *flightDump})
 		if err != nil {
 			log.Error("observability server", "err", err)
 			profiling.Exit(2)
 		}
 		defer srv.Close()
+		// SIGINT/SIGTERM drain the embedded server with a deadline and
+		// flush the flight-recorder dump instead of dying mid-scrape.
+		defer obsrv.HandleSignals(srv, obsrv.DefaultShutdownTimeout, nil, profiling.Exit)()
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
 	bench.Parallel = *parallel

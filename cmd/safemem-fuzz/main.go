@@ -87,12 +87,15 @@ func main() {
 	var reg *telemetry.Registry
 	if *serve != "" {
 		reg = telemetry.NewRegistry("campaign", telemetry.Config{})
-		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Registry: reg})
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Registry: reg, DrainDump: *flightDump})
 		if err != nil {
 			log.Error("observability server", "err", err)
 			profiling.Exit(2)
 		}
 		defer srv.Close()
+		// SIGINT/SIGTERM drain the embedded server with a deadline and
+		// flush the flight-recorder dump instead of dying mid-scrape.
+		defer obsrv.HandleSignals(srv, obsrv.DefaultShutdownTimeout, nil, profiling.Exit)()
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
 

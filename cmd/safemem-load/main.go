@@ -1,0 +1,119 @@
+// Command safemem-load is the detection fleet's load generator: it drives
+// many concurrent job-submission sessions against a safemem-serve
+// instance, honours (or deliberately ignores) the server's back-pressure,
+// waits for every admitted job to reach a terminal state, and reports the
+// outcome distribution.
+//
+// Usage:
+//
+//	safemem-load [-url http://host:9090] [-jobs 1000] [-concurrency 32]
+//	             [-seed N] [-tenants N] [-burst] [-chaos] [-self]
+//	             [-timeout 2m] [-json] [-version]
+//
+// With -self (or an empty -url) it self-hosts: an in-process
+// safemem-serve fleet on an ephemeral port, loaded over real HTTP — the
+// one-command smoke test. -chaos then also enables server-side fault
+// injection (worker panics, stalls, transient failures), turning the run
+// into the chaos suite: every job must still reach a terminal state.
+//
+// -burst submits without pacing or retry, the queue-pressure pattern that
+// exercises 429 + Retry-After admission control. -chaos implies -burst.
+//
+// Exit status: 0 when every admitted job reached a terminal state, 1
+// otherwise (a stuck job is a fleet bug), 2 on usage errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"safemem/internal/fleet"
+	"safemem/internal/obsrv"
+	"safemem/internal/obsrv/buildinfo"
+	"safemem/internal/obsrv/logging"
+)
+
+func main() {
+	url := flag.String("url", "", "target safemem-serve base URL (empty = -self)")
+	jobs := flag.Int("jobs", 200, "jobs to submit")
+	concurrency := flag.Int("concurrency", 32, "concurrent submitter sessions")
+	seed := flag.Uint64("seed", 1, "seed for the generated job mix")
+	tenants := flag.Int("tenants", 0, "spread jobs across N tenant names (exercises quotas)")
+	burst := flag.Bool("burst", false, "submit without pacing or retry — force queue-pressure 429s")
+	chaos := flag.Bool("chaos", false, "chaos mode: bursty submission; with -self, also server-side fault injection")
+	self := flag.Bool("self", false, "self-host an in-process fleet on an ephemeral port and load that")
+	timeout := flag.Duration("timeout", 2*time.Minute, "whole-run budget")
+	asJSON := flag.Bool("json", false, "print the report as JSON")
+	flag.Parse()
+	if buildinfo.HandleFlag(os.Stdout) {
+		return
+	}
+	log := logging.L("safemem-load")
+	if err := logging.Setup(); err != nil {
+		fmt.Fprintf(os.Stderr, "safemem-load: %v\n", err)
+		os.Exit(2)
+	}
+
+	base := *url
+	if base == "" {
+		*self = true
+	}
+	if *self {
+		fl := fleet.Start(fleet.Config{
+			Chaos: selfChaos(*chaos, *seed),
+		})
+		srv, err := obsrv.Start(obsrv.Config{
+			Addr:     "127.0.0.1:0",
+			Registry: fl.Registry(),
+			Extra:    fl.Handlers(),
+			Ready:    fl.ReadyCheck,
+		})
+		if err != nil {
+			log.Error("self-host listen", "err", err)
+			os.Exit(2)
+		}
+		base = srv.URL()
+		log.Info("self-hosted fleet", "addr", srv.Addr(), "chaos", *chaos)
+		defer srv.Close()
+		defer fl.Close() //nolint:errcheck // drain errors only mean slow jobs
+	}
+
+	rep, err := fleet.RunLoad(context.Background(), fleet.LoadConfig{
+		BaseURL:     base,
+		Jobs:        *jobs,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+		Tenants:     *tenants,
+		Burst:       *burst || *chaos,
+		Timeout:     *timeout,
+	})
+	if *asJSON {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if err != nil {
+		log.Error("load run failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// selfChaos builds the self-hosted server's chaos config: aggressive
+// enough that a few-hundred-job run reliably draws every fate.
+func selfChaos(on bool, seed uint64) *fleet.Chaos {
+	if !on {
+		return nil
+	}
+	return &fleet.Chaos{
+		Seed:       seed,
+		PanicEvery: 15,
+		SlowEvery:  25,
+		SlowFor:    300 * time.Millisecond,
+		FailEvery:  10,
+	}
+}

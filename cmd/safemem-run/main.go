@@ -50,6 +50,7 @@ func main() {
 	storm := flag.Bool("storm", false, "cluster background faults into error-storm episodes")
 	retire := flag.Bool("retire", false, "retire failing pages and continue instead of panicking on uncorrectable errors")
 	serve := flag.String("serve", "", "serve live observability endpoints (/metrics, /events, /healthz, …) on this address, e.g. :9090")
+	flightDump := flag.String("flight-dump", "", "with -serve: flush the flight-recorder event history to this JSONL file on SIGINT/SIGTERM drain (empty disables)")
 	flag.Parse()
 	if buildinfo.HandleFlag(os.Stdout) {
 		return
@@ -110,12 +111,15 @@ func main() {
 		bench.Telemetry = session
 	}
 	if *serve != "" {
-		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session})
+		srv, err := obsrv.Start(obsrv.Config{Addr: *serve, Session: session, DrainDump: *flightDump})
 		if err != nil {
 			log.Error("observability server", "err", err)
 			os.Exit(2)
 		}
 		defer srv.Close()
+		// SIGINT/SIGTERM drain the embedded server with a deadline and
+		// flush the flight-recorder dump instead of dying mid-scrape.
+		defer obsrv.HandleSignals(srv, obsrv.DefaultShutdownTimeout, nil, os.Exit)()
 		log.Info("observability server listening", "addr", srv.Addr())
 	}
 

@@ -282,6 +282,20 @@ func Run(appName string, tool Tool, cfg apps.Config) (*Result, error) {
 // capabilities.
 var machinePools sync.Map // machine.Config → *sync.Pool
 
+// poolReleased / poolDropped count machines recycled into versus withheld
+// from the pools — the crash-safety pin that a run which errored or
+// panicked never reaches sync.Pool.Put (TestPanickedMachineNeverRepooled).
+var poolReleased, poolDropped atomic.Uint64
+
+// PoolStats reports (released, dropped) machine counts since process start.
+func PoolStats() (released, dropped uint64) {
+	return poolReleased.Load(), poolDropped.Load()
+}
+
+// runHook, when non-nil, runs inside the simulated program just before the
+// app body — test-only instrumentation for pinning the panic-discard path.
+var runHook func()
+
 func poolable(mcfg machine.Config) bool {
 	return mcfg.Telemetry == nil && !mcfg.DirectECCAccess
 }
@@ -305,6 +319,7 @@ func releaseMachine(mcfg machine.Config, m *machine.Machine) {
 	m.Recycle()
 	p, _ := machinePools.LoadOrStore(mcfg, new(sync.Pool))
 	p.(*sync.Pool).Put(m)
+	poolReleased.Add(1)
 }
 
 // RunWithMachine is Run with an explicit machine configuration — used to
@@ -322,6 +337,15 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	if err != nil {
 		return nil, err
 	}
+	// Crash-safety accounting: a machine that is not cleanly recycled —
+	// setup failure, program error, or a panic unwinding out of this frame
+	// into a recovering caller — is counted dropped and never repooled.
+	recycled := false
+	defer func() {
+		if !recycled {
+			poolDropped.Add(1)
+		}
+	}()
 	ho := heapOptionsFor(tool)
 	ho.Limit = 48 << 20
 	alloc, err := heap.New(m, ho)
@@ -389,7 +413,12 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	}
 
 	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/"+tool.String())
-	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	res.Err = m.Run(func() error {
+		if runHook != nil {
+			runHook()
+		}
+		return app.Run(env, cfg)
+	})
 	runSpan.End()
 	if fp != nil {
 		fp.Stop()
@@ -434,6 +463,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	m.Telemetry.Finish()
 	if res.Err == nil {
 		releaseMachine(mcfg, m)
+		recycled = true
 	}
 	return res, nil
 }
@@ -453,6 +483,12 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	if err != nil {
 		return nil, err
 	}
+	recycled := false
+	defer func() {
+		if !recycled {
+			poolDropped.Add(1)
+		}
+	}()
 	ho := safemem.HeapOptions(opts.DetectCorruption || opts.DetectUninitRead)
 	ho.Limit = 48 << 20
 	alloc, err := heap.New(m, ho)
@@ -482,6 +518,7 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	m.Telemetry.Finish()
 	if res.Err == nil {
 		releaseMachine(mcfg, m)
+		recycled = true
 	}
 	return res, nil
 }
@@ -503,6 +540,12 @@ func RunSample(appName string, rate int, seed uint64, cfg apps.Config) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	recycled := false
+	defer func() {
+		if !recycled {
+			poolDropped.Add(1)
+		}
+	}()
 	ho := safemem.HeapOptions(true)
 	ho.Limit = 48 << 20
 	alloc, err := heap.New(m, ho)
@@ -537,6 +580,7 @@ func RunSample(appName string, rate int, seed uint64, cfg apps.Config) (*Result,
 	m.Telemetry.Finish()
 	if res.Err == nil {
 		releaseMachine(mcfg, m)
+		recycled = true
 	}
 	return res, nil
 }

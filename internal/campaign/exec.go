@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	safemem "safemem/internal/core"
 	"safemem/internal/faultmodel"
@@ -128,6 +130,19 @@ type Env struct {
 	// derives it from the scenario seed, keeping campaigns shard-
 	// deterministic. The frontier experiment sets it per fleet member.
 	SampleSeed uint64
+	// Ctx, when non-nil, is polled between scenario ops: once it is
+	// cancelled the run terminates with the context's error as ExecResult.Err
+	// and the machine is discarded, not repooled. This is the serving
+	// layer's deadline/drain integration point; it is host-side only, so an
+	// environment whose context never fires yields bit-identical results to
+	// one with no context at all.
+	Ctx context.Context
+	// Hook, when non-nil, runs host-side before each op (with the op index).
+	// A non-nil return terminates the run with that error; a panic unwinds
+	// through Machine.Run's recover untouched. The fleet's chaos mode uses
+	// it to inject stuck, slow and crashing simulations mid-run; like Ctx it
+	// never influences the simulation when it stays passive.
+	Hook func(op int) error
 }
 
 // DefaultSampleRate is the CfgSample rate when none is configured — the
@@ -199,6 +214,19 @@ var machinePool sync.Pool
 // poolMachines lets tests force every run onto a fresh machine.
 var poolMachines = true
 
+// poolReleased / poolDropped count machines recycled into versus withheld
+// from the pool. Host-side observability only — but they are also the
+// crash-safety pin: TestPanickedMachineNeverRepooled asserts that a run
+// which panicked or errored advances only the dropped counter. A machine
+// abandoned mid-panic (its frames unwound before any release call) counts
+// as dropped too, via the deferred accounting in ExecuteEnv.
+var poolReleased, poolDropped atomic.Uint64
+
+// PoolStats reports (released, dropped) machine counts since process start.
+func PoolStats() (released, dropped uint64) {
+	return poolReleased.Load(), poolDropped.Load()
+}
+
 // execMachine draws a machine from the pool or builds a fresh one. Pooled
 // machines were recycled on release, so they arrive clean.
 func execMachine() (*machine.Machine, error) {
@@ -219,6 +247,7 @@ func releaseMachine(m *machine.Machine) {
 	}
 	m.Recycle()
 	machinePool.Put(m)
+	poolReleased.Add(1)
 }
 
 type slotState struct {
@@ -253,6 +282,17 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Crash-safety accounting: every acquired machine is either recycled
+	// into the pool exactly once or counted as dropped — including when a
+	// panic unwinds straight out of this frame (the fleet's per-worker
+	// recover then owns the goroutine, and the machine must never be seen
+	// by sync.Pool.Put again).
+	recycled := false
+	defer func() {
+		if !recycled {
+			poolDropped.Add(1)
+		}
+	}()
 	ho := safemem.HeapOptions(true)
 	ho.Limit = 16 << 20
 	alloc, err := heap.New(m, ho)
@@ -347,7 +387,17 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	// skipped, double frees are skipped, but accesses to freed slots do run
 	// (the slot keeps its last address, which is what use-after-free means).
 	res.Err = m.Run(func() error {
-		for _, op := range s.Ops {
+		for opi, op := range s.Ops {
+			if env.Hook != nil {
+				if herr := env.Hook(opi); herr != nil {
+					return herr
+				}
+			}
+			if env.Ctx != nil {
+				if cerr := env.Ctx.Err(); cerr != nil {
+					return cerr
+				}
+			}
 			switch op.Kind {
 			case OpAlloc:
 				sl := &slots[op.Slot]
@@ -446,6 +496,7 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 	}
 	if res.Err == nil {
 		releaseMachine(m)
+		recycled = true
 	}
 	return res, nil
 }

@@ -13,7 +13,7 @@ import (
 	"safemem/internal/vm"
 )
 
-// Bookkeeping charges for SafeMem's own user-level work (DESIGN.md §5).
+// Bookkeeping charges for SafeMem's own user-level work (DESIGN.md §6).
 // These cover the group hash lookup, list surgery and statistics updates
 // performed inside the malloc/free wrappers — everything *except* the
 // ECC-watch syscalls, which charge themselves in the kernel.

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Chaos injects failure into a running fleet so the degradation paths are
+// exercised by CI, not just written: worker panics mid-simulation, jobs
+// that run artificially slow (tripping deadlines and the watchdog), and
+// transient failures (exercising retry budgets). All selection is keyed on
+// the job spec's hash — never on worker identity, arrival order or wall
+// clock — so a chaos campaign's per-job fate is as reproducible as a clean
+// one, and job results stay byte-identical at any worker count.
+type Chaos struct {
+	// Seed decorrelates chaos selection streams between experiments.
+	Seed uint64
+	// PanicEvery makes ~1/N of jobs panic mid-run (0 disables).
+	PanicEvery int
+	// SlowEvery makes ~1/N of jobs stall host-side for SlowFor (0 disables).
+	SlowEvery int
+	// SlowFor is the injected stall (default 2× a typical job).
+	SlowFor time.Duration
+	// FailEvery makes ~1/N of jobs fail transiently (0 disables).
+	FailEvery int
+	// FailAttempts is how many leading attempts of a chosen job fail
+	// before it succeeds (default 1 — one retry heals it). Set it at or
+	// above the fleet's MaxAttempts to force terminal failures.
+	FailAttempts int
+}
+
+// chaosAction is the single fate chaos picks for one job attempt.
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosPanic
+	chaosSlow
+	chaosFail
+)
+
+// mix is splitmix64's finalizer — a cheap, well-distributed hash.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// pick reports whether a 1-in-every draw selects this job for stream salt.
+func (c *Chaos) pick(h uint64, salt uint64, every int) bool {
+	if every <= 0 {
+		return false
+	}
+	return mix(h^c.Seed^salt)%uint64(every) == 0
+}
+
+// plan decides the fate of one job attempt. Priority panic > fail > slow:
+// exactly one action fires, so injected fates compose predictably.
+func (c *Chaos) plan(h uint64, attempt int) chaosAction {
+	if c == nil {
+		return chaosNone
+	}
+	switch {
+	case c.pick(h, 0xC4A05, c.PanicEvery):
+		return chaosPanic
+	case c.pick(h, 0xFA11, c.FailEvery):
+		fails := c.FailAttempts
+		if fails <= 0 {
+			fails = 1
+		}
+		if attempt <= fails {
+			return chaosFail
+		}
+	case c.pick(h, 0x510_0e, c.SlowEvery):
+		return chaosSlow
+	}
+	return chaosNone
+}
+
+// opHook builds the per-op hook the executor threads into the run, or nil
+// when this attempt draws no chaos. Trigger indices are small constants so
+// every generated scenario (always dozens of ops) reaches them; the panic
+// unwinds through Machine.Run untouched, exactly like a real worker bug.
+func (c *Chaos) opHook(ctx context.Context, h uint64, attempt int) func(op int) error {
+	action := c.plan(h, attempt)
+	if action == chaosNone {
+		return nil
+	}
+	slowFor := c.SlowFor
+	if slowFor <= 0 {
+		slowFor = 500 * time.Millisecond
+	}
+	return func(op int) error {
+		switch action {
+		case chaosPanic:
+			if op == 2 {
+				panic(fmt.Sprintf("chaos: injected worker panic (job hash %#x)", h))
+			}
+		case chaosFail:
+			if op == 1 {
+				return fmt.Errorf("chaos: injected failure on attempt %d: %w", attempt, ErrTransient)
+			}
+		case chaosSlow:
+			if op == 1 {
+				// Stall in slices so deadline cancellation still lands
+				// between ops rather than waiting out the whole sleep.
+				deadline := time.Now().Add(slowFor)
+				for time.Now().Before(deadline) {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,557 @@
+// Package fleet is the fault-tolerant serving layer over the SafeMem
+// simulator: a scheduler that admits detection jobs (scenario seeds or
+// application runs, with tool and fault knobs), executes them across a
+// worker pool of pooled/recycled machines, and survives the failure modes
+// a production monitor meets — overload, stuck simulations, crashing
+// workers — by degrading instead of dying.
+//
+// Robustness model, in scheduling order:
+//
+//   - Admission control: a bounded queue; saturation answers 429 with
+//     Retry-After instead of growing without bound. Per-tenant token
+//     buckets throttle noisy tenants before they reach the queue.
+//   - Deadlines: every job attempt runs under a context deadline, polled
+//     between scenario ops. A watchdog gives cancelled jobs a grace
+//     period; a simulation that ignores it is abandoned (counted) and the
+//     worker moves on — one stuck job never wedges a worker forever.
+//   - Retries: transient failures (ErrTransient) get exponential backoff
+//     with deterministic jitter, up to a retry budget; exhaustion is a
+//     terminal "failed", not an infinite loop.
+//   - Panic isolation: a panic anywhere in an attempt is recovered in the
+//     attempt goroutine, the job goes terminal "crashed", and the
+//     in-flight machine is discarded — never repooled (the campaign and
+//     bench executors' deferred drop accounting pins this).
+//   - Graceful drain: Drain stops admission, lets queued and running jobs
+//     finish, and past its deadline cancels stragglers so every admitted
+//     job still reaches a terminal state before the server exits.
+//
+// Determinism contract: a job's Result bytes are a function of its spec
+// alone. Workers, retries, chaos and drains touch only scheduling
+// metadata, so equal specs yield byte-identical results at any worker
+// count — the campaign's shard-determinism guarantee extended to the
+// serving layer (TestJobDeterminismAcrossWorkerCounts).
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safemem/internal/obsrv/flight"
+	"safemem/internal/telemetry"
+)
+
+// Config parameterises a fleet.
+type Config struct {
+	// Workers is the worker-goroutine count (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers). A full
+	// queue rejects with 429 + Retry-After rather than queueing unbounded.
+	QueueDepth int
+	// JobDeadline is the per-attempt deadline (default 30s).
+	JobDeadline time.Duration
+	// WatchdogGrace is how long a cancelled attempt gets to notice before
+	// the watchdog abandons it (default 2s).
+	WatchdogGrace time.Duration
+	// MaxAttempts is the retry budget: total attempts per job, terminal
+	// "failed" past it (default 3).
+	MaxAttempts int
+	// RetryBase / RetryMax shape the exponential backoff between attempts
+	// (defaults 50ms / 2s). Jitter is deterministic per (job, attempt).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// RetryAfter is the client back-off hint on queue saturation
+	// (default 1s).
+	RetryAfter time.Duration
+	// DrainTimeout bounds Close's implicit drain (default 30s).
+	DrainTimeout time.Duration
+	// Quota throttles per-tenant admission (zero Rate disables).
+	Quota QuotaConfig
+	// Registry receives fleet telemetry (nil: a private registry).
+	Registry *telemetry.Registry
+	// Recorder receives fleet flight events (nil: flight.Default).
+	Recorder *flight.Recorder
+	// Chaos, when non-nil, injects panics, stalls and transient failures.
+	Chaos *Chaos
+	// Exec runs job attempts (nil: the real Execute). Tests stub it.
+	Exec Executor
+}
+
+// Admission errors.
+var (
+	// ErrDraining: the fleet is shutting down; nothing new is admitted.
+	ErrDraining = errors.New("fleet: draining, not admitting new jobs")
+)
+
+// OverloadError is an admission rejection that clients should retry after
+// a delay: queue saturation or an exhausted tenant quota.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("fleet: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// metrics is the fleet's telemetry surface.
+type metrics struct {
+	queueDepth, running               *telemetry.Gauge
+	submitted, admitted               *telemetry.Counter
+	rejectedQueue, rejectedQuota      *telemetry.Counter
+	rejectedDraining, rejectedInvalid *telemetry.Counter
+	done, crashed, failed             *telemetry.Counter
+	timedOut, canceled                *telemetry.Counter
+	retries, watchdogAbandons         *telemetry.Counter
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	c := func(name string) *telemetry.Counter { return reg.Counter("fleet", name) }
+	return &metrics{
+		queueDepth:       reg.Gauge("fleet", "queue_depth"),
+		running:          reg.Gauge("fleet", "running"),
+		submitted:        c("jobs_submitted"),
+		admitted:         c("jobs_admitted"),
+		rejectedQueue:    c("jobs_rejected_queue_full"),
+		rejectedQuota:    c("jobs_rejected_quota"),
+		rejectedDraining: c("jobs_rejected_draining"),
+		rejectedInvalid:  c("jobs_rejected_invalid"),
+		done:             c("jobs_done"),
+		crashed:          c("jobs_crashed"),
+		failed:           c("jobs_failed"),
+		timedOut:         c("jobs_timed_out"),
+		canceled:         c("jobs_canceled"),
+		retries:          c("job_retries"),
+		watchdogAbandons: c("watchdog_abandons"),
+	}
+}
+
+// Fleet is a running scheduler.
+type Fleet struct {
+	cfg   Config
+	rec   *flight.Recorder
+	met   *metrics
+	quota *quotas
+	exec  Executor
+
+	// runCtx parents every job attempt; cancelRun is the drain deadline's
+	// hammer.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	queue chan *Job
+	stopc chan struct{} // closed once, when draining begins
+	wg    sync.WaitGroup
+
+	// runningN mirrors into the running gauge; gauges are set-only, so the
+	// increment lives in an atomic.
+	runningN atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[uint64]*Job
+	order    []uint64 // submission order, for stable listings
+	nextID   uint64
+	draining bool
+}
+
+// Start launches the fleet's workers and returns it ready for Submit.
+func Start(cfg Config) *Fleet {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.JobDeadline <= 0 {
+		cfg.JobDeadline = 30 * time.Second
+	}
+	if cfg.WatchdogGrace <= 0 {
+		cfg.WatchdogGrace = 2 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = 2 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = flight.Default
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry("fleet", telemetry.Config{})
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = Execute
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Fleet{
+		cfg:       cfg,
+		rec:       cfg.Recorder,
+		met:       newMetrics(cfg.Registry),
+		quota:     newQuotas(cfg.Quota),
+		exec:      cfg.Exec,
+		runCtx:    ctx,
+		cancelRun: cancel,
+		queue:     make(chan *Job, cfg.QueueDepth),
+		stopc:     make(chan struct{}),
+		jobs:      make(map[uint64]*Job),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		f.wg.Add(1)
+		go f.worker()
+	}
+	return f
+}
+
+// Registry returns the registry the fleet publishes telemetry into.
+func (f *Fleet) Registry() *telemetry.Registry { return f.cfg.Registry }
+
+// Submit validates and admits one job. On success the job is queued and
+// its snapshot returned; otherwise the error is ErrDraining, an
+// *OverloadError (queue or quota — answer 429 + Retry-After), or a
+// validation error (answer 400).
+func (f *Fleet) Submit(spec JobSpec) (Job, error) {
+	f.met.submitted.Inc()
+	if err := spec.Validate(); err != nil {
+		f.met.rejectedInvalid.Inc()
+		return Job{}, err
+	}
+	if ok, retry := f.quota.admit(spec.Tenant); !ok {
+		f.met.rejectedQuota.Inc()
+		f.rec.Emit(flight.KindJobRejected, "fleet", 0, "tenant quota exhausted: "+spec.Tenant)
+		return Job{}, &OverloadError{Reason: "tenant quota exhausted", RetryAfter: retry}
+	}
+
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		f.met.rejectedDraining.Inc()
+		f.rec.Emit(flight.KindJobRejected, "fleet", 0, "draining")
+		return Job{}, ErrDraining
+	}
+	f.nextID++
+	j := &Job{
+		ID:          f.nextID,
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedNS: time.Now().UnixNano(),
+	}
+	select {
+	case f.queue <- j:
+	default:
+		f.nextID--
+		f.mu.Unlock()
+		f.met.rejectedQueue.Inc()
+		f.rec.Emit(flight.KindJobRejected, "fleet", 0, "queue saturated")
+		return Job{}, &OverloadError{Reason: "queue saturated", RetryAfter: f.cfg.RetryAfter}
+	}
+	f.jobs[j.ID] = j
+	f.order = append(f.order, j.ID)
+	snap := *j
+	f.mu.Unlock()
+
+	f.met.admitted.Inc()
+	f.met.queueDepth.Set(float64(len(f.queue)))
+	f.rec.Emit(flight.KindJobAdmitted, "fleet", 0, "",
+		flight.F("job", j.ID), flight.F("seed", spec.Seed))
+	return snap, nil
+}
+
+// Get returns a snapshot of one job.
+func (f *Fleet) Get(id uint64) (Job, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	j, ok := f.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every admitted job in submission order.
+func (f *Fleet) Jobs() []Job {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Job, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, *f.jobs[id])
+	}
+	return out
+}
+
+// Draining reports whether admission has stopped.
+func (f *Fleet) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
+// ReadyCheck is the /readyz veto: not ready once draining.
+func (f *Fleet) ReadyCheck() (bool, string) {
+	if f.Draining() {
+		return false, "draining"
+	}
+	return true, ""
+}
+
+// Drain gracefully shuts the fleet down: admission stops immediately,
+// queued and running jobs run to completion, and once ctx expires the
+// stragglers are cancelled (and, if they ignore cancellation, abandoned by
+// the watchdog) so every admitted job reaches a terminal state. Returns
+// nil once all workers have exited.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.mu.Lock()
+	already := f.draining
+	f.draining = true
+	f.mu.Unlock()
+	if !already {
+		close(f.stopc)
+		f.rec.Emit(flight.KindDrainStart, "fleet", 0, "")
+	}
+
+	workers := make(chan struct{})
+	go func() { f.wg.Wait(); close(workers) }()
+	graceful := true
+	select {
+	case <-workers:
+	case <-ctx.Done():
+		graceful = false
+		f.cancelRun()
+		// Cancellation lands between ops; the watchdog bounds how long an
+		// attempt that ignores it can hold its worker.
+		select {
+		case <-workers:
+		case <-time.After(f.cfg.WatchdogGrace + 2*time.Second):
+			f.rec.Emit(flight.KindDrainFinish, "fleet", 0, "drain timed out: workers still live")
+			return fmt.Errorf("fleet: drain timed out with workers still live")
+		}
+	}
+	if !already {
+		detail := "graceful"
+		if !graceful {
+			detail = "deadline: stragglers cancelled"
+		}
+		f.rec.Emit(flight.KindDrainFinish, "fleet", 0, detail)
+	}
+	return nil
+}
+
+// Close drains with the configured timeout.
+func (f *Fleet) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.DrainTimeout)
+	defer cancel()
+	return f.Drain(ctx)
+}
+
+// worker is one scheduling loop: pull, run, repeat — and once draining
+// starts, finish whatever is still queued before exiting.
+func (f *Fleet) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case j := <-f.queue:
+			f.met.queueDepth.Set(float64(len(f.queue)))
+			f.runJob(j)
+		case <-f.stopc:
+			for {
+				select {
+				case j := <-f.queue:
+					f.met.queueDepth.Set(float64(len(f.queue)))
+					f.runJob(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// setState transitions a job under the lock, stamping terminal times.
+func (f *Fleet) setState(j *Job, s State, attempts int, errText string, result []byte) {
+	f.mu.Lock()
+	j.State = s
+	j.Attempts = attempts
+	if errText != "" {
+		j.Error = errText
+	}
+	if result != nil {
+		j.Result = result
+	}
+	now := time.Now().UnixNano()
+	if j.StartedNS == 0 && s == StateRunning {
+		j.StartedNS = now
+	}
+	if s.Terminal() {
+		j.FinishedNS = now
+	}
+	f.mu.Unlock()
+}
+
+// attemptOutcome classifies one attempt.
+type attemptOutcome int
+
+const (
+	outDone attemptOutcome = iota
+	outCrash
+	outCtx // cancelled: per-job deadline or drain hammer (mapped later)
+	outTransient
+	outPermanent
+	outAbandoned // watchdog gave up waiting for cancellation to land
+)
+
+type attemptResult struct {
+	out    attemptOutcome
+	result []byte
+	err    error
+}
+
+// runJob drives one job through its attempt/retry state machine to a
+// terminal state. It never lets a panic or a stuck simulation escape to
+// the worker loop.
+func (f *Fleet) runJob(j *Job) {
+	for attempt := 1; ; attempt++ {
+		f.setState(j, StateRunning, attempt, "", nil)
+		f.met.running.Set(float64(f.runningN.Add(1)))
+		r := f.attempt(j, attempt)
+		f.met.running.Set(float64(f.runningN.Add(-1)))
+
+		switch r.out {
+		case outDone:
+			f.setState(j, StateDone, attempt, "", r.result)
+			f.met.done.Inc()
+			f.rec.Emit(flight.KindJobDone, "fleet", 0, "",
+				flight.F("job", j.ID), flight.F("attempts", uint64(attempt)))
+			return
+		case outCrash:
+			f.setState(j, StateCrashed, attempt, r.err.Error(), nil)
+			f.met.crashed.Inc()
+			f.rec.Emit(flight.KindJobCrashed, "fleet", 0, r.err.Error(), flight.F("job", j.ID))
+			return
+		case outCtx, outAbandoned:
+			state, ctr, kind := StateTimedOut, f.met.timedOut, flight.KindJobTimedOut
+			if f.runCtx.Err() != nil {
+				state, ctr, kind = StateCanceled, f.met.canceled, flight.KindJobTimedOut
+			}
+			detail := "deadline exceeded"
+			if state == StateCanceled {
+				detail = "cancelled by drain deadline"
+			}
+			if r.out == outAbandoned {
+				detail += " (watchdog abandoned the attempt)"
+			}
+			f.setState(j, state, attempt, detail, nil)
+			ctr.Inc()
+			f.rec.Emit(kind, "fleet", 0, detail, flight.F("job", j.ID))
+			return
+		case outTransient:
+			if attempt >= f.cfg.MaxAttempts {
+				msg := fmt.Sprintf("retry budget exhausted after %d attempts: %v", attempt, r.err)
+				f.setState(j, StateFailed, attempt, msg, nil)
+				f.met.failed.Inc()
+				f.rec.Emit(flight.KindJobFailed, "fleet", 0, msg, flight.F("job", j.ID))
+				return
+			}
+			f.met.retries.Inc()
+			f.rec.Emit(flight.KindJobRetry, "fleet", 0, r.err.Error(),
+				flight.F("job", j.ID), flight.F("attempt", uint64(attempt)))
+			f.setState(j, StateRetrying, attempt, r.err.Error(), nil)
+			if !f.backoff(j.Spec.Hash(), attempt) {
+				f.setState(j, StateCanceled, attempt, "cancelled by drain deadline during backoff", nil)
+				f.met.canceled.Inc()
+				return
+			}
+		case outPermanent:
+			f.setState(j, StateFailed, attempt, r.err.Error(), nil)
+			f.met.failed.Inc()
+			f.rec.Emit(flight.KindJobFailed, "fleet", 0, r.err.Error(), flight.F("job", j.ID))
+			return
+		}
+	}
+}
+
+// backoff sleeps the exponential-backoff-with-jitter delay before the next
+// attempt; false means the drain hammer fell mid-sleep.
+func (f *Fleet) backoff(h uint64, attempt int) bool {
+	d := f.cfg.RetryBase << (attempt - 1)
+	if d > f.cfg.RetryMax || d <= 0 {
+		d = f.cfg.RetryMax
+	}
+	// Deterministic jitter in [0.5, 1.0): spreads synchronized retry
+	// storms without a wall-clock or shared-RNG dependency.
+	frac := 0.5 + 0.5*float64(mix(h^uint64(attempt))%1024)/1024
+	d = time.Duration(float64(d) * frac)
+	select {
+	case <-time.After(d):
+		return true
+	case <-f.runCtx.Done():
+		return false
+	}
+}
+
+// attempt runs one isolated attempt: its own goroutine (panic isolation),
+// its own deadline, and a watchdog that abandons it if cancellation is
+// ignored. The attempt goroutine owns any in-flight machine; because the
+// executors only repool machines on clean completion, a crash or
+// abandonment here discards the machine by construction.
+func (f *Fleet) attempt(j *Job, attempt int) attemptResult {
+	ctx, cancel := context.WithTimeout(f.runCtx, f.cfg.JobDeadline)
+	defer cancel()
+
+	done := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- attemptResult{out: outCrash, err: fmt.Errorf("worker panic: %v", v)}
+			}
+		}()
+		var hook func(op int) error
+		if f.cfg.Chaos != nil {
+			hook = f.cfg.Chaos.opHook(ctx, j.Spec.Hash(), attempt)
+		}
+		result, err := f.exec(ctx, j.Spec, hook)
+		switch {
+		case err == nil:
+			done <- attemptResult{out: outDone, result: result}
+		case ctxFailure(err):
+			done <- attemptResult{out: outCtx, err: err}
+		case errors.Is(err, ErrTransient):
+			done <- attemptResult{out: outTransient, err: err}
+		default:
+			done <- attemptResult{out: outPermanent, err: err}
+		}
+	}()
+
+	select {
+	case r := <-done:
+		return r
+	case <-ctx.Done():
+		// The deadline (or drain hammer) fired; give the simulation the
+		// watchdog grace to notice the cancelled context between ops.
+		select {
+		case r := <-done:
+			if r.out == outDone {
+				// Photo finish: the work completed; results are
+				// deterministic, so keep them.
+				return r
+			}
+			return attemptResult{out: outCtx, err: ctx.Err()}
+		case <-time.After(f.cfg.WatchdogGrace):
+			f.met.watchdogAbandons.Inc()
+			return attemptResult{out: outAbandoned, err: ctx.Err()}
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safemem/internal/obsrv/flight"
+	"safemem/internal/telemetry"
+)
+
+// testConfig returns a Config sized for fast tests: private recorder and
+// registry, millisecond-scale deadlines and backoff.
+func testConfig() Config {
+	return Config{
+		Workers:       2,
+		QueueDepth:    8,
+		JobDeadline:   2 * time.Second,
+		WatchdogGrace: 200 * time.Millisecond,
+		MaxAttempts:   3,
+		RetryBase:     time.Millisecond,
+		RetryMax:      4 * time.Millisecond,
+		Recorder:      flight.New(256),
+		Registry:      telemetry.NewRegistry("test", telemetry.Config{}),
+	}
+}
+
+// okExec is a stub executor returning a fixed payload.
+func okExec(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+	return json.RawMessage(fmt.Sprintf(`{"seed":%d}`, spec.Seed)), nil
+}
+
+// waitTerminal polls until job id is terminal or the deadline passes.
+func waitTerminal(t *testing.T, f *Fleet, id uint64) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := f.Get(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, _ := f.Get(id)
+	t.Fatalf("job %d stuck in state %q", id, j.State)
+	return Job{}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	for _, spec := range []JobSpec{
+		{Kind: "warp-drive"},
+		{Tool: "quantum"},
+		{Kind: KindApp},
+		{Kind: KindApp, App: "no-such-app"},
+		{Kind: KindApp, App: "gzip", Tool: "quantum"},
+		{FaultRate: -1},
+	} {
+		if _, err := f.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid spec", spec)
+		}
+	}
+	if got := f.met.rejectedInvalid.Value(); got != 6 {
+		t.Errorf("rejectedInvalid = %d, want 6", got)
+	}
+	if got := f.met.admitted.Value(); got != 0 {
+		t.Errorf("admitted = %d, want 0", got)
+	}
+}
+
+func TestJobRunsToDone(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	j0, err := f.Submit(JobSpec{Seed: 7})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateDone {
+		t.Fatalf("state = %q (err %q), want done", j.State, j.Error)
+	}
+	if string(j.Result) != `{"seed":7}` {
+		t.Errorf("result = %s", j.Result)
+	}
+	if j.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", j.Attempts)
+	}
+	if j.SubmittedNS == 0 || j.StartedNS == 0 || j.FinishedNS == 0 {
+		t.Errorf("missing timestamps: %+v", j)
+	}
+}
+
+func TestQueueSaturationRejectsWithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(`{}`), nil
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+	defer close(release)
+
+	// First job occupies the worker; second fills the queue. With one
+	// worker there is a window where the first job is still queued, so
+	// admit until two are in and expect rejection within a bounded number
+	// of extra submits.
+	var ids []uint64
+	var overload *OverloadError
+	for i := 0; i < 50 && overload == nil; i++ {
+		j, err := f.Submit(JobSpec{Seed: uint64(i)})
+		switch e := err.(type) {
+		case nil:
+			ids = append(ids, j.ID)
+		case *OverloadError:
+			overload = e
+		default:
+			t.Fatalf("Submit: %v", err)
+		}
+		if len(ids) < 2 {
+			continue
+		}
+	}
+	if overload == nil {
+		t.Fatal("queue never saturated")
+	}
+	if overload.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", overload.RetryAfter)
+	}
+	if !strings.Contains(overload.Error(), "queue saturated") {
+		t.Errorf("error = %q", overload.Error())
+	}
+	if got := f.met.rejectedQueue.Value(); got == 0 {
+		t.Error("rejectedQueue counter not incremented")
+	}
+}
+
+func TestQuotaRejection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	cfg.Quota = QuotaConfig{Rate: 0.0001, Burst: 2}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	for i := 0; i < 2; i++ {
+		if _, err := f.Submit(JobSpec{Tenant: "noisy", Seed: uint64(i)}); err != nil {
+			t.Fatalf("Submit %d within burst: %v", i, err)
+		}
+	}
+	_, err := f.Submit(JobSpec{Tenant: "noisy", Seed: 9})
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("Submit over quota: %v, want *OverloadError", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", ov.RetryAfter)
+	}
+	// A different tenant has its own bucket.
+	if _, err := f.Submit(JobSpec{Tenant: "quiet", Seed: 1}); err != nil {
+		t.Errorf("Submit as another tenant: %v", err)
+	}
+}
+
+func TestTransientRetryHeals(t *testing.T) {
+	var calls atomic.Int64
+	cfg := testConfig()
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		if calls.Add(1) <= 2 {
+			return nil, fmt.Errorf("weather: %w", ErrTransient)
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	j0, _ := f.Submit(JobSpec{Seed: 1})
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateDone {
+		t.Fatalf("state = %q (err %q), want done after retries", j.State, j.Error)
+	}
+	if j.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", j.Attempts)
+	}
+	if got := f.met.retries.Value(); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		return nil, fmt.Errorf("always: %w", ErrTransient)
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	j0, _ := f.Submit(JobSpec{Seed: 1})
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateFailed {
+		t.Fatalf("state = %q, want failed", j.State)
+	}
+	if j.Attempts != cfg.MaxAttempts {
+		t.Errorf("attempts = %d, want %d", j.Attempts, cfg.MaxAttempts)
+	}
+	if !strings.Contains(j.Error, "retry budget exhausted") {
+		t.Errorf("error = %q", j.Error)
+	}
+}
+
+func TestPermanentFailureDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	cfg := testConfig()
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		calls.Add(1)
+		return nil, errors.New("the scenario is unrunnable")
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	j0, _ := f.Submit(JobSpec{Seed: 1})
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateFailed {
+		t.Fatalf("state = %q, want failed", j.State)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("executor called %d times, want 1 (permanent errors must not burn retries)", n)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1 // the one worker must survive the panic
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		if spec.Seed == 666 {
+			panic("simulated worker bug")
+		}
+		return json.RawMessage(`{}`), nil
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	bad, _ := f.Submit(JobSpec{Seed: 666})
+	j := waitTerminal(t, f, bad.ID)
+	if j.State != StateCrashed {
+		t.Fatalf("state = %q, want crashed", j.State)
+	}
+	if !strings.Contains(j.Error, "simulated worker bug") {
+		t.Errorf("error = %q, want the panic value", j.Error)
+	}
+	// The worker that hosted the panic keeps serving.
+	good, _ := f.Submit(JobSpec{Seed: 1})
+	if j := waitTerminal(t, f, good.ID); j.State != StateDone {
+		t.Fatalf("job after panic: state = %q, want done", j.State)
+	}
+	if got := f.met.crashed.Value(); got != 1 {
+		t.Errorf("crashed counter = %d, want 1", got)
+	}
+}
+
+func TestDeadlineTimesOutCooperativeJob(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobDeadline = 20 * time.Millisecond
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		<-ctx.Done() // a well-behaved simulation notices cancellation
+		return nil, ctx.Err()
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	j0, _ := f.Submit(JobSpec{Seed: 1})
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateTimedOut {
+		t.Fatalf("state = %q, want timed-out", j.State)
+	}
+	if got := f.met.timedOut.Value(); got != 1 {
+		t.Errorf("timedOut counter = %d, want 1", got)
+	}
+}
+
+func TestWatchdogAbandonsStuckJob(t *testing.T) {
+	stuck := make(chan struct{})
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.JobDeadline = 10 * time.Millisecond
+	cfg.WatchdogGrace = 20 * time.Millisecond
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		if spec.Seed == 1 {
+			<-stuck // ignores cancellation entirely
+		}
+		return json.RawMessage(`{}`), nil
+	}
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+	defer close(stuck)
+
+	j0, _ := f.Submit(JobSpec{Seed: 1})
+	j := waitTerminal(t, f, j0.ID)
+	if j.State != StateTimedOut {
+		t.Fatalf("state = %q, want timed-out", j.State)
+	}
+	if !strings.Contains(j.Error, "watchdog") {
+		t.Errorf("error = %q, want watchdog abandonment", j.Error)
+	}
+	if got := f.met.watchdogAbandons.Value(); got != 1 {
+		t.Errorf("watchdogAbandons = %d, want 1", got)
+	}
+	// The worker is free again even though the stuck goroutine still runs.
+	good, _ := f.Submit(JobSpec{Seed: 2})
+	if j := waitTerminal(t, f, good.ID); j.State != StateDone {
+		t.Fatalf("job after abandonment: state = %q, want done", j.State)
+	}
+}
+
+func TestDrainGraceful(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		time.Sleep(5 * time.Millisecond)
+		return json.RawMessage(`{}`), nil
+	}
+	f := Start(cfg)
+
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		j, err := f.Submit(JobSpec{Seed: uint64(i)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range ids {
+		j, _ := f.Get(id)
+		if j.State != StateDone {
+			t.Errorf("job %d after graceful drain: state = %q, want done", id, j.State)
+		}
+	}
+	if _, err := f.Submit(JobSpec{Seed: 99}); err != ErrDraining {
+		t.Errorf("Submit after drain: %v, want ErrDraining", err)
+	}
+	if ok, detail := f.ReadyCheck(); ok || detail != "draining" {
+		t.Errorf("ReadyCheck after drain = (%v, %q), want (false, draining)", ok, detail)
+	}
+	if got := f.cfg.Recorder.Count(flight.KindDrainFinish); got != 1 {
+		t.Errorf("drain-finish events = %d, want 1", got)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 2
+	cfg.WatchdogGrace = 50 * time.Millisecond
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		<-ctx.Done() // runs until cancelled
+		return nil, ctx.Err()
+	}
+	f := Start(cfg)
+
+	j0, err := f.Submit(JobSpec{Seed: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Let the job start, then drain with an already-tight deadline.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	j, _ := f.Get(j0.ID)
+	if j.State != StateCanceled {
+		t.Errorf("straggler state = %q, want canceled", j.State)
+	}
+	if !j.State.Terminal() {
+		t.Error("straggler left non-terminal after drain")
+	}
+}
+
+func TestJobsListingOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f := Start(cfg)
+	defer f.Close() //nolint:errcheck
+
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		j, err := f.Submit(JobSpec{Seed: uint64(i)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	jobs := f.Jobs()
+	if len(jobs) != 5 {
+		t.Fatalf("Jobs() = %d entries, want 5", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.ID != ids[i] {
+			t.Errorf("Jobs()[%d].ID = %d, want %d (submission order)", i, j.ID, ids[i])
+		}
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.RetryBase = 50 * time.Millisecond
+	cfg.RetryMax = 2 * time.Second
+	// Jitter must be a pure function of (hash, attempt) and stay in
+	// [0.5, 1.0)× the exponential schedule.
+	for attempt := 1; attempt <= 5; attempt++ {
+		base := cfg.RetryBase << (attempt - 1)
+		if base > cfg.RetryMax {
+			base = cfg.RetryMax
+		}
+		frac := 0.5 + 0.5*float64(mix(0xfeed^uint64(attempt))%1024)/1024
+		d1 := time.Duration(float64(base) * frac)
+		d2 := time.Duration(float64(base) * frac)
+		if d1 != d2 {
+			t.Fatalf("jitter not deterministic at attempt %d", attempt)
+		}
+		if d1 < base/2 || d1 > base {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d1, base/2, base)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LoadConfig drives a load-generation run against a serving fleet's HTTP
+// API — the client half of the chaos suite. It deliberately speaks plain
+// HTTP rather than calling Submit directly so the run exercises the same
+// surface (status codes, Retry-After, JSON bodies) real clients see.
+type LoadConfig struct {
+	// BaseURL is the server, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Jobs is how many jobs to submit in total.
+	Jobs int
+	// Concurrency is the number of concurrent submitter sessions
+	// (default 8).
+	Concurrency int
+	// Seed varies the generated job mix deterministically.
+	Seed uint64
+	// Tenants spreads submissions round-robin across this many tenant
+	// names (0 or 1: single anonymous tenant).
+	Tenants int
+	// Burst, when true, submits without pacing or backoff-retry — the
+	// queue-pressure pattern that forces 429s. When false, submitters
+	// honour Retry-After and re-submit until admitted or the budget below
+	// runs out.
+	Burst bool
+	// RetryBudget bounds re-submissions per job in paced mode (default 50).
+	RetryBudget int
+	// PollInterval is the terminal-state polling cadence (default 25ms).
+	PollInterval time.Duration
+	// Timeout bounds the whole run (default 2m).
+	Timeout time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport is what a load run observed. Admitted + Rejected429 +
+// Rejected503 + BadRequest + TransportErrors == submission attempts;
+// States counts terminal states over admitted jobs.
+type LoadReport struct {
+	Jobs            int           `json:"jobs"`
+	Attempts        int           `json:"attempts"`
+	Admitted        int           `json:"admitted"`
+	Rejected429     int           `json:"rejected_429"`
+	Rejected503     int           `json:"rejected_503"`
+	BadRequest      int           `json:"bad_request"`
+	TransportErrors int           `json:"transport_errors"`
+	States          map[State]int `json:"states"`
+	NonTerminal     int           `json:"non_terminal"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+}
+
+// String renders the report as the one-screen summary the CLI prints.
+func (r *LoadReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "load: %d jobs, %d attempts: %d admitted, %d over-capacity (429), %d draining (503), %d bad, %d transport errors\n",
+		r.Jobs, r.Attempts, r.Admitted, r.Rejected429, r.Rejected503, r.BadRequest, r.TransportErrors)
+	for _, s := range []State{StateDone, StateCrashed, StateFailed, StateTimedOut, StateCanceled} {
+		if n := r.States[s]; n > 0 {
+			fmt.Fprintf(&b, "  %-10s %d\n", s, n)
+		}
+	}
+	if r.NonTerminal > 0 {
+		fmt.Fprintf(&b, "  NON-TERMINAL %d  (jobs stuck — this is a bug)\n", r.NonTerminal)
+	}
+	fmt.Fprintf(&b, "  elapsed %s\n", r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// genSpec builds the i-th job of a load run: a deterministic mix of
+// scenario jobs across tool configs and knobs, with an app job sprinkled
+// in — broad enough to touch every executor path.
+func genSpec(seed uint64, i int, tenants int) JobSpec {
+	h := mix(seed + uint64(i)*0x9e3779b97f4a7c15)
+	spec := JobSpec{Seed: h % 100000}
+	if tenants > 1 {
+		spec.Tenant = "tenant-" + strconv.Itoa(i%tenants)
+	}
+	switch h % 8 {
+	case 0:
+		spec.Tool = "none"
+	case 1:
+		spec.Tool = "ml"
+	case 2:
+		spec.Tool = "mc"
+	case 3:
+		spec.Tool = "sample"
+		spec.SampleRate = 10
+	case 4:
+		spec.Tool = "both"
+		spec.FaultRate = 1e-5
+	case 5:
+		spec.Tool = "both"
+		spec.FaultRate = 1e-5
+		spec.Retire = true
+	case 6:
+		spec.Kind = KindApp
+		spec.App = "gzip"
+		spec.Tool = "safemem"
+		spec.Scale = 1
+	default:
+		spec.Tool = "both"
+	}
+	return spec
+}
+
+// RunLoad submits cfg.Jobs jobs across cfg.Concurrency sessions, then
+// polls until every admitted job reaches a terminal state (or ctx/Timeout
+// expires) and reports what happened.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 50
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 25 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	start := time.Now()
+	rep := &LoadReport{Jobs: cfg.Jobs, States: make(map[State]int)}
+	var mu sync.Mutex
+	var admittedIDs []uint64
+
+	// Submission phase: a fixed pool of submitter sessions draining one
+	// shared work counter.
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for i := 0; i < cfg.Jobs; i++ {
+			select {
+			case work <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := genSpec(cfg.Seed, i, cfg.Tenants)
+				id, outcome := submitOne(ctx, cfg, spec, rep, &mu)
+				if outcome {
+					mu.Lock()
+					admittedIDs = append(admittedIDs, id)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Settlement phase: poll until every admitted job is terminal.
+	pending := make(map[uint64]bool, len(admittedIDs))
+	for _, id := range admittedIDs {
+		pending[id] = true
+	}
+	rep.Admitted = len(pending)
+	for len(pending) > 0 && ctx.Err() == nil {
+		for id := range pending {
+			j, err := fetchJob(ctx, cfg, id)
+			if err != nil {
+				continue
+			}
+			if j.State.Terminal() {
+				rep.States[j.State]++
+				delete(pending, id)
+			}
+		}
+		if len(pending) > 0 {
+			select {
+			case <-time.After(cfg.PollInterval):
+			case <-ctx.Done():
+			}
+		}
+	}
+	rep.NonTerminal = len(pending)
+	rep.Elapsed = time.Since(start)
+	if rep.NonTerminal > 0 {
+		return rep, fmt.Errorf("load: %d admitted jobs never reached a terminal state", rep.NonTerminal)
+	}
+	return rep, nil
+}
+
+// submitOne drives one job's submission, honouring Retry-After unless the
+// run is a burst. Returns the job ID and whether it was admitted.
+func submitOne(ctx context.Context, cfg LoadConfig, spec JobSpec, rep *LoadReport, mu *sync.Mutex) (uint64, bool) {
+	body, _ := json.Marshal(spec)
+	for tries := 0; ; tries++ {
+		if ctx.Err() != nil {
+			return 0, false
+		}
+		mu.Lock()
+		rep.Attempts++
+		mu.Unlock()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return 0, false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := cfg.Client.Do(req)
+		if err != nil {
+			mu.Lock()
+			rep.TransportErrors++
+			mu.Unlock()
+			return 0, false
+		}
+		status := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		var job Job
+		if status == http.StatusAccepted {
+			err = json.NewDecoder(resp.Body).Decode(&job)
+		} else {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+		}
+		resp.Body.Close()
+
+		switch {
+		case status == http.StatusAccepted && err == nil:
+			return job.ID, true
+		case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+			mu.Lock()
+			if status == http.StatusTooManyRequests {
+				rep.Rejected429++
+			} else {
+				rep.Rejected503++
+			}
+			mu.Unlock()
+			if cfg.Burst || tries >= cfg.RetryBudget {
+				return 0, false
+			}
+			// Honour Retry-After, but cap it: test servers hand out
+			// second-granularity hints sized for real clients.
+			wait := 25 * time.Millisecond
+			if secs, perr := strconv.Atoi(retryAfter); perr == nil && secs > 0 {
+				wait = time.Duration(secs) * 50 * time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return 0, false
+			}
+		default:
+			mu.Lock()
+			rep.BadRequest++
+			mu.Unlock()
+			return 0, false
+		}
+	}
+}
+
+// fetchJob reads one job's record back.
+func fetchJob(ctx context.Context, cfg LoadConfig, id uint64) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/jobs/%d", cfg.BaseURL, id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+		return nil, fmt.Errorf("load: job %d: HTTP %d", id, resp.StatusCode)
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}

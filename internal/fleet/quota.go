@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig is the per-tenant token bucket: Rate tokens refill per
+// second up to Burst. Rate ≤ 0 disables quota enforcement entirely.
+type QuotaConfig struct {
+	Rate  float64
+	Burst int
+}
+
+// bucket is one tenant's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas enforces QuotaConfig per tenant name. The map grows one entry per
+// tenant ever seen — fine for the realistic tenant counts a fleet serves,
+// and it keeps admission O(1).
+type quotas struct {
+	mu  sync.Mutex
+	cfg QuotaConfig
+	m   map[string]*bucket
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	if cfg.Burst <= 0 {
+		cfg.Burst = 1
+	}
+	return &quotas{cfg: cfg, m: make(map[string]*bucket), now: time.Now}
+}
+
+// admit spends one token from tenant's bucket. When the bucket is dry it
+// returns false and how long until the next token exists — the value the
+// HTTP layer surfaces as Retry-After.
+func (q *quotas) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil || q.cfg.Rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.m[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * q.cfg.Rate
+		if max := float64(q.cfg.Burst); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.cfg.Rate
+	return false, time.Duration(need * float64(time.Second))
+}

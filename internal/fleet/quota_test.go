@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a quotas instance through time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuotas(cfg QuotaConfig) (*quotas, *fakeClock) {
+	q := newQuotas(cfg)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQuotaBurstThenDry(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{Rate: 1, Burst: 3})
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.admit("a"); !ok {
+			t.Fatalf("admit %d within burst refused", i)
+		}
+	}
+	ok, retry := q.admit("a")
+	if ok {
+		t.Fatal("admit past burst succeeded")
+	}
+	// Bucket is exactly empty: next token is 1/Rate away.
+	if retry != time.Second {
+		t.Errorf("retryAfter = %v, want 1s", retry)
+	}
+}
+
+func TestQuotaRefill(t *testing.T) {
+	q, clk := newTestQuotas(QuotaConfig{Rate: 2, Burst: 2})
+	q.admit("a")
+	q.admit("a")
+	if ok, _ := q.admit("a"); ok {
+		t.Fatal("dry bucket admitted")
+	}
+	clk.advance(500 * time.Millisecond) // refills one token at 2/s
+	if ok, _ := q.admit("a"); !ok {
+		t.Fatal("refilled bucket refused")
+	}
+	if ok, _ := q.admit("a"); ok {
+		t.Fatal("second admit after one-token refill succeeded")
+	}
+}
+
+func TestQuotaRefillCapsAtBurst(t *testing.T) {
+	q, clk := newTestQuotas(QuotaConfig{Rate: 100, Burst: 2})
+	q.admit("a")
+	q.admit("a")
+	clk.advance(time.Hour) // would refill thousands of tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.admit("a"); !ok {
+			t.Fatalf("admit %d after long idle refused", i)
+		}
+	}
+	if ok, _ := q.admit("a"); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+func TestQuotaTenantsIsolated(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	if ok, _ := q.admit("a"); !ok {
+		t.Fatal("tenant a refused")
+	}
+	if ok, _ := q.admit("b"); !ok {
+		t.Fatal("tenant b throttled by tenant a's spend")
+	}
+	if ok, _ := q.admit("a"); ok {
+		t.Fatal("tenant a's dry bucket admitted")
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q, _ := newTestQuotas(QuotaConfig{})
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.admit("a"); !ok {
+			t.Fatal("disabled quota refused an admit")
+		}
+	}
+	var nilQ *quotas
+	if ok, _ := nilQ.admit("a"); !ok {
+		t.Fatal("nil quotas refused an admit")
+	}
+}

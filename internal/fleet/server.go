@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handlers returns the fleet's job API as a pattern→handler map, shaped
+// for obsrv.Config.Extra: one listener carries both the serving API and
+// the observability plane (/metrics, /healthz, /readyz, /events).
+//
+//	POST /jobs      submit a JobSpec; 202 + Job on admission,
+//	                400 invalid, 429 + Retry-After on overload/quota,
+//	                503 + Retry-After while draining
+//	GET  /jobs      list all jobs (?state= filters)
+//	GET  /jobs/{id} one job's full record, including its Result
+func (f *Fleet) Handlers() map[string]http.Handler {
+	return map[string]http.Handler{
+		"POST /jobs":     http.HandlerFunc(f.handleSubmit),
+		"GET /jobs":      http.HandlerFunc(f.handleList),
+		"GET /jobs/{id}": http.HandlerFunc(f.handleGet),
+	}
+}
+
+// retryAfterSeconds rounds a Retry-After hint up to whole seconds — the
+// header's coarsest-common-denominator form — never below 1.
+func retryAfterSeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
+
+// writeJSON writes v as a JSON response body. No indentation: a Job's
+// Result must cross the wire byte-identical to what the executor stored,
+// or the fleet's determinism contract would hold only server-side.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client disconnect mid-body
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleSubmit is POST /jobs: admission control made HTTP-visible. The
+// status codes are the protocol — clients distinguish "never send this
+// again" (400) from "back off and retry" (429/503 + Retry-After).
+func (f *Fleet) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	job, err := f.Submit(spec)
+	switch e := err.(type) {
+	case nil:
+		writeJSON(w, http.StatusAccepted, job)
+	case *OverloadError:
+		w.Header().Set("Retry-After", retryAfterSeconds(e.RetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: e.Error()})
+	default:
+		if err == ErrDraining {
+			w.Header().Set("Retry-After", retryAfterSeconds(5*time.Second))
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+// handleList is GET /jobs: every job in submission order, optionally
+// filtered by ?state=.
+func (f *Fleet) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := f.Jobs()
+	if want := r.URL.Query().Get("state"); want != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if string(j.State) == want {
+				filtered = append(filtered, j)
+			}
+		}
+		jobs = filtered
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Job `json:"jobs"`
+	}{Jobs: jobs})
+}
+
+// handleGet is GET /jobs/{id}.
+func (f *Fleet) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id"})
+		return
+	}
+	job, ok := f.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

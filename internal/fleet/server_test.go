@@ -1,0 +1,284 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"safemem/internal/obsrv"
+)
+
+// startServed brings up a fleet behind a real obsrv server on an
+// ephemeral port — the exact wiring safemem-serve uses.
+func startServed(t *testing.T, cfg Config) (*Fleet, *obsrv.Server) {
+	t.Helper()
+	f := Start(cfg)
+	srv, err := obsrv.Start(obsrv.Config{
+		Addr:     "127.0.0.1:0",
+		Registry: f.cfg.Registry,
+		Recorder: f.cfg.Recorder,
+		Extra:    f.Handlers(),
+		Ready:    f.ReadyCheck,
+	})
+	if err != nil {
+		t.Fatalf("obsrv.Start: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close() //nolint:errcheck
+		f.Close()   //nolint:errcheck
+	})
+	return f, srv
+}
+
+func postJob(t *testing.T, base string, spec JobSpec) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, r io.Reader) Job {
+	t.Helper()
+	var j Job
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		t.Fatalf("decoding job: %v", err)
+	}
+	return j
+}
+
+func TestHTTPSubmitAndFetch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f, srv := startServed(t, cfg)
+
+	resp := postJob(t, srv.URL(), JobSpec{Seed: 5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs = %d, want 202", resp.StatusCode)
+	}
+	job := decodeJob(t, resp.Body)
+	resp.Body.Close()
+	if job.ID == 0 {
+		t.Fatal("admitted job has no ID")
+	}
+	waitTerminal(t, f, job.ID)
+
+	got, err := http.Get(srv.URL() + "/jobs/" + strconv.FormatUint(job.ID, 10))
+	if err != nil {
+		t.Fatalf("GET /jobs/{id}: %v", err)
+	}
+	defer got.Body.Close()
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/{id} = %d, want 200", got.StatusCode)
+	}
+	fetched := decodeJob(t, got.Body)
+	if fetched.State != StateDone {
+		t.Errorf("fetched state = %q, want done", fetched.State)
+	}
+	if string(fetched.Result) != `{"seed":5}` {
+		t.Errorf("fetched result = %s", fetched.Result)
+	}
+}
+
+func TestHTTPListAndFilter(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f, srv := startServed(t, cfg)
+
+	var last uint64
+	for i := 0; i < 3; i++ {
+		resp := postJob(t, srv.URL(), JobSpec{Seed: uint64(i)})
+		last = decodeJob(t, resp.Body).ID
+		resp.Body.Close()
+	}
+	waitTerminal(t, f, last)
+
+	resp, err := http.Get(srv.URL() + "/jobs?state=done")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatalf("decoding listing: %v", err)
+	}
+	if len(listing.Jobs) == 0 {
+		t.Fatal("state=done filter returned nothing")
+	}
+	for _, j := range listing.Jobs {
+		if j.State != StateDone {
+			t.Errorf("filtered listing contains state %q", j.State)
+		}
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	_, srv := startServed(t, cfg)
+
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL()+"/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body = %d, want 400", resp.StatusCode)
+	}
+	// Invalid spec.
+	resp = postJob(t, srv.URL(), JobSpec{Kind: "warp-drive"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec = %d, want 400", resp.StatusCode)
+	}
+	// Unknown job.
+	got, err := http.Get(srv.URL() + "/jobs/99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Body.Close()
+	if got.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", got.StatusCode)
+	}
+	// Non-numeric id.
+	got, err = http.Get(srv.URL() + "/jobs/banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Body.Close()
+	if got.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id = %d, want 400", got.StatusCode)
+	}
+}
+
+func TestHTTPQueueSaturation429(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.Exec = func(ctx context.Context, spec JobSpec, hook func(int) error) (json.RawMessage, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return json.RawMessage(`{}`), nil
+	}
+	_, srv := startServed(t, cfg)
+	defer close(release)
+
+	saw429 := false
+	for i := 0; i < 50 && !saw429; i++ {
+		resp := postJob(t, srv.URL(), JobSpec{Seed: uint64(i)})
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			ra := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Errorf("Retry-After = %q, want integer seconds ≥ 1", ra)
+			}
+		}
+	}
+	if !saw429 {
+		t.Fatal("saturated queue never answered 429")
+	}
+}
+
+func TestHTTPQuota429(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	cfg.Quota = QuotaConfig{Rate: 0.001, Burst: 1}
+	_, srv := startServed(t, cfg)
+
+	resp := postJob(t, srv.URL(), JobSpec{Tenant: "t1", Seed: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	resp = postJob(t, srv.URL(), JobSpec{Tenant: "t1", Seed: 2})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("over-quota 429 missing Retry-After")
+	}
+}
+
+func TestHTTPDrainingLifecycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f, srv := startServed(t, cfg)
+
+	// Ready while serving.
+	r, err := http.Get(srv.URL() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz while serving = %d, want 200", r.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	// Draining: submissions bounce with 503 + Retry-After, readiness off.
+	resp := postJob(t, srv.URL(), JobSpec{Seed: 1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+	r, err = http.Get(srv.URL() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", r.StatusCode)
+	}
+	if !strings.Contains(string(body), "draining") {
+		t.Errorf("/readyz body = %q, want draining detail", body)
+	}
+}
+
+func TestHTTPMetricsExposeFleet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Exec = okExec
+	f, srv := startServed(t, cfg)
+
+	resp := postJob(t, srv.URL(), JobSpec{Seed: 1})
+	id := decodeJob(t, resp.Body).ID
+	resp.Body.Close()
+	waitTerminal(t, f, id)
+
+	m, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Body.Close()
+	text, _ := io.ReadAll(m.Body)
+	for _, want := range []string{"safemem_fleet_jobs_admitted", "safemem_fleet_jobs_done", "safemem_fleet_queue_depth"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package obsrv
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"safemem/internal/obsrv/flight"
+)
+
+// stallSSE opens a raw /events connection that reads the response headers
+// and then stops reading entirely — the misbehaving client whose kernel
+// buffers eventually fill and block the handler's writes.
+func stallSSE(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /events HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", addr)
+	// Read just past the headers so the handler is known to be streaming.
+	br := bufio.NewReader(conn)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response headers: %v", err)
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	return conn
+}
+
+// TestEventsSlowConsumerDrops pins the no-back-pressure contract: a
+// client that stops reading must never stall emitters. Its subscriber
+// buffer fills, further events are dropped for that subscriber, and the
+// drops are counted — both on the recorder and on the /metrics scrape.
+func TestEventsSlowConsumerDrops(t *testing.T) {
+	rec := flight.New(4096)
+	s := testServer(t, Config{Recorder: rec, ReplayLastN: -1})
+
+	conn := stallSSE(t, s.Addr())
+	defer conn.Close()
+
+	// Big payloads fill the handler's socket buffers fast; once writes
+	// block, the 256-slot subscriber channel fills and drops begin. Every
+	// Emit must return promptly regardless.
+	pad := strings.Repeat("x", 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; rec.SubscriberDrops() == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("no subscriber drops after 10s of emitting at a stalled client")
+		}
+		start := time.Now()
+		rec.Emit(flight.KindShardStart, "test", 0, pad, flight.F("i", uint64(i)))
+		if took := time.Since(start); took > time.Second {
+			t.Fatalf("Emit blocked %v behind a stalled subscriber", took)
+		}
+	}
+
+	// The drop count is part of the scrape surface.
+	code, body, _ := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "safemem_flight_subscriber_drops_total") {
+		t.Error("/metrics missing subscriber-drop counter")
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "safemem_flight_subscriber_drops_total") &&
+			strings.HasSuffix(line, " 0") {
+			t.Errorf("scrape reports zero drops after a stalled consumer: %q", line)
+		}
+	}
+}
+
+// sseClient collects one /events stream's lines until its context ends.
+type sseClient struct {
+	lines chan string
+	resp  *http.Response
+}
+
+func dialSSE(t *testing.T, ctx context.Context, url string) *sseClient {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &sseClient{lines: make(chan string, 1024), resp: resp}
+	go func() {
+		defer close(c.lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			c.lines <- sc.Text()
+		}
+	}()
+	return c
+}
+
+func (c *sseClient) expect(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line, ok := <-c.lines:
+			if !ok {
+				t.Fatalf("stream closed waiting for %q", substr)
+			}
+			if strings.Contains(line, substr) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for %q", substr)
+		}
+	}
+}
+
+// TestEventsReconnectWithReplay pins the reconnect story: a client that
+// drops and comes back sees what it missed — ring replay covers the gap,
+// and sequence numbers keep the history totally ordered across the two
+// connections.
+func TestEventsReconnectWithReplay(t *testing.T) {
+	rec := flight.New(256)
+	s := testServer(t, Config{Recorder: rec, ReplayLastN: 64})
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	c1 := dialSSE(t, ctx1, s.URL())
+	rec.Emit(flight.KindShardStart, "test", 0, "before disconnect", flight.F("mark", 1))
+	c1.expect(t, `"mark":1`)
+	cancel1()
+	c1.resp.Body.Close()
+
+	// The client is gone; these land only in the ring.
+	for i := uint64(2); i <= 5; i++ {
+		rec.Emit(flight.KindShardFinish, "test", 0, "while disconnected", flight.F("mark", i))
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	c2 := dialSSE(t, ctx2, s.URL())
+	defer c2.resp.Body.Close()
+
+	// Replay must deliver the missed events in order.
+	for i := uint64(2); i <= 5; i++ {
+		c2.expect(t, fmt.Sprintf(`"mark":%d`, i))
+	}
+	// And the stream continues live after replay.
+	rec.Emit(flight.KindViolation, "test", 0, "after reconnect", flight.F("mark", 6))
+	line := c2.expect(t, `"mark":6`)
+	if !strings.HasPrefix(line, "data: ") {
+		t.Errorf("live event after replay: %q", line)
+	}
+}
+
+// TestEventsNoDuplicateAcrossReplayBoundary pins the seq-dedup in the
+// handler: an event captured by both the replay snapshot and the live
+// subscription must be sent once.
+func TestEventsNoDuplicateAcrossReplayBoundary(t *testing.T) {
+	rec := flight.New(256)
+	s := testServer(t, Config{Recorder: rec, ReplayLastN: 64})
+	rec.Emit(flight.KindShardStart, "test", 0, "boundary", flight.F("mark", 7))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := dialSSE(t, ctx, s.URL())
+	defer c.resp.Body.Close()
+
+	c.expect(t, `"mark":7`)
+	// Emit a sentinel, then count how many times the boundary event
+	// arrived by scanning everything up to the sentinel.
+	rec.Emit(flight.KindShardFinish, "test", 0, "sentinel", flight.F("mark", 8))
+	seen := 0
+	deadline := time.After(5 * time.Second)
+scan:
+	for {
+		select {
+		case line, ok := <-c.lines:
+			if !ok {
+				t.Fatal("stream closed before sentinel")
+			}
+			if strings.Contains(line, `"mark":7`) {
+				seen++
+			}
+			if strings.Contains(line, `"mark":8`) {
+				break scan
+			}
+		case <-deadline:
+			t.Fatal("timeout waiting for sentinel")
+		}
+	}
+	if seen != 0 {
+		t.Errorf("boundary event re-sent %d times after replay", seen)
+	}
+}
+
+// TestEventsConcurrentScrapeWhileDraining hammers /metrics and /events
+// with concurrent clients while emitters run and the server shuts down
+// mid-traffic. Run under -race this pins the plane's concurrency safety;
+// functionally it pins that Shutdown is idempotent and never deadlocks
+// behind open SSE streams.
+func TestEventsConcurrentScrapeWhileDraining(t *testing.T) {
+	rec := flight.New(1024)
+	cfg := Config{Addr: "127.0.0.1:0", Recorder: rec, ReplayLastN: 16}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Emitters: constant event flow through the drain.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				rec.Emit(flight.KindShardStart, "drain-test", 0, "tick", flight.F("i", uint64(i)))
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+	// Scrapers: /metrics in a tight loop until the listener dies.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(s.URL() + "/metrics")
+				if err != nil {
+					return // listener closed mid-drain: expected
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}()
+	}
+	// SSE churn: connect, read a little, disconnect.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, s.URL()+"/events", nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+				cancel()
+				if err != nil {
+					return // listener closed mid-drain: expected
+				}
+			}
+		}()
+	}
+
+	// Let traffic build, then drain while it's all in flight —
+	// concurrently, from several goroutines, to pin idempotency.
+	time.Sleep(100 * time.Millisecond)
+	var shutdownWG sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		shutdownWG.Add(1)
+		go func() {
+			defer shutdownWG.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil && err != context.DeadlineExceeded {
+				t.Errorf("Shutdown: %v", err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { shutdownWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown deadlocked behind open scrape/SSE connections")
+	}
+	close(stop)
+	wg.Wait()
+}

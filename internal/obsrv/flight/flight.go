@@ -58,6 +58,28 @@ const (
 	// KindCampaignStart / KindCampaignFinish bracket a whole campaign.
 	KindCampaignStart  Kind = "campaign-start"
 	KindCampaignFinish Kind = "campaign-finish"
+
+	// Fleet lifecycle (internal/fleet, the safemem-serve scheduler).
+	// KindJobAdmitted is a job accepted into the queue (fields: job, seed).
+	KindJobAdmitted Kind = "job-admitted"
+	// KindJobRejected is a job refused at admission — queue saturation,
+	// tenant quota, or draining (detail says which).
+	KindJobRejected Kind = "job-rejected"
+	// KindJobDone is a job reaching the done state (fields: job, attempts).
+	KindJobDone Kind = "job-done"
+	// KindJobRetry is one transient failure consuming retry budget.
+	KindJobRetry Kind = "job-retry"
+	// KindJobCrashed is a worker panic isolated to its job; the in-flight
+	// machine was discarded, never repooled.
+	KindJobCrashed Kind = "job-crashed"
+	// KindJobTimedOut is a job killed by its deadline (or abandoned by the
+	// watchdog after ignoring cancellation).
+	KindJobTimedOut Kind = "job-timed-out"
+	// KindJobFailed is a job out of retry budget (terminal failure).
+	KindJobFailed Kind = "job-failed"
+	// KindDrainStart / KindDrainFinish bracket a fleet drain (SIGTERM).
+	KindDrainStart  Kind = "drain-start"
+	KindDrainFinish Kind = "drain-finish"
 )
 
 // Event is one recorded flight event. WallNS is host wall-clock time

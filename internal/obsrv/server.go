@@ -55,7 +55,26 @@ type Config struct {
 	// subscriber before live streaming. 0 means DefaultReplayLastN; -1
 	// disables replay.
 	ReplayLastN int
+	// Extra mounts additional handlers onto the server's mux, keyed by
+	// pattern (net/http ServeMux syntax, method prefixes allowed). The
+	// fleet front end mounts its job API here so one listener carries both
+	// the serving API and the observability plane.
+	Extra map[string]http.Handler
+	// Ready, when set, is an additional /readyz veto: returning ok=false
+	// turns readiness 503 with the detail in the body. The fleet reports
+	// "draining" through it.
+	Ready func() (ok bool, detail string)
+	// DrainDump, when non-empty, is a JSONL path the recorder's recent
+	// history is flushed to during Shutdown — the flight-recorder dump a
+	// graceful SIGTERM drain must not lose.
+	DrainDump string
+	// DrainDumpN caps how many trailing events the drain dump writes
+	// (0 means DefaultDrainDumpN).
+	DrainDumpN int
 }
+
+// DefaultDrainDumpN is the shutdown flight-dump size when unset.
+const DefaultDrainDumpN = 256
 
 // DefaultRetireBudget is the /readyz retirement budget: past this many
 // retired pages the process should be drained, not handed new work.
@@ -102,6 +121,9 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/buildinfo", s.handleBuildinfo)
 	mux.HandleFunc("/events", s.handleEvents)
 	profiling.AttachHTTP(mux)
+	for pattern, h := range cfg.Extra {
+		mux.Handle(pattern, h)
+	}
 
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
@@ -117,6 +139,17 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // Close shuts the server down, waiting briefly for in-flight requests
 // (SSE streams are closed immediately via their contexts).
 func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown gracefully stops the server: /readyz flips to 503 immediately,
+// in-flight requests get until the context's deadline, and — when the
+// configuration asks for one — the flight recorder's recent history is
+// flushed to the drain-dump file so a SIGTERM never loses the black box.
+// Safe to call more than once; later calls are no-ops.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -124,9 +157,17 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	if s.cfg.DrainDump != "" {
+		n := s.cfg.DrainDumpN
+		if n <= 0 {
+			n = DefaultDrainDumpN
+		}
+		if derr := s.rec.DumpFile(s.cfg.DrainDump, n); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // registries collects every registry /metrics should scrape.
@@ -188,6 +229,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	retired := s.rec.Count(flight.KindPageRetired)
 	failures := s.rec.Count(flight.KindRetireFailed)
+	if ok, detail := s.ready(); !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, detail)
+		return
+	}
 	switch {
 	case closed:
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -200,6 +246,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintf(w, "ready (%d/%d pages retired)\n", retired, s.cfg.RetireBudget)
 	}
+}
+
+// ready evaluates the configured extra readiness veto.
+func (s *Server) ready() (bool, string) {
+	if s.cfg.Ready == nil {
+		return true, ""
+	}
+	return s.cfg.Ready()
 }
 
 // handleBuildinfo serves the binary's build identity.

@@ -1,0 +1,65 @@
+package obsrv
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safemem/internal/obsrv/logging"
+)
+
+// DefaultShutdownTimeout bounds how long a signal-triggered drain waits for
+// in-flight HTTP requests before giving up on them.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// HandleSignals installs a SIGINT/SIGTERM handler that drains gracefully
+// instead of letting the runtime kill the process mid-scrape: drain (when
+// non-nil, e.g. the fleet's stop-admission-and-finish-in-flight) runs
+// first, then srv.Shutdown with the timeout — which also flushes the
+// configured drain dump — and finally exit(130) in the SIGINT tradition.
+// A second signal skips the graceful path and exits immediately.
+//
+// The returned stop function uninstalls the handler (tests, and CLIs that
+// finish normally before any signal arrives).
+func HandleSignals(srv *Server, timeout time.Duration, drain func(context.Context), exit func(int)) (stop func()) {
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	if exit == nil {
+		exit = os.Exit
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		log := logging.L("obsrv")
+		log.Info("signal received, draining", "signal", sig.String(), "timeout", timeout)
+		// A second signal while draining forces an immediate exit.
+		go func() {
+			if _, ok := <-ch; ok {
+				log.Warn("second signal, exiting immediately")
+				exit(130)
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if drain != nil {
+			drain(ctx)
+		}
+		if srv != nil {
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Error("shutdown", "err", err)
+			}
+		}
+		exit(130)
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}

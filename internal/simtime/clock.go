@@ -51,7 +51,7 @@ func FromMicroseconds(us float64) Cycles {
 }
 
 // Cost-model constants. These calibrate the simulator; they are shared by
-// every tool under test so overheads are comparable. See DESIGN.md §5.
+// every tool under test so overheads are comparable. See DESIGN.md §6.
 const (
 	// CostInstr is the charge for one ordinary ALU instruction.
 	CostInstr Cycles = 1

@@ -1,27 +1,36 @@
 #!/bin/sh
-# coverage_floor.sh PACKAGE THRESHOLD — fail if the package's total
-# statement coverage drops below THRESHOLD percent.
+# coverage_floor.sh PACKAGE THRESHOLD [PACKAGE THRESHOLD]... — fail if any
+# package's total statement coverage drops below its THRESHOLD percent.
 #
-#   ./scripts/coverage_floor.sh ./internal/sampletool 85
+#   ./scripts/coverage_floor.sh ./internal/sampletool 85 ./internal/fleet 80
 set -eu
 
-pkg=${1:?usage: coverage_floor.sh PACKAGE THRESHOLD}
-floor=${2:?usage: coverage_floor.sh PACKAGE THRESHOLD}
+[ $# -ge 2 ] || { echo "usage: coverage_floor.sh PACKAGE THRESHOLD [PACKAGE THRESHOLD]..." >&2; exit 2; }
+[ $(($# % 2)) -eq 0 ] || { echo "coverage_floor: arguments must come in PACKAGE THRESHOLD pairs" >&2; exit 2; }
 
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 
-go test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
+status=0
+while [ $# -ge 2 ]; do
+    pkg=$1
+    floor=$2
+    shift 2
 
-total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
-if [ -z "$total" ]; then
-    echo "coverage_floor: no total in cover profile for $pkg" >&2
-    exit 2
-fi
+    go test -count=1 -coverprofile="$profile" "$pkg" >/dev/null
 
-ok=$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t + 0 >= f + 0) ? 1 : 0 }')
-if [ "$ok" != 1 ]; then
-    echo "coverage_floor: $pkg at ${total}% statement coverage, floor is ${floor}%" >&2
-    exit 1
-fi
-echo "coverage_floor: $pkg at ${total}% (floor ${floor}%)"
+    total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+    if [ -z "$total" ]; then
+        echo "coverage_floor: no total in cover profile for $pkg" >&2
+        exit 2
+    fi
+
+    ok=$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t + 0 >= f + 0) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "coverage_floor: $pkg at ${total}% statement coverage, floor is ${floor}%" >&2
+        status=1
+    else
+        echo "coverage_floor: $pkg at ${total}% (floor ${floor}%)"
+    fi
+done
+exit $status
