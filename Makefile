@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci bench bench-quick bench-check campaign storm fuzz-short frontier coverage-floor serve-smoke
+.PHONY: all build vet test race check ci bench bench-quick bench-check bench-fleet fleet-smoke campaign storm fuzz-short frontier coverage-floor serve-smoke
 
 all: check
 
@@ -74,13 +74,15 @@ check: build vet test race fuzz-short campaign storm bench-check
 # new packages, the coverage floors, a race-detector pass over the
 # concurrent serving/observability/telemetry layers plus the sample-tool
 # campaign (cheap enough for every push, unlike `make race`), the
-# serving-stack chaos smoke, and the throughput-regression gate.
+# serving-stack chaos smoke, a one-shard fleet-bench + bench_compare.sh
+# smoke, and the throughput-regression gate.
 ci: build vet test
 	$(GO) test -shuffle=on -count=1 ./internal/sampletool ./internal/campaign ./internal/bench/frontier
 	$(MAKE) coverage-floor
 	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/... ./internal/fleet
 	$(GO) test -race -run 'TestSampleCampaign|TestSampleRateOne$$' ./internal/campaign
 	$(MAKE) serve-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-check
 
 # bench runs every Go benchmark in the tree (ECC encode/decode, cache hit
@@ -95,9 +97,25 @@ bench-quick:
 	$(GO) run ./cmd/safemem-bench -experiment throughput
 
 # bench-check guards the access-path fast lane: it reruns the throughput
-# experiment and fails (exit 1) if aggregate host-ns/instr regressed more
-# than 25% against the tracked BENCH_throughput.json baseline. After a
-# deliberate perf trade-off, accept the new numbers with
+# experiment and fails (exit 1) if host-ns/instr regressed more than 25%
+# against the tracked BENCH_throughput.json baseline — on the aggregate
+# total or on any single app's row (a batched-run bail-out regression can
+# triple one workload while barely moving the total). After a deliberate
+# perf trade-off, accept the new numbers with
 # `make bench-check BENCHFLAGS=-update`.
 bench-check:
 	$(GO) run ./cmd/safemem-bench -experiment throughput -throughput-check BENCH_throughput.json $(BENCHFLAGS)
+
+# bench-fleet refreshes the tracked fleet-throughput baseline
+# (BENCH_fleet.json): shards × apps uninstrumented runs on pooled machines
+# across every host core — aggregate sim-MIPS and sim-MIPS/core.
+bench-fleet:
+	$(GO) run ./cmd/safemem-bench -experiment fleet
+
+# fleet-smoke is the cheap ci variant: build the bench CLI and step one
+# fleet shard without touching the tracked baseline, plus a self-compare of
+# the bench_compare.sh delta-table tool against the tracked throughput
+# baseline (all deltas must read +0.0%).
+fleet-smoke:
+	$(GO) run ./cmd/safemem-bench -experiment fleet -fleet-shards 1 -fleet-out ""
+	./scripts/bench_compare.sh BENCH_throughput.json BENCH_throughput.json

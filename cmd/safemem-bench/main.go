@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	safemem-bench [-experiment table2|table3|table4|table5|sample|figure3|throughput|frontier|all]
+//	safemem-bench [-experiment table2|table3|table4|table5|sample|figure3|throughput|fleet|frontier|all]
 //	              [-seed N] [-scale N] [-iterations N] [-parallel N]
 //	              [-throughput-out FILE] [-throughput-check FILE] [-update]
+//	              [-fleet-out FILE] [-fleet-shards N]
 //	              [-frontier-out FILE] [-frontier-scenarios N]
 //	              [-metrics-out FILE] [-trace-out FILE] [-jsonl-out FILE]
 //	              [-sample-interval MS] [-serve :9090]
@@ -49,11 +50,12 @@ type jsonOutput struct {
 	Figure3 []bench.Figure3Series `json:"figure3,omitempty"`
 	Summary []bench.SummaryRow    `json:"summary,omitempty"`
 	Through *bench.Throughput     `json:"throughput,omitempty"`
+	Fleet   *bench.Fleet          `json:"fleet,omitempty"`
 	Front   *frontier.Frontier    `json:"frontier,omitempty"`
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, sample, figure3, summary, throughput, frontier or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: table2, table3, table4, table5, sample, figure3, summary, throughput, fleet, frontier or all")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	scale := flag.Int("scale", 0, "workload scale multiplier (0 = per-experiment default)")
 	iterations := flag.Int("iterations", 256, "microbenchmark iterations (table2)")
@@ -61,6 +63,8 @@ func main() {
 	throughputOut := flag.String("throughput-out", "BENCH_throughput.json", "where the throughput experiment writes its JSON baseline (empty disables)")
 	throughputCheck := flag.String("throughput-check", "", "compare the throughput run against this JSON baseline instead of writing one; exit 1 on >25% host-ns/instr regression")
 	update := flag.Bool("update", false, "with -throughput-check: rewrite the baseline from this run instead of comparing")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "where the fleet experiment writes its JSON baseline (empty disables)")
+	fleetShards := flag.Int("fleet-shards", 4, "full passes over the app list for the fleet experiment")
 	frontierOut := flag.String("frontier-out", "BENCH_frontier.json", "where the frontier experiment writes its JSON baseline (empty disables)")
 	frontierScenarios := flag.Int("frontier-scenarios", 0, "scenario count for the frontier sweep (0 = tracked-baseline default)")
 	format := flag.String("format", "text", "output format: text or json")
@@ -269,6 +273,27 @@ func main() {
 			fmt.Println(t.Render())
 		}
 	}
+	// fleet wall-clocks the host under full-core contention, so it too only
+	// runs when requested explicitly (not under -experiment all).
+	if *experiment == "fleet" {
+		f, err := bench.RunFleet(cfg, *fleetShards, *parallel)
+		if err != nil {
+			log.Error("fleet failed", "err", err)
+			profiling.Exit(1)
+		}
+		if *fleetOut != "" {
+			if err := f.WriteJSON(*fleetOut); err != nil {
+				fmt.Fprintf(os.Stderr, "safemem-bench: fleet: %v\n", err)
+				profiling.Exit(1)
+			}
+			log.Info("wrote fleet baseline", "path", *fleetOut)
+		}
+		if asJSON {
+			out.Fleet = f
+		} else {
+			fmt.Println(f.Render())
+		}
+	}
 	// summary re-runs every experiment internally, so it only runs when
 	// requested explicitly (not under -experiment all).
 	if *experiment == "summary" {
@@ -297,7 +322,7 @@ func main() {
 	})
 
 	switch *experiment {
-	case "table2", "table3", "table4", "table5", "sample", "figure3", "summary", "throughput", "frontier", "all":
+	case "table2", "table3", "table4", "table5", "sample", "figure3", "summary", "throughput", "fleet", "frontier", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "safemem-bench: unknown experiment %q\n", *experiment)
 		profiling.Exit(2)

@@ -169,32 +169,78 @@ func mustMalloc(e *Env, size uint64) vm.VAddr {
 	return p
 }
 
-// storeBytes writes b into simulated memory at va.
+// storeBytes writes b into simulated memory at va — a batched run of byte
+// stores, the strcpy idiom shared by every app.
 func storeBytes(m *machine.Machine, va vm.VAddr, b []byte) {
-	for i, c := range b {
-		m.Store8(va+vm.VAddr(i), c)
-	}
+	m.StoreByteRun(va, b)
 }
 
 // loadBytes reads n bytes of simulated memory at va.
 func loadBytes(m *machine.Machine, va vm.VAddr, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.Load8(va + vm.VAddr(i))
-	}
+	m.LoadByteRun(va, out)
 	return out
 }
 
 // checksum folds n bytes at va — the generic "the program actually reads
-// the data it sends" access pattern.
+// the data it sends" access pattern. The loads stream through the batched
+// fast lane in line-sized chunks; the access sequence (8-byte words while
+// at least 8 bytes remain, then byte loads for the tail) is identical to
+// the historical open-coded loop.
 func checksum(m *machine.Machine, va vm.VAddr, n uint64) uint64 {
+	var buf [64]uint64
 	var sum uint64
 	i := uint64(0)
-	for ; i+8 <= n; i += 8 {
-		sum = sum*31 + m.Load64(va+vm.VAddr(i))
+	for i+8 <= n {
+		words := (n - i) / 8
+		if words > uint64(len(buf)) {
+			words = uint64(len(buf))
+		}
+		m.LoadRun(va+vm.VAddr(i), 8, 8, buf[:words])
+		for _, w := range buf[:words] {
+			sum = sum*31 + w
+		}
+		i += words * 8
 	}
-	for ; i < n; i++ {
-		sum = sum*31 + uint64(m.Load8(va+vm.VAddr(i)))
+	if i < n {
+		var tail [7]byte
+		m.LoadByteRun(va+vm.VAddr(i), tail[:n-i])
+		for _, b := range tail[:n-i] {
+			sum = sum*31 + uint64(b)
+		}
 	}
 	return sum
+}
+
+// scanWords streams n contiguous 8-byte words at va through batched loads,
+// discarding the values — the resident-table scan idiom (DES tables, TLS
+// record processing, ACL checks).
+func scanWords(m *machine.Machine, va vm.VAddr, n uint64) {
+	var buf [64]uint64
+	for n > 0 {
+		k := n
+		if k > uint64(len(buf)) {
+			k = uint64(len(buf))
+		}
+		m.LoadRun(va, 8, 8, buf[:k])
+		va += vm.VAddr(k * 8)
+		n -= k
+	}
+}
+
+// fillWords writes n contiguous 8-byte words at va with f(word index),
+// batched — the table-init / stream-fill idiom.
+func fillWords(m *machine.Machine, va vm.VAddr, n uint64, f func(i uint64) uint64) {
+	var buf [64]uint64
+	for i := uint64(0); i < n; {
+		k := n - i
+		if k > uint64(len(buf)) {
+			k = uint64(len(buf))
+		}
+		for j := uint64(0); j < k; j++ {
+			buf[j] = f(i + j)
+		}
+		m.StoreRun(va+vm.VAddr(i*8), 8, 8, buf[:k])
+		i += k
+	}
 }

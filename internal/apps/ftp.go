@@ -115,9 +115,9 @@ func (s *ftpState) initServer() {
 	s.e.Root(s.dirTable)
 	s.tlsTable = mustMalloc(s.e, ftpTLSTableBytes)
 	s.e.Root(s.tlsTable)
-	for off := uint64(0); off < ftpTLSTableBytes; off += 8 {
-		m.Store64(s.tlsTable+vm.VAddr(off), off*0x9e3779b97f4a7c15)
-	}
+	fillWords(m, s.tlsTable, ftpTLSTableBytes/8, func(i uint64) uint64 {
+		return i * 8 * 0x9e3779b97f4a7c15
+	})
 	for i := 0; i < ftpDirEntries; i++ {
 		rec := s.dirTable + vm.VAddr(i*40)
 		storeBytes(m, rec, []byte("file"))
@@ -162,9 +162,7 @@ func (s *ftpState) command(sess *ftpSession, tick int, buggy bool) {
 	// Authentication / command parsing load, plus the TLS record
 	// processing every control/data exchange pays.
 	m.Compute(55000)
-	for off := uint64(0); off < ftpTLSTableBytes; off += 8 {
-		_ = m.Load64(s.tlsTable + vm.VAddr(off))
-	}
+	scanWords(m, s.tlsTable, ftpTLSTableBytes/8)
 
 	switch {
 	case tick%6 == 0 || tick%6 == 3:
@@ -201,9 +199,9 @@ func (s *ftpState) retr(sess *ftpSession, tick int, buggy bool) {
 	size := uint64(512 + class*128)
 	buf := mustMalloc(s.e, size)
 	// Fill from the "disk" and send.
-	for off := uint64(0); off < size; off += 8 {
-		m.Store64(buf+vm.VAddr(off), uint64(tick)*0x9e3779b97f4a7c15+off)
-	}
+	fillWords(m, buf, (size+7)/8, func(i uint64) uint64 {
+		return uint64(tick)*0x9e3779b97f4a7c15 + i*8
+	})
 	_ = checksum(m, buf, size)
 
 	if buggy && class == ftpLeakClass && s.rng.Intn(8) == 0 {

@@ -99,10 +99,12 @@ func (s *gzipState) generateInput(f int) {
 			pos++
 			continue
 		}
-		for i := 0; i < len(phrase) && pos < gzFileBytes; i++ {
-			m.Store8(s.input+vm.VAddr(pos), phrase[i])
-			pos++
+		k := len(phrase)
+		if pos+k > gzFileBytes {
+			k = gzFileBytes - pos
 		}
+		m.StoreByteRun(s.input+vm.VAddr(pos), phrase[:k])
+		pos += k
 	}
 	// Reset the match-finder state.
 	m.Memset(s.heads, 0xff, (1<<gzWindowBits)*8)
@@ -137,9 +139,9 @@ func (s *gzipState) deflate() uint64 {
 		m.Store64(s.heads+vm.VAddr(h*8), uint64(pos))
 
 		if bestLen >= 4 {
-			emit(0x80 | byte(bestLen))
-			emit(byte(bestDist))
-			emit(byte(bestDist >> 8))
+			tok := [3]byte{0x80 | byte(bestLen), byte(bestDist), byte(bestDist >> 8)}
+			m.StoreByteRun(s.output+vm.VAddr(out), tok[:])
+			out += 3
 			pos += bestLen
 		} else {
 			emit(m.Load8(s.input + vm.VAddr(pos)))
@@ -153,25 +155,21 @@ func (s *gzipState) deflate() uint64 {
 }
 
 func (s *gzipState) hash3(pos int) uint64 {
-	m := s.m
-	b0 := uint64(m.Load8(s.input + vm.VAddr(pos)))
-	b1 := uint64(m.Load8(s.input + vm.VAddr(pos+1)))
-	b2 := uint64(m.Load8(s.input + vm.VAddr(pos+2)))
-	return (b0<<10 ^ b1<<5 ^ b2) & (1<<gzWindowBits - 1)
+	var b [3]byte
+	s.m.LoadByteRun(s.input+vm.VAddr(pos), b[:])
+	return (uint64(b[0])<<10 ^ uint64(b[1])<<5 ^ uint64(b[2])) & (1<<gzWindowBits - 1)
 }
 
 // matchLen counts matching bytes between positions cand and pos, capped at
-// 127 so the length always fits the token's 7-bit field.
+// 127 so the length always fits the token's 7-bit field. CompareRun loads
+// the same interleaved byte pairs (cand+n then pos+n, both bytes of the
+// first mismatching pair included) the open-coded loop did.
 func (s *gzipState) matchLen(cand, pos int) int {
-	m := s.m
-	n := 0
-	for pos+n < gzFileBytes && n < 127 {
-		if m.Load8(s.input+vm.VAddr(cand+n)) != m.Load8(s.input+vm.VAddr(pos+n)) {
-			break
-		}
-		n++
+	max := gzFileBytes - pos
+	if max > 127 {
+		max = 127
 	}
-	return n
+	return s.m.CompareRun(s.input+vm.VAddr(cand), s.input+vm.VAddr(pos), max)
 }
 
 // writeTrailer allocates the per-file trailer record — [crc 8][isize 8]
@@ -195,10 +193,10 @@ func (s *gzipState) writeTrailer(f int, outLen uint64, buggy bool) {
 			name[i] = byte('A' + i%26)
 		}
 	}
-	// strcpy(rec->path, name) — no bounds check, like the real bug.
-	for i, c := range name {
-		m.Store8(rec+16+vm.VAddr(i), c)
-	}
+	// strcpy(rec->path, name) — no bounds check, like the real bug. The
+	// batched run bails to the slow path at the guard line (it is flushed,
+	// so the first overflowing store misses), faulting exactly as singles.
+	storeBytes(m, rec+16, name)
 	_ = checksum(m, rec, 16)
 	if err := s.e.Alloc.Free(rec); err != nil {
 		machine.Abort("gzip: free trailer: %v", err)

@@ -119,9 +119,9 @@ func (s *nisState) initServer() {
 
 	s.desTable = mustMalloc(s.e, nisDesTableBytes)
 	s.e.Root(s.desTable)
-	for off := uint64(0); off < nisDesTableBytes; off += 8 {
-		m.Store64(s.desTable+vm.VAddr(off), off*0x9e3779b97f4a7c15)
-	}
+	fillWords(m, s.desTable, nisDesTableBytes/8, func(i uint64) uint64 {
+		return i * 8 * 0x9e3779b97f4a7c15
+	})
 
 	s.reqBuf = mustMalloc(s.e, 256)
 	s.respBuf = mustMalloc(s.e, 512)
@@ -300,10 +300,7 @@ func (s *nisState) handleAll(i int) {
 // resident DES table plus ALU work.
 func (s *nisState) desWork() {
 	m := s.m
-	words := uint64(nisDesTableBytes / 8)
-	for off := uint64(0); off < words; off++ {
-		_ = m.Load64(s.desTable + vm.VAddr(off*8))
-	}
+	scanWords(m, s.desTable, nisDesTableBytes/8)
 	m.Compute(52000)
 }
 

@@ -183,9 +183,9 @@ func (s *squidState) initCache() {
 
 	s.aclTable = mustMalloc(s.e, sqACLTableBytes)
 	s.e.Root(s.aclTable)
-	for off := uint64(0); off < sqACLTableBytes; off += 8 {
-		m.Store64(s.aclTable+vm.VAddr(off), off|1)
-	}
+	fillWords(m, s.aclTable, sqACLTableBytes/8, func(i uint64) uint64 {
+		return i * 8 | 1
+	})
 
 	// squid2 runs with a prewarmed, near-static cache.
 	for i := 0; i < s.p.prewarm; i++ {
@@ -245,9 +245,7 @@ func (s *squidState) request(i int, buggy bool, variant int) {
 		passes = 3
 	}
 	for p := 0; p < passes; p++ {
-		for off := uint64(0); off < sqACLTableBytes; off += 8 {
-			_ = m.Load64(s.aclTable + vm.VAddr(off))
-		}
+		scanWords(m, s.aclTable, sqACLTableBytes/8)
 	}
 	url := s.urlFor(i)
 
@@ -294,9 +292,9 @@ func (s *squidState) request(i int, buggy bool, variant int) {
 		if n > 512 {
 			n = 512
 		}
-		for off := uint64(0); off < n; off += 8 {
-			m.Store64(payload+vm.VAddr(off), url<<32|off)
-		}
+		fillWords(m, payload, (n+7)/8, func(i uint64) uint64 {
+			return url<<32 | i*8
+		})
 
 		if variant == 1 && buggy && s.payloadClass(url) >= s.p.payloadClasses-3 && s.rng.Intn(3) == 0 {
 			// Client aborted the slow cold fetch mid-transfer: the
@@ -318,9 +316,9 @@ func (s *squidState) insert(i int, url uint64, _ int) {
 	if n > 512 {
 		n = 512
 	}
-	for off := uint64(0); off < n; off += 8 {
-		m.Store64(payload+vm.VAddr(off), url<<32|off)
-	}
+	fillWords(m, payload, (n+7)/8, func(i uint64) uint64 {
+		return url<<32 | i*8
+	})
 	s.insertPayload(i, url, payload, size)
 }
 

@@ -62,9 +62,18 @@ func runTar(e *Env, cfg Config) error {
 		s.archive = mustMalloc(e, tarArchiveSize)
 		e.Root(s.source)
 		e.Root(s.archive)
-		// Stage the source data once.
-		for off := uint64(0); off < tarSourceBytes; off += 8 {
-			m.Store64(s.source+vm.VAddr(off), off*0x100000001b3)
+		// Stage the source data once, in batched word runs.
+		var buf [64]uint64
+		for off := uint64(0); off < tarSourceBytes; {
+			k := uint64(len(buf))
+			if rem := (tarSourceBytes - off) / 8; rem < k {
+				k = rem
+			}
+			for i := uint64(0); i < k; i++ {
+				buf[i] = (off + i*8) * 0x100000001b3
+			}
+			m.StoreRun(s.source+vm.VAddr(off), 8, 8, buf[:k])
+			off += k * 8
 		}
 	}()
 
@@ -119,10 +128,12 @@ func (s *tarState) writeHeader(name string, size uint64) {
 	writeOctal(124, 11, size)          // size
 	writeOctal(136, 11, 1_700_000_000) // mtime
 
-	// Header checksum over all 512 bytes.
+	// Header checksum over all 512 bytes, read as one batched byte run.
+	var hb [tarHeaderSize]byte
+	m.LoadByteRun(hdr, hb[:])
 	var sum uint64
-	for i := uint64(0); i < tarHeaderSize; i++ {
-		sum += uint64(m.Load8(hdr + vm.VAddr(i)))
+	for _, b := range hb {
+		sum += uint64(b)
 	}
 	writeOctal(148, 7, sum)
 

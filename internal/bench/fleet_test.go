@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"safemem/internal/apps"
+)
+
+// TestFleetShape pins the fleet experiment's structure: one row per app,
+// every row aggregating exactly shards runs, totals consistent with the
+// rows, and a JSON round trip that loses nothing.
+func TestFleetShape(t *testing.T) {
+	f, err := RunFleet(apps.Config{Seed: 42}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := apps.All()
+	if len(f.Rows) != len(all) {
+		t.Fatalf("fleet has %d rows, want one per app (%d)", len(f.Rows), len(all))
+	}
+	var instrs uint64
+	for i, r := range f.Rows {
+		if r.App != all[i].Name {
+			t.Errorf("row %d is %q, want %q (apps.All order)", i, r.App, all[i].Name)
+		}
+		if r.Runs != 2 {
+			t.Errorf("%s ran %d times, want shards=2", r.App, r.Runs)
+		}
+		if r.SimInstrs == 0 || r.HostNS <= 0 || r.HostNSPerInstr <= 0 {
+			t.Errorf("%s row not filled: %+v", r.App, r)
+		}
+		instrs += r.SimInstrs
+	}
+	if f.SimInstrs != instrs {
+		t.Errorf("total SimInstrs %d != sum of rows %d", f.SimInstrs, instrs)
+	}
+	if f.WallNS <= 0 || f.SimMIPS <= 0 || f.SimMIPSPerCore <= 0 {
+		t.Errorf("aggregates not filled: wall=%d mips=%.2f mips/core=%.2f",
+			f.WallNS, f.SimMIPS, f.SimMIPSPerCore)
+	}
+	if f.Workers < 1 || f.Workers > f.Cores {
+		t.Errorf("workers %d outside [1, cores=%d]", f.Workers, f.Cores)
+	}
+
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := f.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Errorf("JSON round trip diverges:\nwrote %+v\nread  %+v", f, got)
+	}
+
+	if !strings.Contains(f.Render(), "sim-MIPS/core") {
+		t.Error("Render lost the per-core aggregate")
+	}
+}
+
+// TestFleetDeterministicSimColumns pins that the simulated columns of the
+// fleet report do not depend on concurrency: the same seed at different
+// worker counts yields identical per-app instruction counts (only host
+// timings may differ).
+func TestFleetDeterministicSimColumns(t *testing.T) {
+	a, err := RunFleet(apps.Config{Seed: 7}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(apps.Config{Seed: 7}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].SimInstrs != b.Rows[i].SimInstrs {
+			t.Errorf("%s: sim instrs %d at 1 worker vs %d at 4 workers",
+				a.Rows[i].App, a.Rows[i].SimInstrs, b.Rows[i].SimInstrs)
+		}
+	}
+}
+
+// TestThroughputPerAppGate pins the per-app rows of CheckAgainst: a single
+// app regressing past tolerance must fail the gate even when the total
+// stays quiet, rows missing from either side are skipped, and the passing
+// direction stays green.
+func TestThroughputPerAppGate(t *testing.T) {
+	base := &Throughput{
+		Rows: []ThroughputRow{
+			{App: "gzip", HostNSPerInstr: 2.0},
+			{App: "tar", HostNSPerInstr: 2.0},
+			{App: "retired", HostNSPerInstr: 1.0},
+		},
+		Total: ThroughputRow{App: "TOTAL", HostNSPerInstr: 1.0},
+	}
+	cur := &Throughput{
+		Rows: []ThroughputRow{
+			{App: "gzip", HostNSPerInstr: 2.1},
+			{App: "tar", HostNSPerInstr: 2.0},
+			{App: "brand-new", HostNSPerInstr: 9.9},
+		},
+		Total: ThroughputRow{App: "TOTAL", HostNSPerInstr: 1.05},
+	}
+	if err := cur.CheckAgainst(base, 0.25); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+	cur.Rows[0].HostNSPerInstr = 2.6 // gzip +30%, total untouched
+	err := cur.CheckAgainst(base, 0.25)
+	if err == nil {
+		t.Fatal("per-app regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "gzip") {
+		t.Fatalf("gate error does not name the regressed app: %v", err)
+	}
+	cur.Rows[0].HostNSPerInstr = 2.0
+	cur.Total.HostNSPerInstr = 1.3 // total +30%
+	if err := cur.CheckAgainst(base, 0.25); err == nil {
+		t.Fatal("total regression passed the gate")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"safemem/internal/apps"
 	"safemem/internal/cache"
@@ -211,6 +212,10 @@ type Result struct {
 	// Instrs is the simulated-instruction count (loads + stores + compute
 	// cycles) — the denominator of the throughput experiment.
 	Instrs uint64
+	// HostNS is host wall-clock spent inside Machine.Run — the simulated
+	// program only, excluding machine construction/recycling, heap setup and
+	// tool attachment. The throughput and fleet experiments aggregate it.
+	HostNS int64
 
 	// Tool-specific outputs (only the attached tool's fields are set).
 	SafeMem []safemem.BugReport
@@ -413,12 +418,14 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	}
 
 	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/"+tool.String())
+	start := time.Now()
 	res.Err = m.Run(func() error {
 		if runHook != nil {
 			runHook()
 		}
 		return app.Run(env, cfg)
 	})
+	res.HostNS = time.Since(start).Nanoseconds()
 	runSpan.End()
 	if fp != nil {
 		fp.Stop()
@@ -502,7 +509,9 @@ func RunWithOptions(appName string, opts safemem.Options, cfg apps.Config) (*Res
 	res := &Result{App: appName, Tool: ToolSafeMemBoth, Cfg: cfg}
 	env := &apps.Env{M: m, Alloc: alloc}
 	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/custom")
+	start := time.Now()
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	res.HostNS = time.Since(start).Nanoseconds()
 	runSpan.End()
 	res.Cycles = m.Clock.Now()
 	res.Instrs = m.Instructions()
@@ -563,7 +572,9 @@ func RunSample(appName string, rate int, seed uint64, cfg apps.Config) (*Result,
 	res := &Result{App: appName, Tool: ToolSample, Cfg: cfg}
 	env := &apps.Env{M: m, Alloc: alloc}
 	runSpan := m.Telemetry.Tracer().Begin("run", appName+"/sample")
+	start := time.Now()
 	res.Err = m.Run(func() error { return app.Run(env, cfg) })
+	res.HostNS = time.Since(start).Nanoseconds()
 	runSpan.End()
 	res.Cycles = m.Clock.Now()
 	res.Instrs = m.Instructions()

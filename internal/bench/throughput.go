@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"time"
 
 	"safemem/internal/apps"
 	"safemem/internal/stats"
@@ -44,14 +43,15 @@ type Throughput struct {
 // RunThroughput runs every app uninstrumented (ToolNone) and wall-clocks
 // each run on the host. Rows run sequentially even when Parallel > 1:
 // concurrent cells would contend for host cores and corrupt the per-row
-// timings.
+// timings. Each row times only Machine.Run (Result.HostNS) — machine
+// construction, pool recycling and heap setup are harness cost, not
+// simulator throughput, and timing them made short rows look ~2× slower
+// than the simulator actually is.
 func RunThroughput(cfg apps.Config) (*Throughput, error) {
 	t := &Throughput{Seed: cfg.Seed, Scale: cfg.Scale}
 	all := apps.All()
 	for ai, app := range all {
-		start := time.Now()
 		res, err := Run(app.Name, ToolNone, cfg)
-		hostNS := time.Since(start).Nanoseconds()
 		noteProgress("throughput", ai+1, len(all))
 		if err != nil {
 			return nil, fmt.Errorf("throughput: %s: %w", app.Name, err)
@@ -63,7 +63,7 @@ func RunThroughput(cfg apps.Config) (*Throughput, error) {
 			App:       app.Name,
 			SimInstrs: res.Instrs,
 			SimCycles: uint64(res.Cycles),
-			HostNS:    hostNS,
+			HostNS:    res.HostNS,
 		}
 		row.fillRates()
 		t.Rows = append(t.Rows, row)
@@ -126,11 +126,14 @@ func ReadThroughput(path string) (*Throughput, error) {
 	return t, nil
 }
 
-// CheckAgainst compares this run's aggregate host-ns-per-instruction
-// against a baseline and returns an error if it regressed by more than
-// tolerance (0.25 = 25% slower). Only the total is judged: per-app rows are
-// short enough that scheduler noise trips a per-row gate, while a real
-// regression in the access path moves every row and therefore the total.
+// CheckAgainst compares this run's host-ns-per-instruction — the aggregate
+// total and every per-app row — against a baseline and returns an error if
+// any regressed by more than tolerance (0.25 = 25% slower). The total gate
+// catches access-path-wide regressions; the per-app gates catch a fast-lane
+// bail-out regression that hammers one workload's idiom (say, CompareRun
+// falling back to byte loads would triple gzip while barely moving the
+// total). Rows present only on one side are skipped — adding an app must
+// not fail the gate until the baseline is regenerated.
 func (t *Throughput) CheckAgainst(base *Throughput, tolerance float64) error {
 	cur, ref := t.Total.HostNSPerInstr, base.Total.HostNSPerInstr
 	if ref <= 0 {
@@ -139,6 +142,20 @@ func (t *Throughput) CheckAgainst(base *Throughput, tolerance float64) error {
 	if cur > ref*(1+tolerance) {
 		return fmt.Errorf("host ns/instr regressed: %.4f vs baseline %.4f (+%.0f%%, tolerance %.0f%%)",
 			cur, ref, (cur/ref-1)*100, tolerance*100)
+	}
+	baseRows := make(map[string]float64, len(base.Rows))
+	for _, r := range base.Rows {
+		baseRows[r.App] = r.HostNSPerInstr
+	}
+	for _, r := range t.Rows {
+		bref, ok := baseRows[r.App]
+		if !ok || bref <= 0 {
+			continue
+		}
+		if r.HostNSPerInstr > bref*(1+tolerance) {
+			return fmt.Errorf("%s host ns/instr regressed: %.4f vs baseline %.4f (+%.0f%%, tolerance %.0f%%)",
+				r.App, r.HostNSPerInstr, bref, (r.HostNSPerInstr/bref-1)*100, tolerance*100)
+		}
 	}
 	return nil
 }

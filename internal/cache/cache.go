@@ -15,13 +15,15 @@
 // The lookup path is the single hottest function of the simulator (every
 // simulated load and store lands here), so its layout is tuned: ways live in
 // one flat slice (no per-set slice header chase), validity is a generation
-// stamp compared against the cache's current generation (so FlushAll is one
-// counter bump instead of a full sweep of invalidations), the set index is a
-// shift-and-mask with precomputed constants, and a per-set MRU hint
-// short-circuits the associative scan for the dominant repeated-touch
-// pattern. None of this changes simulated semantics: hit/miss decisions,
-// LRU victim choice, write-back order and cycle charges are identical to
-// the straightforward implementation.
+// stamp compared against the cache's current generation, the set index is a
+// shift-and-mask with precomputed constants, and the associative probe scans
+// a packed side array of line tags (eight 8-byte tags — one host cache line
+// per set) instead of striding across the 96-byte way structs, so both the
+// hit probe and the full-scan miss touch a single host line. Line addresses
+// are 64-byte aligned, so a tag's low bit doubles as its valid bit. None of
+// this changes simulated semantics: hit/miss decisions, LRU victim choice,
+// write-back order and cycle charges are identical to the straightforward
+// implementation.
 package cache
 
 import (
@@ -76,10 +78,18 @@ type Cache struct {
 	clock *simtime.Clock
 	cfg   Config
 
-	ways    []way   // cfg.Sets×cfg.Ways, set-major
-	mru     []int32 // per-set way index of the last hit/fill (a hint, never authoritative)
-	setMask uint64  // cfg.Sets-1
-	gen     uint64  // current valid generation, ≥1
+	ways []way // cfg.Sets×cfg.Ways, set-major
+	// tags mirrors ways: uint64(line)|1 for a valid way, 0 for an invalid
+	// one. The probe loop scans only this packed array; every mutation of a
+	// way's identity (fill, invalidate, flush-all, recycle) updates the tag.
+	tags    []uint64
+	setMask uint64 // cfg.Sets-1
+	gen     uint64 // current valid generation, ≥1
+	// epoch counts residency mutations: every fill, invalidation, flush-all
+	// and recycle. A LineRef obtained while Epoch() returned E is still
+	// resident (and still holds the same line) as long as Epoch() == E. The
+	// machine's batch lane uses this to keep line windows open across runs.
+	epoch uint64
 
 	tick  uint64
 	stats Stats
@@ -100,7 +110,7 @@ func New(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) (*Cache, er
 		clock:   clock,
 		cfg:     cfg,
 		ways:    make([]way, cfg.Sets*cfg.Ways),
-		mru:     make([]int32, cfg.Sets),
+		tags:    make([]uint64, cfg.Sets*cfg.Ways),
 		setMask: uint64(cfg.Sets - 1),
 		gen:     1,
 	}, nil
@@ -127,10 +137,9 @@ func (c *Cache) Recycle() {
 	for i := range c.ways {
 		c.ways[i] = way{}
 	}
-	for i := range c.mru {
-		c.mru[i] = 0
-	}
+	clear(c.tags)
 	c.gen = 1
+	c.epoch++
 	c.tick = 0
 	c.stats = Stats{}
 }
@@ -167,25 +176,27 @@ func (c *Cache) setIndex(line physmem.Addr) int {
 	return int(uint64(line) >> lineShift & c.setMask)
 }
 
-// find returns the way holding line, or nil.
+// find returns the way holding line, or nil. The scan walks the packed tag
+// array only; a hit touches the way struct itself just once, a miss not at
+// all.
 func (c *Cache) find(line physmem.Addr) *way {
-	si := c.setIndex(line)
-	base := si * c.cfg.Ways
-	// MRU short-circuit: repeated touches to the same line dominate real
-	// access streams, and they need no associative scan.
-	if m := int(c.mru[si]); m < c.cfg.Ways {
-		if w := &c.ways[base+m]; w.gen == c.gen && w.line == line {
-			return w
-		}
-	}
-	set := c.ways[base : base+c.cfg.Ways]
-	for i := range set {
-		if set[i].gen == c.gen && set[i].line == line {
-			c.mru[si] = int32(i)
-			return &set[i]
-		}
+	if i := c.findIdx(line); i >= 0 {
+		return &c.ways[i]
 	}
 	return nil
+}
+
+// findIdx returns the global way index holding line, or -1.
+func (c *Cache) findIdx(line physmem.Addr) int {
+	base := c.setIndex(line) * c.cfg.Ways
+	tag := uint64(line) | 1
+	tags := c.tags[base : base+c.cfg.Ways]
+	for i := range tags {
+		if tags[i] == tag {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // victim picks the LRU way of set si, writing it back if dirty, and returns
@@ -227,6 +238,7 @@ func (c *Cache) lookup(line physmem.Addr) *way {
 	}
 	c.stats.Misses++
 	c.clock.Advance(simtime.CostCacheMiss)
+	c.epoch++
 	si := c.setIndex(line)
 	wi, w := c.victim(si)
 	// ReadLine runs the ECC path; a watched line raises its fault here, and
@@ -237,7 +249,7 @@ func (c *Cache) lookup(line physmem.Addr) *way {
 	w.dirty = false
 	w.line = line
 	w.lru = c.tick
-	c.mru[si] = int32(wi)
+	c.tags[si*c.cfg.Ways+wi] = uint64(line) | 1
 	return w
 }
 
@@ -283,6 +295,110 @@ func (c *Cache) StoreBytes(a physmem.Addr, size int, v uint64) {
 	w.dirty = true
 }
 
+// LineRef is a handle to a resident cache line opened for a batched access
+// run (the machine's fast lane). It is only valid until the next cache
+// operation of any kind — lookups, flushes or fills may evict or rewrite
+// the underlying way — which the fast lane guarantees by re-probing after
+// every slow-path access.
+type LineRef struct {
+	w *way
+}
+
+// OpenLine probes for line without charging cycles, counting a hit, or
+// touching LRU state. ok=false means the line is not resident: the run must
+// fall back to the slow path, whose miss fill performs the ECC-checked DRAM
+// read (and with it any watched-line fault).
+func (c *Cache) OpenLine(line physmem.Addr) (LineRef, bool) {
+	w := c.find(line)
+	if w == nil {
+		return LineRef{}, false
+	}
+	return LineRef{w: w}, true
+}
+
+// Load reads size bytes at byte offset off (0..63) within the opened line,
+// data only — hit accounting is settled by CommitRun. The caller has
+// already checked that the access does not cross an ECC-group boundary.
+func (r LineRef) Load(off uint64, size int) uint64 {
+	word := r.w.words[off>>3]
+	if size == 8 {
+		return word
+	}
+	shift := (off & 7) * 8
+	mask := (uint64(1) << (uint(size) * 8)) - 1
+	return (word >> shift) & mask
+}
+
+// Store writes the low size bytes of v at byte offset off within the
+// opened line and marks it dirty. Same contract as Load.
+func (r LineRef) Store(off uint64, size int, v uint64) {
+	g := off >> 3
+	if size == 8 {
+		r.w.words[g] = v
+	} else {
+		shift := (off & 7) * 8
+		mask := ((uint64(1) << (uint(size) * 8)) - 1) << shift
+		r.w.words[g] = r.w.words[g]&^mask | (v<<shift)&mask
+	}
+	r.w.dirty = true
+}
+
+// Word and SetWord are the 8-byte-group accessors for the fast lane's
+// word-granularity copy loops; g is the group index within the line (0..7).
+func (r LineRef) Word(g int) uint64 { return r.w.words[g] }
+
+// SetWord writes group g and marks the line dirty.
+func (r LineRef) SetWord(g int, v uint64) {
+	r.w.words[g] = v
+	r.w.dirty = true
+}
+
+// Words exposes the line's backing 8-group array for bulk reads by the fast
+// lane's fused loops (word-at-a-time compare). Writers must go through
+// Store/SetWord/CopyWords — only the writing accessors maintain the dirty
+// bit.
+func (r LineRef) Words() *[8]uint64 { return &r.w.words }
+
+// CopyWords copies n groups of src starting at group sg into r starting at
+// group dg and marks r dirty — the bulk equivalent of n SetWord(Word) pairs.
+func (r LineRef) CopyWords(dg int, src LineRef, sg, n int) {
+	copy(r.w.words[dg:dg+n], src.w.words[sg:sg+n])
+	r.w.dirty = true
+}
+
+// StoreBytesLE writes the low n bytes (1..8) of v little-endian at byte
+// offset off — which may straddle a group boundary but not the line — and
+// marks the line dirty: the bulk equivalent of n byte Stores.
+func (r LineRef) StoreBytesLE(off, n, v uint64) {
+	g, b := off>>3, (off&7)*8
+	mask := ^uint64(0)
+	if n < 8 {
+		mask = 1<<(n*8) - 1
+		v &= mask
+	}
+	r.w.words[g] = r.w.words[g]&^(mask<<b) | v<<b
+	if b+n*8 > 64 {
+		sh := 64 - b
+		r.w.words[g+1] = r.w.words[g+1]&^(mask>>sh) | v>>sh
+	}
+	r.w.dirty = true
+}
+
+// CommitRun settles the hit accounting for n batched accesses against r:
+// exactly the state n sequential hitting lookups would have produced —
+// tick advanced n times, n hits counted, the line's LRU stamp set to the
+// final tick. The n·CostCacheHit cycle charge is deliberately left to the
+// caller, which folds it into one combined clock Advance per run segment.
+// Relative LRU order across lines is preserved (each commit stamps beyond
+// every pre-run stamp, and segments commit in access order), so victim
+// selection — and with it every downstream memory-traffic number — is
+// unchanged; TestBatchLaneCommitOrder pins this.
+func (c *Cache) CommitRun(r LineRef, n uint64) {
+	c.tick += n
+	c.stats.Hits += n
+	r.w.lru = c.tick
+}
+
 func checkSpan(a physmem.Addr, size int) {
 	if size < 1 || size > 8 {
 		panic(fmt.Sprintf("cache: access size %d out of range", size))
@@ -302,10 +418,11 @@ func (c *Cache) FlushLine(line physmem.Addr) {
 	defer sp.End()
 	c.stats.Flushes++
 	c.clock.Advance(simtime.CostLineFlush)
-	w := c.find(line)
-	if w == nil {
+	wi := c.findIdx(line)
+	if wi < 0 {
 		return
 	}
+	w := &c.ways[wi]
 	if w.dirty {
 		c.stats.WriteBacks++
 		c.clock.Advance(simtime.CostWriteBack)
@@ -313,6 +430,8 @@ func (c *Cache) FlushLine(line physmem.Addr) {
 	}
 	w.gen = 0
 	w.dirty = false
+	c.tags[wi] = 0
+	c.epoch++
 }
 
 // PeekWord returns the current value of the ECC group containing a as the
@@ -340,8 +459,8 @@ func (c *Cache) FlushFrame(base physmem.Addr) {
 	sp := c.tr.Begin("cache", "flush-frame", telemetry.KV("frame", uint64(base)))
 	defer sp.End()
 	for off := physmem.Addr(0); off < 4096; off += physmem.LineBytes {
-		line := base + off
-		if w := c.find(line); w != nil {
+		if wi := c.findIdx(base + off); wi >= 0 {
+			w := &c.ways[wi]
 			if w.dirty {
 				c.stats.WriteBacks++
 				c.clock.Advance(simtime.CostWriteBack)
@@ -349,14 +468,17 @@ func (c *Cache) FlushFrame(base physmem.Addr) {
 			}
 			w.gen = 0
 			w.dirty = false
+			c.tags[wi] = 0
+			c.epoch++
 		}
 	}
 	c.clock.Advance(simtime.CostLineFlush)
 }
 
 // FlushAll writes back and invalidates every line (used when the kernel
-// swaps a page out). Write-backs keep the classic set-major order;
-// invalidation is a single generation bump instead of a sweep.
+// swaps a page out). Write-backs keep the classic set-major order; way
+// invalidation is a single generation bump, plus a clear of the packed tag
+// array (32 KiB for the default geometry — cheap next to the swap itself).
 func (c *Cache) FlushAll() {
 	sp := c.tr.Begin("cache", "flush-all")
 	defer sp.End()
@@ -369,4 +491,10 @@ func (c *Cache) FlushAll() {
 		}
 	}
 	c.gen++
+	c.epoch++
+	clear(c.tags)
 }
+
+// Epoch returns the residency-mutation counter. Any LineRef obtained at an
+// older epoch must be re-derived through OpenLine.
+func (c *Cache) Epoch() uint64 { return c.epoch }

@@ -216,3 +216,91 @@ func TestQuickSubWordRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBatchLaneCommitOrder pins CommitRun's LRU contract: committing n
+// batched accesses against a line leaves exactly the replacement state n
+// sequential hitting lookups would have — same hit counts, same relative
+// recency, and therefore the same victims on the next misses.
+func TestBatchLaneCommitOrder(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 2}
+	seq, _, _ := newRig(1<<16, cfg)
+	bat, _, _ := newRig(1<<16, cfg)
+	// Four lines in the same set (set-index stride is Sets*LineBytes).
+	const A, B, C, D = physmem.Addr(0), physmem.Addr(256), physmem.Addr(512), physmem.Addr(768)
+
+	for _, c := range []*Cache{seq, bat} {
+		c.StoreWord(A, 0xa) // miss-fill A
+		c.StoreWord(B, 0xb) // miss-fill B — the set is now full
+	}
+	// Three further touches of A: per-access hits on seq, one batched
+	// commit on bat.
+	seq.LoadWord(A)
+	seq.LoadWord(A)
+	seq.LoadWord(A)
+	r, ok := bat.OpenLine(A)
+	if !ok {
+		t.Fatal("A not resident")
+	}
+	bat.CommitRun(r, 3)
+	if seq.Stats() != bat.Stats() {
+		t.Fatalf("stats diverge after commit: seq %+v bat %+v", seq.Stats(), bat.Stats())
+	}
+
+	// C misses: the victim must be B on both (A was touched more recently).
+	for name, c := range map[string]*Cache{"seq": seq, "bat": bat} {
+		c.LoadWord(C)
+		if _, ok := c.OpenLine(B); ok {
+			t.Errorf("%s: B survived; victim choice diverged from per-access LRU", name)
+		}
+		if _, ok := c.OpenLine(A); !ok {
+			t.Errorf("%s: A evicted; CommitRun did not stamp it most-recent", name)
+		}
+	}
+	// D misses next: A is now older than C, so A must go.
+	for name, c := range map[string]*Cache{"seq": seq, "bat": bat} {
+		c.LoadWord(D)
+		if _, ok := c.OpenLine(A); ok {
+			t.Errorf("%s: A survived the second eviction", name)
+		}
+		if _, ok := c.OpenLine(C); !ok {
+			t.Errorf("%s: C evicted out of order", name)
+		}
+	}
+	if seq.Stats() != bat.Stats() {
+		t.Fatalf("stats diverge after evictions: seq %+v bat %+v", seq.Stats(), bat.Stats())
+	}
+}
+
+// TestLineRefBulkAccessors pins the fast lane's bulk line accessors against
+// the byte-granularity Load/Store they replace.
+func TestLineRefBulkAccessors(t *testing.T) {
+	c, _, _ := newRig(1<<16, DefaultConfig)
+	for i := uint64(0); i < physmem.LineBytes; i++ {
+		c.StoreBytes(physmem.Addr(i&^7), 8, 0x0101010101010101*(i/8+1))
+	}
+	r, ok := c.OpenLine(0)
+	if !ok {
+		t.Fatal("line 0 not resident")
+	}
+	w := r.Words()
+	for g := 0; g < physmem.GroupsPerLine; g++ {
+		if w[g] != r.Word(g) {
+			t.Fatalf("Words()[%d] = %#x, Word(%d) = %#x", g, w[g], g, r.Word(g))
+		}
+	}
+	// StoreBytesLE across a group boundary must match per-byte stores.
+	r.StoreBytesLE(5, 8, 0x1122334455667788)
+	for i := uint64(0); i < 8; i++ {
+		want := uint64(0x1122334455667788>>(8*i)) & 0xff
+		if got := r.Load(5+i, 1); got != want {
+			t.Fatalf("byte %d after StoreBytesLE = %#x, want %#x", i, got, want)
+		}
+	}
+	// Short tail with masking: surrounding bytes untouched.
+	before := r.Load(16, 8)
+	r.StoreBytesLE(18, 3, 0xffffffffff) // only 3 bytes may land
+	want := before&^uint64(0xffffff<<16) | 0xffffff<<16
+	if got := r.Load(16, 8); got != want {
+		t.Fatalf("masked StoreBytesLE word = %#x, want %#x", got, want)
+	}
+}

@@ -140,3 +140,51 @@ func TestRecycleEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// withBatch runs f with the batched access fast lane globally forced on or
+// off, restoring the default afterwards (same discipline as withTLB).
+func withBatch(t *testing.T, on bool, f func()) {
+	t.Helper()
+	prev := machine.BatchDefault
+	machine.BatchDefault = on
+	defer func() { machine.BatchDefault = prev }()
+	f()
+}
+
+// TestBatchLaneEquivalence pins that the batched access fast lane is a pure
+// host-side optimisation at system level: every paper app — under no tool,
+// the full SafeMem detector and the sampling detector (so watched and
+// guarded lines land mid-batch and must produce identical bug reports,
+// detection latencies and stats) — and whole campaigns at shard counts 1
+// and 3, including the flaky-DIMM environment, produce bit-identical
+// simulated results with the lane on and off. The unit-level version is
+// TestBatchEquivalence in internal/machine.
+func TestBatchLaneEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch equivalence sweep is slow")
+	}
+
+	for _, app := range apps.All() {
+		for _, tool := range []bench.Tool{bench.ToolNone, bench.ToolSafeMemBoth, bench.ToolSample} {
+			var on, off benchDigest
+			withBatch(t, true, func() { on = digestBench(t, app.Name, tool) })
+			withBatch(t, false, func() { off = digestBench(t, app.Name, tool) })
+			if !reflect.DeepEqual(on, off) {
+				t.Errorf("%s/%v diverges with the batch lane:\non:  %+v\noff: %+v", app.Name, tool, on, off)
+			}
+		}
+	}
+
+	for _, cfg := range []Config{
+		{Seeds: 8, BaseSeed: 42, Shards: 1},
+		{Seeds: 8, BaseSeed: 42, Shards: 3},
+		{Seeds: 4, BaseSeed: 411, Shards: 3, FaultRate: 40, Storm: true, Retire: true},
+	} {
+		var on, off []byte
+		withBatch(t, true, func() { on = campaignJSON(t, cfg) })
+		withBatch(t, false, func() { off = campaignJSON(t, cfg) })
+		if !bytes.Equal(on, off) {
+			t.Errorf("campaign %+v diverges with the batch lane:\n--- on\n%s\n--- off\n%s", cfg, on, off)
+		}
+	}
+}

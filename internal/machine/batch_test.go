@@ -1,0 +1,361 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"safemem/internal/cache"
+	"safemem/internal/kernel"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+// faultRecord is everything a mid-run ECC fault exposes to its handler: the
+// faulting line, the simulated time of delivery, and the in-flight access
+// the kernel would attribute a bug report to. All of it must be identical
+// whether the surrounding run was batched or not.
+type faultRecord struct {
+	vline   vm.VAddr
+	at      simtime.Cycles
+	inVA    vm.VAddr
+	inSize  int
+	inWrite bool
+	inOK    bool
+}
+
+// batchDigest is every simulated observable of the batch workload.
+type batchDigest struct {
+	cycles  simtime.Cycles
+	instrs  uint64
+	mstats  Stats
+	cstats  cache.Stats
+	sum     uint64
+	wakes   []simtime.Cycles
+	faults  []faultRecord
+	protHit int
+}
+
+// batchWorkload drives every batched entry point through its interesting
+// cases — page and line crossings, strided and misaligned runs, wake
+// deadlines, watched lines, protection faults, swapped pages, cache and
+// translation churn between runs — and digests all simulated state.
+// The second return value is the machine's host-side lane counters
+// (runs, fastOps, slowOps).
+func batchWorkload(t *testing.T, batched bool) (batchDigest, [3]uint64) {
+	t.Helper()
+	m := MustNew(Config{MemBytes: 1 << 20})
+	m.SetBatch(batched)
+	var d batchDigest
+	h := func(v uint64) { d.sum = d.sum*0x9e3779b97f4a7c15 + v }
+
+	err := m.Run(func() error {
+		const base = vm.VAddr(0x40000)
+		if err := m.Kern.MapPages(base, 8); err != nil {
+			return err
+		}
+
+		// Contiguous word runs spanning lines and pages.
+		buf := make([]uint64, 1200)
+		for i := range buf {
+			buf[i] = uint64(i) * 0x2545f4914f6cdd1d
+		}
+		m.StoreRun(base, 8, 8, buf)
+		out := make([]uint64, len(buf))
+		m.LoadRun(base, 8, 8, out)
+		for _, v := range out {
+			h(v)
+		}
+
+		// Strided halfword runs (the non-contiguous runOp path).
+		m.StoreRun(base+4096, 2, 16, buf[:256])
+		m.LoadRun(base+4096, 2, 16, out[:256])
+		for _, v := range out[:256] {
+			h(v)
+		}
+
+		// Misaligned byte runs crossing lines and a page boundary.
+		bs := make([]byte, 700)
+		for i := range bs {
+			bs[i] = byte(i*37 + 11)
+		}
+		m.StoreByteRun(base+vm.PageBytes-333, bs)
+		rb := make([]byte, len(bs))
+		m.LoadByteRun(base+vm.PageBytes-333, rb)
+		for _, v := range rb {
+			h(uint64(v))
+		}
+
+		// Copies: aligned words, a misaligned head that co-aligns, and a
+		// never-co-aligning byte stream.
+		m.CopyRun(base+3*vm.PageBytes, base, 1024)
+		m.CopyRun(base+3*vm.PageBytes+1024+3, base+3, 517)
+		m.CopyRun(base+3*vm.PageBytes+2048+1, base+8, 300)
+		m.LoadByteRun(base+3*vm.PageBytes, rb[:512])
+		for _, v := range rb[:512] {
+			h(uint64(v))
+		}
+
+		// Compares: full match, a planted mismatch, a short misaligned span.
+		h(uint64(m.CompareRun(base, base+3*vm.PageBytes, 1024)))
+		m.Store(base+3*vm.PageBytes+777, 1, m.Load(base+3*vm.PageBytes+777, 1)^0x5a)
+		h(uint64(m.CompareRun(base, base+3*vm.PageBytes, 1024)))
+		h(uint64(m.CompareRun(base+1, base+3*vm.PageBytes+1, 60)))
+
+		// A mixed explicit batch: all sizes, loads and stores interleaved.
+		ops := []AccessOp{
+			{VA: base + 8, Size: 8},
+			{VA: base + 16, Size: 4, Write: true, Val: 0xdeadbeef},
+			{VA: base + 16, Size: 4},
+			{VA: base + 21, Size: 1, Write: true, Val: 0x7f},
+			{VA: base + 20, Size: 2},
+			{VA: base + 24, Size: 8},
+		}
+		m.RunAccesses(ops)
+		for _, op := range ops {
+			h(op.Val)
+		}
+
+		// A wake deadline landing inside a long byte run: it must fire at
+		// the identical simulated time either way.
+		m.Clock.NewTimer(m.Clock.Now()+2000, func(now simtime.Cycles) simtime.Cycles {
+			d.wakes = append(d.wakes, now)
+			return 0
+		})
+		m.StoreByteRun(base+2*vm.PageBytes, bs)
+		m.LoadByteRun(base+2*vm.PageBytes, rb)
+		for _, v := range rb {
+			h(uint64(v))
+		}
+
+		// A watched line landing mid-run: the ECC fault must carry the same
+		// line, fire at the same simulated time, and observe the same
+		// in-flight access whether or not the run is batched.
+		m.Kern.RegisterECCFaultHandler(func(f *kernel.ECCFault) bool {
+			fr := faultRecord{vline: f.VLine, at: m.Clock.Now()}
+			fr.inVA, fr.inSize, fr.inWrite, fr.inOK = m.AccessInFlight()
+			d.faults = append(d.faults, fr)
+			return m.Kern.DisableWatchMemory(f.VLine, 64) == nil
+		})
+		if _, err := m.Kern.WatchMemory(base+128, 64); err != nil {
+			return err
+		}
+		m.LoadByteRun(base, rb[:640])
+		for _, v := range rb[:640] {
+			h(uint64(v))
+		}
+
+		// A protection fault mid-run with a resolving handler.
+		if err := m.Kern.Mprotect(base+5*vm.PageBytes, 1, vm.ProtRead); err != nil {
+			return err
+		}
+		m.Kern.RegisterPageFaultHandler(func(f *vm.Fault) bool {
+			d.protHit++
+			return m.Kern.Mprotect(f.Addr.PageAddr(), 1, vm.ProtRW) == nil
+		})
+		m.StoreByteRun(base+5*vm.PageBytes-64, bs[:200])
+
+		// Swapped pages under a batched run (slow-path demand swap-in).
+		m.AS.SwapOutLRU(2)
+		m.LoadRun(base+6*vm.PageBytes-64, 8, 8, out[:32])
+		for _, v := range out[:32] {
+			h(v)
+		}
+
+		// Cache and translation churn between runs: persistent windows must
+		// be re-derived, never trusted.
+		m.Cache.FlushAll()
+		m.LoadRun(base, 8, 8, out[:16])
+		for _, v := range out[:16] {
+			h(v)
+		}
+		m.Compute(123)
+		m.CopyRun(base+7*vm.PageBytes, base+64, 640)
+		h(uint64(m.CompareRun(base+7*vm.PageBytes, base+64, 640)))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("batched=%v workload: %v", batched, err)
+	}
+	d.cycles = m.Clock.Now()
+	d.instrs = m.Instructions()
+	d.mstats = m.Stats()
+	d.cstats = m.Cache.Stats()
+	runs, fast, slow := m.BatchStats()
+	return d, [3]uint64{runs, fast, slow}
+}
+
+// TestBatchEquivalence pins the fast lane's core contract: every simulated
+// observable — values, instruction and cycle counts, machine and cache
+// statistics, wake firing times, ECC-fault delivery (line, time, in-flight
+// access), protection-fault counts — is bit-identical with the lane on and
+// off, across every batched entry point and every bail-out reason.
+func TestBatchEquivalence(t *testing.T) {
+	on, lane := batchWorkload(t, true)
+	off, laneOff := batchWorkload(t, false)
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("batched run diverges from per-access run:\non:  %+v\noff: %+v", on, off)
+	}
+	// Guard the test itself: the batched machine must actually have used
+	// the lane (fast ops) AND exercised bail-outs (slow ops), and the
+	// unbatched machine must never have entered it.
+	if lane[0] == 0 || lane[1] == 0 || lane[2] == 0 {
+		t.Errorf("batched workload did not exercise the lane: runs=%d fast=%d slow=%d",
+			lane[0], lane[1], lane[2])
+	}
+	if laneOff != [3]uint64{} {
+		t.Errorf("unbatched workload entered the lane: %v", laneOff)
+	}
+	// The workload's interesting events must all have happened, on both.
+	if len(on.wakes) != 1 || len(on.faults) != 1 || on.protHit != 1 {
+		t.Errorf("workload missed events: wakes=%d faults=%d protHit=%d",
+			len(on.wakes), len(on.faults), on.protHit)
+	}
+	if len(on.faults) == 1 && !on.faults[0].inOK {
+		t.Errorf("ECC fault observed no in-flight access: %+v", on.faults[0])
+	}
+}
+
+// TestRecycleResetsBatchLane pins that a pooled machine cannot leak
+// fast-lane state across tenants: counters, persistent windows and a
+// pinned SetBatch mode must all reset to the defaults.
+func TestRecycleResetsBatchLane(t *testing.T) {
+	m := MustNew(Config{MemBytes: 1 << 20})
+	m.SetBatch(true)
+	if err := m.Run(func() error {
+		if err := m.Kern.MapPages(0x10000, 2); err != nil {
+			return err
+		}
+		m.StoreRun(0x10000, 8, 8, []uint64{1, 2, 3, 4})
+		var out [4]uint64
+		m.LoadRun(0x10000, 8, 8, out[:])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs, fast, _ := m.BatchStats(); runs == 0 || fast == 0 {
+		t.Fatalf("workload never entered the fast lane (runs=%d fast=%d)", runs, fast)
+	}
+	if !m.batch.a.pageOK || !m.batch.a.lineOK {
+		t.Fatal("expected an open persistent window before Recycle")
+	}
+	m.Recycle()
+	if runs, fast, slow := m.BatchStats(); runs != 0 || fast != 0 || slow != 0 {
+		t.Errorf("Recycle left lane counters: runs=%d fast=%d slow=%d", runs, fast, slow)
+	}
+	if m.batch.a.pageOK || m.batch.a.lineOK || m.batch.b.pageOK || m.batch.b.lineOK {
+		t.Error("Recycle left a persistent window open")
+	}
+	if m.batch.mode != batchAuto {
+		t.Errorf("Recycle kept pinned batch mode %v; must revert to BatchDefault", m.batch.mode)
+	}
+	if m.batch.cacheEpoch != 0 || m.batch.vmEpoch != 0 {
+		t.Error("Recycle kept stale epoch snapshots")
+	}
+}
+
+// TestPersistentWindowEpochs pins the invalidation contract the persistent
+// windows rely on: every cache-residency mutation moves Cache.Epoch and
+// every translation mutation moves AddressSpace.Epoch, so laneSegs can
+// prove a window left open by a previous run is still valid.
+func TestPersistentWindowEpochs(t *testing.T) {
+	m := MustNew(Config{MemBytes: 1 << 20})
+	if err := m.Run(func() error {
+		if err := m.Kern.MapPages(0x10000, 4); err != nil {
+			return err
+		}
+		ce, ve := m.Cache.Epoch(), m.AS.Epoch()
+		if ve == 0 {
+			t.Error("MapPages did not move the translation epoch")
+		}
+		m.Load64(0x10000) // miss fill
+		if m.Cache.Epoch() == ce {
+			t.Error("miss fill did not move the cache epoch")
+		}
+		ce = m.Cache.Epoch()
+		m.Load64(0x10000) // pure hit: residency unchanged
+		if m.Cache.Epoch() != ce {
+			t.Error("a hit moved the cache epoch; persistent windows would never survive")
+		}
+		m.Cache.FlushAll()
+		if m.Cache.Epoch() == ce {
+			t.Error("FlushAll did not move the cache epoch")
+		}
+		ve = m.AS.Epoch()
+		if err := m.Kern.Mprotect(0x11000, 1, vm.ProtRead); err != nil {
+			return err
+		}
+		if m.AS.Epoch() == ve {
+			t.Error("Mprotect did not move the translation epoch")
+		}
+		if err := m.Kern.Mprotect(0x11000, 1, vm.ProtRW); err != nil {
+			return err
+		}
+		ve = m.AS.Epoch()
+		if m.AS.SwapOutLRU(1) != 1 {
+			t.Error("SwapOutLRU swapped nothing")
+		}
+		if m.AS.Epoch() == ve {
+			t.Error("swap-out did not move the translation epoch")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Behavioral half: a window left open across runs is reused when the
+	// epochs are quiet, and re-derived — with correct results — after churn.
+	m2 := MustNew(Config{MemBytes: 1 << 20})
+	m2.SetBatch(true)
+	if err := m2.Run(func() error {
+		if err := m2.Kern.MapPages(0x20000, 1); err != nil {
+			return err
+		}
+		m2.StoreRun(0x20000, 8, 8, []uint64{11, 22, 33, 44})
+		if !m2.batch.a.lineOK {
+			t.Fatal("run did not leave its line window open")
+		}
+		line := m2.batch.a.line
+		var out [4]uint64
+		m2.LoadRun(0x20000, 8, 8, out[:])
+		if m2.batch.a.line != line {
+			t.Error("quiet epochs: second run re-derived the window instead of reusing it")
+		}
+		m2.Cache.FlushAll()
+		misses := m2.Cache.Stats().Misses
+		m2.LoadRun(0x20000, 8, 8, out[:])
+		if out != [4]uint64{11, 22, 33, 44} {
+			t.Errorf("post-flush batched load read %v", out)
+		}
+		// The flushed line must have been refilled through the slow path —
+		// a stale window would have served the run without a single miss.
+		if m2.Cache.Stats().Misses == misses {
+			t.Error("stale window survived FlushAll: no refill miss")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPathNoAllocs extends the per-access zero-allocation pin to every
+// batched entry point: a steady-state batch must not allocate either.
+func TestBatchPathNoAllocs(t *testing.T) {
+	m := newBenchMachine(t)
+	ops := make([]AccessOp, 8)
+	for i := range ops {
+		ops[i] = AccessOp{VA: 0x10000 + vm.VAddr(i*8), Size: 8, Write: i%2 == 0, Val: uint64(i)}
+	}
+	buf := make([]uint64, 64)
+	bs := make([]byte, 96)
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.RunAccesses(ops)
+		m.StoreRun(0x10000, 8, 8, buf)
+		m.LoadRun(0x10000, 8, 8, buf)
+		m.StoreByteRun(0x10200, bs)
+		m.LoadByteRun(0x10200, bs)
+		m.CopyRun(0x11000, 0x10000, 256)
+		m.CompareRun(0x11000, 0x10000, 256)
+	}); avg != 0 {
+		t.Fatalf("batched access path allocates %.1f objects per round, want 0", avg)
+	}
+}

@@ -101,6 +101,10 @@ type Machine struct {
 	// experiment reads it to convert host wall-clock into ns-per-instruction.
 	instrs uint64
 	cur    access
+	// batch is the batched-access fast lane's mode and host-side counters
+	// (batch.go). Reset by Recycle so pooled machines never leak a stale
+	// batch window or pinned mode across tenants.
+	batch batchLane
 }
 
 // access describes the load/store currently executing, if any.
@@ -164,6 +168,9 @@ func (m *Machine) registerTelemetry(reg *telemetry.Registry) {
 	reg.RegisterSource("machine", func(emit func(string, float64)) {
 		emit("loads", float64(m.stats.Loads))
 		emit("stores", float64(m.stats.Stores))
+		emit("batch_runs", float64(m.batch.runs))
+		emit("batch_fast_ops", float64(m.batch.fastOps))
+		emit("batch_slow_ops", float64(m.batch.slowOps))
 	})
 }
 
@@ -195,6 +202,7 @@ func (m *Machine) Recycle() {
 	m.stats = Stats{}
 	m.instrs = 0
 	m.cur = access{}
+	m.batch = batchLane{}
 	m.registerTelemetry(telemetry.NewRegistry("", telemetry.Config{}))
 }
 
@@ -305,36 +313,52 @@ func (m *Machine) Store8(va vm.VAddr, v uint8) { m.Store(va, 1, uint64(v)) }
 func (m *Machine) Store64(va vm.VAddr, v uint64) { m.Store(va, 8, v) }
 
 // Memset writes b to n consecutive bytes starting at va, using word stores
-// where alignment allows — the simulated memset.
+// where alignment allows — the simulated memset. Served through the batched
+// fast lane when enabled; the access sequence (byte stores up to the first
+// 8-byte boundary, word stores while at least 8 bytes remain, byte stores
+// for the tail) is identical either way.
 func (m *Machine) Memset(va vm.VAddr, b uint8, n uint64) {
 	word := uint64(b)
 	word |= word << 8
 	word |= word << 16
 	word |= word << 32
 	end := va + vm.VAddr(n)
+	if !m.laneOK() {
+		for va < end {
+			if uint64(va)%8 == 0 && end-va >= 8 {
+				m.Store(va, 8, word)
+				va += 8
+			} else {
+				m.Store(va, 1, uint64(b))
+				va++
+			}
+		}
+		return
+	}
+	m.batch.runs++
+	seg, _ := m.laneSegs()
 	for va < end {
 		if uint64(va)%8 == 0 && end-va >= 8 {
-			m.Store(va, 8, word)
-			va += 8
-		} else {
-			m.Store(va, 1, uint64(b))
-			va++
+			va = m.fillSpan(seg, va, 8, word, uint64(end-va)/8)
+			continue
 		}
+		// Byte stores up to the next 8-byte boundary, or to the end when
+		// fewer than 8 bytes remain past it.
+		bytes := uint64(end - va)
+		if r := (8 - uint64(va)%8) % 8; r != 0 && r < bytes {
+			bytes = r
+		}
+		va = m.fillSpan(seg, va, 1, uint64(b), bytes)
 	}
+	m.segFlush(seg)
+	m.laneExit()
 }
 
 // Memcpy copies n bytes from src to dst (non-overlapping), word-at-a-time
-// where alignment allows.
+// where alignment allows. Delegates to the batched CopyRun, whose access
+// sequence is identical to the historical open-coded loop.
 func (m *Machine) Memcpy(dst, src vm.VAddr, n uint64) {
-	for n > 0 {
-		if uint64(dst)%8 == 0 && uint64(src)%8 == 0 && n >= 8 {
-			m.Store(dst, 8, m.Load(src, 8))
-			dst, src, n = dst+8, src+8, n-8
-		} else {
-			m.Store(dst, 1, m.Load(src, 1))
-			dst, src, n = dst+1, src+1, n-1
-		}
-	}
+	m.CopyRun(dst, src, n)
 }
 
 // PeekWord reads the aligned 8-byte word containing va as the CPU would

@@ -150,6 +150,27 @@ func (c *Clock) Advance(n Cycles) {
 // AdvanceInstr charges n ordinary instructions.
 func (c *Clock) AdvanceInstr(n uint64) { c.Advance(Cycles(n) * CostInstr) }
 
+// Headroom reports how many cycles the clock can advance while provably not
+// reaching the next wake deadline, and whether such a bound exists (bounded
+// is false when no timer is armed, in which case the headroom is infinite
+// and the returned count is meaningless). The batched access fast lane uses
+// it to clamp run lengths: a single Advance(n) with n ≤ headroom fires
+// nothing, so batching n per-access charges into one call is
+// indistinguishable from n singles. The bound is conservative — wakeAt may
+// be a stale *lower* bound on the earliest active deadline (see
+// noteDeadline) — so clamping against it can only shorten batches, never
+// let a wake fire mid-batch.
+func (c *Clock) Headroom() (Cycles, bool) {
+	if !c.armed {
+		return 0, false
+	}
+	if c.wakeAt <= c.now {
+		return 0, true
+	}
+	// Advancing by wakeAt-now-1 leaves now strictly before wakeAt.
+	return c.wakeAt - c.now - 1, true
+}
+
 // Reset rewinds the clock to zero. Used between benchmark repetitions.
 // Timers stay installed with their deadlines unchanged, so periodic work
 // resumes once the clock catches back up.

@@ -265,3 +265,43 @@ func TestTimerRegisteredInsideHook(t *testing.T) {
 		t.Fatalf("inner timer fired %d times, want 1", n)
 	}
 }
+
+// TestHeadroom pins the bound the batched access fast lane builds on: a
+// single Advance of at most Headroom() cycles can never fire a wake, and
+// the bound stays conservative (never overshooting a live deadline) even
+// when stopped timers leave the cached wake bound stale.
+func TestHeadroom(t *testing.T) {
+	c := &Clock{}
+	if _, bounded := c.Headroom(); bounded {
+		t.Fatal("clock with no timers reports a bounded headroom")
+	}
+	var fired []Cycles
+	c.NewTimer(100, func(now Cycles) Cycles { fired = append(fired, now); return 0 })
+	h, bounded := c.Headroom()
+	if !bounded {
+		t.Fatal("armed timer reports unbounded headroom")
+	}
+	c.Advance(h)
+	if len(fired) != 0 {
+		t.Fatalf("Advance(Headroom()) fired the timer at %v", fired)
+	}
+	for len(fired) == 0 {
+		c.Advance(1)
+	}
+	if fired[0] != 100 || c.Now() != 100 {
+		t.Fatalf("timer fired at %v (now %v), want exactly 100", fired, c.Now())
+	}
+	// A stopped earlier timer leaves wakeAt as a stale lower bound; the
+	// headroom may shrink batches but must still respect the live deadline.
+	stopped := c.NewTimer(c.Now()+50, func(now Cycles) Cycles { return 0 })
+	c.NewTimer(c.Now()+200, func(now Cycles) Cycles { fired = append(fired, now); return 0 })
+	stopped.Stop()
+	h, bounded = c.Headroom()
+	if !bounded || h >= 200 {
+		t.Fatalf("headroom %v (bounded=%v) overshoots the live +200 deadline", h, bounded)
+	}
+	c.Advance(h)
+	if len(fired) != 1 {
+		t.Fatalf("stale-bound Advance(Headroom()) fired a wake: %v", fired)
+	}
+}

@@ -170,6 +170,12 @@ type AddressSpace struct {
 	tlbMisses uint64
 	tlbFlush  uint64
 
+	// epoch counts translation mutations. It is bumped by exactly the events
+	// that invalidate TLB entries (per-page or all), so a PageRef obtained
+	// while Epoch() returned E is still valid as long as Epoch() == E. The
+	// machine's batch lane uses this to keep page windows open across runs.
+	epoch uint64
+
 	stats Stats
 }
 
@@ -194,6 +200,7 @@ func (as *AddressSpace) TLBStats() (hits, misses, flushes uint64) {
 
 // tlbInvalidate kills any cached translation for vpn.
 func (as *AddressSpace) tlbInvalidate(vpn uint64) {
+	as.epoch++
 	e := &as.tlb[vpn&tlbMask]
 	if e.vpn == vpn {
 		e.gen = 0 // tlbGen starts at 1 and only grows, so 0 is never live
@@ -202,9 +209,14 @@ func (as *AddressSpace) tlbInvalidate(vpn uint64) {
 
 // tlbFlushAll invalidates every entry in O(1) by bumping the generation.
 func (as *AddressSpace) tlbFlushAll() {
+	as.epoch++
 	as.tlbGen++
 	as.tlbFlush++
 }
+
+// Epoch returns the translation-mutation counter. Any cached PageRef
+// obtained at an older epoch must be re-derived.
+func (as *AddressSpace) Epoch() uint64 { return as.epoch }
 
 // Stats counts VM activity.
 type Stats struct {
@@ -485,6 +497,61 @@ func (as *AddressSpace) Translate(va VAddr, write bool) (physmem.Addr, *Fault) {
 	as.tick++
 	p.touch = as.tick
 	return p.frame + physmem.Addr(va.PageOffset()), nil
+}
+
+// PageRef caches one run-length translation for the batched access fast
+// lane: every access inside the page window [Base, Base+PageBytes) can
+// reuse Frame and Prot without re-walking the page table, with the
+// per-access accounting settled in one TouchRun call at batch commit.
+// A PageRef must be discarded whenever anything that could change a
+// translation may have run — a page fault, kernel deferred work, or any
+// clock wake hook — which the machine guarantees by resetting its run
+// windows after every slow-path access (see DESIGN.md §4.10).
+type PageRef struct {
+	as    *AddressSpace
+	p     *pte
+	Frame physmem.Addr
+	Prot  Prot
+}
+
+// TranslateRun resolves the page containing va for a batched access run.
+// It returns ok=false — charging nothing and raising no fault — when the
+// page is unmapped or swapped out, in which case the caller must fall back
+// to the per-access slow path (whose Translate performs the demand swap-in
+// or delivers the fault with exact single-access semantics). Protection is
+// deliberately not checked here: the run may mix loads and stores, so the
+// caller checks Prot per access and bails to the slow path on a violation.
+func (as *AddressSpace) TranslateRun(va VAddr) (PageRef, bool) {
+	vpn := uint64(va) / PageBytes
+	if as.tlbOn {
+		e := &as.tlb[vpn&tlbMask]
+		if e.gen == as.tlbGen && e.vpn == vpn {
+			as.tlbHits++
+			return PageRef{as: as, p: e.p, Frame: e.frame, Prot: e.prot}, true
+		}
+		as.tlbMisses++
+	}
+	p, ok := as.pages[vpn]
+	if !ok || !p.present {
+		return PageRef{}, false
+	}
+	if as.tlbOn {
+		as.tlb[vpn&tlbMask] = tlbEntry{gen: as.tlbGen, vpn: vpn, frame: p.frame, prot: p.prot, p: p}
+	}
+	return PageRef{as: as, p: p, Frame: p.frame, Prot: p.prot}, true
+}
+
+// TouchRun settles the translation accounting for n batched accesses
+// resolved through r: the exact state n sequential hitting Translate calls
+// would have left behind (Translates += n, the LRU tick advanced n times,
+// the page's touch stamp set to the final tick). Host-side TLB counters
+// record the single probe TranslateRun performed, not n synthetic hits —
+// they describe what the simulator actually did.
+func (r PageRef) TouchRun(n uint64) {
+	as := r.as
+	as.stats.Translates += n
+	as.tick += n
+	r.p.touch = as.tick
 }
 
 // costSwapPage approximates a 4 KiB disk transfer; the exact figure only

@@ -277,3 +277,69 @@ func BenchmarkTranslate(b *testing.B) {
 		as.Translate(VAddr(0x10000+i%(16*PageBytes)), i%2 == 0)
 	}
 }
+
+// TestTranslateRun pins the fast lane's translation primitive against
+// Translate: identical frame and protection for mapped resident pages,
+// ok=false — with no fault raised and no demand swap-in performed — for
+// unmapped and swapped-out pages, and TouchRun accounting exactly equal to
+// n sequential hitting Translates.
+func TestTranslateRun(t *testing.T) {
+	as, _ := newAS(8)
+	if err := as.Map(0x10000, 2, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	pr, ok := as.TranslateRun(0x10008)
+	if !ok {
+		t.Fatal("mapped resident page did not resolve")
+	}
+	pa, fault := as.Translate(0x10008, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if pr.Frame+8 != pa {
+		t.Fatalf("PageRef frame %#x+8 disagrees with Translate %#x", pr.Frame, pa)
+	}
+	if pr.Prot != ProtRW {
+		t.Fatalf("PageRef prot = %v, want RW", pr.Prot)
+	}
+
+	if _, ok := as.TranslateRun(0x90000); ok {
+		t.Error("unmapped page resolved")
+	}
+
+	// Protection is deliberately not checked here — a read-only page still
+	// resolves; the caller bails per access direction.
+	if err := as.Protect(0x11000, 1, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if pr2, ok := as.TranslateRun(0x11000); !ok || pr2.Prot != ProtRead {
+		t.Errorf("read-only page: ok=%v prot=%v, want resolved with ProtRead", ok, pr2.Prot)
+	}
+
+	// A swapped-out page must not resolve, and probing it must not swap it
+	// back in (that is the slow path's job, with its faults and charges).
+	if as.SwapOutLRU(2) != 2 {
+		t.Fatal("SwapOutLRU swapped nothing")
+	}
+	swapIns := as.Stats().SwapsIn
+	if _, ok := as.TranslateRun(0x10000); ok {
+		t.Error("swapped-out page resolved")
+	}
+	if as.Stats().SwapsIn != swapIns {
+		t.Error("TranslateRun performed a demand swap-in")
+	}
+
+	// TouchRun settles accounting exactly like n sequential Translates.
+	if _, fault := as.Translate(0x10000, false); fault != nil {
+		t.Fatal(fault)
+	}
+	before := as.Stats().Translates
+	pr3, ok := as.TranslateRun(0x10000)
+	if !ok {
+		t.Fatal("swapped-in page did not resolve")
+	}
+	pr3.TouchRun(5)
+	if got := as.Stats().Translates; got != before+5 {
+		t.Fatalf("TouchRun(5) moved Translates %d→%d, want +5", before, got)
+	}
+}

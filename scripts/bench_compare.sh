@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_compare.sh OLD.json NEW.json — render a per-app host-ns/instr delta
+# table between two BENCH_throughput.json baselines (as written by
+# `safemem-bench -experiment throughput`). The TOTAL row compares the
+# aggregates. The table informs a human reviewing a perf change; the
+# pass/fail regression gate is `make bench-check`. Exits non-zero only on
+# usage or unreadable/empty input.
+set -eu
+
+[ $# -eq 2 ] || { echo "usage: bench_compare.sh OLD.json NEW.json" >&2; exit 2; }
+old=$1
+new=$2
+[ -r "$old" ] || { echo "bench_compare: cannot read $old" >&2; exit 2; }
+[ -r "$new" ] || { echo "bench_compare: cannot read $new" >&2; exit 2; }
+
+# The baselines are written by json.MarshalIndent, one field per line, so a
+# line-wise scan is reliable: remember the row's "app", emit on its
+# "host_ns_per_instr". The trailing "total" object carries app TOTAL.
+rates() {
+    awk -F'"' '
+        /"app":/               { app = $4 }
+        /"host_ns_per_instr":/ { v = $3; gsub(/[^0-9.eE+-]/, "", v); print app, v }
+    ' "$1"
+}
+
+{
+    rates "$old" | sed 's/^/old /'
+    rates "$new" | sed 's/^/new /'
+} | awk -v oldf="$old" -v newf="$new" '
+    {
+        if (!($2 in seen)) { order[++n] = $2; seen[$2] = 1 }
+        if ($1 == "old") o[$2] = $3; else w[$2] = $3
+    }
+    END {
+        if (n == 0) { print "bench_compare: no rows found" > "/dev/stderr"; exit 2 }
+        printf "host ns/instr: %s -> %s\n", oldf, newf
+        printf "%-12s %12s %12s %9s\n", "app", "old", "new", "delta"
+        for (i = 1; i <= n; i++) {
+            a = order[i]
+            if ((a in o) && (a in w) && o[a] + 0 > 0)
+                printf "%-12s %12.3f %12.3f %+8.1f%%\n", a, o[a], w[a], (w[a] / o[a] - 1) * 100
+            else if (a in o)
+                printf "%-12s %12.3f %12s %9s\n", a, o[a], "-", "gone"
+            else
+                printf "%-12s %12s %12.3f %9s\n", a, "-", w[a], "new"
+        }
+    }
+'
