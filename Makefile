@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci bench bench-quick bench-check bench-fleet fleet-smoke campaign storm fuzz-short frontier coverage-floor serve-smoke
+.PHONY: all build vet test race check ci bench bench-quick bench-check bench-fleet bench-campaign fleet-smoke campaign storm fuzz-short frontier coverage-floor serve-smoke
 
 all: check
 
@@ -48,11 +48,12 @@ fuzz-short:
 
 # coverage-floor holds the safety-critical packages to statement-coverage
 # thresholds: the sampling tool (a bookkeeping slip means phantom reports
-# or double-watched lines) and the serving fleet (its error paths —
+# or double-watched lines), the serving fleet (its error paths —
 # admission rejects, retries, panic isolation, drains — are exactly the
-# code that only runs when something is already wrong).
+# code that only runs when something is already wrong), and the snapshot
+# store (a restore or taint slip silently corrupts every warm run).
 coverage-floor:
-	./scripts/coverage_floor.sh ./internal/sampletool 85 ./internal/fleet 80
+	./scripts/coverage_floor.sh ./internal/sampletool 85 ./internal/fleet 80 ./internal/snapshot 85
 
 # serve-smoke is the serving-stack end-to-end gate: a full safemem-serve
 # stack (fleet + observability plane on one listener) driven over real
@@ -73,14 +74,17 @@ check: build vet test race fuzz-short campaign storm bench-check
 # full build + vet + test sweep, a shuffled re-run of the order-sensitive
 # new packages, the coverage floors, a race-detector pass over the
 # concurrent serving/observability/telemetry layers plus the sample-tool
-# campaign (cheap enough for every push, unlike `make race`), the
-# serving-stack chaos smoke, a one-shard fleet-bench + bench_compare.sh
-# smoke, and the throughput-regression gate.
+# campaign and the snapshot-on campaign equivalence leg (cheap enough for
+# every push, unlike `make race`), the serving-stack chaos smoke, a
+# one-shard fleet-bench + bench_compare.sh smoke, and the
+# throughput/campaign regression gates.
 ci: build vet test
 	$(GO) test -shuffle=on -count=1 ./internal/sampletool ./internal/campaign ./internal/bench/frontier
 	$(MAKE) coverage-floor
 	$(GO) test -race ./internal/obsrv/... ./internal/telemetry/... ./internal/fleet
 	$(GO) test -race -run 'TestSampleCampaign|TestSampleRateOne$$' ./internal/campaign
+	$(GO) test -race -count=1 ./internal/snapshot
+	$(GO) test -race -count=1 -run 'TestSnapshot' ./internal/campaign
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) bench-check
@@ -96,15 +100,26 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/safemem-bench -experiment throughput
 
-# bench-check guards the access-path fast lane: it reruns the throughput
+# bench-check guards the perf fast lanes: it reruns the throughput
 # experiment and fails (exit 1) if host-ns/instr regressed more than 25%
 # against the tracked BENCH_throughput.json baseline — on the aggregate
 # total or on any single app's row (a batched-run bail-out regression can
-# triple one workload while barely moving the total). After a deliberate
-# perf trade-off, accept the new numbers with
-# `make bench-check BENCHFLAGS=-update`.
+# triple one workload while barely moving the total) — then reruns the
+# campaign experiment and fails if warm scenarios/sec (any tool row, the
+# total, the short tail, or the fleet jobs/sec leg) regressed more than
+# 25% against BENCH_campaign.json. After a deliberate perf trade-off,
+# accept the new numbers with `make bench-check BENCHFLAGS=-update`.
 bench-check:
 	$(GO) run ./cmd/safemem-bench -experiment throughput -throughput-check BENCH_throughput.json $(BENCHFLAGS)
+	$(GO) run ./cmd/safemem-bench -experiment campaign -campaign-check BENCH_campaign.json $(BENCHFLAGS)
+
+# bench-campaign refreshes the tracked campaign-throughput baseline
+# (BENCH_campaign.json): per tool config, scenario batches wall-clocked
+# cold (fresh machine per scenario) and warm (snapshot restore per
+# scenario), plus a snapshot-backed fleet jobs/sec leg. Simulated work is
+# identical on both paths; the speedup columns describe this machine.
+bench-campaign:
+	$(GO) run ./cmd/safemem-bench -experiment campaign
 
 # bench-fleet refreshes the tracked fleet-throughput baseline
 # (BENCH_fleet.json): shards × apps uninstrumented runs on pooled machines
@@ -113,9 +128,11 @@ bench-fleet:
 	$(GO) run ./cmd/safemem-bench -experiment fleet
 
 # fleet-smoke is the cheap ci variant: build the bench CLI and step one
-# fleet shard without touching the tracked baseline, plus a self-compare of
-# the bench_compare.sh delta-table tool against the tracked throughput
-# baseline (all deltas must read +0.0%).
+# fleet shard without touching the tracked baseline, plus self-compares of
+# the bench_compare.sh delta-table tool against every tracked baseline it
+# understands (all deltas must read +0.0%).
 fleet-smoke:
 	$(GO) run ./cmd/safemem-bench -experiment fleet -fleet-shards 1 -fleet-out ""
 	./scripts/bench_compare.sh BENCH_throughput.json BENCH_throughput.json
+	./scripts/bench_compare.sh BENCH_fleet.json BENCH_fleet.json
+	./scripts/bench_compare.sh BENCH_campaign.json BENCH_campaign.json

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	safemem-serve [-addr :9090] [-workers N] [-queue N]
+//	safemem-serve [-addr :9090] [-workers N] [-queue N] [-snapshots]
 //	              [-deadline 30s] [-watchdog 2s] [-max-attempts 3]
 //	              [-quota-rate R] [-quota-burst N]
 //	              [-chaos] [-chaos-panic-every N] [-chaos-slow-every N]
@@ -35,6 +35,12 @@
 // panic mid-simulation, stall past their deadline, or fail transiently —
 // for exercising the degradation paths against a live server. Chaos
 // fates key on the job spec, so results remain reproducible.
+//
+// -snapshots turns on the copy-on-write machine-snapshot layer (DESIGN.md
+// §4.11): workers serve repeat configurations from warmed, restored
+// machines instead of rebuilding per job. Job results are byte-identical
+// either way (pinned by the snapshot equivalence suites); watch the
+// amortization live via the safemem_snapshot_* gauges on /metrics.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"safemem/internal/obsrv"
 	"safemem/internal/obsrv/buildinfo"
 	"safemem/internal/obsrv/logging"
+	"safemem/internal/snapshot"
 )
 
 func main() {
@@ -59,6 +66,7 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 3, "retry budget: total attempts per job before terminal failure")
 	quotaRate := flag.Float64("quota-rate", 0, "per-tenant admission tokens per second (0 disables quotas)")
 	quotaBurst := flag.Int("quota-burst", 10, "per-tenant token-bucket burst size")
+	snapshots := flag.Bool("snapshots", false, "serve repeat configurations from warmed machine snapshots (byte-identical results, amortized warmup)")
 	chaos := flag.Bool("chaos", false, "inject worker panics, stalls and transient failures (see -chaos-*)")
 	chaosPanic := flag.Int("chaos-panic-every", 20, "with -chaos: ~1/N jobs panic mid-simulation")
 	chaosSlow := flag.Int("chaos-slow-every", 20, "with -chaos: ~1/N jobs stall for -chaos-slow-for")
@@ -96,6 +104,10 @@ func main() {
 		}
 		log.Warn("chaos injection enabled",
 			"panic_every", *chaosPanic, "slow_every", *chaosSlow, "fail_every", *chaosFail)
+	}
+	if *snapshots {
+		snapshot.SetEnabled(true)
+		log.Info("snapshot layer enabled")
 	}
 	fl := fleet.Start(cfg)
 

@@ -24,6 +24,7 @@ import (
 	"safemem/internal/purify"
 	"safemem/internal/sampletool"
 	"safemem/internal/simtime"
+	"safemem/internal/snapshot"
 	"safemem/internal/telemetry"
 )
 
@@ -330,6 +331,12 @@ func releaseMachine(mcfg machine.Config, m *machine.Machine) {
 // RunWithMachine is Run with an explicit machine configuration — used to
 // evaluate hardware variants such as the Section 2.2.3 direct-ECC
 // interface.
+//
+// With the snapshot layer enabled (snapshot.SetEnabled), runs whose machine
+// is poolable and whose tool stack supports checkpoint/restore are served
+// from a per-⟨tool, machine⟩ pool of warmed runners instead of rebuilding
+// heap and tools per run; per-run state is then applied in exactly the
+// rebuild order, so results are byte-identical (TestSnapshotBenchEquivalence).
 func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Config) (*Result, error) {
 	app, ok := apps.Get(appName)
 	if !ok {
@@ -337,6 +344,9 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	}
 	if mcfg.Telemetry == nil && Telemetry != nil {
 		mcfg.Telemetry = Telemetry.NewRegistry(appName + "/" + tool.String())
+	}
+	if snapshot.Enabled() && poolable(mcfg) && snapshotTool(tool) {
+		return runSnapshot(appName, app, tool, cfg, mcfg)
 	}
 	m, err := acquireMachine(mcfg)
 	if err != nil {
@@ -351,49 +361,83 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 			poolDropped.Add(1)
 		}
 	}()
+	sseed := SampleSeed
+	if sseed == 0 {
+		sseed = uint64(cfg.Seed) ^ sampleSeedSalt
+	}
+	w, err := attachBench(m, tool, SampleRate, sseed)
+	if err != nil {
+		return nil, err
+	}
+	res := runBench(appName, app, tool, cfg, w)
+	if res.Err == nil {
+		releaseMachine(mcfg, m)
+		recycled = true
+	}
+	return res, nil
+}
+
+// benchWarmup is the warmed object set of one bench run: the machine plus
+// the heap and tool stack attached to it. It is what a snapshot runner
+// pools. Only the attached tool's pointer is non-nil.
+type benchWarmup struct {
+	m       *machine.Machine
+	alloc   *heap.Allocator
+	smTool  *safemem.Tool
+	pfTool  *purify.Tool
+	ppTool  *pageprot.Tool
+	mmpTool *mmp.Tool
+	sampler *sampletool.Tool
+}
+
+// attachBench creates the bench heap and attaches the tool stack to m — the
+// warmup every run of this ⟨tool, machine⟩ pair shares. rate and sseed only
+// matter for ToolSample.
+func attachBench(m *machine.Machine, tool Tool, rate int, sseed uint64) (*benchWarmup, error) {
 	ho := heapOptionsFor(tool)
 	ho.Limit = 48 << 20
 	alloc, err := heap.New(m, ho)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{App: appName, Tool: tool, Cfg: cfg}
-	env := &apps.Env{M: m, Alloc: alloc}
-
-	var smTool *safemem.Tool
-	var pfTool *purify.Tool
-	var ppTool *pageprot.Tool
-	var mmpTool *mmp.Tool
-	var sampler *sampletool.Tool
-
+	w := &benchWarmup{m: m, alloc: alloc}
 	switch tool {
 	case ToolNone:
 	case ToolSafeMemML:
-		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, false))
+		w.smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, false))
 	case ToolSafeMemMC:
-		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(false, true))
+		w.smTool, err = safemem.Attach(m, alloc, SafeMemOptions(false, true))
 	case ToolSafeMemBoth:
-		smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, true))
+		w.smTool, err = safemem.Attach(m, alloc, SafeMemOptions(true, true))
 	case ToolSample:
-		sseed := SampleSeed
-		if sseed == 0 {
-			sseed = uint64(cfg.Seed) ^ sampleSeedSalt
-		}
-		sampler, err = sampletool.Attach(m, alloc,
-			sampletool.Options{Rate: SampleRate, Seed: sseed, SafeMem: SafeMemOptions(true, true)})
+		w.sampler, err = sampletool.Attach(m, alloc,
+			sampletool.Options{Rate: rate, Seed: sseed, SafeMem: SafeMemOptions(true, true)})
 	case ToolPurify:
-		pfTool = purify.Attach(m, alloc, purify.DefaultOptions())
-		env.AddRoot = pfTool.AddRoot
+		w.pfTool = purify.Attach(m, alloc, purify.DefaultOptions())
 	case ToolPageProt:
-		ppTool, err = pageprot.Attach(m, alloc, false)
+		w.ppTool, err = pageprot.Attach(m, alloc, false)
 	case ToolMMP:
-		mmpTool = mmp.Attach(m, alloc, false)
+		w.mmpTool = mmp.Attach(m, alloc, false)
 	default:
 		err = fmt.Errorf("bench: unknown tool %v", tool)
 	}
 	if err != nil {
 		return nil, err
+	}
+	return w, nil
+}
+
+// runBench executes one app on an already-warmed machine and collects the
+// result. Shared verbatim by the rebuild and snapshot paths: everything
+// per-run — resilience policy, fault process, scrub daemon, the run itself —
+// happens here, in one order, so the two paths cannot drift. Pool and
+// snapshot-store handling stay with the caller.
+func runBench(appName string, app *apps.App, tool Tool, cfg apps.Config, w *benchWarmup) *Result {
+	m, alloc := w.m, w.alloc
+	res := &Result{App: appName, Tool: tool, Cfg: cfg}
+	env := &apps.Env{M: m, Alloc: alloc}
+	if w.pfTool != nil {
+		env.AddRoot = w.pfTool.AddRoot
 	}
 
 	var fp *faultmodel.Process
@@ -405,7 +449,7 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		fc := faultmodel.Config{
 			Seed:         uint64(cfg.Seed) ^ 0x5afe,
 			MeanInterval: simtime.Cycles(1_000_000 / Faults.Rate),
-			Targets:      []inject.Region{{Base: base, Size: ho.Limit}},
+			Targets:      []inject.Region{{Base: base, Size: alloc.Options().Limit}},
 		}
 		if Faults.Storm {
 			fc.StormInterval = 8 * fc.MeanInterval
@@ -441,9 +485,10 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 	res.Kern = m.Kern.Stats()
 	res.Registry = m.Telemetry
 
-	if sampler != nil {
-		res.SampleStats = sampler.Stats()
-		smTool = sampler.Inner()
+	smTool := w.smTool
+	if w.sampler != nil {
+		res.SampleStats = w.sampler.Stats()
+		smTool = w.sampler.Inner()
 	}
 	if smTool != nil {
 		res.SafeMem = smTool.Reports()
@@ -453,24 +498,132 @@ func RunWithMachine(appName string, tool Tool, cfg apps.Config, mcfg machine.Con
 		res.SafeMemStats = smTool.Stats()
 		res.Groups = smTool.Groups()
 	}
-	if pfTool != nil {
+	if w.pfTool != nil {
 		// An exit-time scan, as Purify performs when the program ends.
-		pfTool.LeakScan()
-		res.Purify = pfTool.Reports()
-		res.PurifyStats = pfTool.Stats()
+		w.pfTool.LeakScan()
+		res.Purify = w.pfTool.Reports()
+		res.PurifyStats = w.pfTool.Stats()
 	}
-	if ppTool != nil {
-		res.PageProt = ppTool.Reports()
-		res.PageProtStats = ppTool.Stats()
+	if w.ppTool != nil {
+		res.PageProt = w.ppTool.Reports()
+		res.PageProtStats = w.ppTool.Stats()
 	}
-	if mmpTool != nil {
-		res.MMP = mmpTool.Reports()
-		res.MMPStats = mmpTool.Stats()
+	if w.mmpTool != nil {
+		res.MMP = w.mmpTool.Reports()
+		res.MMPStats = w.mmpTool.Stats()
 	}
 	m.Telemetry.Finish()
+	return res
+}
+
+// benchStore pools snapshot-checkpointed bench runners per ⟨tool, machine⟩
+// configuration.
+var benchStore = snapshot.NewStore(0)
+
+// SnapshotStats returns the bench snapshot store's counters, for telemetry
+// export and the equivalence tests.
+func SnapshotStats() snapshot.Stats { return benchStore.Stats() }
+
+// FlushSnapshots discards every idle pooled bench runner (tests; memory
+// pressure).
+func FlushSnapshots() { benchStore.Flush() }
+
+// snapshotTool reports whether the tool stack supports checkpoint/restore.
+// Purify, pageprot and MMP keep monitor state without capture support, so
+// they stay on the rebuild path — correct, just not accelerated.
+func snapshotTool(tool Tool) bool {
+	switch tool {
+	case ToolNone, ToolSafeMemML, ToolSafeMemMC, ToolSafeMemBoth, ToolSample:
+		return true
+	}
+	return false
+}
+
+// benchKey identifies one warmup configuration: everything attachBench bakes
+// into the checkpoint. Per-run knobs (workload seeds, fault knobs, the
+// sampling-decision seed) are deliberately absent — they are applied after
+// restore, in rebuild order. The sampling rate is baked in (it is part of
+// the captured tool options), so it is in the key; 0 for non-sample tools
+// keeps SampleRate changes from splitting their pools.
+func benchKey(tool Tool, mcfg machine.Config, rate int) string {
+	return fmt.Sprintf("bench|%s|mem=%d|cache=%+v|rate=%d", tool, mcfg.MemBytes, mcfg.Cache, rate)
+}
+
+// runSnapshot is RunWithMachine's snapshot fast path: acquire a checkpointed
+// warmed runner for the ⟨tool, machine⟩ pair (building one on a cold miss),
+// reseed its sampler for this workload, and run. Clean runs release the
+// runner — restored back to its checkpoint — for the next run; a run that
+// errored or panicked drops it, warmup and all.
+func runSnapshot(appName string, app *apps.App, tool Tool, cfg apps.Config, mcfg machine.Config) (*Result, error) {
+	rate := 0
+	if tool == ToolSample {
+		rate = SampleRate
+	}
+	key := benchKey(tool, mcfg, rate)
+	r, err := benchStore.Acquire(key, func() (*snapshot.Runner, error) {
+		m, err := machine.New(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		// The warmup seed is a placeholder: every acquisition reseeds the
+		// sampler for its workload, exactly like a fresh attach with that
+		// seed (Reseed resets the whole decision stream).
+		w, err := attachBench(m, tool, rate, 0)
+		if err != nil {
+			return nil, err
+		}
+		aimg := w.alloc.CaptureImage()
+		var timg *safemem.Image
+		if w.smTool != nil {
+			if timg, err = w.smTool.CaptureImage(); err != nil {
+				return nil, err
+			}
+		}
+		var simg *sampletool.Image
+		if w.sampler != nil {
+			if simg, err = w.sampler.CaptureImage(); err != nil {
+				return nil, err
+			}
+		}
+		return &snapshot.Runner{
+			Machine: m,
+			Snap:    m.Snapshot(),
+			Payload: w,
+			Reset: func() {
+				w.alloc.RestoreImage(aimg)
+				if w.smTool != nil {
+					w.smTool.RestoreImage(timg)
+				}
+				if w.sampler != nil {
+					w.sampler.RestoreImage(simg)
+				}
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := r.Payload.(*benchWarmup)
+	// Taint accounting mirrors the machine pool's: a runner is released
+	// exactly once on a clean run; any other exit — error result, panic
+	// unwinding through this frame — drops it.
+	released := false
+	defer func() {
+		if !released {
+			benchStore.Drop(r)
+		}
+	}()
+	if w.sampler != nil {
+		sseed := SampleSeed
+		if sseed == 0 {
+			sseed = uint64(cfg.Seed) ^ sampleSeedSalt
+		}
+		w.sampler.Reseed(sseed)
+	}
+	res := runBench(appName, app, tool, cfg, w)
 	if res.Err == nil {
-		releaseMachine(mcfg, m)
-		recycled = true
+		benchStore.Release(key, r)
+		released = true
 	}
 	return res, nil
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"safemem/internal/apps"
+	"safemem/internal/machine"
+	"safemem/internal/snapshot"
+	"safemem/internal/telemetry"
+)
+
+// benchSnapDelta runs f and returns how the bench snapshot store's counters
+// moved.
+func benchSnapDelta(t *testing.T, f func()) snapshot.Stats {
+	t.Helper()
+	b := SnapshotStats()
+	f()
+	a := SnapshotStats()
+	return snapshot.Stats{
+		Hits:     a.Hits - b.Hits,
+		Misses:   a.Misses - b.Misses,
+		Drops:    a.Drops - b.Drops,
+		Releases: a.Releases - b.Releases,
+	}
+}
+
+func withBenchSnapshots(t *testing.T, f func()) {
+	t.Helper()
+	snapshot.SetEnabled(true)
+	defer func() {
+		snapshot.SetEnabled(false)
+		FlushSnapshots()
+	}()
+	f()
+}
+
+// comparable strips the host-side fields — wall-clock and the telemetry
+// registry pointer — that legitimately differ between two executions of the
+// same run.
+func comparable(res *Result) Result {
+	c := *res
+	c.HostNS = 0
+	c.Registry = nil
+	return c
+}
+
+// TestSnapshotBenchEquivalence pins the bench snapshot fast path
+// byte-for-byte against the rebuild path: every snapshot-capable tool, on
+// clean and buggy workloads, over two seeds so the second snapshot run
+// executes on a restored — not freshly built — runner.
+func TestSnapshotBenchEquivalence(t *testing.T) {
+	tools := []Tool{ToolNone, ToolSafeMemML, ToolSafeMemMC, ToolSafeMemBoth, ToolSample}
+	cfgs := []apps.Config{
+		{Seed: 42, Scale: 1},
+		{Seed: 43, Scale: 1, Buggy: true},
+	}
+	for _, tool := range tools {
+		if !snapshotTool(tool) {
+			t.Fatalf("%v missing from snapshotTool", tool)
+		}
+		for _, cfg := range cfgs {
+			want, err := Run("ypserv1", tool, cfg)
+			if err != nil {
+				t.Fatalf("%v/%+v rebuild: %v", tool, cfg, err)
+			}
+			withBenchSnapshots(t, func() {
+				for i := 0; i < 2; i++ {
+					got, err := Run("ypserv1", tool, cfg)
+					if err != nil {
+						t.Fatalf("%v/%+v snapshot run %d: %v", tool, cfg, i, err)
+					}
+					if !reflect.DeepEqual(comparable(got), comparable(want)) {
+						t.Fatalf("%v/%+v snapshot run %d diverges:\nrebuild:  %+v\nsnapshot: %+v",
+							tool, cfg, i, comparable(want), comparable(got))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotToolFallback pins that tools without checkpoint support
+// (purify, pageprot, mmp) still run — on the rebuild path — with the
+// snapshot layer enabled, producing rebuild-identical results and never
+// touching the snapshot store.
+func TestSnapshotToolFallback(t *testing.T) {
+	for _, tool := range []Tool{ToolPurify, ToolPageProt, ToolMMP} {
+		if snapshotTool(tool) {
+			t.Fatalf("%v unexpectedly snapshot-capable", tool)
+		}
+		cfg := apps.Config{Seed: 42, Buggy: true}
+		want, err := Run("gzip", tool, cfg)
+		if err != nil {
+			t.Fatalf("%v rebuild: %v", tool, err)
+		}
+		withBenchSnapshots(t, func() {
+			d := benchSnapDelta(t, func() {
+				got, err := Run("gzip", tool, cfg)
+				if err != nil {
+					t.Fatalf("%v with snapshots enabled: %v", tool, err)
+				}
+				if !reflect.DeepEqual(comparable(got), comparable(want)) {
+					t.Fatalf("%v diverges with snapshots enabled", tool)
+				}
+			})
+			if d != (snapshot.Stats{}) {
+				t.Fatalf("%v touched the snapshot store: %+v", tool, d)
+			}
+		})
+	}
+}
+
+// TestSnapshotBenchPanicDropsRunner pins the taint rule for bench runs: a
+// panic unwinding out of Run drops the pooled runner and never releases it.
+func TestSnapshotBenchPanicDropsRunner(t *testing.T) {
+	withBenchSnapshots(t, func() {
+		cfg := apps.Config{Seed: 1, Scale: 1}
+		if _, err := Run("ypserv1", ToolSafeMemBoth, cfg); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+		runHook = func() { panic("chaos: simulated crash mid-run") }
+		defer func() { runHook = nil }()
+		d := benchSnapDelta(t, func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("hooked panic did not propagate")
+				}
+			}()
+			Run("ypserv1", ToolSafeMemBoth, cfg)
+		})
+		if d.Drops != 1 || d.Releases != 0 {
+			t.Fatalf("panicked run: store delta %+v, want exactly 1 drop and 0 releases", d)
+		}
+	})
+}
+
+// TestSnapshotBenchTelemetryBypass pins that runs carrying a per-run
+// telemetry registry — part of the run's output, so not poolable — never
+// enter the snapshot path, even with the layer enabled, while plain runs
+// do.
+func TestSnapshotBenchTelemetryBypass(t *testing.T) {
+	withBenchSnapshots(t, func() {
+		d := benchSnapDelta(t, func() {
+			res, err := Run("gzip", ToolNone, apps.Config{Seed: 1})
+			if err != nil || res.Err != nil {
+				t.Fatalf("plain run: %v / %v", err, res.Err)
+			}
+		})
+		if d.Misses != 1 {
+			t.Fatalf("plain run skipped the snapshot path: %+v", d)
+		}
+		mcfg := machine.DefaultConfig()
+		mcfg.Telemetry = telemetry.NewRegistry("bypass", telemetry.Config{})
+		d = benchSnapDelta(t, func() {
+			res, err := RunWithMachine("gzip", ToolNone, apps.Config{Seed: 1}, mcfg)
+			if err != nil || res.Err != nil {
+				t.Fatalf("telemetry run: %v / %v", err, res.Err)
+			}
+		})
+		if d != (snapshot.Stats{}) {
+			t.Fatalf("telemetry run touched the snapshot store: %+v", d)
+		}
+	})
+}

@@ -95,6 +95,17 @@ type Cache struct {
 	stats Stats
 	reg   *telemetry.Registry
 	tr    *telemetry.Tracer
+
+	// filled logs the global way index of every miss fill since the last
+	// CaptureImage/RestoreImage/Recycle. Restoring a pristine image then
+	// re-zeroes only these ways instead of all Sets×Ways of them — every
+	// other way mutation (hit LRU stamps, LineRef stores, flushes) can only
+	// touch a way some fill put there first. The log is capacity-bounded
+	// (one entry per way); refill-heavy runs that overflow it set
+	// fillSpill, and the restore falls back to the full copy. Appends stay
+	// allocation-free: the backing array is preallocated and never grows.
+	filled    []int32
+	fillSpill bool
 }
 
 // New builds a cache over ctrl with the given configuration.
@@ -113,6 +124,7 @@ func New(ctrl *memctrl.Controller, clock *simtime.Clock, cfg Config) (*Cache, er
 		tags:    make([]uint64, cfg.Sets*cfg.Ways),
 		setMask: uint64(cfg.Sets - 1),
 		gen:     1,
+		filled:  make([]int32, 0, cfg.Sets*cfg.Ways),
 	}, nil
 }
 
@@ -142,6 +154,8 @@ func (c *Cache) Recycle() {
 	c.epoch++
 	c.tick = 0
 	c.stats = Stats{}
+	c.filled = c.filled[:0]
+	c.fillSpill = false
 }
 
 // ResetStats zeroes the counters and, when a sampling registry is attached,
@@ -249,7 +263,13 @@ func (c *Cache) lookup(line physmem.Addr) *way {
 	w.dirty = false
 	w.line = line
 	w.lru = c.tick
-	c.tags[si*c.cfg.Ways+wi] = uint64(line) | 1
+	gi := si*c.cfg.Ways + wi
+	c.tags[gi] = uint64(line) | 1
+	if len(c.filled) < cap(c.filled) {
+		c.filled = append(c.filled, int32(gi))
+	} else {
+		c.fillSpill = true
+	}
 	return w
 }
 
@@ -498,3 +518,71 @@ func (c *Cache) FlushAll() {
 // Epoch returns the residency-mutation counter. Any LineRef obtained at an
 // older epoch must be re-derived through OpenLine.
 func (c *Cache) Epoch() uint64 { return c.epoch }
+
+// Image is a checkpoint of the cache's simulated state (ways, tags, LRU
+// clock, counters), taken with CaptureImage. A pristine image — captured
+// from a cache that has never been filled since creation or recycling —
+// stores no way copies at all, and restoring it costs O(fills since
+// capture) via the fill log.
+type Image struct {
+	c        *Cache
+	pristine bool
+	ways     []way
+	tags     []uint64
+	gen      uint64
+	tick     uint64
+	stats    Stats
+}
+
+// CaptureImage checkpoints the cache and resets the fill log, so a later
+// RestoreImage knows which ways diverged.
+func (c *Cache) CaptureImage() *Image {
+	img := &Image{c: c, gen: c.gen, tick: c.tick, stats: c.stats, pristine: true}
+	empty := way{}
+	for i := range c.ways {
+		if c.ways[i] != empty || c.tags[i] != 0 {
+			img.pristine = false
+			break
+		}
+	}
+	if !img.pristine {
+		img.ways = append([]way(nil), c.ways...)
+		img.tags = append([]uint64(nil), c.tags...)
+	}
+	c.filled = c.filled[:0]
+	c.fillSpill = false
+	return img
+}
+
+// RestoreImage puts the cache back into the captured state and counts one
+// residency mutation (epoch bump), like any other invalidation. For a
+// pristine image with an intact fill log only the ways filled since capture
+// are re-zeroed; otherwise every way is rewritten from the image (or zeroed,
+// for a pristine image after log overflow) — slower, never wrong.
+func (c *Cache) RestoreImage(img *Image) {
+	if img.c != c {
+		panic("cache: RestoreImage with an image captured from a different cache")
+	}
+	switch {
+	case img.pristine && !c.fillSpill:
+		empty := way{}
+		for _, gi := range c.filled {
+			c.ways[gi] = empty
+			c.tags[gi] = 0
+		}
+	case img.pristine:
+		for i := range c.ways {
+			c.ways[i] = way{}
+		}
+		clear(c.tags)
+	default:
+		copy(c.ways, img.ways)
+		copy(c.tags, img.tags)
+	}
+	c.gen = img.gen
+	c.tick = img.tick
+	c.stats = img.stats
+	c.epoch++
+	c.filled = c.filled[:0]
+	c.fillSpill = false
+}

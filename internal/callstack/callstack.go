@@ -41,6 +41,15 @@ func (s *Stack) Signature() uint64 {
 	return sig
 }
 
+// Snapshot returns a copy of the stack's frames, bottom first. Pair with
+// Restore to checkpoint the stack across a machine snapshot.
+func (s *Stack) Snapshot() []uint64 { return append([]uint64(nil), s.frames...) }
+
+// Restore replaces the stack's contents with the given frames (copied).
+// Restoring an empty snapshot onto a stack whose slice already has capacity
+// allocates nothing.
+func (s *Stack) Restore(frames []uint64) { s.frames = append(s.frames[:0], frames...) }
+
 // Top returns the most recent return address, or 0 for an empty stack.
 func (s *Stack) Top() uint64 {
 	if len(s.frames) == 0 {

@@ -14,6 +14,7 @@ import (
 	"safemem/internal/machine"
 	"safemem/internal/sampletool"
 	"safemem/internal/simtime"
+	"safemem/internal/snapshot"
 	"safemem/internal/vm"
 )
 
@@ -214,6 +215,17 @@ var machinePool sync.Pool
 // poolMachines lets tests force every run onto a fresh machine.
 var poolMachines = true
 
+// SetMachinePooling turns executor machine pooling on or off, returning the
+// previous setting. Off forces every rebuild-path run onto a freshly built
+// machine — the true cold-start cost a new shard or fleet worker pays. The
+// campaign-throughput experiment uses it for its cold pass; results are
+// unaffected either way (pooling is host-side only).
+func SetMachinePooling(on bool) (prev bool) {
+	prev = poolMachines
+	poolMachines = on
+	return prev
+}
+
 // poolReleased / poolDropped count machines recycled into versus withheld
 // from the pool. Host-side observability only — but they are also the
 // crash-safety pin: TestPanickedMachineNeverRepooled asserts that a run
@@ -277,7 +289,17 @@ func Execute(s *Scenario, cfg ToolConfig, sabotage bool) (*ExecResult, error) {
 // daemon, and (with Retire) survives uncorrectable errors by page
 // retirement instead of panicking. The fault process derives its stream
 // from the scenario seed, so runs stay deterministic at any shard count.
+//
+// With the snapshot layer enabled (snapshot.SetEnabled), the warmup —
+// machine construction, heap creation, tool attachment — is served from a
+// per-configuration pool of checkpointed runners instead of being rebuilt;
+// per-run state (sampler seed, injector, fault model, scrub daemon) is then
+// set up in exactly the rebuild order, so results are byte-identical
+// (pinned by TestSnapshotExecEquivalence).
 func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
+	if snapshot.Enabled() {
+		return executeSnapshot(s, cfg, env)
+	}
 	m, err := execMachine()
 	if err != nil {
 		return nil, err
@@ -293,41 +315,83 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 			poolDropped.Add(1)
 		}
 	}()
+	w, err := attachTools(m, cfg, env.Sabotage, effectiveRate(cfg, env), sampleSeed(s, env))
+	if err != nil {
+		return nil, err
+	}
+	res := runWarmed(s, cfg, env, w)
+	if res.Err == nil {
+		releaseMachine(m)
+		recycled = true
+	}
+	return res, nil
+}
+
+// execWarmup is the warmed object set of one executor: the machine plus the
+// heap and tool stack attached to it. It is what a snapshot runner pools.
+type execWarmup struct {
+	m       *machine.Machine
+	alloc   *heap.Allocator
+	tool    *safemem.Tool
+	sampler *sampletool.Tool
+}
+
+// effectiveRate resolves the CfgSample sampling rate (0 for other configs).
+func effectiveRate(cfg ToolConfig, env Env) int {
+	if cfg != CfgSample {
+		return 0
+	}
+	if env.SampleRate > 0 {
+		return env.SampleRate
+	}
+	return DefaultSampleRate
+}
+
+// sampleSeed resolves the sampling-decision seed for this scenario.
+func sampleSeed(s *Scenario, env Env) uint64 {
+	if env.SampleSeed != 0 {
+		return env.SampleSeed
+	}
+	return s.Seed ^ sampleSeedSalt
+}
+
+// attachTools creates the campaign heap and attaches cfg's tool stack to m —
+// the warmup every scenario under this configuration shares.
+func attachTools(m *machine.Machine, cfg ToolConfig, sabotage bool, rate int, sseed uint64) (*execWarmup, error) {
 	ho := safemem.HeapOptions(true)
 	ho.Limit = 16 << 20
 	alloc, err := heap.New(m, ho)
 	if err != nil {
 		return nil, err
 	}
-
-	var tool *safemem.Tool
-	var sampler *sampletool.Tool
+	w := &execWarmup{m: m, alloc: alloc}
 	switch {
 	case cfg == CfgSample:
-		rate := env.SampleRate
-		if rate <= 0 {
-			rate = DefaultSampleRate
-		}
-		sseed := env.SampleSeed
-		if sseed == 0 {
-			sseed = s.Seed ^ sampleSeedSalt
-		}
 		opts := Tuning()
 		opts.DetectLeaks = false
-		opts.DetectCorruption = !env.Sabotage
-		sampler, err = sampletool.Attach(m, alloc, sampletool.Options{Rate: rate, Seed: sseed, SafeMem: opts})
+		opts.DetectCorruption = !sabotage
+		w.sampler, err = sampletool.Attach(m, alloc, sampletool.Options{Rate: rate, Seed: sseed, SafeMem: opts})
 		if err != nil {
 			return nil, err
 		}
 	case cfg != CfgNone:
 		opts := Tuning()
 		opts.DetectLeaks = cfg.Leaks()
-		opts.DetectCorruption = cfg.Corruption() && !env.Sabotage
-		tool, err = safemem.Attach(m, alloc, opts)
+		opts.DetectCorruption = cfg.Corruption() && !sabotage
+		w.tool, err = safemem.Attach(m, alloc, opts)
 		if err != nil {
 			return nil, err
 		}
 	}
+	return w, nil
+}
+
+// runScenario executes the scenario ops on an already-warmed executor and
+// collects the result. Shared verbatim by the rebuild and snapshot paths:
+// everything per-run — injector, resilience policy, fault model, scrub
+// daemon — is set up here, in one order, so the two paths cannot drift.
+func runWarmed(s *Scenario, cfg ToolConfig, env Env, w *execWarmup) *ExecResult {
+	m, alloc, tool, sampler := w.m, w.alloc, w.tool, w.sampler
 
 	needInject := env.faultModel()
 	for _, op := range s.Ops {
@@ -355,7 +419,7 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 			// Target the whole arena the heap may ever grow into; plants on
 			// not-yet-resident pages are skipped, as on real hardware where
 			// faults in unused rows go unobserved.
-			Targets: []inject.Region{{Base: base, Size: ho.Limit}},
+			Targets: []inject.Region{{Base: base, Size: alloc.Options().Limit}},
 		}
 		if env.Storm {
 			fc.StormInterval = 8 * fc.MeanInterval
@@ -494,9 +558,96 @@ func ExecuteEnv(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
 		res.Reports = sampler.Reports()
 		res.Stats = sampler.SafeMemStats()
 	}
+	return res
+}
+
+// execStore pools snapshot-checkpointed executors per tool configuration.
+var execStore = snapshot.NewStore(0)
+
+// ExecSnapshotStats returns the campaign snapshot store's counters, for
+// telemetry export and the equivalence tests.
+func ExecSnapshotStats() snapshot.Stats { return execStore.Stats() }
+
+// FlushSnapshots discards every idle pooled executor (tests; memory
+// pressure).
+func FlushSnapshots() { execStore.Flush() }
+
+// execKey identifies one warmup configuration: everything attachTools bakes
+// into the checkpoint. Per-run knobs (seeds, fault rates, storms, retire
+// policy, contexts, hooks) are deliberately absent — they are applied after
+// restore, in rebuild order.
+func execKey(cfg ToolConfig, sabotage bool, rate int) string {
+	return fmt.Sprintf("exec|%s|sab=%t|rate=%d", cfg, sabotage, rate)
+}
+
+// executeSnapshot is ExecuteEnv's snapshot fast path: acquire a checkpointed
+// warmed executor for the configuration (building one on a cold miss),
+// reseed its sampler for this scenario, and run. Clean runs release the
+// runner — restored back to its checkpoint — for the next scenario; a run
+// that errored or panicked drops it, warmup and all.
+func executeSnapshot(s *Scenario, cfg ToolConfig, env Env) (*ExecResult, error) {
+	rate := effectiveRate(cfg, env)
+	key := execKey(cfg, env.Sabotage, rate)
+	r, err := execStore.Acquire(key, func() (*snapshot.Runner, error) {
+		m, err := machine.New(machine.Config{MemBytes: execMemBytes})
+		if err != nil {
+			return nil, err
+		}
+		// The warmup seed is a placeholder: every acquisition reseeds the
+		// sampler for its scenario, exactly like a fresh attach with that
+		// seed (Reseed resets the whole decision stream).
+		w, err := attachTools(m, cfg, env.Sabotage, rate, 0)
+		if err != nil {
+			return nil, err
+		}
+		aimg := w.alloc.CaptureImage()
+		var timg *safemem.Image
+		if w.tool != nil {
+			if timg, err = w.tool.CaptureImage(); err != nil {
+				return nil, err
+			}
+		}
+		var simg *sampletool.Image
+		if w.sampler != nil {
+			if simg, err = w.sampler.CaptureImage(); err != nil {
+				return nil, err
+			}
+		}
+		return &snapshot.Runner{
+			Machine: m,
+			Snap:    m.Snapshot(),
+			Payload: w,
+			Reset: func() {
+				w.alloc.RestoreImage(aimg)
+				if w.tool != nil {
+					w.tool.RestoreImage(timg)
+				}
+				if w.sampler != nil {
+					w.sampler.RestoreImage(simg)
+				}
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := r.Payload.(*execWarmup)
+	// Taint accounting mirrors the machine pool's: a runner is released
+	// exactly once on a clean run; any other exit — error result, panic
+	// unwinding through this frame — drops it.
+	released := false
+	defer func() {
+		if !released {
+			execStore.Drop(r)
+		}
+	}()
+	if w.sampler != nil {
+		w.sampler.Reseed(sampleSeed(s, env))
+	}
+	res := runWarmed(s, cfg, env, w)
 	if res.Err == nil {
-		releaseMachine(m)
-		recycled = true
+		execStore.Release(key, r)
+		released = true
 	}
 	return res, nil
 }

@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"safemem/internal/snapshot"
+)
+
+// snapStatsDelta runs f and returns how the campaign snapshot store's
+// counters moved.
+func snapStatsDelta(t *testing.T, f func()) snapshot.Stats {
+	t.Helper()
+	b := ExecSnapshotStats()
+	f()
+	a := ExecSnapshotStats()
+	return snapshot.Stats{
+		Hits:     a.Hits - b.Hits,
+		Misses:   a.Misses - b.Misses,
+		Drops:    a.Drops - b.Drops,
+		Releases: a.Releases - b.Releases,
+	}
+}
+
+// withSnapshots runs f with the snapshot fast path enabled, flushing the
+// pooled executors afterwards so tests stay independent.
+func withSnapshots(t *testing.T, f func()) {
+	t.Helper()
+	snapshot.SetEnabled(true)
+	defer func() {
+		snapshot.SetEnabled(false)
+		FlushSnapshots()
+	}()
+	f()
+}
+
+// TestSnapshotExecEquivalence pins the snapshot fast path byte-for-byte
+// against the rebuild path at the single-run level: every tool
+// configuration, under plain, sabotaged and flaky-DIMM environments, over
+// several seeds per configuration so later runs execute on restored — not
+// freshly built — executors.
+func TestSnapshotExecEquivalence(t *testing.T) {
+	envs := map[string]Env{
+		"plain":    {},
+		"sabotage": {Sabotage: true},
+		"faults":   {FaultRate: 4, Storm: true, Retire: true},
+	}
+	for name, env := range envs {
+		for _, cfg := range AllConfigs {
+			for seed := uint64(1); seed <= 3; seed++ {
+				s := Generate(seed * 1000003)
+				want, err := ExecuteEnv(s, cfg, env)
+				if err != nil {
+					t.Fatalf("%s/%s/seed %d rebuild: %v", name, cfg, seed, err)
+				}
+				var got *ExecResult
+				withSnapshots(t, func() {
+					// Two snapshot runs back to back: the first warms the
+					// pool (miss), the second runs on a restored runner.
+					for i := 0; i < 2; i++ {
+						got, err = ExecuteEnv(s, cfg, env)
+						if err != nil {
+							t.Fatalf("%s/%s/seed %d snapshot run %d: %v", name, cfg, seed, i, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s/%s/seed %d snapshot run %d diverges:\nrebuild:  %+v\nsnapshot: %+v",
+								name, cfg, seed, i, want, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotSummaryEquivalence pins the end-to-end contract from the
+// issue: a whole campaign's summary JSON is byte-identical with snapshots
+// on or off, at shard counts 1 and 3, for plain and flaky-DIMM-storm
+// campaigns.
+func TestSnapshotSummaryEquivalence(t *testing.T) {
+	campaigns := map[string]Config{
+		"plain": {Seeds: 4, BaseSeed: 77, Tools: AllConfigs},
+		"storm": {Seeds: 4, BaseSeed: 77, Tools: AllConfigs, FaultRate: 5, Storm: true, Retire: true},
+	}
+	for name, base := range campaigns {
+		run := func(shards int, snap bool) []byte {
+			t.Helper()
+			cfg := base
+			cfg.Shards = shards
+			var out []byte
+			body := func() {
+				sum, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s campaign (shards=%d snap=%t): %v", name, shards, snap, err)
+				}
+				out, err = sum.JSON()
+				if err != nil {
+					t.Fatalf("summary JSON: %v", err)
+				}
+			}
+			if snap {
+				withSnapshots(t, body)
+			} else {
+				body()
+			}
+			return out
+		}
+		want := run(1, false)
+		for _, shards := range []int{1, 3} {
+			if got := run(shards, true); !bytes.Equal(got, want) {
+				t.Errorf("%s campaign summary diverges with snapshots on at %d shards:\nwant: %s\ngot:  %s",
+					name, shards, want, got)
+			}
+		}
+	}
+}
+
+// TestSnapshotPanickedRunDropsRunner pins the taint rule at the store
+// level: a panic unwinding out of ExecuteEnv (into a recovering caller,
+// exactly like a fleet worker) must drop the pooled runner — never release
+// or re-snapshot it.
+func TestSnapshotPanickedRunDropsRunner(t *testing.T) {
+	withSnapshots(t, func() {
+		s := Generate(7)
+		// Warm the pool so the panicking run executes on a pooled runner.
+		if _, err := ExecuteEnv(s, CfgBoth, Env{}); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+		d := snapStatsDelta(t, func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("hooked panic did not propagate")
+				}
+			}()
+			ExecuteEnv(s, CfgBoth, Env{Hook: func(op int) error {
+				if op == len(s.Ops)/2 {
+					panic("chaos: simulated worker crash")
+				}
+				return nil
+			}})
+		})
+		if d.Drops != 1 || d.Releases != 0 {
+			t.Fatalf("panicked run: store delta %+v, want exactly 1 drop and 0 releases", d)
+		}
+		// The next acquisition must warm a fresh runner, not reuse taint.
+		d = snapStatsDelta(t, func() {
+			if _, err := ExecuteEnv(s, CfgBoth, Env{}); err != nil {
+				t.Fatalf("post-panic run: %v", err)
+			}
+		})
+		if d.Misses != 1 || d.Hits != 0 {
+			t.Fatalf("post-panic acquire: store delta %+v, want a cold miss", d)
+		}
+	})
+}
+
+// TestSnapshotErroredRunDropsRunner pins the same taint rule for runs that
+// terminate with an error instead of a panic.
+func TestSnapshotErroredRunDropsRunner(t *testing.T) {
+	withSnapshots(t, func() {
+		s := Generate(11)
+		if _, err := ExecuteEnv(s, CfgML, Env{}); err != nil {
+			t.Fatalf("warmup run: %v", err)
+		}
+		boom := errors.New("deadline exceeded")
+		d := snapStatsDelta(t, func() {
+			res, err := ExecuteEnv(s, CfgML, Env{Hook: func(op int) error {
+				if op == 2 {
+					return boom
+				}
+				return nil
+			}})
+			if err != nil {
+				t.Fatalf("errored run: %v", err)
+			}
+			if !errors.Is(res.Err, boom) {
+				t.Fatalf("errored run result: %v, want %v", res.Err, boom)
+			}
+		})
+		if d.Drops != 1 || d.Releases != 0 {
+			t.Fatalf("errored run: store delta %+v, want exactly 1 drop and 0 releases", d)
+		}
+	})
+}
+
+// TestSnapshotCleanRunsPool pins the happy path: clean runs under one
+// configuration miss once, then hit the pool, releasing after every run.
+func TestSnapshotCleanRunsPool(t *testing.T) {
+	withSnapshots(t, func() {
+		d := snapStatsDelta(t, func() {
+			for seed := uint64(1); seed <= 3; seed++ {
+				if _, err := ExecuteEnv(Generate(seed), CfgMC, Env{}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+		want := snapshot.Stats{Hits: 2, Misses: 1, Releases: 3}
+		if d != want {
+			t.Fatalf("store delta %+v, want %+v", d, want)
+		}
+	})
+}
+
+// TestSnapshotDisabledBypassesStore pins the kill switch: with the layer
+// off (the default), ExecuteEnv never touches the snapshot store.
+func TestSnapshotDisabledBypassesStore(t *testing.T) {
+	d := snapStatsDelta(t, func() {
+		if _, err := ExecuteEnv(Generate(5), CfgBoth, Env{}); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if d != (snapshot.Stats{}) {
+		t.Fatalf("snapshot store touched while disabled: %+v", d)
+	}
+}
+
+// TestMachinePoolingToggle pins SetMachinePooling: results are identical
+// with pooling off (the campaign-throughput experiment's cold pass relies
+// on this), and the previous value round-trips.
+func TestMachinePoolingToggle(t *testing.T) {
+	s := Generate(13)
+	want, err := ExecuteEnv(s, CfgBoth, Env{})
+	if err != nil {
+		t.Fatalf("pooled run: %v", err)
+	}
+	prev := SetMachinePooling(false)
+	defer SetMachinePooling(prev)
+	if !prev {
+		t.Fatal("machine pooling should default on")
+	}
+	released, dropped := poolDelta(t, func() {
+		got, err := ExecuteEnv(s, CfgBoth, Env{})
+		if err != nil {
+			t.Fatalf("unpooled run: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("unpooled run diverges:\npooled:   %+v\nunpooled: %+v", want, got)
+		}
+	})
+	if released != 0 {
+		t.Fatalf("unpooled run released %d machines into the pool, want 0", released)
+	}
+	_ = dropped // the unpooled machine counts as dropped; only the release matters here
+}

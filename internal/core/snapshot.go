@@ -1,0 +1,69 @@
+// Snapshot support for the SafeMem tool: the checkpoint the copy-on-write
+// machine-image layer (internal/snapshot) takes right after Attach, before
+// the simulated program has allocated anything. At that point the tool's
+// entire mutable state is a handful of scalars — every map is empty — so a
+// capture records those scalars and a restore clears whatever a run
+// accumulated, allocation-free.
+package safemem
+
+import (
+	"fmt"
+
+	"safemem/internal/simtime"
+)
+
+// Image is an immutable checkpoint of an idle Tool, taken with CaptureImage.
+type Image struct {
+	t         *Tool
+	opts      Options
+	lastCheck simtime.Cycles
+	startTime simtime.Cycles
+	onReport  func(BugReport)
+	stats     Stats
+}
+
+// CaptureImage checkpoints the tool. It must be idle — no tracked objects,
+// no armed watches, no quarantine history, no reports: the snapshot layer
+// captures a warmed machine before any program ops, where this holds by
+// construction. A mid-run tool would need deep copies of the group lists and
+// watch regions; refusing keeps the restore path trivially correct.
+func (t *Tool) CaptureImage() (*Image, error) {
+	if len(t.groups) != 0 || len(t.objects) != 0 || len(t.regions) != 0 ||
+		len(t.byLine) != 0 || len(t.quarantine) != 0 || len(t.reports) != 0 ||
+		len(t.hwWindow) != 0 || len(t.degradedEvents) != 0 || t.savedForScrub != nil {
+		return nil, fmt.Errorf("safemem: CaptureImage on a tool with live state (attach-then-capture before running the program)")
+	}
+	return &Image{
+		t:         t,
+		opts:      t.opts,
+		lastCheck: t.lastCheck,
+		startTime: t.startTime,
+		onReport:  t.onReport,
+		stats:     t.stats,
+	}, nil
+}
+
+// RestoreImage puts the tool back into the captured idle state, dropping
+// everything the intervening run tracked. The machine (watches, guard
+// scrambles, heap) is restored separately by machine.Restore; the two halves
+// are consistent because the captured machine held no watches either.
+func (t *Tool) RestoreImage(img *Image) {
+	if img.t != t {
+		panic("safemem: RestoreImage with an image captured from a different tool")
+	}
+	clear(t.groups)
+	clear(t.objects)
+	clear(t.regions)
+	clear(t.byLine)
+	clear(t.quarantine)
+	t.hwWindow = t.hwWindow[:0]
+	t.degradedEvents = t.degradedEvents[:0]
+	t.reports = t.reports[:0]
+	t.savedForScrub = nil
+	t.opts = img.opts
+	t.lastCheck = img.lastCheck
+	t.startTime = img.startTime
+	t.degradedUntil = 0
+	t.onReport = img.onReport
+	t.stats = img.stats
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"safemem/internal/bench"
+	"safemem/internal/campaign"
+	"safemem/internal/snapshot"
+)
+
+// withSnapshots runs f with the snapshot fast path enabled, flushing both
+// run loops' pools afterwards so tests stay independent.
+func withSnapshots(t *testing.T, f func()) {
+	t.Helper()
+	snapshot.SetEnabled(true)
+	defer func() {
+		snapshot.SetEnabled(false)
+		campaign.FlushSnapshots()
+		bench.FlushSnapshots()
+	}()
+	f()
+}
+
+// TestSnapshotJobEquivalenceAcrossWorkerCounts pins the issue's fleet
+// contract: the determinism job mix — every tool config, fault knobs,
+// sampling, app jobs — produces byte-identical result payloads with the
+// snapshot layer on, at 1 and 3 workers, as with it off.
+func TestSnapshotJobEquivalenceAcrossWorkerCounts(t *testing.T) {
+	specs := detSpecs()
+	baseStates, baseResults := runBatch(t, 1, nil, specs)
+	for i, s := range baseStates {
+		if s != StateDone {
+			t.Fatalf("spec %d: state %q with snapshots off, want done", i, s)
+		}
+	}
+	withSnapshots(t, func() {
+		for _, workers := range []int{1, 3} {
+			states, results := runBatch(t, workers, nil, specs)
+			for i := range specs {
+				if states[i] != baseStates[i] {
+					t.Errorf("spec %d: state %q with snapshots on at workers=%d, %q off",
+						i, states[i], workers, baseStates[i])
+				}
+				if !bytes.Equal(results[i], baseResults[i]) {
+					t.Errorf("spec %d: result differs with snapshots on at workers=%d:\n  on:  %s\n  off: %s",
+						i, workers, results[i], baseResults[i])
+				}
+			}
+		}
+	})
+}
+
+// TestSnapshotChaosDropsTaintedRunners runs a chaos fleet — panics and
+// transient failures mid-job — with the snapshot layer on, and pins the
+// taint rule end to end: fates and results match the snapshot-off chaos
+// run, and every panicked attempt dropped its pooled runner (never
+// repooled, never re-snapshotted).
+func TestSnapshotChaosDropsTaintedRunners(t *testing.T) {
+	specs := detSpecs()
+	chaos := func() *Chaos { return &Chaos{Seed: 9, PanicEvery: 4, FailEvery: 5} }
+	baseStates, baseResults := runBatch(t, 3, chaos(), specs)
+	crashed := 0
+	for i, s := range baseStates {
+		// App-job drops land in the bench store; pin the campaign store
+		// against the scenario-job crashes only.
+		if s == StateCrashed && specs[i].Kind != KindApp {
+			crashed++
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("chaos drew no crashes — the taint comparison would be vacuous")
+	}
+	withSnapshots(t, func() {
+		before := campaign.ExecSnapshotStats()
+		states, results := runBatch(t, 3, chaos(), specs)
+		after := campaign.ExecSnapshotStats()
+		for i := range specs {
+			if states[i] != baseStates[i] {
+				t.Errorf("spec %d: chaos fate %q with snapshots on, %q off", i, states[i], baseStates[i])
+			}
+			if !bytes.Equal(results[i], baseResults[i]) {
+				t.Errorf("spec %d: result differs under chaos with snapshots on", i)
+			}
+		}
+		// Every crashed scenario attempt ran on a pooled runner and must
+		// have dropped it. (App-job drops land in the bench store; the mix's
+		// crashes are scenario jobs, so pin the campaign store.)
+		if drops := after.Drops - before.Drops; drops < uint64(crashed) {
+			t.Errorf("campaign snapshot store dropped %d runners, want ≥ %d (one per crashed job)",
+				drops, crashed)
+		}
+		if after.Releases == before.Releases {
+			t.Error("no runner was released for the clean jobs")
+		}
+	})
+}

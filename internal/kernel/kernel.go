@@ -566,6 +566,114 @@ func (k *Kernel) UnmapPages(va vm.VAddr, npages int) error {
 	return k.as.Unmap(va, npages)
 }
 
+// Image is an immutable checkpoint of a Kernel's state, taken with
+// CaptureImage. Because snapshots are captured on warmed-but-idle machines
+// (tools attached, no program ops yet), the maps it copies are typically
+// empty and both capture and restore stay O(1).
+type Image struct {
+	k           *Kernel
+	watches     map[vm.VAddr]watchEntry
+	eccHandler  ECCFaultHandler
+	pageHandler PageFaultHandler
+	scrubBefore func()
+	scrubAfter  func()
+
+	res            ResilienceOptions
+	resStats       ResilienceStats
+	health         map[physmem.Addr]lineHealth
+	healthObserver bool
+	pendingRetire  []physmem.Addr
+	retireQueued   map[physmem.Addr]bool
+	deferred       []func()
+	onRetire       RetireNotifier
+	stats          Stats
+}
+
+// CaptureImage checkpoints the kernel. The scrub daemon must not be running
+// (it is per-run state started after restore; its timer identity could not
+// survive a clock restore) and no deferred work may be in flight.
+func (k *Kernel) CaptureImage() *Image {
+	if k.scrubd != nil {
+		panic("kernel: CaptureImage with the scrub daemon running")
+	}
+	if k.inDeferred {
+		panic("kernel: CaptureImage during deferred work")
+	}
+	if k.panicked {
+		panic("kernel: CaptureImage on a panicked kernel")
+	}
+	img := &Image{
+		k:              k,
+		watches:        make(map[vm.VAddr]watchEntry, len(k.watches)),
+		eccHandler:     k.eccHandler,
+		pageHandler:    k.pageHandler,
+		scrubBefore:    k.scrubBefore,
+		scrubAfter:     k.scrubAfter,
+		res:            k.res,
+		resStats:       k.resStats,
+		health:         make(map[physmem.Addr]lineHealth, len(k.health)),
+		healthObserver: k.healthObserver,
+		pendingRetire:  append([]physmem.Addr(nil), k.pendingRetire...),
+		retireQueued:   make(map[physmem.Addr]bool, len(k.retireQueued)),
+		deferred:       append([]func(){}, k.deferred...),
+		onRetire:       k.onRetire,
+		stats:          k.stats,
+	}
+	for lva, e := range k.watches {
+		img.watches[lva] = e
+	}
+	for pl, h := range k.health {
+		img.health[pl] = *h
+	}
+	for f := range k.retireQueued {
+		img.retireQueued[f] = true
+	}
+	return img
+}
+
+// RestoreImage puts the kernel back into the captured state. The caller must
+// restore the clock, controller, cache and address space first: the scrub
+// daemon's timer dies with the clock's timer truncation, and the controller
+// image owns the scrub filter, mode and observer list. Costs O(captured
+// state); with the typical empty capture it allocates nothing.
+func (k *Kernel) RestoreImage(img *Image) {
+	if img.k != k {
+		panic("kernel: RestoreImage with an image captured from a different kernel")
+	}
+	// The daemon (if a run started one) is per-run state: its clock timer was
+	// already truncated away by the clock restore, so only the pointer and
+	// the controller-side filter remain — the controller image restores the
+	// filter, we drop the pointer.
+	k.scrubd = nil
+	clear(k.watches)
+	clear(k.byPhys)
+	for lva, e := range img.watches {
+		k.watches[lva] = e
+		k.byPhys[e.pline] = lva
+	}
+	k.eccHandler = img.eccHandler
+	k.pageHandler = img.pageHandler
+	k.scrubBefore, k.scrubAfter = img.scrubBefore, img.scrubAfter
+	k.res = img.res
+	k.resStats = img.resStats
+	clear(k.health)
+	for pl, h := range img.health {
+		hc := h
+		k.health[pl] = &hc
+	}
+	k.healthObserver = img.healthObserver
+	k.pendingRetire = append(k.pendingRetire[:0], img.pendingRetire...)
+	clear(k.retireQueued)
+	for f := range img.retireQueued {
+		k.retireQueued[f] = true
+	}
+	k.deferred = append(k.deferred[:0], img.deferred...)
+	k.inDeferred = false
+	k.onRetire = img.onRetire
+	k.panicked = false
+	k.stats = img.stats
+}
+
 // CoordinatedScrub performs one full scrub pass with the coordination
 // protocol of Section 2.2.2: the before-hook (SafeMem) unwatches all
 // regions and blocks the program, the scrubber runs, and the after-hook

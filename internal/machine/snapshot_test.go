@@ -1,0 +1,256 @@
+package machine_test
+
+// Machine-level snapshot/restore pins. The workload here mirrors the
+// recycle-equivalence workload: it exercises every subsystem a restore must
+// return to the checkpoint — cache, controller clean bits, VM/TLB, watches,
+// resilience queues, call stack — and the digests must match a fresh
+// machine bit-for-bit. The edge cases (page retirement, swap-out/swap-in,
+// stuck-at faults planted after the checkpoint) dirty exactly the state
+// whose restore handling is least obvious; the campaign and bench
+// equivalence tests then pin the same property end to end.
+
+import (
+	"testing"
+
+	"safemem/internal/ecc"
+	"safemem/internal/kernel"
+	"safemem/internal/machine"
+	"safemem/internal/physmem"
+	"safemem/internal/simtime"
+	"safemem/internal/vm"
+)
+
+type snapDigest struct {
+	cycles   simtime.Cycles
+	instrs   uint64
+	mstats   machine.Stats
+	vmstats  vm.Stats
+	kstats   kernel.Stats
+	checksum uint64
+	err      string
+}
+
+// runSnapWorkload drives every subsystem a restore must reset and digests
+// all observable simulated state.
+func runSnapWorkload(t *testing.T, m *machine.Machine) snapDigest {
+	t.Helper()
+	err := m.Run(func() error {
+		if err := m.Kern.MapPages(0x20000, 8); err != nil {
+			return err
+		}
+		for i := vm.VAddr(0); i < 8*vm.PageBytes; i += 64 {
+			m.Store64(0x20000+i, uint64(i)*0x9e3779b97f4a7c15)
+		}
+		m.Cache.FlushAll()
+		if _, err := m.Kern.WatchMemory(0x20000, 128); err != nil {
+			return err
+		}
+		m.Kern.RegisterECCFaultHandler(func(f *kernel.ECCFault) bool {
+			return m.Kern.DisableWatchMemory(f.VLine, 64) == nil
+		})
+		m.Load64(0x20040)
+		if err := m.Kern.DisableWatchMemory(0x20000, 64); err != nil {
+			return err
+		}
+		if err := m.Kern.Mprotect(0x21000, 1, vm.ProtRead); err != nil {
+			return err
+		}
+		m.Kern.RegisterPageFaultHandler(func(f *vm.Fault) bool {
+			return m.Kern.Mprotect(f.Addr.PageAddr(), 1, vm.ProtRW) == nil
+		})
+		m.Store64(0x21000, 42)
+		m.AS.SwapOutLRU(2)
+		m.Call(0x1234)
+		m.Compute(500)
+		m.Return()
+		return nil
+	})
+	d := snapDigest{
+		cycles:  m.Clock.Now(),
+		instrs:  m.Instructions(),
+		mstats:  m.Stats(),
+		vmstats: m.AS.Stats(),
+		kstats:  m.Kern.Stats(),
+	}
+	if err != nil {
+		d.err = err.Error()
+	}
+	for i := vm.VAddr(0); i < 8*vm.PageBytes; i += 8 {
+		if w, ok := m.PeekWord(0x20000 + i); ok {
+			d.checksum = d.checksum*31 + w
+		}
+	}
+	return d
+}
+
+var snapCfg = machine.Config{MemBytes: 1 << 22}
+
+// corruptGroup scrambles the stored data of the ECC group at pa while
+// leaving the check bits stale — the signature of a DRAM multi-bit fault.
+func corruptGroup(m *machine.Machine, pa physmem.Addr) {
+	m.Cache.FlushLine(pa.LineAddr())
+	data, _ := m.Ctrl.Memory().ReadGroupRaw(pa)
+	m.Ctrl.Memory().WriteGroupDataOnly(pa, ecc.Scramble(data))
+}
+
+// flipBit plants a single-bit (correctable) fault at pa — re-asserted on
+// the same bit it models a stuck-at cell.
+func flipBit(m *machine.Machine, pa physmem.Addr, bit uint) {
+	m.Cache.FlushLine(pa.LineAddr())
+	data, _ := m.Ctrl.Memory().ReadGroupRaw(pa)
+	m.Ctrl.Memory().WriteGroupDataOnly(pa, data^(1<<bit))
+}
+
+// TestSnapshotRestoreEquivalence pins the core contract: a machine restored
+// to its fresh-state checkpoint reproduces a fresh machine bit-for-bit,
+// however thoroughly the intervening run dirtied it.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	fresh := runSnapWorkload(t, machine.MustNew(snapCfg))
+
+	m := machine.MustNew(snapCfg)
+	snap := m.Snapshot()
+	if first := runSnapWorkload(t, m); first != fresh {
+		t.Fatalf("pre-restore run diverges from fresh run:\nfresh: %+v\ngot:   %+v", fresh, first)
+	}
+	for i := 0; i < 3; i++ {
+		m.Restore(snap)
+		if again := runSnapWorkload(t, m); again != fresh {
+			t.Fatalf("restore %d diverges from fresh run:\nfresh: %+v\ngot:   %+v", i, fresh, again)
+		}
+	}
+}
+
+// TestSnapshotRestoreAfterPageRetirement dirties the machine with a page
+// retirement — frame quarantined, page migrated, health history charged —
+// then restores and expects fresh-machine behaviour, including the reuse of
+// the previously retired frame.
+func TestSnapshotRestoreAfterPageRetirement(t *testing.T) {
+	fresh := runSnapWorkload(t, machine.MustNew(snapCfg))
+
+	m := machine.MustNew(snapCfg)
+	snap := m.Snapshot()
+	err := m.Run(func() error {
+		m.Kern.SetResilience(kernel.ResilienceOptions{
+			Policy:              kernel.RetireAndContinue,
+			RetireThreshold:     4,
+			UncorrectableWeight: 4,
+		})
+		if err := m.Kern.MapPages(0x40000, 2); err != nil {
+			return err
+		}
+		m.Store64(0x40000, 0xdead)
+		pa, _ := m.AS.Translate(0x40000, false)
+		corruptGroup(m, pa)
+		m.Load64(0x40000) // absorbed as data loss, health hits the threshold
+		m.Load64(0x41000) // access boundary drains the deferred retirement
+		m.Load64(0x40000)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retirement workload: %v", err)
+	}
+	if m.Kern.ResilienceStats().PagesRetired == 0 {
+		t.Fatal("workload did not retire a page")
+	}
+	m.Restore(snap)
+	if got := runSnapWorkload(t, m); got != fresh {
+		t.Fatalf("restore after retirement diverges:\nfresh: %+v\ngot:   %+v", fresh, got)
+	}
+}
+
+// TestSnapshotRestoreAfterSwap dirties the machine with swap traffic — some
+// pages swapped out and back in, some left in swap at restore time — then
+// restores and expects fresh-machine behaviour.
+func TestSnapshotRestoreAfterSwap(t *testing.T) {
+	fresh := runSnapWorkload(t, machine.MustNew(snapCfg))
+
+	m := machine.MustNew(snapCfg)
+	snap := m.Snapshot()
+	err := m.Run(func() error {
+		if err := m.Kern.MapPages(0x60000, 16); err != nil {
+			return err
+		}
+		for i := vm.VAddr(0); i < 16*vm.PageBytes; i += vm.PageBytes {
+			m.Store64(0x60000+i, uint64(i)^0xabcdef)
+		}
+		if n := m.AS.SwapOutLRU(8); n == 0 {
+			t.Error("SwapOutLRU swapped nothing")
+		}
+		// Touch half of the swapped pages back in; the rest stay in swap
+		// across the restore.
+		for i := vm.VAddr(0); i < 4*vm.PageBytes; i += vm.PageBytes {
+			m.Load64(0x60000 + i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("swap workload: %v", err)
+	}
+	m.Restore(snap)
+	if got := runSnapWorkload(t, m); got != fresh {
+		t.Fatalf("restore after swap diverges:\nfresh: %+v\ngot:   %+v", fresh, got)
+	}
+}
+
+// TestSnapshotRestoreAfterStuckAtFaults models a stuck-at DRAM cell planted
+// after the checkpoint — the same single bit re-asserted and demand-
+// corrected repeatedly — then restores and expects fresh-machine behaviour
+// (the corrected-error history and the flipped cell must both vanish).
+func TestSnapshotRestoreAfterStuckAtFaults(t *testing.T) {
+	fresh := runSnapWorkload(t, machine.MustNew(snapCfg))
+
+	m := machine.MustNew(snapCfg)
+	snap := m.Snapshot()
+	err := m.Run(func() error {
+		if err := m.Kern.MapPages(0x50000, 1); err != nil {
+			return err
+		}
+		m.Store64(0x50000, 0x5afe)
+		pa, _ := m.AS.Translate(0x50000, false)
+		for i := 0; i < 4; i++ {
+			flipBit(m, pa, 17) // the stuck cell re-asserts…
+			m.Load64(0x50000)  // …and demand correction repairs it
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stuck-at workload: %v", err)
+	}
+	if m.Ctrl.Stats().CorrectedSingle == 0 {
+		t.Fatal("stuck-at plants were never corrected — workload is not exercising ECC")
+	}
+	m.Restore(snap)
+	if got := runSnapWorkload(t, m); got != fresh {
+		t.Fatalf("restore after stuck-at faults diverges:\nfresh: %+v\ngot:   %+v", fresh, got)
+	}
+}
+
+// TestSnapshotPathNoAllocs pins the O(dirty) restore discipline on the host
+// allocator: dirtying a checkpointed machine and restoring it must settle
+// to zero heap allocations per cycle — restores reuse the maps and slices
+// captured with the image instead of rebuilding them.
+func TestSnapshotPathNoAllocs(t *testing.T) {
+	m := machine.MustNew(snapCfg)
+	snap := m.Snapshot()
+	cycle := func() {
+		err := m.Run(func() error {
+			if err := m.Kern.MapPages(0x20000, 2); err != nil {
+				return err
+			}
+			for i := vm.VAddr(0); i < 32; i++ {
+				m.Store64(0x20000+i*64, uint64(i))
+			}
+			m.Load64(0x20000)
+			m.Cache.FlushAll()
+			return nil
+		})
+		if err != nil {
+			t.Errorf("dirty run: %v", err)
+		}
+		m.Restore(snap)
+	}
+	cycle() // warm pool capacities (fill log, frame lists, map buckets)
+	if avg := testing.AllocsPerRun(20, cycle); avg > 0 {
+		t.Fatalf("dirty+restore cycle allocates %.1f objects/run, want 0", avg)
+	}
+}

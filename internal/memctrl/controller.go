@@ -456,6 +456,67 @@ func (c *Controller) WriteLine(a physmem.Addr, words [physmem.GroupsPerLine]uint
 	}
 }
 
+// Image is a checkpoint of the controller's simulated state: mode, handler,
+// observers, capabilities, counters and scrub cursor. The known-clean line
+// bitmap is deliberately NOT part of the image: it is a host-side read
+// accelerator whose entries stay valid across a restore (physmem fires the
+// mutation hook for every line a restore rewrites, clearing exactly the bits
+// that could go stale), and its state is observationally invisible — pinned
+// by TestFastPathEquivalence.
+type Image struct {
+	c           *Controller
+	mode        Mode
+	handler     InterruptHandler
+	observer    FaultObserver
+	nobservers  int
+	caps        Capabilities
+	stats       Stats
+	fastPath    bool
+	scrubCursor physmem.Addr
+	scrubFilter func(line physmem.Addr) bool
+}
+
+// CaptureImage checkpoints the controller. Capturing with the bus locked
+// (mid-scramble) is a bug and panics.
+func (c *Controller) CaptureImage() *Image {
+	if c.locked {
+		panic("memctrl: CaptureImage with the bus locked")
+	}
+	return &Image{
+		c:           c,
+		mode:        c.mode,
+		handler:     c.handler,
+		observer:    c.observer,
+		nobservers:  len(c.observers),
+		caps:        c.caps,
+		stats:       c.stats,
+		fastPath:    c.fastPath,
+		scrubCursor: c.scrubCursor,
+		scrubFilter: c.scrubFilter,
+	}
+}
+
+// RestoreImage puts the controller back into the captured state. Observers
+// appended after the capture (per-run measurement probes) are dropped; the
+// captured prefix is kept — observer closures bind to warmup-time objects
+// the snapshot layer restores in place.
+func (c *Controller) RestoreImage(img *Image) {
+	if img.c != c {
+		panic("memctrl: RestoreImage with an image captured from a different controller")
+	}
+	c.mode = img.mode
+	c.handler = img.handler
+	c.observer = img.observer
+	c.observers = c.observers[:img.nobservers]
+	c.locked = false
+	c.caps = img.caps
+	c.stats = img.stats
+	c.busSpan = telemetry.Span{}
+	c.fastPath = img.fastPath
+	c.scrubCursor = img.scrubCursor
+	c.scrubFilter = img.scrubFilter
+}
+
 // PeekLine returns the raw data words of a line without ECC checking or
 // cycle charges. It is used by the kernel to save original data before
 // scrambling, and by tests.

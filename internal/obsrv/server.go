@@ -23,14 +23,18 @@ package obsrv
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
 	"time"
 
+	"safemem/internal/bench"
+	"safemem/internal/campaign"
 	"safemem/internal/obsrv/buildinfo"
 	"safemem/internal/obsrv/flight"
 	"safemem/internal/profiling"
+	"safemem/internal/snapshot"
 	"safemem/internal/telemetry"
 )
 
@@ -202,6 +206,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "safemem_flight_events_total %d\n", s.rec.Total())
 	fmt.Fprintf(w, "# TYPE safemem_flight_subscriber_drops_total counter\n")
 	fmt.Fprintf(w, "safemem_flight_subscriber_drops_total %d\n", s.rec.SubscriberDrops())
+	writePoolMetrics(w)
+}
+
+// writePoolMetrics appends the machine-pool and snapshot-store counters of
+// both run loops (campaign scenarios serve fleet jobs, bench serves app
+// jobs), so operators can watch warmup amortization — and taint drops —
+// live. Process-global, like the pools themselves.
+func writePoolMetrics(w io.Writer) {
+	cr, cd := campaign.PoolStats()
+	br, bd := bench.PoolStats()
+	fmt.Fprintf(w, "# TYPE safemem_pool_released gauge\n")
+	fmt.Fprintf(w, "safemem_pool_released{loop=%q} %d\n", "campaign", cr)
+	fmt.Fprintf(w, "safemem_pool_released{loop=%q} %d\n", "bench", br)
+	fmt.Fprintf(w, "# TYPE safemem_pool_dropped gauge\n")
+	fmt.Fprintf(w, "safemem_pool_dropped{loop=%q} %d\n", "campaign", cd)
+	fmt.Fprintf(w, "safemem_pool_dropped{loop=%q} %d\n", "bench", bd)
+	stores := []struct {
+		loop string
+		st   snapshot.Stats
+	}{
+		{"campaign", campaign.ExecSnapshotStats()},
+		{"bench", bench.SnapshotStats()},
+	}
+	for _, name := range []string{"hits", "misses", "drops", "releases"} {
+		fmt.Fprintf(w, "# TYPE safemem_snapshot_%s gauge\n", name)
+		for _, s := range stores {
+			var v uint64
+			switch name {
+			case "hits":
+				v = s.st.Hits
+			case "misses":
+				v = s.st.Misses
+			case "drops":
+				v = s.st.Drops
+			case "releases":
+				v = s.st.Releases
+			}
+			fmt.Fprintf(w, "safemem_snapshot_%s{loop=%q} %d\n", name, s.loop, v)
+		}
+	}
 }
 
 // handleHealthz reports monitoring health: the process is "degraded" once

@@ -3,6 +3,7 @@ package obsrv
 import (
 	"bufio"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -74,6 +75,11 @@ func TestMetricsGolden(t *testing.T) {
 		t.Errorf("Content-Type = %q, want %q", ct, telemetry.PromContentType)
 	}
 
+	// The pool/snapshot gauges are process-global — their values depend on
+	// what other tests ran before this one — so the golden pins everything
+	// else and TestMetricsPoolGauges pins their shape.
+	body = stripPoolMetrics(body)
+
 	const goldenPath = "testdata/metrics.golden"
 	if *update {
 		if err := os.WriteFile(goldenPath, []byte(body), 0o644); err != nil {
@@ -86,6 +92,40 @@ func TestMetricsGolden(t *testing.T) {
 	}
 	if body != string(want) {
 		t.Errorf("scrape differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, body, want)
+	}
+}
+
+// stripPoolMetrics drops the safemem_pool_* / safemem_snapshot_* lines
+// (TYPE headers included) from a scrape body.
+func stripPoolMetrics(body string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(body, "\n") {
+		if strings.Contains(line, "safemem_pool_") || strings.Contains(line, "safemem_snapshot_") {
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+// TestMetricsPoolGauges pins the shape of the run-loop pool and snapshot
+// telemetry: every counter family is present for both run loops.
+func TestMetricsPoolGauges(t *testing.T) {
+	s := testServer(t, Config{Recorder: flight.New(4)})
+	_, body, _ := get(t, s.URL()+"/metrics")
+	families := []string{
+		"pool_released", "pool_dropped",
+		"snapshot_hits", "snapshot_misses", "snapshot_drops", "snapshot_releases",
+	}
+	for _, name := range families {
+		if !strings.Contains(body, fmt.Sprintf("# TYPE safemem_%s gauge\n", name)) {
+			t.Errorf("missing TYPE line for safemem_%s", name)
+		}
+		for _, loop := range []string{"campaign", "bench"} {
+			if !strings.Contains(body, fmt.Sprintf("safemem_%s{loop=%q} ", name, loop)) {
+				t.Errorf("missing safemem_%s sample for loop %q", name, loop)
+			}
+		}
 	}
 }
 

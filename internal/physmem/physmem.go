@@ -68,6 +68,19 @@ type Memory struct {
 	// of the whole DRAM — the trick that makes machine pooling cheaper than
 	// allocating a fresh 32 MiB arena per campaign scenario.
 	touched []uint64
+
+	// dirty is the since-last-capture counterpart of touched: CaptureImage
+	// clears it, every mutation sets it, and RestoreImage walks it to
+	// re-copy only the lines that actually diverged from the image —
+	// O(dirty state) instead of O(memory). Invariant between capture and
+	// restore: touched == image.touched | dirty.
+	dirty []uint64
+
+	// snapGen guards image validity: CaptureImage stamps the image with the
+	// current generation and anything that breaks the dirty-tracking
+	// invariant (ZeroTouched, restoring a different image) bumps it, forcing
+	// the next RestoreImage onto the always-correct full path.
+	snapGen uint64
 }
 
 // SetMutateHook installs fn as the mutation observer (nil clears it). There
@@ -80,6 +93,7 @@ func (m *Memory) SetMutateHook(fn func(line Addr)) { m.onMutate = fn }
 func (m *Memory) noteMutate(idx uint64) {
 	line := idx / GroupsPerLine
 	m.touched[line>>6] |= 1 << (line & 63)
+	m.dirty[line>>6] |= 1 << (line & 63)
 	if m.onMutate != nil {
 		m.onMutate(Addr(idx * GroupBytes).LineAddr())
 	}
@@ -106,7 +120,12 @@ func (m *Memory) ZeroTouched() {
 			}
 		}
 		m.touched[wi] = 0
+		m.dirty[wi] = 0
 	}
+	// Zeroing breaks any image's dirty-tracking invariant (its lines are
+	// gone but its dirty bits were cleared along the way); stale images must
+	// take the full restore path.
+	m.snapGen++
 }
 
 // New allocates a simulated DRAM of the given size in bytes. The size must
@@ -120,6 +139,7 @@ func New(size uint64) (*Memory, error) {
 		groups:  make([]group, size/GroupBytes),
 		size:    size,
 		touched: make([]uint64, (lines+63)/64),
+		dirty:   make([]uint64, (lines+63)/64),
 	}, nil
 }
 
@@ -193,6 +213,103 @@ func (m *Memory) FlipDataBit(a Addr, bit uint) {
 	idx := m.groupIndex(a)
 	m.groups[idx].data ^= 1 << bit
 	m.noteMutate(idx)
+}
+
+// Image is an immutable checkpoint of a Memory's stored bits, taken with
+// CaptureImage. It records only the touched lines — for the warmed-but-idle
+// machines the snapshot layer checkpoints, that is a handful of lines, not
+// the DRAM.
+type Image struct {
+	mem     *Memory
+	gen     uint64
+	touched []uint64
+	lines   map[uint64]*[GroupsPerLine]group
+}
+
+// CaptureImage checkpoints the memory's current contents. It also resets
+// the dirty-since-capture bitmap, so a later RestoreImage re-copies only
+// lines mutated in between. The image belongs to this memory; restoring it
+// elsewhere panics.
+func (m *Memory) CaptureImage() *Image {
+	img := &Image{
+		mem:     m,
+		touched: append([]uint64(nil), m.touched...),
+		lines:   make(map[uint64]*[GroupsPerLine]group),
+	}
+	for wi, w := range m.touched {
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			w &^= 1 << b
+			line := uint64(wi)<<6 + b
+			saved := new([GroupsPerLine]group)
+			copy(saved[:], m.groups[line*GroupsPerLine:(line+1)*GroupsPerLine])
+			img.lines[line] = saved
+		}
+	}
+	clear(m.dirty)
+	m.snapGen++
+	img.gen = m.snapGen
+	return img
+}
+
+// restoreLine puts one line back to its image content (or zero, when the
+// image never held it) and fires the mutate hook, exactly as an explicit
+// write would, so a controller's known-clean bitmap cannot go stale.
+func (m *Memory) restoreLine(img *Image, line uint64) {
+	gi := line * GroupsPerLine
+	if saved, ok := img.lines[line]; ok {
+		copy(m.groups[gi:gi+GroupsPerLine], saved[:])
+	} else {
+		for g := gi; g < gi+GroupsPerLine; g++ {
+			m.groups[g] = group{}
+		}
+	}
+	if m.onMutate != nil {
+		m.onMutate(Addr(line * LineBytes))
+	}
+}
+
+// RestoreImage puts the memory back into the captured state. When the
+// image's dirty tracking is still valid (nothing but ordinary mutations
+// happened since CaptureImage or the previous RestoreImage of this image),
+// only the lines dirtied in between are re-copied; otherwise every line
+// either side ever touched is restored — slower, never wrong. Afterwards
+// the image is valid for the next O(dirty) restore. The mutate hook fires
+// once per restored line.
+func (m *Memory) RestoreImage(img *Image) {
+	if img.mem != m {
+		panic("physmem: RestoreImage with an image captured from a different memory")
+	}
+	if img.gen == m.snapGen {
+		// Fast path: touched == img.touched | dirty, so restoring the dirty
+		// lines and stripping their extra touched bits lands exactly on the
+		// captured bitmaps.
+		for wi, w := range m.dirty {
+			d := w
+			for d != 0 {
+				b := uint64(bits.TrailingZeros64(d))
+				d &^= 1 << b
+				m.restoreLine(img, uint64(wi)<<6+b)
+			}
+			m.touched[wi] &^= w &^ img.touched[wi]
+			m.dirty[wi] = 0
+		}
+		return
+	}
+	// Full path: the bitmaps' provenance is unknown (ZeroTouched ran, or a
+	// different image was restored), so walk the union of both touched sets.
+	for wi := range m.touched {
+		w := m.touched[wi] | img.touched[wi]
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			w &^= 1 << b
+			m.restoreLine(img, uint64(wi)<<6+b)
+		}
+		m.touched[wi] = img.touched[wi]
+		m.dirty[wi] = 0
+	}
+	m.snapGen++
+	img.gen = m.snapGen
 }
 
 // FlipCheckBit inverts one stored check bit of the group at a.

@@ -241,6 +241,71 @@ func (c *Clock) ClearWake() {
 	}
 }
 
+// timerState is one timer's captured deadline and armed flag.
+type timerState struct {
+	t      *Timer
+	at     Cycles
+	active bool
+}
+
+// ClockImage is a checkpoint of a clock: the current time plus the deadline
+// and armed state of every timer registered at capture time. Timers keep
+// their hook closures — an image restores into the same host objects it was
+// captured from, which is exactly what the snapshot layer's bound runners
+// guarantee.
+type ClockImage struct {
+	clock  *Clock
+	now    Cycles
+	wakeAt Cycles
+	armed  bool
+	legacy *Timer
+	timers []timerState
+}
+
+// CaptureImage checkpoints the clock. Capturing mid-sweep (from inside a
+// timer hook) is a bug and panics.
+func (c *Clock) CaptureImage() *ClockImage {
+	if c.firing {
+		panic("simtime: CaptureImage from inside a timer hook")
+	}
+	img := &ClockImage{
+		clock:  c,
+		now:    c.now,
+		wakeAt: c.wakeAt,
+		armed:  c.armed,
+		legacy: c.legacy,
+		timers: make([]timerState, len(c.timers)),
+	}
+	for i, t := range c.timers {
+		img.timers[i] = timerState{t: t, at: t.at, active: t.active}
+	}
+	return img
+}
+
+// RestoreImage puts the clock back into the captured state. Timers
+// registered after the capture are dropped — they belong to per-run
+// components (fault processes, scrub daemons) that are rebuilt per run —
+// while the captured prefix gets its deadlines and armed flags back.
+func (c *Clock) RestoreImage(img *ClockImage) {
+	if img.clock != c {
+		panic("simtime: RestoreImage with an image captured from a different clock")
+	}
+	for i := range img.timers {
+		s := &img.timers[i]
+		if c.timers[i] != s.t {
+			panic("simtime: clock timer list diverged from image prefix")
+		}
+		s.t.at = s.at
+		s.t.active = s.active
+	}
+	c.timers = c.timers[:len(img.timers)]
+	c.now = img.now
+	c.wakeAt = img.wakeAt
+	c.armed = img.armed
+	c.legacy = img.legacy
+	c.firing = false
+}
+
 // noteDeadline lowers the cached wake bound to cover a new deadline.
 // wakeAt is maintained as a lower bound on the earliest active deadline
 // (never an exact minimum): Stop and later Reprograms leave it stale, and

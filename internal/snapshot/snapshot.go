@@ -1,0 +1,238 @@
+// Package snapshot implements copy-on-write machine snapshots: the
+// AFL-forkserver idiom applied to the simulated machine. Warming up a
+// machine for a detection run — building the hardware, creating the heap,
+// attaching the tool stack — costs the same for every scenario that shares a
+// configuration, so the warmup is paid once per configuration, checkpointed
+// with machine.Snapshot, and every subsequent run restores the checkpoint in
+// O(state the previous run dirtied) instead of rebuilding.
+//
+// The unit of pooling is the Runner, not the bare image: timers, fault
+// observers, ECC handlers and allocation hooks captured inside a snapshot
+// are closures over the specific heap and tool objects created during that
+// warmup, so an image is only meaningful together with the objects it was
+// captured alongside. A Runner carries all of them plus the snapshot.
+//
+// The Store keeps idle runners per configuration key with a small capacity
+// cap (a warmed machine pins its DRAM arrays), restores each runner on
+// release so acquisition is instant, and drops — never repools, never
+// re-snapshots — any runner whose run panicked or errored: a half-finished
+// run can leave state (a locked bus, a mid-flight access) that restore code
+// must not be trusted to unwind. Equivalence with the rebuild path is pinned
+// byte-for-byte by the campaign and fleet snapshot tests.
+//
+// The whole layer sits behind a default-off kill switch (SetEnabled);
+// DESIGN.md §4.11 documents the restore matrix and taint rules.
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"safemem/internal/machine"
+)
+
+// enabled is the global kill switch. Default off: every run loop rebuilds
+// exactly as before unless the caller opts in.
+var enabled atomic.Bool
+
+// SetEnabled turns the snapshot fast path on or off process-wide. The run
+// loops (campaign, bench, fleet) consult it at machine-acquisition time, so
+// flipping it mid-campaign only affects scenarios not yet started.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the snapshot fast path is on.
+func Enabled() bool { return enabled.Load() }
+
+// Runner is one warmed machine bound to the heap and tool objects created
+// during its warmup, plus the snapshot that returns all of them to the
+// warmed-but-idle state. A Runner is exclusively owned between Acquire and
+// Release/Drop.
+type Runner struct {
+	// Machine is the warmed simulated machine.
+	Machine *machine.Machine
+	// Snap is the checkpoint taken at the end of warmup.
+	Snap *machine.Snapshot
+	// Payload holds the builder's warmup objects (allocator, tools) for the
+	// run loop to use; the Store never inspects it.
+	Payload any
+	// Reset restores the payload objects after the machine restore (tool and
+	// allocator images). Set by the builder; may be nil when the payload is
+	// stateless.
+	Reset func()
+}
+
+// restore returns the runner to its snapshot state, reporting failure
+// instead of propagating a panic: a runner whose restore blows up is exactly
+// the kind of tainted state the Store must drop.
+func (r *Runner) restore() (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	r.Machine.Restore(r.Snap)
+	if r.Reset != nil {
+		r.Reset()
+	}
+	return true
+}
+
+// Stats is a point-in-time copy of a Store's counters.
+type Stats struct {
+	// Hits counts acquisitions served by an idle warmed runner.
+	Hits uint64
+	// Misses counts acquisitions that had to build (and warm) a new runner.
+	Misses uint64
+	// Drops counts runners discarded instead of repooled: tainted runs,
+	// failed restores, and capacity overflow.
+	Drops uint64
+	// Releases counts runners successfully restored and repooled.
+	Releases uint64
+}
+
+// DefaultCapacity is the per-key idle-runner cap used when NewStore is given
+// a non-positive capacity. Each warmed runner pins its machine's DRAM (the
+// campaign's 32 MiB arenas dominate), so the cap bounds host memory, not
+// throughput: workers beyond it simply rebuild on a cold acquire.
+const DefaultCapacity = 4
+
+// keyPool holds one configuration key's idle runners. The build mutex
+// serializes warmups for the key — concurrent cold acquirers each need their
+// own runner, but warming several identical machines at once would spike
+// host memory and duplicate work a just-released runner could serve.
+type keyPool struct {
+	build sync.Mutex
+	mu    sync.Mutex
+	idle  []*Runner
+}
+
+// Store pools warmed runners by configuration key. Safe for concurrent use.
+type Store struct {
+	capacity int
+
+	mu    sync.Mutex
+	pools map[string]*keyPool
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	drops    atomic.Uint64
+	releases atomic.Uint64
+}
+
+// NewStore creates a store holding at most capacityPerKey idle runners per
+// configuration key (DefaultCapacity when non-positive).
+func NewStore(capacityPerKey int) *Store {
+	if capacityPerKey <= 0 {
+		capacityPerKey = DefaultCapacity
+	}
+	return &Store{capacity: capacityPerKey, pools: make(map[string]*keyPool)}
+}
+
+func (s *Store) pool(key string) *keyPool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pools[key]
+	if p == nil {
+		p = &keyPool{}
+		s.pools[key] = p
+	}
+	return p
+}
+
+// take pops an idle runner for p, or nil.
+func (p *keyPool) take() *Runner {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.idle)
+	if n == 0 {
+		return nil
+	}
+	r := p.idle[n-1]
+	p.idle[n-1] = nil
+	p.idle = p.idle[:n-1]
+	return r
+}
+
+// Acquire returns a warmed runner for key, building one with build on a cold
+// miss. Returned runners are already in their snapshot state (restored at
+// release time), so the caller starts per-run setup immediately. A build
+// error is returned verbatim and counts as neither hit nor miss beyond the
+// one recorded.
+func (s *Store) Acquire(key string, build func() (*Runner, error)) (*Runner, error) {
+	p := s.pool(key)
+	if r := p.take(); r != nil {
+		s.hits.Add(1)
+		return r, nil
+	}
+	// Serialize warmups per key; a runner released while we waited for the
+	// build lock serves the acquisition without building.
+	p.build.Lock()
+	defer p.build.Unlock()
+	if r := p.take(); r != nil {
+		s.hits.Add(1)
+		return r, nil
+	}
+	s.misses.Add(1)
+	return build()
+}
+
+// Release restores r to its snapshot and returns it to key's idle pool. A
+// failed restore or a full pool drops the runner instead. Only call for
+// runs that completed cleanly — a panicked or errored run must go through
+// Drop.
+func (s *Store) Release(key string, r *Runner) {
+	if r == nil {
+		return
+	}
+	if !r.restore() {
+		s.drops.Add(1)
+		return
+	}
+	p := s.pool(key)
+	p.mu.Lock()
+	if len(p.idle) >= s.capacity {
+		p.mu.Unlock()
+		s.drops.Add(1)
+		return
+	}
+	p.idle = append(p.idle, r)
+	p.mu.Unlock()
+	s.releases.Add(1)
+}
+
+// Drop discards a tainted runner: a run that panicked or returned an error
+// may have left the machine in a state no restore is certified for, so the
+// runner — snapshot included — is abandoned to the garbage collector and
+// the next acquisition for its key warms a fresh one.
+func (s *Store) Drop(r *Runner) {
+	if r == nil {
+		return
+	}
+	s.drops.Add(1)
+}
+
+// Stats returns a copy of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Drops:    s.drops.Load(),
+		Releases: s.releases.Load(),
+	}
+}
+
+// Flush discards every idle runner (tests and memory-pressure paths). The
+// dropped runners do not count as drops — nothing was tainted.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	pools := make([]*keyPool, 0, len(s.pools))
+	for _, p := range s.pools {
+		pools = append(pools, p)
+	}
+	s.mu.Unlock()
+	for _, p := range pools {
+		p.mu.Lock()
+		p.idle = nil
+		p.mu.Unlock()
+	}
+}

@@ -1,0 +1,236 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"safemem/internal/machine"
+)
+
+func newTestRunner(t *testing.T) *Runner {
+	t.Helper()
+	m := machine.MustNew(machine.Config{MemBytes: 1 << 20})
+	return &Runner{Machine: m, Snap: m.Snapshot()}
+}
+
+func TestEnabledKillSwitch(t *testing.T) {
+	if Enabled() {
+		t.Fatal("snapshot layer must default off")
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) not observed")
+	}
+}
+
+func TestStoreMissThenHit(t *testing.T) {
+	s := NewStore(2)
+	builds := 0
+	build := func() (*Runner, error) { builds++; return newTestRunner(t), nil }
+
+	r, err := s.Acquire("k", build)
+	if err != nil || r == nil {
+		t.Fatalf("cold acquire: %v, %v", r, err)
+	}
+	s.Release("k", r)
+	r2, err := s.Acquire("k", build)
+	if err != nil {
+		t.Fatalf("warm acquire: %v", err)
+	}
+	if r2 != r {
+		t.Fatal("warm acquire did not return the released runner")
+	}
+	if builds != 1 {
+		t.Fatalf("built %d runners, want 1", builds)
+	}
+	want := Stats{Hits: 1, Misses: 1, Releases: 1}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+}
+
+func TestStoreKeysIndependent(t *testing.T) {
+	s := NewStore(2)
+	r := newTestRunner(t)
+	s.Release("a", r)
+	got, err := s.Acquire("b", func() (*Runner, error) { return newTestRunner(t), nil })
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if got == r {
+		t.Fatal("runner released under key a served an acquire for key b")
+	}
+	if st := s.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 0 hits / 1 miss", st)
+	}
+}
+
+// TestStoreReleaseRestores pins restore-at-release: the runner handed out by
+// a warm acquire is already back in its snapshot state, Reset included.
+func TestStoreReleaseRestores(t *testing.T) {
+	s := NewStore(2)
+	m := machine.MustNew(machine.Config{MemBytes: 1 << 20})
+	resets := 0
+	r := &Runner{Machine: m, Snap: m.Snapshot(), Reset: func() { resets++ }}
+
+	err := m.Run(func() error { return m.Kern.MapPages(0x1000, 1) })
+	if err != nil {
+		t.Fatalf("dirty run: %v", err)
+	}
+	s.Release("k", r)
+	if resets != 1 {
+		t.Fatalf("Reset ran %d times at release, want 1", resets)
+	}
+	if m.AS.Present(0x1000) {
+		t.Fatal("release did not restore the machine to its snapshot")
+	}
+}
+
+func TestStoreTaintedDropNeverRepooled(t *testing.T) {
+	s := NewStore(2)
+	builds := 0
+	build := func() (*Runner, error) { builds++; return newTestRunner(t), nil }
+
+	r, err := s.Acquire("k", build)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	s.Drop(r) // the run panicked or errored: taint
+	r2, err := s.Acquire("k", build)
+	if err != nil {
+		t.Fatalf("acquire after drop: %v", err)
+	}
+	if r2 == r {
+		t.Fatal("dropped runner came back out of the pool")
+	}
+	if builds != 2 {
+		t.Fatalf("built %d runners, want 2 (drop must force a rebuild)", builds)
+	}
+	want := Stats{Misses: 2, Drops: 1}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	s.Drop(nil) // nil drop is a no-op, not a drop
+	if got := s.Stats().Drops; got != 1 {
+		t.Fatalf("nil Drop counted: drops=%d, want 1", got)
+	}
+}
+
+// TestStoreRestorePanicDrops pins the last taint line of defence: a runner
+// whose restore itself blows up is dropped, never repooled.
+func TestStoreRestorePanicDrops(t *testing.T) {
+	s := NewStore(2)
+	m := machine.MustNew(machine.Config{MemBytes: 1 << 20})
+	r := &Runner{Machine: m, Snap: m.Snapshot(), Reset: func() { panic("corrupt payload") }}
+	s.Release("k", r)
+	want := Stats{Drops: 1}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	if got, err := s.Acquire("k", func() (*Runner, error) { return newTestRunner(t), nil }); err != nil || got == r {
+		t.Fatalf("acquire after failed restore returned the tainted runner (err %v)", err)
+	}
+}
+
+func TestStoreCapacityOverflowDrops(t *testing.T) {
+	s := NewStore(1)
+	build := func() (*Runner, error) { return newTestRunner(t), nil }
+	r1, err1 := s.Acquire("k", build)
+	r2, err2 := s.Acquire("k", build)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("acquires: %v, %v", err1, err2)
+	}
+	s.Release("k", r1)
+	s.Release("k", r2) // pool full: dropped, not queued
+	want := Stats{Misses: 2, Drops: 1, Releases: 1}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+}
+
+func TestStoreDefaultCapacity(t *testing.T) {
+	s := NewStore(0)
+	if s.capacity != DefaultCapacity {
+		t.Fatalf("NewStore(0) capacity = %d, want DefaultCapacity (%d)", s.capacity, DefaultCapacity)
+	}
+	build := func() (*Runner, error) { return newTestRunner(t), nil }
+	var runners []*Runner
+	for i := 0; i < DefaultCapacity+1; i++ {
+		r, err := s.Acquire("k", build)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		runners = append(runners, r)
+	}
+	for _, r := range runners {
+		s.Release("k", r)
+	}
+	st := s.Stats()
+	if st.Releases != uint64(DefaultCapacity) || st.Drops != 1 {
+		t.Fatalf("stats %+v, want %d releases / 1 drop", st, DefaultCapacity)
+	}
+}
+
+// TestStoreFlushIsNotADrop pins that flushing idle runners (memory
+// pressure, test teardown) does not count as taint.
+func TestStoreFlushIsNotADrop(t *testing.T) {
+	s := NewStore(2)
+	s.Release("k", newTestRunner(t))
+	s.Flush()
+	st := s.Stats()
+	if st.Drops != 0 {
+		t.Fatalf("Flush counted as %d drops, want 0", st.Drops)
+	}
+	builds := 0
+	if _, err := s.Acquire("k", func() (*Runner, error) { builds++; return newTestRunner(t), nil }); err != nil {
+		t.Fatalf("acquire after flush: %v", err)
+	}
+	if builds != 1 {
+		t.Fatal("acquire after Flush was served from the (flushed) pool")
+	}
+}
+
+// TestStoreSingleFlightWarmup pins the build-lock contract: while one cold
+// acquirer is warming a runner, a second acquirer for the same key waits,
+// and a runner released in the meantime serves it without a second build.
+func TestStoreSingleFlightWarmup(t *testing.T) {
+	s := NewStore(2)
+	spare := newTestRunner(t)
+
+	entered := make(chan struct{})
+	unblock := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		r, err := s.Acquire("k", func() (*Runner, error) {
+			close(entered)
+			<-unblock
+			return newTestRunner(t), nil
+		})
+		if err != nil || r == nil {
+			t.Errorf("first acquire: %v, %v", r, err)
+		}
+	}()
+	<-entered // the first build holds the key's build lock
+	go func() {
+		defer wg.Done()
+		r, err := s.Acquire("k", func() (*Runner, error) {
+			t.Error("second build ran while a released runner was idle")
+			return newTestRunner(t), nil
+		})
+		if err != nil {
+			t.Errorf("second acquire: %v", err)
+		}
+		if r != spare {
+			t.Error("second acquire did not re-take the released runner")
+		}
+	}()
+	s.Release("k", spare) // lands while the second acquirer waits
+	close(unblock)
+	wg.Wait()
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 miss / 1 hit", st)
+	}
+}

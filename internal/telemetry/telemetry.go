@@ -308,6 +308,30 @@ func (r *Registry) RegisterSource(component string, fn Source) {
 	r.sources = append(r.sources, sourceEntry{component: component, fn: fn})
 }
 
+// SourceMark returns a cursor into the source registration list. Pair with
+// TruncateSources to unwind sources registered after the mark — the snapshot
+// layer uses it to drop per-run sources (fault model, injector) when a pooled
+// machine is restored, so repeated runs cannot accumulate duplicate emitters.
+func (r *Registry) SourceMark() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sources)
+}
+
+// TruncateSources forgets every source registered after the given mark.
+// Marks taken later than the current length are ignored (the sources they
+// cover are already gone).
+func (r *Registry) TruncateSources(mark int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark < len(r.sources) {
+		r.sources = r.sources[:mark]
+	}
+}
+
 // owned returns the registry-owned scalar values (counters and gauges) in
 // registration order. Their reads are atomic, so this is safe off-thread.
 func (r *Registry) owned() []MetricValue {

@@ -176,8 +176,31 @@ type AddressSpace struct {
 	// machine's batch lane uses this to keep page windows open across runs.
 	epoch uint64
 
+	// ptePool recycles page-table entries so steady-state map/unmap/restore
+	// cycles allocate nothing (pinned by TestSnapshotPathNoAllocs). Reuse is
+	// safe: every path that drops a pte (Unmap, RestoreImage) also
+	// invalidates the TLB entry and bumps the epoch that guard cached *pte
+	// pointers.
+	ptePool []*pte
+
 	stats Stats
 }
+
+// newPTE returns a zeroed pte, reusing a pooled one when available.
+func (as *AddressSpace) newPTE() *pte {
+	n := len(as.ptePool)
+	if n == 0 {
+		return &pte{}
+	}
+	p := as.ptePool[n-1]
+	as.ptePool = as.ptePool[:n-1]
+	*p = pte{}
+	return p
+}
+
+// freePTE returns a dead pte to the pool. Callers must already have
+// invalidated any TLB entry or PageRef that could reference it.
+func (as *AddressSpace) freePTE(p *pte) { as.ptePool = append(as.ptePool, p) }
 
 // TLBDefault controls whether new address spaces start with the software
 // TLB enabled. Equivalence tests flip it off to pin that the TLB is
@@ -336,7 +359,9 @@ func (as *AddressSpace) Map(va VAddr, n int, prot Prot) error {
 	for i := 0; i < n; i++ {
 		frame := as.frames[len(as.frames)-1]
 		as.frames = as.frames[:len(as.frames)-1]
-		as.pages[vpn+uint64(i)] = &pte{frame: frame, prot: prot, present: true}
+		p := as.newPTE()
+		p.frame, p.prot, p.present = frame, prot, true
+		as.pages[vpn+uint64(i)] = p
 		as.tlbInvalidate(vpn + uint64(i))
 		as.clock.Advance(simtime.CostPageTableOp)
 		as.stats.Maps++
@@ -368,6 +393,7 @@ func (as *AddressSpace) Unmap(va VAddr, n int) error {
 			as.frames = append(as.frames, p.frame)
 		}
 		delete(as.pages, vpn+uint64(i))
+		as.freePTE(p)
 		as.tlbInvalidate(vpn + uint64(i))
 		as.clock.Advance(simtime.CostPageTableOp)
 	}
@@ -636,6 +662,70 @@ func (as *AddressSpace) swapIn(vpn uint64, p *pte) error {
 	as.stats.SwapsIn++
 	as.clock.Advance(costSwapPage)
 	return nil
+}
+
+// Image is a checkpoint of an address space's simulated state: page table,
+// free-frame list, retired set, LRU tick and counters. Captured with
+// CaptureImage, restored with RestoreImage. The software TLB and its
+// host-side counters are not part of the image — they are invisible to
+// simulated semantics and a restore simply flushes them.
+type Image struct {
+	as      *AddressSpace
+	pages   map[uint64]pte
+	frames  []physmem.Addr
+	retired []physmem.Addr
+	tick    uint64
+	stats   Stats
+}
+
+// CaptureImage checkpoints the address space.
+func (as *AddressSpace) CaptureImage() *Image {
+	img := &Image{
+		as:     as,
+		pages:  make(map[uint64]pte, len(as.pages)),
+		frames: append([]physmem.Addr(nil), as.frames...),
+		tick:   as.tick,
+		stats:  as.stats,
+	}
+	for vpn, p := range as.pages {
+		cp := *p
+		cp.swapped = append([]uint64(nil), p.swapped...)
+		img.pages[vpn] = cp
+	}
+	for f := range as.retired {
+		img.retired = append(img.retired, f)
+	}
+	return img
+}
+
+// RestoreImage puts the address space back into the captured state and
+// flushes the TLB. Page contents live in physmem and are restored
+// separately (physmem.RestoreImage); this restores the translations. For
+// the empty page tables the snapshot layer captures, the restore allocates
+// nothing and costs O(pages mapped since capture).
+func (as *AddressSpace) RestoreImage(img *Image) {
+	if img.as != as {
+		panic("vm: RestoreImage with an image captured from a different address space")
+	}
+	for _, p := range as.pages {
+		as.freePTE(p)
+	}
+	clear(as.pages)
+	for vpn, p := range img.pages {
+		np := as.newPTE()
+		*np = p
+		np.swapped = append([]uint64(nil), p.swapped...)
+		as.pages[vpn] = np
+	}
+	as.frames = as.frames[:len(img.frames)]
+	copy(as.frames, img.frames)
+	clear(as.retired)
+	for _, f := range img.retired {
+		as.retired[f] = true
+	}
+	as.tick = img.tick
+	as.stats = img.stats
+	as.tlbFlushAll()
 }
 
 // Present reports whether the page containing va is resident.

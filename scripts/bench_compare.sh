@@ -1,10 +1,15 @@
 #!/bin/sh
-# bench_compare.sh OLD.json NEW.json — render a per-app host-ns/instr delta
-# table between two BENCH_throughput.json baselines (as written by
-# `safemem-bench -experiment throughput`). The TOTAL row compares the
-# aggregates. The table informs a human reviewing a perf change; the
-# pass/fail regression gate is `make bench-check`. Exits non-zero only on
-# usage or unreadable/empty input.
+# bench_compare.sh OLD.json NEW.json — render a per-row delta table between
+# two benchmark baselines of the same kind:
+#
+#   BENCH_throughput.json / BENCH_fleet.json   host ns/instr per app
+#   BENCH_campaign.json                        warm scenarios/sec per tool,
+#                                              tail rate, fleet jobs/sec
+#
+# The kind is detected from the file contents and must match on both sides.
+# The table informs a human reviewing a perf change; the pass/fail
+# regression gate is `make bench-check`. Exits non-zero on usage errors and
+# on missing, unreadable, malformed or mismatched baselines.
 set -eu
 
 [ $# -eq 2 ] || { echo "usage: bench_compare.sh OLD.json NEW.json" >&2; exit 2; }
@@ -14,7 +19,24 @@ new=$2
 [ -r "$new" ] || { echo "bench_compare: cannot read $new" >&2; exit 2; }
 
 # The baselines are written by json.MarshalIndent, one field per line, so a
-# line-wise scan is reliable: remember the row's "app", emit on its
+# line-wise scan is reliable.
+kind_of() {
+    if grep -q '"warm_per_sec"' "$1"; then
+        echo campaign
+    elif grep -q '"host_ns_per_instr"' "$1"; then
+        echo hostns
+    else
+        echo unknown
+    fi
+}
+
+okind=$(kind_of "$old")
+nkind=$(kind_of "$new")
+[ "$okind" != unknown ] || { echo "bench_compare: $old is not a recognised baseline" >&2; exit 2; }
+[ "$nkind" != unknown ] || { echo "bench_compare: $new is not a recognised baseline" >&2; exit 2; }
+[ "$okind" = "$nkind" ] || { echo "bench_compare: kind mismatch: $old is $okind, $new is $nkind" >&2; exit 2; }
+
+# Throughput/fleet rows: remember the row's "app", emit on its
 # "host_ns_per_instr". The trailing "total" object carries app TOTAL.
 rates() {
     awk -F'"' '
@@ -23,26 +45,75 @@ rates() {
     ' "$1"
 }
 
-{
-    rates "$old" | sed 's/^/old /'
-    rates "$new" | sed 's/^/new /'
-} | awk -v oldf="$old" -v newf="$new" '
-    {
-        if (!($2 in seen)) { order[++n] = $2; seen[$2] = 1 }
-        if ($1 == "old") o[$2] = $3; else w[$2] = $3
-    }
-    END {
-        if (n == 0) { print "bench_compare: no rows found" > "/dev/stderr"; exit 2 }
-        printf "host ns/instr: %s -> %s\n", oldf, newf
-        printf "%-12s %12s %12s %9s\n", "app", "old", "new", "delta"
-        for (i = 1; i <= n; i++) {
-            a = order[i]
-            if ((a in o) && (a in w) && o[a] + 0 > 0)
-                printf "%-12s %12.3f %12.3f %+8.1f%%\n", a, o[a], w[a], (w[a] / o[a] - 1) * 100
-            else if (a in o)
-                printf "%-12s %12.3f %12s %9s\n", a, o[a], "-", "gone"
-            else
-                printf "%-12s %12s %12.3f %9s\n", a, "-", w[a], "new"
+# Campaign rows: remember the row's "tool" (the total row carries TOTAL),
+# emit its warm and tail-warm scenarios/sec, plus the fleet jobs/sec
+# aggregate as pseudo-row FLEET.
+crates() {
+    awk -F'"' '
+        function num(s) { gsub(/[^0-9.eE+-]/, "", s); return s }
+        /"tool":/                    { tool = $4 }
+        /"warm_per_sec":/            { warm[tool] = num($3) }
+        /"tail_warm_per_sec":/       { tail[tool] = num($3); order[++n] = tool }
+        /"fleet_warm_jobs_per_sec":/ { warm["FLEET"] = num($3); tail["FLEET"] = ""; order[++n] = "FLEET" }
+        END {
+            for (i = 1; i <= n; i++) {
+                t = order[i]
+                print t, warm[t], tail[t]
+            }
         }
-    }
-'
+    ' "$1"
+}
+
+if [ "$okind" = hostns ]; then
+    {
+        rates "$old" | sed 's/^/old /'
+        rates "$new" | sed 's/^/new /'
+    } | awk -v oldf="$old" -v newf="$new" '
+        {
+            if (!($2 in seen)) { order[++n] = $2; seen[$2] = 1 }
+            if ($1 == "old") o[$2] = $3; else w[$2] = $3
+        }
+        END {
+            if (n == 0) { print "bench_compare: no rows found" > "/dev/stderr"; exit 2 }
+            printf "host ns/instr: %s -> %s\n", oldf, newf
+            printf "%-12s %12s %12s %9s\n", "app", "old", "new", "delta"
+            for (i = 1; i <= n; i++) {
+                a = order[i]
+                if ((a in o) && (a in w) && o[a] + 0 > 0)
+                    printf "%-12s %12.3f %12.3f %+8.1f%%\n", a, o[a], w[a], (w[a] / o[a] - 1) * 100
+                else if (a in o)
+                    printf "%-12s %12.3f %12s %9s\n", a, o[a], "-", "gone"
+                else
+                    printf "%-12s %12s %12.3f %9s\n", a, "-", w[a], "new"
+            }
+        }
+    '
+else
+    {
+        crates "$old" | sed 's/^/old /'
+        crates "$new" | sed 's/^/new /'
+    } | awk -v oldf="$old" -v newf="$new" '
+        function delta(a, b) {
+            if (a + 0 > 0 && b != "") return sprintf("%+.1f%%", (b / a - 1) * 100)
+            return "-"
+        }
+        {
+            if (!($2 in seen)) { order[++n] = $2; seen[$2] = 1 }
+            if ($1 == "old") { ow[$2] = $3; ot[$2] = $4 } else { nw[$2] = $3; nt[$2] = $4 }
+        }
+        END {
+            if (n == 0) { print "bench_compare: no rows found" > "/dev/stderr"; exit 2 }
+            printf "warm scenarios/sec (FLEET: jobs/sec): %s -> %s\n", oldf, newf
+            printf "%-8s %10s %10s %9s %11s %11s %9s\n", "tool", "old", "new", "delta", "old tail", "new tail", "delta"
+            for (i = 1; i <= n; i++) {
+                t = order[i]
+                if (!(t in ow)) { printf "%-8s %10s %10.1f %9s\n", t, "-", nw[t], "new"; continue }
+                if (!(t in nw)) { printf "%-8s %10.1f %10s %9s\n", t, ow[t], "-", "gone"; continue }
+                if (ot[t] != "" && nt[t] != "")
+                    printf "%-8s %10.1f %10.1f %9s %11.1f %11.1f %9s\n", t, ow[t], nw[t], delta(ow[t], nw[t]), ot[t], nt[t], delta(ot[t], nt[t])
+                else
+                    printf "%-8s %10.1f %10.1f %9s\n", t, ow[t], nw[t], delta(ow[t], nw[t])
+            }
+        }
+    '
+fi
